@@ -1,0 +1,222 @@
+//! Criterion microbenchmarks for the core data structures: roaring
+//! bitmaps, bit-packed vectors, dictionaries, index lookups, star-tree
+//! traversal, PQL parsing, and routing-table generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pinot_bitmap::RoaringBitmap;
+use pinot_common::config::StarTreeConfig;
+use pinot_common::ids::InstanceId;
+use pinot_common::query::ExecutionStats;
+use pinot_common::{DataType, FieldSpec, Record, Schema, Value};
+use pinot_exec::planner::evaluate_filter;
+use pinot_segment::bitpack::PackedIntVec;
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use pinot_segment::ImmutableSegment;
+use pinot_startree::{build_star_tree, DimFilter, StarTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bitmaps(c: &mut Criterion) {
+    let a = RoaringBitmap::from_iter((0..200_000u32).filter(|v| v % 3 == 0));
+    let b = RoaringBitmap::from_iter((0..200_000u32).filter(|v| v % 5 == 0));
+    let mut run = a.clone();
+    run.optimize();
+
+    c.bench_function("bitmap/and", |bench| {
+        bench.iter(|| black_box(a.and(&b)).len())
+    });
+    c.bench_function("bitmap/or", |bench| {
+        bench.iter(|| black_box(a.or(&b)).len())
+    });
+    c.bench_function("bitmap/and_not", |bench| {
+        bench.iter(|| black_box(a.and_not(&b)).len())
+    });
+    c.bench_function("bitmap/and_run_container", |bench| {
+        bench.iter(|| black_box(run.and(&b)).len())
+    });
+    c.bench_function("bitmap/contains", |bench| {
+        bench.iter(|| {
+            let mut hits = 0u32;
+            for v in (0..10_000u32).step_by(7) {
+                hits += a.contains(black_box(v)) as u32;
+            }
+            hits
+        })
+    });
+    c.bench_function("bitmap/serialize", |bench| {
+        bench.iter(|| pinot_bitmap::serialize(black_box(&a)).len())
+    });
+}
+
+fn bench_bitpack(c: &mut Criterion) {
+    let values: Vec<u32> = (0..100_000).map(|i| i % 4096).collect();
+    let packed = PackedIntVec::from_slice(&values);
+    c.bench_function("bitpack/pack_100k", |bench| {
+        bench.iter(|| PackedIntVec::from_slice(black_box(&values)).len())
+    });
+    c.bench_function("bitpack/random_get", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i * 31 + 17) % values.len();
+            black_box(packed.get(i))
+        })
+    });
+}
+
+fn make_segment(rows: usize, sorted: bool, inverted: bool) -> ImmutableSegment {
+    let schema = Schema::new(
+        "t",
+        vec![
+            FieldSpec::dimension("k", DataType::Long),
+            FieldSpec::dimension("c", DataType::String),
+            FieldSpec::metric("m", DataType::Long),
+        ],
+    )
+    .unwrap();
+    let mut cfg = BuilderConfig::new("seg", "t");
+    if sorted {
+        cfg = cfg.with_sort_columns(&["k"]);
+    }
+    if inverted {
+        cfg = cfg.with_inverted_columns(&["c"]);
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut b = SegmentBuilder::new(schema, cfg).unwrap();
+    for _ in 0..rows {
+        b.add(Record::new(vec![
+            Value::Long(rng.gen_range(0..1_000)),
+            Value::String(format!("c{}", rng.gen_range(0..50))),
+            Value::Long(rng.gen_range(0..10_000)),
+        ]))
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_segment(c: &mut Criterion) {
+    c.bench_function("segment/build_50k_rows", |bench| {
+        bench.iter(|| make_segment(50_000, true, true).num_docs())
+    });
+
+    let plain = make_segment(100_000, false, false);
+    let sorted = make_segment(100_000, true, false);
+    let inverted = make_segment(100_000, false, true);
+    let eq_k = pinot_pql::parse("SELECT COUNT(*) FROM t WHERE k = 500")
+        .unwrap()
+        .filter
+        .unwrap();
+    let eq_c = pinot_pql::parse("SELECT COUNT(*) FROM t WHERE c = 'c7'")
+        .unwrap()
+        .filter
+        .unwrap();
+
+    c.bench_function("filter/scan_eq", |bench| {
+        bench.iter(|| {
+            let mut stats = ExecutionStats::default();
+            evaluate_filter(black_box(&plain), Some(&eq_k), &mut stats)
+                .unwrap()
+                .count()
+        })
+    });
+    c.bench_function("filter/sorted_range_eq", |bench| {
+        bench.iter(|| {
+            let mut stats = ExecutionStats::default();
+            evaluate_filter(black_box(&sorted), Some(&eq_k), &mut stats)
+                .unwrap()
+                .count()
+        })
+    });
+    c.bench_function("filter/inverted_bitmap_eq", |bench| {
+        bench.iter(|| {
+            let mut stats = ExecutionStats::default();
+            evaluate_filter(black_box(&inverted), Some(&eq_c), &mut stats)
+                .unwrap()
+                .count()
+        })
+    });
+    c.bench_function("segment/persist_round_trip", |bench| {
+        let blob = pinot_segment::persist::serialize(&inverted);
+        bench.iter(|| {
+            pinot_segment::persist::deserialize(black_box(&blob))
+                .unwrap()
+                .num_docs()
+        })
+    });
+}
+
+fn build_tree(seg: &ImmutableSegment) -> StarTree {
+    build_star_tree(
+        seg,
+        &StarTreeConfig {
+            dimensions: vec!["k".into(), "c".into()],
+            metrics: vec!["m".into()],
+            max_leaf_records: 100,
+            skip_star_dimensions: vec![],
+        },
+    )
+    .unwrap()
+}
+
+fn bench_startree(c: &mut Criterion) {
+    let seg = make_segment(100_000, false, false);
+    c.bench_function("startree/build_100k", |bench| {
+        bench.iter(|| build_tree(black_box(&seg)).num_records())
+    });
+
+    let tree = build_tree(&seg);
+    let k_id = seg
+        .column("k")
+        .unwrap()
+        .dictionary
+        .id_of(&Value::Long(500))
+        .unwrap();
+    let filters = vec![DimFilter::In(vec![k_id]), DimFilter::Any];
+    c.bench_function("startree/filtered_sum", |bench| {
+        bench.iter(|| {
+            tree.execute(black_box(&filters), &[])
+                .groups
+                .len()
+        })
+    });
+    c.bench_function("startree/group_by_unfiltered", |bench| {
+        let any = vec![DimFilter::Any, DimFilter::Any];
+        bench.iter(|| tree.execute(black_box(&any), &[1]).groups.len())
+    });
+}
+
+fn bench_pql(c: &mut Criterion) {
+    let q = "SELECT campaignId, sum(click) FROM TableA WHERE accountId = 121011 \
+             AND 'day' >= 15949 AND country IN ('us','de','fr') GROUP BY campaignId TOP 20";
+    c.bench_function("pql/parse", |bench| {
+        bench.iter(|| pinot_pql::parse(black_box(q)).unwrap().group_by.len())
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    use pinot_broker::routing::{filter_routing_tables, generate_routing_table, SegmentReplicas};
+    let mut replicas = SegmentReplicas::new();
+    for i in 0..1_000 {
+        let servers = (0..3)
+            .map(|r| InstanceId::server((i + r * 7) % 50 + 1))
+            .collect();
+        replicas.insert(format!("seg_{i:05}"), servers);
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("routing/generate_1k_segments_50_servers", |bench| {
+        bench.iter(|| generate_routing_table(black_box(&replicas), 8, &mut rng).len())
+    });
+    c.bench_function("routing/filter_20_candidates", |bench| {
+        bench.iter(|| filter_routing_tables(black_box(&replicas), 8, 5, 20, &mut rng).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitmaps,
+    bench_bitpack,
+    bench_segment,
+    bench_startree,
+    bench_pql,
+    bench_routing
+);
+criterion_main!(benches);

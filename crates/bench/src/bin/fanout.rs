@@ -1,0 +1,88 @@
+//! Fan-out cost vs cluster size (§4.4's motivation): as clusters grow, a
+//! query that contacts every server pays growing coordination cost and
+//! rising straggler odds, which is why Pinot adds large-cluster routing
+//! (bounded servers per query) and partition-aware routing (one server per
+//! point query). This harness holds the data and query load fixed while
+//! growing the simulated server count, and reports average latency per
+//! routing strategy.
+//!
+//! Caveat: a single process cannot demonstrate the paper's *near-linear
+//! capacity scaling* (adding servers here adds no CPUs); what it can show
+//! is the per-query fan-out cost those routing strategies eliminate.
+
+use pinot_bench::harness::PinotEngine;
+use pinot_bench::run_open_loop;
+use pinot_bench::setup::scale;
+use pinot_common::config::{RoutingStrategy, TableConfig};
+use pinot_core::{ClusterConfig, PinotCluster};
+use pinot_workloads::impressions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let rows = 100_000 * scale();
+    let mut rng = StdRng::seed_from_u64(23);
+    let gen = impressions::ImpressionGen::new((rows / 10).max(100), 2_000, 420_000);
+    let all_rows = gen.rows(rows, &mut rng);
+    let queries = gen.queries(6_000, &mut rng);
+
+    println!("# Fan-out cost vs cluster size (impression-discounting point queries)");
+    println!("# rows={rows}, fixed 200 QPS, replication=min(3, servers)");
+    println!("servers\tstrategy\tavg_ms\tp95_ms\tservers_per_query");
+    for servers in [2usize, 4, 8, 16] {
+        for (label, routing) in [
+            ("balanced", RoutingStrategy::Balanced),
+            (
+                "large-cluster",
+                RoutingStrategy::LargeCluster {
+                    target_servers: 3,
+                    routing_table_count: 5,
+                    generation_count: 30,
+                },
+            ),
+            (
+                "partitioned",
+                RoutingStrategy::Partitioned {
+                    column: "member_id".into(),
+                    num_partitions: servers as u32,
+                },
+            ),
+        ] {
+            let cluster = Arc::new(
+                PinotCluster::start(ClusterConfig::default().with_servers(servers)).unwrap(),
+            );
+            cluster
+                .create_table(
+                    TableConfig::offline(impressions::TABLE)
+                        .with_sorted_column("member_id")
+                        .with_replication(servers.min(3))
+                        .with_routing(routing),
+                    impressions::schema(),
+                )
+                .unwrap();
+            if label == "partitioned" {
+                cluster
+                    .upload_rows_partitioned(impressions::TABLE, all_rows.clone())
+                    .unwrap();
+            } else {
+                // One segment per server so balanced fan-out really fans out.
+                for chunk in all_rows.chunks(rows / servers + 1) {
+                    cluster.upload_rows(impressions::TABLE, chunk.to_vec()).unwrap();
+                }
+            }
+            // Sample the per-query server count from stats.
+            let probe = cluster.query(&queries[0]);
+            let spq = probe.stats.num_servers_queried;
+            let engine = PinotEngine {
+                cluster,
+                label: label.to_string(),
+            };
+            let r = run_open_loop(&engine, &queries, 200.0, 600, servers.min(8));
+            println!(
+                "{servers}\t{label}\t{:.3}\t{:.3}\t{spq}",
+                r.avg_ms, r.p95_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 11: comparison of indexing techniques on the anomaly-detection
+//! dataset — latency as the query rate increases, for Druid, Pinot without
+//! indexes, Pinot with inverted indexes, and Pinot with a star-tree.
+//!
+//! Expected shape (paper): Druid and unindexed Pinot fall over first;
+//! inverted indexes roughly double Pinot's scalability; the star-tree gives
+//! by far the largest headroom.
+
+use pinot_bench::setup::{anomaly_setup, num_servers, scale};
+use pinot_bench::{run_open_loop, LoadResult};
+
+fn main() {
+    let rows = 120_000 * scale();
+    let setup = anomaly_setup(rows, 10_000).expect("setup");
+    let workers = num_servers() * 2;
+
+    println!("# Figure 11 — indexing techniques on the anomaly-detection dataset");
+    println!("# rows={rows} servers={} workers={workers}", num_servers());
+    println!("engine\ttarget_qps\tachieved_qps\tavg_ms\tp50_ms\tp95_ms\tp99_ms\terrors");
+    for (label, engine) in &setup.engines {
+        for qps in [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0] {
+            let total = (qps as usize).clamp(100, 2_000);
+            let r: LoadResult =
+                run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
+            println!("{label}\t{}", r.tsv());
+            // Stop sweeping an engine once it is hopelessly saturated, like
+            // the truncated curves in the paper's figure.
+            if r.avg_ms > 2_000.0 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 12: distribution of query latency when running queries
+//! sequentially on the anomaly-detection dataset (the paper shows a kernel
+//! density estimate over 10000 sequential queries per system).
+//!
+//! Output: per-engine percentile summary plus `density` rows
+//! (`engine  bucket_ms  count  fraction`) to plot the KDE from.
+
+use pinot_bench::harness::print_density;
+use pinot_bench::setup::{anomaly_setup, scale};
+use pinot_bench::{percentile, run_sequential};
+
+fn main() {
+    let rows = 120_000 * scale();
+    let queries_n = 10_000;
+    let setup = anomaly_setup(rows, queries_n).expect("setup");
+
+    println!("# Figure 12 — sequential latency distribution (anomaly detection)");
+    println!("# rows={rows} queries={queries_n}");
+    println!("engine\tavg_ms\tp50_ms\tp90_ms\tp99_ms\tmax_ms");
+    let mut all: Vec<(String, Vec<f64>)> = Vec::new();
+    for (label, engine) in &setup.engines {
+        let (mut lat, _) = run_sequential(engine.as_ref(), &setup.queries);
+        let avg = lat.iter().sum::<f64>() / lat.len() as f64;
+        println!(
+            "{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            avg,
+            percentile(&mut lat, 0.50),
+            percentile(&mut lat, 0.90),
+            percentile(&mut lat, 0.99),
+            percentile(&mut lat, 1.0),
+        );
+        all.push((label.clone(), lat));
+    }
+
+    println!("\n# density rows: engine\tbucket_ms\tcount\tfraction");
+    for (label, lat) in &all {
+        print_density(label, lat, 60);
+    }
+}

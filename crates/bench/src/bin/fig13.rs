@@ -1,0 +1,60 @@
+//! Figure 13: distribution of the ratio of preaggregated records scanned
+//! during star-tree execution versus the number of original unaggregated
+//! records the query matches. A ratio near zero means the star-tree
+//! answered from far fewer records than a raw scan would touch.
+
+use pinot_bench::setup::{anomaly_setup, scale};
+use pinot_bench::{run_sequential, QueryEngine};
+
+fn main() {
+    let rows = 120_000 * scale();
+    let setup = anomaly_setup(rows, 10_000).expect("setup");
+
+    // Only the star-tree engine produces the preaggregation accounting.
+    let engine: &dyn QueryEngine = setup
+        .engines
+        .iter()
+        .find(|(l, _)| l == "pinot-startree")
+        .map(|(_, e)| e.as_ref())
+        .expect("star-tree engine");
+
+    let (_, responses) = run_sequential(engine, &setup.queries);
+    let ratios: Vec<f64> = responses
+        .iter()
+        .filter_map(|r| r.stats.preaggregation_ratio())
+        .collect();
+    let star_tree_queries = ratios.len();
+    let total = responses.len();
+
+    println!("# Figure 13 — star-tree preaggregated/raw scan ratio distribution");
+    println!("# rows={rows} queries={total} star_tree_answered={star_tree_queries}");
+    let mut sorted = ratios.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if !sorted.is_empty() {
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "# mean={:.4} p50={:.4} p90={:.4} p99={:.4}",
+            mean,
+            sorted[sorted.len() / 2],
+            sorted[sorted.len() * 9 / 10],
+            sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)],
+        );
+    }
+
+    // Histogram over [0, 1] in 20 buckets.
+    println!("ratio_bucket\tcount\tfraction");
+    let buckets = 20usize;
+    let mut counts = vec![0usize; buckets];
+    for r in &ratios {
+        let b = ((r * buckets as f64) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    for (i, c) in counts.iter().enumerate() {
+        println!(
+            "{:.3}\t{}\t{:.4}",
+            (i as f64 + 0.5) / buckets as f64,
+            c,
+            *c as f64 / ratios.len().max(1) as f64
+        );
+    }
+}

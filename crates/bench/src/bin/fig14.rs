@@ -1,0 +1,33 @@
+//! Figure 14: Druid vs Pinot on the "share analytics" dataset. The two
+//! engines differ in inverted-index generation (Druid indexes every
+//! dimension, inflating storage) and physical row ordering (Pinot sorts by
+//! the shared-item id, which the paper credits for most of the gap).
+
+use pinot_bench::setup::{num_servers, scale, share_setup};
+use pinot_bench::run_open_loop;
+
+fn main() {
+    let rows = 150_000 * scale();
+    let setup = share_setup(rows, 10_000).expect("setup");
+    let workers = num_servers() * 2;
+
+    println!("# Figure 14 — Druid vs Pinot on the share-analytics dataset");
+    println!("# rows={rows} servers={} workers={workers}", num_servers());
+    println!(
+        "# storage: druid={}B pinot={}B (ratio {:.2}x — Druid indexes every dimension)",
+        setup.druid_bytes,
+        setup.pinot_bytes,
+        setup.druid_bytes as f64 / setup.pinot_bytes.max(1) as f64
+    );
+    println!("engine\ttarget_qps\tachieved_qps\tavg_ms\tp50_ms\tp95_ms\tp99_ms\terrors");
+    for (label, engine) in &setup.engines {
+        for qps in [50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0] {
+            let total = (qps as usize).clamp(100, 3_000);
+            let r = run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
+            println!("{label}\t{}", r.tsv());
+            if r.avg_ms > 2_000.0 {
+                break;
+            }
+        }
+    }
+}

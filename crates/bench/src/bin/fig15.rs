@@ -1,0 +1,28 @@
+//! Figure 15: comparison of indexing techniques on the "Who viewed my
+//! profile" dataset — physically ordered records vs bitmap inverted
+//! indexes. Every query filters on `viewee_id`; sorted segments answer it
+//! with two index lookups and a contiguous scan, while bitmaps pay
+//! per-posting costs, so the sorted layout scales further (§4.2).
+
+use pinot_bench::setup::{num_servers, scale, wvmp_setup};
+use pinot_bench::run_open_loop;
+
+fn main() {
+    let rows = 150_000 * scale();
+    let setup = wvmp_setup(rows, 10_000).expect("setup");
+    let workers = num_servers() * 2;
+
+    println!("# Figure 15 — sorted column vs inverted index on the WVMP dataset");
+    println!("# rows={rows} servers={} workers={workers}", num_servers());
+    println!("engine\ttarget_qps\tachieved_qps\tavg_ms\tp50_ms\tp95_ms\tp99_ms\terrors");
+    for (label, engine) in &setup.engines {
+        for qps in [100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0] {
+            let total = (qps as usize).clamp(200, 4_000);
+            let r = run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
+            println!("{label}\t{}", r.tsv());
+            if r.avg_ms > 2_000.0 {
+                break;
+            }
+        }
+    }
+}

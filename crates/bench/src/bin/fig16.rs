@@ -1,0 +1,28 @@
+//! Figure 16: routing optimizations on the impression-discounting dataset.
+//! Every query is a per-member point aggregation; partition-aware routing
+//! lets the broker contact a single server instead of fanning out, keeping
+//! the latency curve flat as the query rate grows — with Druid (which
+//! always fans out) as the baseline.
+
+use pinot_bench::setup::{impression_setup, num_servers, scale};
+use pinot_bench::run_open_loop;
+
+fn main() {
+    let rows = 150_000 * scale();
+    let setup = impression_setup(rows, 10_000).expect("setup");
+    let workers = num_servers() * 2;
+
+    println!("# Figure 16 — routing optimizations on the impression-discounting dataset");
+    println!("# rows={rows} servers={} workers={workers}", num_servers());
+    println!("engine\ttarget_qps\tachieved_qps\tavg_ms\tp50_ms\tp95_ms\tp99_ms\terrors");
+    for (label, engine) in &setup.engines {
+        for qps in [100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0] {
+            let total = (qps as usize).clamp(200, 4_000);
+            let r = run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
+            println!("{label}\t{}", r.tsv());
+            if r.avg_ms > 2_000.0 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 1: a comparison of the techniques for OLAP and their
+//! applicability to large scale serving.
+//!
+//! The paper's table is qualitative; this binary reprints it and backs the
+//! Druid/Pinot rows with measured proxies from this reproduction: ingest
+//! rate (records/s through segment build + load), peak sustained query
+//! rate, and point-query latency on the WVMP workload.
+
+use pinot_bench::setup::{scale, wvmp_setup};
+use pinot_bench::{percentile, run_open_loop, run_sequential};
+
+fn main() {
+    println!("# Table 1 — techniques for OLAP and their applicability to large-scale serving");
+    println!("technique\tfast_ingest_and_indexing\thigh_query_rate\tquery_flexibility\tquery_latency");
+    for (tech, ingest, rate, flex, lat) in [
+        ("RDBMS", "Not typically", "Yes", "High", "Low/moderate"),
+        ("KV stores", "Yes", "Yes", "None", "Low"),
+        ("Online OLAP", "No", "Not typically", "High", "Low/moderate"),
+        ("Offline OLAP", "No", "No", "High", "High"),
+        ("Druid", "Yes", "No", "Moderate", "Low/moderate"),
+        ("Pinot", "Yes", "Yes", "Moderate", "Low"),
+    ] {
+        println!("{tech}\t{ingest}\t{rate}\t{flex}\t{lat}");
+    }
+
+    // Measured proxies for the two systems built in this repository.
+    let rows = 60_000 * scale();
+    println!("\n# measured proxies (this reproduction, rows={rows})");
+    let build_start = std::time::Instant::now();
+    let setup = wvmp_setup(rows, 5_000).expect("setup");
+    let build_secs = build_start.elapsed().as_secs_f64();
+    println!(
+        "ingest_and_index_rate\t{:.0} records/s (segment build + load, both engines)",
+        (rows * setup.engines.len()) as f64 / build_secs
+    );
+
+    println!("engine\tsustained_qps\tp50_latency_ms\tp99_latency_ms");
+    for (label, engine) in &setup.engines {
+        // Latency at modest load.
+        let (mut lat, _) = run_sequential(engine.as_ref(), &setup.queries[..500.min(setup.queries.len())]);
+        let p50 = percentile(&mut lat, 0.5);
+        let p99 = percentile(&mut lat, 0.99);
+        // Highest load point that stays under 50 ms average.
+        let mut sustained = 0.0;
+        for qps in [200.0, 400.0, 800.0, 1600.0, 3200.0] {
+            let r = run_open_loop(engine.as_ref(), &setup.queries, qps, 400, 8);
+            if r.avg_ms < 50.0 {
+                sustained = r.achieved_qps;
+            } else {
+                break;
+            }
+        }
+        println!("{label}\t{sustained:.0}\t{p50:.3}\t{p99:.3}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Load-generation harness: open-loop QPS sweeps and sequential runs.
+
+use pinot_baseline::DruidEngine;
+use pinot_common::query::{QueryRequest, QueryResponse};
+use pinot_core::PinotCluster;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Anything that can answer a PQL query (Pinot cluster, Druid baseline).
+pub trait QueryEngine: Send + Sync {
+    fn name(&self) -> &str;
+
+    /// Run one query; returns the response (partial responses count as
+    /// errors in harness statistics).
+    fn run(&self, pql: &str) -> QueryResponse;
+}
+
+/// Adapter for the integrated Pinot cluster.
+pub struct PinotEngine {
+    pub cluster: Arc<PinotCluster>,
+    pub label: String,
+}
+
+impl QueryEngine for PinotEngine {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&self, pql: &str) -> QueryResponse {
+        self.cluster.execute(&QueryRequest::new(pql))
+    }
+}
+
+/// Adapter for the Druid-like baseline.
+pub struct DruidAdapter {
+    pub engine: Arc<DruidEngine>,
+}
+
+impl QueryEngine for DruidAdapter {
+    fn name(&self) -> &str {
+        "druid"
+    }
+
+    fn run(&self, pql: &str) -> QueryResponse {
+        match self.engine.execute(&QueryRequest::new(pql)) {
+            Ok(resp) => resp,
+            Err(e) => QueryResponse {
+                result: pinot_common::query::QueryResult::Aggregation(Vec::new()),
+                stats: Default::default(),
+                partial: true,
+                exceptions: vec![e.to_string()],
+            },
+        }
+    }
+}
+
+/// Results of one load point.
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    pub target_qps: f64,
+    pub achieved_qps: f64,
+    pub queries: usize,
+    pub errors: usize,
+    pub avg_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+}
+
+impl LoadResult {
+    /// TSV row: `target achieved avg p50 p95 p99 errors`.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{:.0}\t{:.0}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}",
+            self.target_qps,
+            self.achieved_qps,
+            self.avg_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.errors
+        )
+    }
+}
+
+/// Value at quantile `q` (0..=1) of an unsorted latency sample, in ms.
+pub fn percentile(latencies_ms: &mut [f64], q: f64) -> f64 {
+    if latencies_ms.is_empty() {
+        return 0.0;
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((latencies_ms.len() - 1) as f64 * q).round() as usize;
+    latencies_ms[idx]
+}
+
+/// Open-loop load: `total` queries arrive at a fixed rate; `workers`
+/// threads service them. Latency is measured from the *scheduled arrival*
+/// to completion, so queue delay under overload shows up — this is what
+/// makes latency-vs-QPS curves hockey-stick as an engine saturates, the
+/// shape Figures 11/14/15/16 plot.
+pub fn run_open_loop(
+    engine: &dyn QueryEngine,
+    queries: &[String],
+    target_qps: f64,
+    total: usize,
+    workers: usize,
+) -> LoadResult {
+    assert!(target_qps > 0.0 && total > 0 && workers > 0 && !queries.is_empty());
+    let interval = Duration::from_secs_f64(1.0 / target_qps);
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(total));
+    let errors = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let scheduled = start + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let pql = &queries[i % queries.len()];
+                    let resp = engine.run(pql);
+                    if resp.partial {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let done = Instant::now();
+                    local.push(done.saturating_duration_since(scheduled).as_secs_f64() * 1e3);
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().unwrap();
+    let avg = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    LoadResult {
+        target_qps,
+        achieved_qps: total as f64 / elapsed.max(1e-9),
+        queries: total,
+        errors: errors.into_inner(),
+        avg_ms: avg,
+        p50_ms: percentile(&mut lat, 0.50),
+        p95_ms: percentile(&mut lat, 0.95),
+        p99_ms: percentile(&mut lat, 0.99),
+    }
+}
+
+/// Sequential run: execute `queries` one at a time, returning per-query
+/// latencies in ms (Figure 12's setup: "10000 queries executed
+/// sequentially") plus the responses for scan-ratio accounting (Figure 13).
+pub fn run_sequential(
+    engine: &dyn QueryEngine,
+    queries: &[String],
+) -> (Vec<f64>, Vec<QueryResponse>) {
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut responses = Vec::with_capacity(queries.len());
+    for pql in queries {
+        let t = Instant::now();
+        let resp = engine.run(pql);
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        responses.push(resp);
+    }
+    (latencies, responses)
+}
+
+/// Print a histogram of a latency sample as `bucket_ms count density`
+/// rows — the data behind a kernel-density plot like Figure 12.
+pub fn print_density(label: &str, latencies_ms: &[f64], buckets: usize) {
+    if latencies_ms.is_empty() {
+        return;
+    }
+    let max = latencies_ms.iter().cloned().fold(0.0f64, f64::max);
+    let width = (max / buckets as f64).max(1e-9);
+    let mut counts = vec![0usize; buckets];
+    for &l in latencies_ms {
+        let b = ((l / width) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    for (i, c) in counts.iter().enumerate() {
+        if *c > 0 {
+            println!(
+                "{label}\t{:.3}\t{}\t{:.4}",
+                (i as f64 + 0.5) * width,
+                c,
+                *c as f64 / latencies_ms.len() as f64
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeEngine;
+
+    impl QueryEngine for FakeEngine {
+        fn name(&self) -> &str {
+            "fake"
+        }
+
+        fn run(&self, pql: &str) -> QueryResponse {
+            std::thread::sleep(Duration::from_micros(200));
+            QueryResponse {
+                result: pinot_common::query::QueryResult::Aggregation(Vec::new()),
+                stats: Default::default(),
+                partial: pql.contains("fail"),
+                exceptions: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_behaviour() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 0.5), 3.0);
+        assert_eq!(percentile(&mut v, 1.0), 5.0);
+        assert_eq!(percentile(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn open_loop_reports_sane_numbers() {
+        let queries = vec!["SELECT 1".to_string()];
+        let r = run_open_loop(&FakeEngine, &queries, 500.0, 100, 4);
+        assert_eq!(r.queries, 100);
+        assert_eq!(r.errors, 0);
+        assert!(r.avg_ms >= 0.2, "avg {}", r.avg_ms);
+        assert!(r.p99_ms >= r.p50_ms);
+        assert!(r.achieved_qps > 0.0);
+    }
+
+    #[test]
+    fn open_loop_counts_errors() {
+        let queries = vec!["fail".to_string()];
+        let r = run_open_loop(&FakeEngine, &queries, 1000.0, 20, 2);
+        assert_eq!(r.errors, 20);
+    }
+
+    #[test]
+    fn sequential_latencies() {
+        let queries: Vec<String> = (0..10).map(|i| format!("q{i}")).collect();
+        let (lat, resp) = run_sequential(&FakeEngine, &queries);
+        assert_eq!(lat.len(), 10);
+        assert_eq!(resp.len(), 10);
+        assert!(lat.iter().all(|l| *l > 0.0));
+    }
+}

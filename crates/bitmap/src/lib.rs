@@ -1,0 +1,462 @@
+//! Roaring-style compressed bitmaps.
+//!
+//! Both Pinot and Druid use Roaring bitmaps for their inverted indexes
+//! (Chambi et al., cited as [6, 7] in the paper). This crate is a
+//! from-scratch implementation of the core design: the 32-bit key space is
+//! split into 2^16 chunks by the high 16 bits; each chunk stores its low
+//! 16 bits in one of three container kinds chosen by density:
+//!
+//! * **Array** — sorted `Vec<u16>`, for sparse chunks (≤ 4096 values);
+//! * **Bitmap** — 1024 × u64 words, for dense chunks;
+//! * **Run** — sorted run list `(start, len-1)`, for runs of consecutive
+//!   values (the `runOptimize` representation of the Roaring paper).
+//!
+//! Containers convert automatically on mutation; [`RoaringBitmap::optimize`]
+//! applies run compression greedily. Set operations (`and`, `or`, `and_not`)
+//! operate container-pairwise.
+
+mod container;
+mod serde_bytes;
+
+use container::Container;
+use std::fmt;
+
+pub use serde_bytes::{deserialize, serialize};
+
+/// A compressed bitmap over `u32` document ids.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct RoaringBitmap {
+    /// Sorted by key (high 16 bits); parallel vectors to keep keys hot.
+    keys: Vec<u16>,
+    containers: Vec<Container>,
+}
+
+impl RoaringBitmap {
+    pub fn new() -> RoaringBitmap {
+        RoaringBitmap::default()
+    }
+
+    /// Build from an iterator of (possibly unsorted, possibly duplicate) ids.
+    /// Shadows `FromIterator::from_iter` on purpose: both behave identically.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> RoaringBitmap {
+        let mut bm = RoaringBitmap::new();
+        for v in iter {
+            bm.insert(v);
+        }
+        bm
+    }
+
+    /// Build from a strictly ascending sequence; faster than `from_iter`.
+    /// Falls back to `insert` if order is violated.
+    pub fn from_sorted<I: IntoIterator<Item = u32>>(iter: I) -> RoaringBitmap {
+        let mut bm = RoaringBitmap::new();
+        for v in iter {
+            bm.push_back(v);
+        }
+        bm
+    }
+
+    /// Append an id known to be greater than every existing member.
+    pub fn push_back(&mut self, value: u32) {
+        let key = (value >> 16) as u16;
+        let low = (value & 0xFFFF) as u16;
+        match self.keys.last() {
+            Some(&k) if k == key => {
+                let c = self.containers.last_mut().expect("parallel vectors");
+                debug_assert!(c.max().is_none_or(|m| m <= low));
+                c.insert(low);
+            }
+            Some(&k) if k > key => {
+                // Out of order; fall back to insert for correctness.
+                self.insert(value);
+            }
+            _ => {
+                let mut c = Container::new_array();
+                c.insert(low);
+                self.keys.push(key);
+                self.containers.push(c);
+            }
+        }
+    }
+
+    pub fn insert(&mut self, value: u32) -> bool {
+        let key = (value >> 16) as u16;
+        let low = (value & 0xFFFF) as u16;
+        match self.keys.binary_search(&key) {
+            Ok(i) => self.containers[i].insert(low),
+            Err(i) => {
+                let mut c = Container::new_array();
+                c.insert(low);
+                self.keys.insert(i, key);
+                self.containers.insert(i, c);
+                true
+            }
+        }
+    }
+
+    pub fn remove(&mut self, value: u32) -> bool {
+        let key = (value >> 16) as u16;
+        let low = (value & 0xFFFF) as u16;
+        if let Ok(i) = self.keys.binary_search(&key) {
+            let removed = self.containers[i].remove(low);
+            if removed && self.containers[i].is_empty() {
+                self.keys.remove(i);
+                self.containers.remove(i);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, value: u32) -> bool {
+        let key = (value >> 16) as u16;
+        let low = (value & 0xFFFF) as u16;
+        match self.keys.binary_search(&key) {
+            Ok(i) => self.containers[i].contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> u64 {
+        self.containers.iter().map(|c| c.len() as u64).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    pub fn min(&self) -> Option<u32> {
+        let key = *self.keys.first()? as u32;
+        let low = self.containers.first()?.min()? as u32;
+        Some((key << 16) | low)
+    }
+
+    pub fn max(&self) -> Option<u32> {
+        let key = *self.keys.last()? as u32;
+        let low = self.containers.last()?.max()? as u32;
+        Some((key << 16) | low)
+    }
+
+    /// Convert containers into run containers where that is smaller.
+    pub fn optimize(&mut self) {
+        for c in &mut self.containers {
+            c.run_optimize();
+        }
+    }
+
+    /// Intersection.
+    pub fn and(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        let mut out = RoaringBitmap::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = self.containers[i].and(&other.containers[j]);
+                    if !c.is_empty() {
+                        out.keys.push(self.keys[i]);
+                        out.containers.push(c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Union.
+    pub fn or(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        let mut out = RoaringBitmap::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let take_left = match (self.keys.get(i), other.keys.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a == b {
+                        let c = self.containers[i].or(&other.containers[j]);
+                        out.keys.push(*a);
+                        out.containers.push(c);
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a < b
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                out.keys.push(self.keys[i]);
+                out.containers.push(self.containers[i].clone());
+                i += 1;
+            } else {
+                out.keys.push(other.keys[j]);
+                out.containers.push(other.containers[j].clone());
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Difference: bits in `self` not in `other`.
+    pub fn and_not(&self, other: &RoaringBitmap) -> RoaringBitmap {
+        let mut out = RoaringBitmap::new();
+        let mut j = 0usize;
+        for (i, key) in self.keys.iter().enumerate() {
+            while j < other.keys.len() && other.keys[j] < *key {
+                j += 1;
+            }
+            if j < other.keys.len() && other.keys[j] == *key {
+                let c = self.containers[i].and_not(&other.containers[j]);
+                if !c.is_empty() {
+                    out.keys.push(*key);
+                    out.containers.push(c);
+                }
+            } else {
+                out.keys.push(*key);
+                out.containers.push(self.containers[i].clone());
+            }
+        }
+        out
+    }
+
+    /// Complement within `[0, universe)`: ids below `universe` not in `self`.
+    pub fn not(&self, universe: u32) -> RoaringBitmap {
+        let full = RoaringBitmap::from_range(0, universe);
+        full.and_not(self)
+    }
+
+    /// All ids in `[start, end)`.
+    pub fn from_range(start: u32, end: u32) -> RoaringBitmap {
+        let mut bm = RoaringBitmap::new();
+        if start >= end {
+            return bm;
+        }
+        let mut cur = start;
+        let last = end - 1;
+        loop {
+            let key = (cur >> 16) as u16;
+            let chunk_start = (cur & 0xFFFF) as u16;
+            let chunk_last = if (last >> 16) as u16 == key {
+                (last & 0xFFFF) as u16
+            } else {
+                0xFFFF
+            };
+            bm.keys.push(key);
+            bm.containers
+                .push(Container::new_run_range(chunk_start, chunk_last));
+            if (key as u32) == (last >> 16) {
+                break;
+            }
+            cur = ((key as u32) + 1) << 16;
+        }
+        bm
+    }
+
+    /// Iterate set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.keys
+            .iter()
+            .zip(self.containers.iter())
+            .flat_map(|(key, c)| {
+                let high = (*key as u32) << 16;
+                c.iter().map(move |low| high | low as u32)
+            })
+    }
+
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Cardinality of the intersection without materializing it.
+    pub fn and_len(&self, other: &RoaringBitmap) -> u64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut n = 0u64;
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += self.containers[i].and_len(&other.containers[j]) as u64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Approximate heap size in bytes (for storage accounting).
+    pub fn size_bytes(&self) -> usize {
+        let base = std::mem::size_of::<Self>() + self.keys.len() * 2;
+        base + self
+            .containers
+            .iter()
+            .map(Container::size_bytes)
+            .sum::<usize>()
+    }
+
+    /// Container kinds per chunk, exposed for tests and storage stats.
+    pub fn container_kinds(&self) -> Vec<&'static str> {
+        self.containers.iter().map(Container::kind_name).collect()
+    }
+
+    pub(crate) fn parts(&self) -> (&[u16], &[Container]) {
+        (&self.keys, &self.containers)
+    }
+
+    pub(crate) fn from_parts(keys: Vec<u16>, containers: Vec<Container>) -> RoaringBitmap {
+        RoaringBitmap { keys, containers }
+    }
+}
+
+impl fmt::Debug for RoaringBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.len();
+        write!(f, "RoaringBitmap(len={n}")?;
+        if n <= 16 {
+            write!(f, ", {:?}", self.to_vec())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<u32> for RoaringBitmap {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        RoaringBitmap::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bm = RoaringBitmap::new();
+        assert!(bm.insert(5));
+        assert!(!bm.insert(5));
+        assert!(bm.contains(5));
+        assert!(!bm.contains(6));
+        assert!(bm.remove(5));
+        assert!(!bm.remove(5));
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn spans_multiple_containers() {
+        let vals = [0u32, 1, 65_535, 65_536, 1 << 20, u32::MAX];
+        let bm = RoaringBitmap::from_iter(vals.iter().copied());
+        assert_eq!(bm.len(), vals.len() as u64);
+        for v in vals {
+            assert!(bm.contains(v));
+        }
+        assert_eq!(bm.min(), Some(0));
+        assert_eq!(bm.max(), Some(u32::MAX));
+        assert_eq!(bm.to_vec(), vals);
+    }
+
+    #[test]
+    fn array_to_bitmap_promotion() {
+        // > 4096 values in one chunk forces a bitmap container.
+        let bm = RoaringBitmap::from_sorted(0..5000u32);
+        assert_eq!(bm.len(), 5000);
+        assert_eq!(bm.container_kinds(), vec!["bitmap"]);
+        assert!(bm.contains(4999));
+        assert!(!bm.contains(5000));
+    }
+
+    #[test]
+    fn bitmap_demotes_to_array_on_removal() {
+        let mut bm = RoaringBitmap::from_sorted(0..5000u32);
+        for v in 100..5000 {
+            bm.remove(v);
+        }
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.container_kinds(), vec!["array"]);
+    }
+
+    #[test]
+    fn run_optimize_compresses_ranges() {
+        let mut bm = RoaringBitmap::from_sorted(10..4000u32);
+        let before = bm.size_bytes();
+        bm.optimize();
+        assert_eq!(bm.container_kinds(), vec!["run"]);
+        assert!(bm.size_bytes() < before);
+        assert_eq!(bm.len(), 3990);
+        assert!(bm.contains(10) && bm.contains(3999) && !bm.contains(9));
+    }
+
+    #[test]
+    fn set_ops_match_btreeset() {
+        let a_vals: Vec<u32> = (0..1000).map(|i| i * 7 % 3000).collect();
+        let b_vals: Vec<u32> = (0..1000).map(|i| i * 11 % 3000 + 65_530).collect();
+        let a = RoaringBitmap::from_iter(a_vals.iter().copied());
+        let b = RoaringBitmap::from_iter(b_vals.iter().copied());
+        let sa: BTreeSet<u32> = a_vals.into_iter().collect();
+        let sb: BTreeSet<u32> = b_vals.into_iter().collect();
+
+        assert_eq!(
+            a.and(&b).to_vec(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(a.or(&b).to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            a.and_not(&b).to_vec(),
+            sa.difference(&sb).copied().collect::<Vec<_>>()
+        );
+        assert_eq!(a.and_len(&b), sa.intersection(&sb).count() as u64);
+    }
+
+    #[test]
+    fn from_range_and_not() {
+        let bm = RoaringBitmap::from_range(100, 200_000);
+        assert_eq!(bm.len(), 199_900);
+        assert!(bm.contains(100) && bm.contains(199_999));
+        assert!(!bm.contains(99) && !bm.contains(200_000));
+
+        let few = RoaringBitmap::from_iter([0u32, 5, 9]);
+        let neg = few.not(10);
+        assert_eq!(neg.to_vec(), vec![1, 2, 3, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        assert!(RoaringBitmap::from_range(5, 5).is_empty());
+        assert!(RoaringBitmap::from_range(7, 3).is_empty());
+    }
+
+    #[test]
+    fn push_back_matches_insert() {
+        let vals: Vec<u32> = (0..100_000).step_by(17).collect();
+        let a = RoaringBitmap::from_sorted(vals.iter().copied());
+        let b = RoaringBitmap::from_iter(vals.iter().copied());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_is_sorted_dedup() {
+        let bm = RoaringBitmap::from_iter([5u32, 3, 5, 1, 70_000, 3]);
+        assert_eq!(bm.to_vec(), vec![1, 3, 5, 70_000]);
+    }
+
+    #[test]
+    fn ops_with_run_containers() {
+        let mut a = RoaringBitmap::from_range(0, 10_000);
+        a.optimize();
+        let b = RoaringBitmap::from_iter((0..10_000u32).filter(|v| v % 2 == 0));
+        let both = a.and(&b);
+        assert_eq!(both.len(), 5_000);
+        let either = a.or(&b);
+        assert_eq!(either.len(), 10_000);
+        let diff = a.and_not(&b);
+        assert_eq!(diff.len(), 5_000);
+        assert!(diff.contains(1) && !diff.contains(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Compact binary serialization for [`RoaringBitmap`].
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "RB01" | u32 container_count
+//! per container: u16 key | u8 kind | u32 len_u16 | len_u16 × u16 payload
+//! ```
+//!
+//! Deserialization validates structure (kinds, lengths, key ordering, sorted
+//! arrays, disjoint runs) so a corrupted segment file fails loudly instead of
+//! producing wrong query results.
+
+use crate::container::Container;
+use crate::RoaringBitmap;
+
+const MAGIC: &[u8; 4] = b"RB01";
+
+/// Serialize to a byte buffer.
+pub fn serialize(bm: &RoaringBitmap) -> Vec<u8> {
+    let (keys, containers) = bm.parts();
+    let mut out = Vec::with_capacity(16 + bm.size_bytes());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for (key, c) in keys.iter().zip(containers) {
+        let (kind, data) = c.encode_parts();
+        out.extend_from_slice(&key.to_le_bytes());
+        out.push(kind);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserialize; returns `None` for malformed input.
+pub fn deserialize(bytes: &[u8]) -> Option<RoaringBitmap> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return None;
+    }
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let mut keys = Vec::with_capacity(count);
+    let mut containers = Vec::with_capacity(count);
+    let mut prev_key: Option<u16> = None;
+    for _ in 0..count {
+        let key = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?);
+        if let Some(p) = prev_key {
+            if key <= p {
+                return None; // keys must be strictly ascending
+            }
+        }
+        prev_key = Some(key);
+        let kind = take(&mut pos, 1)?[0];
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let raw = take(&mut pos, len * 2)?;
+        let data: Vec<u16> = raw
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let container = Container::decode_parts(kind, data)?;
+        if container.is_empty() {
+            return None; // empty containers are never serialized
+        }
+        keys.push(key);
+        containers.push(container);
+    }
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(RoaringBitmap::from_parts(keys, containers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_container_kinds() {
+        let mut bm = RoaringBitmap::from_iter([1u32, 3, 100_000, 100_001]);
+        for v in 200_000..210_000u32 {
+            bm.insert(v); // dense chunk → bitmap container
+        }
+        for v in 300_000..300_500u32 {
+            bm.insert(v);
+        }
+        bm.optimize(); // some chunks become runs
+        let bytes = serialize(&bm);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let bm = RoaringBitmap::new();
+        assert_eq!(deserialize(&serialize(&bm)).unwrap(), bm);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bm = RoaringBitmap::from_iter(0..1000u32);
+        let mut bytes = serialize(&bm);
+        assert!(deserialize(&bytes[..bytes.len() - 1]).is_none()); // truncated
+        bytes[0] = b'X';
+        assert!(deserialize(&bytes).is_none()); // bad magic
+        assert!(deserialize(&[]).is_none());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let bm = RoaringBitmap::from_iter([7u32]);
+        let mut bytes = serialize(&bm);
+        bytes.push(0);
+        assert!(deserialize(&bytes).is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: RoaringBitmap must behave exactly like a BTreeSet.
+
+use pinot_bitmap::{deserialize, serialize, RoaringBitmap};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Values concentrated near container boundaries plus a broad range, so the
+/// strategies hit array/bitmap/run transitions and multi-chunk paths.
+fn value_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        0u32..200_000,
+        Just(65_535u32),
+        Just(65_536u32),
+        Just(u32::MAX),
+        any::<u32>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreeset_semantics(values in prop::collection::vec(value_strategy(), 0..2000)) {
+        let bm = RoaringBitmap::from_iter(values.iter().copied());
+        let set: BTreeSet<u32> = values.iter().copied().collect();
+        prop_assert_eq!(bm.len(), set.len() as u64);
+        prop_assert_eq!(bm.to_vec(), set.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(bm.min(), set.iter().next().copied());
+        prop_assert_eq!(bm.max(), set.iter().next_back().copied());
+    }
+
+    #[test]
+    fn set_operations_match(
+        a in prop::collection::vec(value_strategy(), 0..800),
+        b in prop::collection::vec(value_strategy(), 0..800),
+    ) {
+        let ba = RoaringBitmap::from_iter(a.iter().copied());
+        let bb = RoaringBitmap::from_iter(b.iter().copied());
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+
+        prop_assert_eq!(ba.and(&bb).to_vec(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.or(&bb).to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.and_not(&bb).to_vec(), sa.difference(&sb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.and_len(&bb), sa.intersection(&sb).count() as u64);
+    }
+
+    #[test]
+    fn optimize_preserves_contents(values in prop::collection::vec(value_strategy(), 0..2000)) {
+        let mut bm = RoaringBitmap::from_iter(values.iter().copied());
+        let before = bm.to_vec();
+        bm.optimize();
+        prop_assert_eq!(bm.to_vec(), before);
+    }
+
+    #[test]
+    fn serialization_round_trips(values in prop::collection::vec(value_strategy(), 0..2000), opt in any::<bool>()) {
+        let mut bm = RoaringBitmap::from_iter(values.iter().copied());
+        if opt {
+            bm.optimize();
+        }
+        let bytes = serialize(&bm);
+        let back = deserialize(&bytes).expect("round trip");
+        prop_assert_eq!(back.to_vec(), bm.to_vec());
+    }
+
+    #[test]
+    fn remove_after_insert(values in prop::collection::vec(value_strategy(), 1..500)) {
+        let mut bm = RoaringBitmap::from_iter(values.iter().copied());
+        let mut set: BTreeSet<u32> = values.iter().copied().collect();
+        // Remove every other distinct value.
+        let to_remove: Vec<u32> = set.iter().copied().step_by(2).collect();
+        for v in &to_remove {
+            prop_assert!(bm.remove(*v));
+            set.remove(v);
+        }
+        prop_assert_eq!(bm.to_vec(), set.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_sorted_equals_from_iter(mut values in prop::collection::vec(value_strategy(), 0..2000)) {
+        values.sort_unstable();
+        values.dedup();
+        let a = RoaringBitmap::from_sorted(values.iter().copied());
+        let b = RoaringBitmap::from_iter(values.iter().copied());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_complement_laws(start in 0u32..100_000, len in 0u32..100_000, values in prop::collection::vec(0u32..200_000, 0..200)) {
+        let end = start.saturating_add(len);
+        let range = RoaringBitmap::from_range(start, end);
+        prop_assert_eq!(range.len(), (end - start) as u64);
+        let bm = RoaringBitmap::from_iter(values.iter().copied());
+        let universe = 200_000u32;
+        let neg = bm.not(universe);
+        // Double complement within the universe restores the original ∩ universe.
+        let restored = neg.not(universe);
+        let expected: Vec<u32> = bm.iter().filter(|v| *v < universe).collect();
+        prop_assert_eq!(restored.to_vec(), expected);
+    }
+}

@@ -1,0 +1,741 @@
+//! The Pinot broker (§3.2–3.3, §4.4).
+//!
+//! Brokers accept PQL over a client-facing API, parse and optimize it, pick
+//! a routing table at random, scatter per-server requests, gather partial
+//! results, merge them, and return the final response. Errors or timeouts
+//! from individual servers mark the response *partial* instead of failing
+//! it (§3.3.3 step 7).
+//!
+//! Hybrid tables pair an OFFLINE and a REALTIME physical table sharing a
+//! time column: the broker computes the *time boundary* (the newest time
+//! covered by offline data) and rewrites one logical query into two
+//! physical ones — offline strictly before the boundary, realtime at or
+//! after it (Figure 6) — then merges both results.
+
+pub mod routing;
+
+use crossbeam::channel::{bounded, RecvTimeoutError};
+use parking_lot::{Mutex, RwLock};
+use pinot_cluster::ClusterManager;
+use pinot_common::config::{RoutingStrategy, TableConfig};
+use pinot_common::ids::{InstanceId, SegmentName};
+use pinot_common::json::Json;
+use pinot_common::query::{ExecutionStats, QueryRequest, QueryResponse};
+use pinot_common::{PinotError, Result, Value};
+use pinot_exec::segment_exec::IntermediateResult;
+use pinot_exec::{finalize, merge_intermediate};
+use pinot_pql::{CmpOp, Predicate, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routing::{RoutingTable, SegmentReplicas};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One server's share of a scattered query.
+#[derive(Clone)]
+pub struct RoutedRequest {
+    pub table: String,
+    pub query: Arc<Query>,
+    pub segments: Vec<String>,
+    pub tenant: String,
+}
+
+/// What brokers need from a server. Implemented by an adapter around
+/// `pinot_server::Server` in the integration crate (`pinot-core`), keeping
+/// the dependency graph acyclic — in production this boundary is the
+/// broker→server RPC.
+pub trait SegmentQueryService: Send + Sync {
+    fn execute(&self, req: &RoutedRequest) -> Result<IntermediateResult>;
+}
+
+struct CachedRouting {
+    tables: Vec<RoutingTable>,
+    /// For partitioned tables: partition id → (segment → replicas).
+    partitions: Option<PartitionIndex>,
+}
+
+struct PartitionIndex {
+    column: String,
+    num_partitions: u32,
+    by_partition: HashMap<u32, SegmentReplicas>,
+}
+
+/// One Pinot broker instance.
+pub struct Broker {
+    id: InstanceId,
+    cluster: ClusterManager,
+    executors: RwLock<HashMap<InstanceId, Arc<dyn SegmentQueryService>>>,
+    routing_cache: Mutex<HashMap<String, CachedRouting>>,
+    /// Parsed table configs keyed by metastore version, so the query hot
+    /// path doesn't re-parse JSON (configs change rarely, §5.2).
+    config_cache: Mutex<HashMap<String, (u64, TableConfig)>>,
+    dirty: Arc<Mutex<HashSet<String>>>,
+    rng: Mutex<StdRng>,
+}
+
+impl Broker {
+    pub fn new(n: usize, cluster: ClusterManager) -> Arc<Broker> {
+        let dirty: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+        let dirty_sub = Arc::clone(&dirty);
+        cluster.subscribe_view(move |change| {
+            dirty_sub.lock().insert(change.table.clone());
+        });
+        Arc::new(Broker {
+            id: InstanceId::broker(n),
+            cluster,
+            executors: RwLock::new(HashMap::new()),
+            routing_cache: Mutex::new(HashMap::new()),
+            config_cache: Mutex::new(HashMap::new()),
+            dirty,
+            rng: Mutex::new(StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ n as u64)),
+        })
+    }
+
+    pub fn id(&self) -> &InstanceId {
+        &self.id
+    }
+
+    /// Register the service endpoint for a server instance.
+    pub fn register_server(&self, id: InstanceId, svc: Arc<dyn SegmentQueryService>) {
+        self.executors.write().insert(id, svc);
+    }
+
+    // ---- client entry point ----
+
+    /// Execute a PQL query (§3.3.3).
+    pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(request.timeout_ms);
+        match self.execute_inner(request, deadline) {
+            Ok(mut resp) => {
+                resp.stats.time_used_ms = started.elapsed().as_millis() as u64;
+                resp
+            }
+            Err(e) => QueryResponse {
+                result: pinot_common::query::QueryResult::Aggregation(Vec::new()),
+                stats: ExecutionStats {
+                    time_used_ms: started.elapsed().as_millis() as u64,
+                    ..Default::default()
+                },
+                partial: true,
+                exceptions: vec![e.to_string()],
+            },
+        }
+    }
+
+    fn execute_inner(&self, request: &QueryRequest, deadline: Instant) -> Result<QueryResponse> {
+        let query = Arc::new(pinot_pql::parse(&request.pql)?);
+        let tenant = request.tenant.clone().unwrap_or_else(|| {
+            self.table_config_any(&query.table)
+                .map(|c| c.tenant)
+                .unwrap_or_else(|_| "DefaultTenant".to_string())
+        });
+
+        // Resolve the physical tables behind the logical name.
+        let tables = self.cluster.tables();
+        let offline = format!("{}_OFFLINE", query.table);
+        let realtime = format!("{}_REALTIME", query.table);
+        // A fully qualified name targets that one physical table.
+        if tables.contains(&query.table) {
+            return self.execute_physical(&query.table, &query, &tenant, deadline, None);
+        }
+        let has_offline = tables.contains(&offline);
+        let has_realtime = tables.contains(&realtime);
+        match (has_offline, has_realtime) {
+            (true, false) => self.execute_physical(&offline, &query, &tenant, deadline, None),
+            (false, true) => self.execute_physical(&realtime, &query, &tenant, deadline, None),
+            (true, true) => self.execute_hybrid(&offline, &realtime, &query, &tenant, deadline),
+            (false, false) => Err(PinotError::Metadata(format!(
+                "unknown table {:?}",
+                query.table
+            ))),
+        }
+    }
+
+    /// Hybrid rewrite (Figure 6): offline serves `time < boundary`,
+    /// realtime serves `time >= boundary`.
+    fn execute_hybrid(
+        &self,
+        offline: &str,
+        realtime: &str,
+        query: &Arc<Query>,
+        tenant: &str,
+        deadline: Instant,
+    ) -> Result<QueryResponse> {
+        let time_column = self
+            .table_time_column(offline)?
+            .ok_or_else(|| PinotError::Metadata(format!("{offline} has no time column")))?;
+        let boundary = self.offline_time_boundary(offline);
+
+        let (offline_query, realtime_query) = match boundary {
+            None => (None, Some(Arc::clone(query))), // no offline data yet
+            Some(b) => {
+                let off = add_conjunct(
+                    query,
+                    Predicate::Cmp {
+                        column: time_column.clone(),
+                        op: CmpOp::Lt,
+                        value: Value::Long(b),
+                    },
+                );
+                let rt = add_conjunct(
+                    query,
+                    Predicate::Cmp {
+                        column: time_column.clone(),
+                        op: CmpOp::Ge,
+                        value: Value::Long(b),
+                    },
+                );
+                (Some(Arc::new(off)), Some(Arc::new(rt)))
+            }
+        };
+
+        let mut responses = Vec::new();
+        if let Some(q) = offline_query {
+            responses.push(self.execute_physical(offline, &q, tenant, deadline, Some(query))?);
+        }
+        if let Some(q) = realtime_query {
+            responses.push(self.execute_physical(realtime, &q, tenant, deadline, Some(query))?);
+        }
+        // Merge the per-side responses.
+        let mut iter = responses.into_iter();
+        let mut first = iter.next().expect("at least one side");
+        for other in iter {
+            first.partial |= other.partial;
+            first.exceptions.extend(other.exceptions);
+            first.stats.merge(&other.stats);
+            first.result = merge_results(first.result, other.result, query)?;
+        }
+        Ok(first)
+    }
+
+    /// Scatter a query over one physical table and gather (§3.3.3).
+    /// `finalize_as` lets hybrid execution finalize with the original query.
+    fn execute_physical(
+        &self,
+        table: &str,
+        query: &Arc<Query>,
+        tenant: &str,
+        deadline: Instant,
+        finalize_as: Option<&Arc<Query>>,
+    ) -> Result<QueryResponse> {
+        let plan = self.route(table, query)?;
+        let num_servers = plan.len() as u64;
+
+        // Fast path: a single-server plan (partition-aware routing's whole
+        // point, §4.4) runs inline — no scatter thread, no channel. This is
+        // what keeps the partitioned latency curve flat as QPS grows.
+        if plan.len() == 1 {
+            let (server, segments) = plan.into_iter().next().expect("len checked");
+            let svc = self
+                .executors
+                .read()
+                .get(&server)
+                .cloned()
+                .ok_or_else(|| PinotError::Cluster(format!("no endpoint for {server}")))?;
+            let req = RoutedRequest {
+                table: table.to_string(),
+                query: Arc::clone(query),
+                segments,
+                tenant: tenant.to_string(),
+            };
+            let final_query = finalize_as.unwrap_or(query);
+            let mut acc = IntermediateResult::empty_for(final_query);
+            let mut exceptions = Vec::new();
+            match svc.execute(&req) {
+                Ok(partial) => merge_intermediate(&mut acc, partial)?,
+                Err(e) => exceptions.push(format!("{server}: {e}")),
+            }
+            acc.stats.num_servers_queried = 1;
+            acc.stats.num_servers_responded = 1 - exceptions.len() as u64;
+            let partial = !exceptions.is_empty();
+            let stats = acc.stats.clone();
+            let result = finalize(acc, final_query)?;
+            return Ok(QueryResponse {
+                result,
+                stats,
+                partial,
+                exceptions,
+            });
+        }
+
+        // Scatter: one worker per server; results stream into a channel.
+        let (tx, rx) = bounded(plan.len().max(1));
+        let mut outstanding = 0usize;
+        for (server, segments) in plan {
+            let Some(svc) = self.executors.read().get(&server).cloned() else {
+                // Routing raced with a server death; report it as a failure.
+                let _ = tx.send((
+                    server.clone(),
+                    Err(PinotError::Cluster(format!("no endpoint for {server}"))),
+                ));
+                outstanding += 1;
+                continue;
+            };
+            let req = RoutedRequest {
+                table: table.to_string(),
+                query: Arc::clone(query),
+                segments,
+                tenant: tenant.to_string(),
+            };
+            let tx = tx.clone();
+            let server_id = server.clone();
+            std::thread::spawn(move || {
+                let result = svc.execute(&req);
+                let _ = tx.send((server_id, result));
+            });
+            outstanding += 1;
+        }
+        drop(tx);
+
+        // Gather until deadline.
+        let final_query = finalize_as.unwrap_or(query);
+        let mut acc = IntermediateResult::empty_for(final_query);
+        let mut exceptions = Vec::new();
+        let mut responded = 0u64;
+        for _ in 0..outstanding {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok((_, Ok(partial))) => {
+                    responded += 1;
+                    merge_intermediate(&mut acc, partial)?;
+                }
+                Ok((server, Err(e))) => {
+                    exceptions.push(format!("{server}: {e}"));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    exceptions.push(format!(
+                        "timeout waiting for {} server response(s)",
+                        outstanding as u64 - responded - exceptions.len() as u64
+                    ));
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        acc.stats.num_servers_queried = num_servers;
+        acc.stats.num_servers_responded = responded;
+        let partial = !exceptions.is_empty();
+        let stats = acc.stats.clone();
+        let result = finalize(acc, final_query)?;
+        Ok(QueryResponse {
+            result,
+            stats,
+            partial,
+            exceptions,
+        })
+    }
+
+    // ---- routing ----
+
+    /// Build the per-server segment assignment for one query.
+    fn route(&self, table: &str, query: &Query) -> Result<RoutingTable> {
+        let config = self.table_config_physical(table)?;
+        self.refresh_routing_if_dirty(table, &config)?;
+
+        let cache = self.routing_cache.lock();
+        let cached = cache
+            .get(table)
+            .ok_or_else(|| PinotError::Cluster(format!("no routing for {table}")))?;
+
+        // Partition-aware path: equality/IN filter on the partition column
+        // restricts to the matching partitions' segments (§4.4).
+        if let Some(pidx) = &cached.partitions {
+            if let Some(values) = partition_filter_values(query.filter.as_ref(), &pidx.column) {
+                let mut replicas = SegmentReplicas::new();
+                for v in values {
+                    let p =
+                        pinot_common::partition::partition_for_value(&v, pidx.num_partitions);
+                    if let Some(segs) = pidx.by_partition.get(&p) {
+                        for (seg, servers) in segs {
+                            replicas.insert(seg.clone(), servers.clone());
+                        }
+                    }
+                }
+                return Ok(routing::generate_balanced(&replicas));
+            }
+        }
+
+        if cached.tables.is_empty() {
+            return Ok(RoutingTable::new());
+        }
+        let idx = self.rng.lock().gen_range(0..cached.tables.len());
+        Ok(cached.tables[idx].clone())
+    }
+
+    fn refresh_routing_if_dirty(&self, table: &str, config: &TableConfig) -> Result<()> {
+        let needs = {
+            let mut dirty = self.dirty.lock();
+            let was_dirty = dirty.remove(table);
+            was_dirty || !self.routing_cache.lock().contains_key(table)
+        };
+        if !needs {
+            return Ok(());
+        }
+        let view = self.cluster.routable_view(table);
+        let replicas = routing::invert_view(&view);
+
+        let tables = match &config.routing {
+            RoutingStrategy::Balanced | RoutingStrategy::Partitioned { .. } => {
+                vec![routing::generate_balanced(&replicas)]
+            }
+            RoutingStrategy::LargeCluster {
+                target_servers,
+                routing_table_count,
+                generation_count,
+            } => {
+                let mut rng = self.rng.lock();
+                routing::filter_routing_tables(
+                    &replicas,
+                    *target_servers,
+                    *routing_table_count,
+                    *generation_count,
+                    &mut *rng,
+                )
+            }
+        };
+
+        let partitions = match &config.routing {
+            RoutingStrategy::Partitioned {
+                column,
+                num_partitions,
+            } => Some(self.build_partition_index(table, column, *num_partitions, &replicas)),
+            _ => None,
+        };
+
+        self.routing_cache
+            .lock()
+            .insert(table.to_string(), CachedRouting { tables, partitions });
+        Ok(())
+    }
+
+    fn build_partition_index(
+        &self,
+        table: &str,
+        column: &str,
+        num_partitions: u32,
+        replicas: &SegmentReplicas,
+    ) -> PartitionIndex {
+        let mut by_partition: HashMap<u32, SegmentReplicas> = HashMap::new();
+        for (seg, servers) in replicas {
+            let partition = self.segment_partition(table, seg);
+            match partition {
+                Some(p) => {
+                    by_partition
+                        .entry(p)
+                        .or_default()
+                        .insert(seg.clone(), servers.clone());
+                }
+                None => {
+                    // Unknown partition: conservatively include the segment
+                    // in every partition's set so no data is missed.
+                    for p in 0..num_partitions {
+                        by_partition
+                            .entry(p)
+                            .or_default()
+                            .insert(seg.clone(), servers.clone());
+                    }
+                }
+            }
+        }
+        PartitionIndex {
+            column: column.to_string(),
+            num_partitions,
+            by_partition,
+        }
+    }
+
+    /// Partition id of a segment: realtime names encode it; otherwise the
+    /// segment metadata in the metastore records it.
+    fn segment_partition(&self, table: &str, segment: &str) -> Option<u32> {
+        if let Some((p, _)) = SegmentName::from_raw(segment).realtime_parts() {
+            return Some(p);
+        }
+        let (text, _) = self
+            .cluster
+            .metastore()
+            .get(&format!("/segments/{table}/{segment}"))?;
+        let json = Json::parse(&text).ok()?;
+        json.get("partitionId")
+            .and_then(Json::as_i64)
+            .map(|v| v as u32)
+    }
+
+    // ---- table metadata helpers ----
+
+    fn table_config_physical(&self, qualified: &str) -> Result<TableConfig> {
+        let (text, version) = self
+            .cluster
+            .metastore()
+            .get(&format!("/configs/{qualified}"))
+            .ok_or_else(|| PinotError::Metadata(format!("no config for {qualified}")))?;
+        {
+            let cache = self.config_cache.lock();
+            if let Some((v, cfg)) = cache.get(qualified) {
+                if *v == version {
+                    return Ok(cfg.clone());
+                }
+            }
+        }
+        let cfg = TableConfig::from_json(&Json::parse(&text)?)?;
+        self.config_cache
+            .lock()
+            .insert(qualified.to_string(), (version, cfg.clone()));
+        Ok(cfg)
+    }
+
+    fn table_config_any(&self, logical: &str) -> Result<TableConfig> {
+        self.table_config_physical(&format!("{logical}_OFFLINE"))
+            .or_else(|_| self.table_config_physical(&format!("{logical}_REALTIME")))
+            .or_else(|_| self.table_config_physical(logical))
+    }
+
+    fn table_time_column(&self, qualified: &str) -> Result<Option<String>> {
+        let config = self.table_config_physical(qualified)?;
+        let (text, _) = self
+            .cluster
+            .metastore()
+            .get(&format!("/schemas/{}", config.name))
+            .ok_or_else(|| PinotError::Metadata(format!("no schema for {}", config.name)))?;
+        let schema = pinot_common::Schema::from_json(&Json::parse(&text)?)?;
+        Ok(schema.time_column().map(|f| f.name.clone()))
+    }
+
+    /// The hybrid time boundary: the largest time value any offline segment
+    /// covers (from segment metadata).
+    fn offline_time_boundary(&self, offline_table: &str) -> Option<i64> {
+        let ms = self.cluster.metastore();
+        let mut max_time: Option<i64> = None;
+        for seg in ms.children(&format!("/segments/{offline_table}")) {
+            let Some((text, _)) = ms.get(&format!("/segments/{offline_table}/{seg}")) else {
+                continue;
+            };
+            let Ok(json) = Json::parse(&text) else {
+                continue;
+            };
+            if let Some(t) = json.get("maxTime").and_then(Json::as_i64) {
+                max_time = Some(max_time.map_or(t, |m: i64| m.max(t)));
+            }
+        }
+        max_time
+    }
+
+    /// Number of cached routing tables for a table (diagnostics/tests).
+    pub fn num_routing_tables(&self, table: &str) -> usize {
+        self.routing_cache
+            .lock()
+            .get(table)
+            .map(|c| c.tables.len())
+            .unwrap_or(0)
+    }
+}
+
+/// AND an extra predicate onto a query (hybrid rewrite).
+fn add_conjunct(query: &Query, pred: Predicate) -> Query {
+    let mut q = query.clone();
+    q.filter = Some(match q.filter.take() {
+        None => pred,
+        Some(Predicate::And(mut ps)) => {
+            ps.push(pred);
+            Predicate::And(ps)
+        }
+        Some(other) => Predicate::And(vec![other, pred]),
+    });
+    q
+}
+
+/// Equality/IN values on `column` from top-level AND conjuncts; `None` when
+/// the filter does not restrict the column to an explicit value set.
+fn partition_filter_values(pred: Option<&Predicate>, column: &str) -> Option<Vec<Value>> {
+    fn from(p: &Predicate, column: &str) -> Option<Vec<Value>> {
+        match p {
+            Predicate::Cmp {
+                column: c,
+                op: CmpOp::Eq,
+                value,
+            } if c == column => Some(vec![value.clone()]),
+            Predicate::In {
+                column: c,
+                values,
+                negated: false,
+            } if c == column => Some(values.clone()),
+            Predicate::And(ps) => ps.iter().find_map(|q| from(q, column)),
+            _ => None,
+        }
+    }
+    pred.and_then(|p| from(p, column))
+}
+
+/// Merge two finalized results (hybrid offline + realtime sides).
+/// Aggregations combine by function; selections concatenate.
+fn merge_results(
+    a: pinot_common::query::QueryResult,
+    b: pinot_common::query::QueryResult,
+    query: &Query,
+) -> Result<pinot_common::query::QueryResult> {
+    use pinot_common::query::{AggregationRow, GroupByRows, QueryResult};
+    match (a, b) {
+        (QueryResult::Aggregation(x), QueryResult::Aggregation(y)) => {
+            if x.is_empty() {
+                return Ok(QueryResult::Aggregation(y));
+            }
+            if y.is_empty() {
+                return Ok(QueryResult::Aggregation(x));
+            }
+            let merged: Vec<AggregationRow> = x
+                .into_iter()
+                .zip(y)
+                .map(|(ra, rb)| merge_agg_rows(ra, rb))
+                .collect::<Result<_>>()?;
+            Ok(QueryResult::Aggregation(merged))
+        }
+        (QueryResult::GroupBy(x), QueryResult::GroupBy(y)) => {
+            let mut merged = Vec::with_capacity(x.len());
+            for (ta, tb) in x.into_iter().zip(y) {
+                let function = ta.function.clone();
+                let group_columns = ta.group_columns.clone();
+                let mut rows: BTreeMap<String, (Vec<Value>, f64)> = BTreeMap::new();
+                for (key, value) in ta.rows.into_iter().chain(tb.rows) {
+                    let k = format!("{key:?}");
+                    let v = value.as_f64().unwrap_or(f64::NEG_INFINITY);
+                    rows.entry(k)
+                        .and_modify(|(_, acc)| *acc = combine_by_function(&function, *acc, v))
+                        .or_insert((key, v));
+                }
+                let mut out: Vec<(Vec<Value>, f64)> = rows.into_values().collect();
+                out.sort_by(|a, b| b.1.total_cmp(&a.1));
+                out.truncate(query.effective_top());
+                merged.push(GroupByRows {
+                    function,
+                    group_columns,
+                    rows: out
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Double(v)))
+                        .collect(),
+                });
+            }
+            Ok(QueryResult::GroupBy(merged))
+        }
+        (
+            QueryResult::Selection { columns, mut rows },
+            QueryResult::Selection { rows: more, .. },
+        ) => {
+            rows.extend(more);
+            rows.truncate(query.effective_limit());
+            Ok(QueryResult::Selection { columns, rows })
+        }
+        _ => Err(PinotError::Internal(
+            "hybrid sides returned mismatched result shapes".into(),
+        )),
+    }
+}
+
+fn merge_agg_rows(
+    a: pinot_common::query::AggregationRow,
+    b: pinot_common::query::AggregationRow,
+) -> Result<pinot_common::query::AggregationRow> {
+    use pinot_common::query::AggregationRow;
+    let f = a.function.clone();
+    let value = match (a.value.as_f64(), b.value.as_f64()) {
+        (Some(x), Some(y)) => {
+            let merged = combine_by_function(&f, x, y);
+            if f.starts_with("count") || f.starts_with("distinctcount") {
+                Value::Long(merged as i64)
+            } else {
+                Value::Double(merged)
+            }
+        }
+        (Some(_), None) => a.value.clone(),
+        (None, Some(_)) => b.value.clone(),
+        (None, None) => Value::Null,
+    };
+    Ok(AggregationRow { function: f, value })
+}
+
+/// Combine two already-finalized aggregate values by function name.
+///
+/// AVG and DISTINCTCOUNT cannot be merged exactly once finalized — hybrid
+/// AVG approximates by averaging the two sides and hybrid DISTINCTCOUNT
+/// adds them (an upper bound). Non-hybrid queries merge intermediate
+/// states and stay exact; this only affects queries spanning the hybrid
+/// time boundary, matching the resolution loss the paper accepts for
+/// boundary-spanning preaggregation.
+fn combine_by_function(function: &str, a: f64, b: f64) -> f64 {
+    if function.starts_with("sum")
+        || function.starts_with("count")
+        || function.starts_with("distinctcount")
+    {
+        a + b
+    } else if function.starts_with("min") {
+        a.min(b)
+    } else if function.starts_with("max") {
+        a.max(b)
+    } else if function.starts_with("avg") {
+        (a + b) / 2.0
+    } else {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_pql::parse;
+
+    #[test]
+    fn add_conjunct_wraps_filters() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE a = 1").unwrap();
+        let q2 = add_conjunct(
+            &q,
+            Predicate::Cmp {
+                column: "day".into(),
+                op: CmpOp::Lt,
+                value: Value::Long(10),
+            },
+        );
+        match q2.filter.unwrap() {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        let q2 = add_conjunct(
+            &q,
+            Predicate::Cmp {
+                column: "day".into(),
+                op: CmpOp::Ge,
+                value: Value::Long(10),
+            },
+        );
+        assert!(matches!(q2.filter, Some(Predicate::Cmp { .. })));
+    }
+
+    #[test]
+    fn partition_values_extraction() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE user = 42 AND day > 3").unwrap();
+        assert_eq!(
+            partition_filter_values(q.filter.as_ref(), "user"),
+            Some(vec![Value::Long(42)])
+        );
+        let q = parse("SELECT COUNT(*) FROM t WHERE user IN (1, 2)").unwrap();
+        assert_eq!(
+            partition_filter_values(q.filter.as_ref(), "user"),
+            Some(vec![Value::Long(1), Value::Long(2)])
+        );
+        // OR at the top cannot restrict partitions.
+        let q = parse("SELECT COUNT(*) FROM t WHERE user = 1 OR day = 2").unwrap();
+        assert_eq!(partition_filter_values(q.filter.as_ref(), "user"), None);
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(partition_filter_values(q.filter.as_ref(), "user"), None);
+    }
+
+    #[test]
+    fn combine_functions() {
+        assert_eq!(combine_by_function("sum(m)", 2.0, 3.0), 5.0);
+        assert_eq!(combine_by_function("count(*)", 2.0, 3.0), 5.0);
+        assert_eq!(combine_by_function("min(m)", 2.0, 3.0), 2.0);
+        assert_eq!(combine_by_function("max(m)", 2.0, 3.0), 3.0);
+        assert_eq!(combine_by_function("avg(m)", 2.0, 4.0), 3.0);
+    }
+}

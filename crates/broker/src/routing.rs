@@ -1,0 +1,317 @@
+//! Routing table generation and selection (§4.4, Algorithms 1 and 2).
+//!
+//! A routing table maps servers to the subset of segments each should
+//! process for one query, such that the union covers the table exactly
+//! once. The *balanced* strategy uses every live server. The
+//! *large-cluster* strategy bounds the number of servers per query
+//! (minimizing exposure to stragglers): picking the minimal covering subset
+//! is NP-hard, so Algorithm 1 greedily builds a random cover and Algorithm
+//! 2 generates many candidates, keeping the ones with the lowest
+//! per-server segment-count variance.
+
+use pinot_common::ids::InstanceId;
+use rand::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// server → segments that server processes for a query.
+pub type RoutingTable = BTreeMap<InstanceId, Vec<String>>;
+
+/// Replica placement input: segment → servers currently able to serve it.
+pub type SegmentReplicas = BTreeMap<String, Vec<InstanceId>>;
+
+/// Invert a `server → segments` external view into `segment → servers`.
+pub fn invert_view(view: &BTreeMap<InstanceId, Vec<String>>) -> SegmentReplicas {
+    let mut out: SegmentReplicas = BTreeMap::new();
+    for (server, segments) in view {
+        for seg in segments {
+            out.entry(seg.clone()).or_default().push(server.clone());
+        }
+    }
+    for servers in out.values_mut() {
+        servers.sort();
+    }
+    out
+}
+
+/// Balanced strategy: every server participates; each segment is assigned
+/// to its least-loaded replica (deterministic given the view).
+pub fn generate_balanced(replicas: &SegmentReplicas) -> RoutingTable {
+    let mut table: RoutingTable = BTreeMap::new();
+    let mut load: HashMap<InstanceId, usize> = HashMap::new();
+    for (segment, servers) in replicas {
+        let Some(best) = servers
+            .iter()
+            .min_by_key(|s| (load.get(*s).copied().unwrap_or(0), (*s).clone()))
+        else {
+            continue;
+        };
+        *load.entry(best.clone()).or_default() += 1;
+        table.entry(best.clone()).or_default().push(segment.clone());
+    }
+    table
+}
+
+/// Algorithm 1: build one routing table touching ~`target_servers` servers.
+pub fn generate_routing_table(
+    replicas: &SegmentReplicas,
+    target_servers: usize,
+    rng: &mut impl Rng,
+) -> RoutingTable {
+    // IS: instance → segments; SI is `replicas` itself.
+    let mut instance_segments: BTreeMap<InstanceId, Vec<String>> = BTreeMap::new();
+    for (seg, servers) in replicas {
+        for s in servers {
+            instance_segments
+                .entry(s.clone())
+                .or_default()
+                .push(seg.clone());
+        }
+    }
+    let all_instances: Vec<InstanceId> = instance_segments.keys().cloned().collect();
+
+    // Segments with no live replica are unroutable; leave them out.
+    let mut orphan: BTreeMap<&String, ()> = replicas
+        .iter()
+        .filter(|(_, servers)| !servers.is_empty())
+        .map(|(s, _)| (s, ()))
+        .collect();
+    let mut used: Vec<InstanceId> = Vec::new();
+
+    let cover = |inst: &InstanceId, orphan: &mut BTreeMap<&String, ()>| {
+        if let Some(segs) = instance_segments.get(inst) {
+            for s in segs {
+                orphan.remove(s);
+            }
+        }
+    };
+
+    if all_instances.len() <= target_servers {
+        // Fewer instances than the target: use all of them.
+        for inst in &all_instances {
+            used.push(inst.clone());
+            cover(inst, &mut orphan);
+        }
+    } else {
+        while used.len() < target_servers {
+            let inst = all_instances.choose(rng).expect("non-empty").clone();
+            if !used.contains(&inst) {
+                cover(&inst, &mut orphan);
+                used.push(inst);
+            }
+        }
+    }
+
+    // Add servers until every orphan segment is covered.
+    while let Some((&seg, _)) = orphan.iter().next() {
+        let candidates = &replicas[seg];
+        let inst = candidates.choose(rng).expect("replicated segment").clone();
+        cover(&inst, &mut orphan);
+        if !used.contains(&inst) {
+            used.push(inst);
+        }
+    }
+
+    // Assign each segment to one used instance, fewest-candidates first
+    // (the priority queue in the paper), balancing load.
+    let mut entries: Vec<(&String, Vec<&InstanceId>)> = replicas
+        .iter()
+        .map(|(seg, servers)| {
+            let usable: Vec<&InstanceId> =
+                servers.iter().filter(|s| used.contains(*s)).collect();
+            (seg, usable)
+        })
+        .collect();
+    entries.sort_by_key(|(seg, usable)| (usable.len(), (*seg).clone()));
+
+    let mut load: HashMap<&InstanceId, usize> = HashMap::new();
+    let mut table: RoutingTable = BTreeMap::new();
+    for (seg, usable) in entries {
+        if usable.is_empty() {
+            continue; // unroutable segment (no live replica)
+        }
+        // PickWeightedRandomReplica: choose among the least-loaded usable
+        // instances at random.
+        let min_load = usable
+            .iter()
+            .map(|s| load.get(*s).copied().unwrap_or(0))
+            .min()
+            .expect("non-empty");
+        let least: Vec<&&InstanceId> = usable
+            .iter()
+            .filter(|s| load.get(**s).copied().unwrap_or(0) == min_load)
+            .collect();
+        let picked: &InstanceId = least.choose(rng).expect("non-empty");
+        *load.entry(picked).or_default() += 1;
+        table
+            .entry(picked.clone())
+            .or_default()
+            .push(seg.clone());
+    }
+    table
+}
+
+/// Fitness metric (Algorithm 2): variance of segments-per-server. Lower is
+/// better — the paper found this empirically effective.
+pub fn routing_table_metric(table: &RoutingTable) -> f64 {
+    if table.is_empty() {
+        return 0.0;
+    }
+    let counts: Vec<f64> = table.values().map(|v| v.len() as f64).collect();
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64
+}
+
+/// Algorithm 2: generate `generation_count` candidate tables, keep the
+/// `keep_count` with the lowest metric.
+pub fn filter_routing_tables(
+    replicas: &SegmentReplicas,
+    target_servers: usize,
+    keep_count: usize,
+    generation_count: usize,
+    rng: &mut impl Rng,
+) -> Vec<RoutingTable> {
+    // (metric, table) max-heap by metric, bounded to keep_count.
+    let mut kept: Vec<(f64, RoutingTable)> = Vec::with_capacity(keep_count + 1);
+    for _ in 0..generation_count.max(keep_count) {
+        let table = generate_routing_table(replicas, target_servers, rng);
+        let metric = routing_table_metric(&table);
+        if kept.len() < keep_count {
+            kept.push((metric, table));
+            kept.sort_by(|a, b| a.0.total_cmp(&b.0));
+        } else if let Some(worst) = kept.last() {
+            if metric < worst.0 {
+                kept.pop();
+                kept.push((metric, table));
+                kept.sort_by(|a, b| a.0.total_cmp(&b.0));
+            }
+        }
+    }
+    kept.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Check that a routing table covers exactly the given segment set, each
+/// segment once (test/diagnostic helper).
+pub fn covers_exactly(table: &RoutingTable, replicas: &SegmentReplicas) -> bool {
+    let mut seen: Vec<&String> = table.values().flatten().collect();
+    seen.sort();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let mut expected: Vec<&String> = replicas
+        .iter()
+        .filter(|(_, servers)| !servers.is_empty())
+        .map(|(s, _)| s)
+        .collect();
+    expected.sort();
+    seen == expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// n segments replicated `repl` times over m servers, round-robin.
+    fn make_replicas(num_segments: usize, num_servers: usize, repl: usize) -> SegmentReplicas {
+        let mut out = SegmentReplicas::new();
+        for i in 0..num_segments {
+            let servers: Vec<InstanceId> = (0..repl)
+                .map(|r| InstanceId::server((i + r) % num_servers + 1))
+                .collect();
+            out.insert(format!("seg_{i:04}"), servers);
+        }
+        out
+    }
+
+    #[test]
+    fn balanced_covers_and_balances() {
+        let replicas = make_replicas(100, 10, 3);
+        let table = generate_balanced(&replicas);
+        assert!(covers_exactly(&table, &replicas));
+        assert_eq!(table.len(), 10); // all servers participate
+        for segs in table.values() {
+            // Greedy least-loaded assignment: near-perfect balance.
+            assert!((8..=12).contains(&segs.len()), "{}", segs.len());
+        }
+    }
+
+    #[test]
+    fn algorithm1_limits_server_count() {
+        let replicas = make_replicas(200, 20, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let table = generate_routing_table(&replicas, 6, &mut rng);
+            assert!(covers_exactly(&table, &replicas));
+            // The greedy cover overshoots the target while covering
+            // orphan segments, but stays well below all 20 servers.
+            assert!(table.len() <= 16, "used {} servers", table.len());
+        }
+    }
+
+    #[test]
+    fn algorithm1_uses_all_when_target_exceeds_servers() {
+        let replicas = make_replicas(30, 4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = generate_routing_table(&replicas, 100, &mut rng);
+        assert!(covers_exactly(&table, &replicas));
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn algorithm2_keeps_lowest_variance() {
+        let replicas = make_replicas(120, 12, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let kept = filter_routing_tables(&replicas, 5, 4, 60, &mut rng);
+        assert_eq!(kept.len(), 4);
+        for t in &kept {
+            assert!(covers_exactly(t, &replicas));
+        }
+        // Kept tables are at least as good as a fresh average.
+        let kept_avg: f64 =
+            kept.iter().map(routing_table_metric).sum::<f64>() / kept.len() as f64;
+        let fresh_avg: f64 = (0..30)
+            .map(|_| routing_table_metric(&generate_routing_table(&replicas, 5, &mut rng)))
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            kept_avg <= fresh_avg + 1e-9,
+            "kept {kept_avg} vs fresh {fresh_avg}"
+        );
+    }
+
+    #[test]
+    fn unroutable_segments_are_skipped() {
+        let mut replicas = make_replicas(5, 3, 1);
+        replicas.insert("seg_dead".into(), Vec::new());
+        let table = generate_balanced(&replicas);
+        assert!(covers_exactly(&table, &replicas)); // ignores the dead one
+        let mut rng = StdRng::seed_from_u64(3);
+        let t2 = generate_routing_table(&replicas, 2, &mut rng);
+        assert!(!t2.values().flatten().any(|s| s == "seg_dead"));
+    }
+
+    #[test]
+    fn invert_view_round_trip() {
+        let mut view = BTreeMap::new();
+        view.insert(InstanceId::server(1), vec!["a".to_string(), "b".to_string()]);
+        view.insert(InstanceId::server(2), vec!["b".to_string()]);
+        let replicas = invert_view(&view);
+        assert_eq!(replicas["a"], vec![InstanceId::server(1)]);
+        assert_eq!(
+            replicas["b"],
+            vec![InstanceId::server(1), InstanceId::server(2)]
+        );
+    }
+
+    #[test]
+    fn metric_prefers_balance() {
+        let mut balanced = RoutingTable::new();
+        balanced.insert(InstanceId::server(1), vec!["a".into(), "b".into()]);
+        balanced.insert(InstanceId::server(2), vec!["c".into(), "d".into()]);
+        let mut skewed = RoutingTable::new();
+        skewed.insert(InstanceId::server(1), vec!["a".into(), "b".into(), "c".into()]);
+        skewed.insert(InstanceId::server(2), vec!["d".into()]);
+        assert!(routing_table_metric(&balanced) < routing_table_metric(&skewed));
+    }
+}

@@ -1,0 +1,522 @@
+//! Table configuration.
+//!
+//! Table configs are the operator-facing knobs the paper describes: table
+//! type (offline/realtime/hybrid), replication, retention, indexing choices
+//! (inverted columns, sorted column, star-tree), stream ingestion settings,
+//! routing strategy, tenant, and storage quota. Configs serialize to JSON
+//! for metastore storage (§5.2 keeps them in source control).
+
+use crate::error::{PinotError, Result};
+use crate::ids::TableType;
+use crate::json::Json;
+use crate::schema::TimeUnit;
+
+/// How brokers build routing tables for a table (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingStrategy {
+    /// Spread all segments evenly over all servers; every query touches
+    /// every server hosting the table. Good for small/medium clusters.
+    Balanced,
+    /// Large-cluster routing (Algorithms 1 and 2): bound the number of
+    /// servers per query to `target_servers`, pre-generating
+    /// `routing_table_count` tables out of `generation_count` candidates.
+    LargeCluster {
+        target_servers: usize,
+        routing_table_count: usize,
+        generation_count: usize,
+    },
+    /// Partition-aware routing: route only to servers whose segments can
+    /// match the query's partition-column equality filter.
+    Partitioned {
+        column: String,
+        num_partitions: u32,
+    },
+}
+
+impl RoutingStrategy {
+    fn to_json(&self) -> Json {
+        match self {
+            RoutingStrategy::Balanced => Json::obj(vec![("type", "balanced".into())]),
+            RoutingStrategy::LargeCluster {
+                target_servers,
+                routing_table_count,
+                generation_count,
+            } => Json::obj(vec![
+                ("type", "largeCluster".into()),
+                ("targetServers", (*target_servers).into()),
+                ("routingTableCount", (*routing_table_count).into()),
+                ("generationCount", (*generation_count).into()),
+            ]),
+            RoutingStrategy::Partitioned {
+                column,
+                num_partitions,
+            } => Json::obj(vec![
+                ("type", "partitioned".into()),
+                ("column", column.as_str().into()),
+                ("numPartitions", (*num_partitions as i64).into()),
+            ]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<RoutingStrategy> {
+        let ty = j
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| PinotError::Metadata("routing strategy missing type".into()))?;
+        match ty {
+            "balanced" => Ok(RoutingStrategy::Balanced),
+            "largeCluster" => Ok(RoutingStrategy::LargeCluster {
+                target_servers: req_u64(j, "targetServers")? as usize,
+                routing_table_count: req_u64(j, "routingTableCount")? as usize,
+                generation_count: req_u64(j, "generationCount")? as usize,
+            }),
+            "partitioned" => Ok(RoutingStrategy::Partitioned {
+                column: req_str(j, "column")?,
+                num_partitions: req_u64(j, "numPartitions")? as u32,
+            }),
+            other => Err(PinotError::Metadata(format!(
+                "unknown routing strategy {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Star-tree index settings (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarTreeConfig {
+    /// Dimension split order, most selective first. Empty = use all
+    /// dimensions ordered by descending cardinality.
+    pub dimensions: Vec<String>,
+    /// Metrics preaggregated in tree nodes (empty = all metrics).
+    pub metrics: Vec<String>,
+    /// Stop splitting when a node covers at most this many raw records.
+    pub max_leaf_records: usize,
+    /// Dimensions excluded from star-node generation (always drilled into).
+    pub skip_star_dimensions: Vec<String>,
+}
+
+impl Default for StarTreeConfig {
+    fn default() -> Self {
+        StarTreeConfig {
+            dimensions: Vec::new(),
+            metrics: Vec::new(),
+            max_leaf_records: 1_000,
+            skip_star_dimensions: Vec::new(),
+        }
+    }
+}
+
+/// Index-related settings for a table (§4.2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexingConfig {
+    /// Columns with bitmap inverted indexes.
+    pub inverted_index_columns: Vec<String>,
+    /// Physical sort column; segments store records ordered by it and keep
+    /// a (start, end) range per value instead of a bitmap.
+    pub sorted_column: Option<String>,
+    /// Optional star-tree for iceberg/aggregation queries.
+    pub star_tree: Option<StarTreeConfig>,
+}
+
+/// Realtime stream ingestion settings (§3.3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Stream topic to consume.
+    pub topic: String,
+    /// Flush a consuming segment after this many records...
+    pub flush_threshold_rows: usize,
+    /// ...or after this much consumption time, whichever comes first.
+    pub flush_threshold_millis: i64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            topic: String::new(),
+            flush_threshold_rows: 100_000,
+            flush_threshold_millis: 6 * 3_600_000,
+        }
+    }
+}
+
+/// Data retention (§3.2): segments wholly older than the window are GC'ed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionConfig {
+    pub unit: TimeUnit,
+    pub duration: i64,
+}
+
+/// Complete per-table configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableConfig {
+    /// Logical table name (no _OFFLINE/_REALTIME suffix).
+    pub name: String,
+    pub table_type: TableType,
+    /// Replicas per segment.
+    pub replication: usize,
+    pub tenant: String,
+    pub indexing: IndexingConfig,
+    pub routing: RoutingStrategy,
+    pub retention: Option<RetentionConfig>,
+    /// Only for realtime tables.
+    pub stream: Option<StreamConfig>,
+    /// Storage quota in bytes (controller rejects uploads that exceed it).
+    pub quota_bytes: Option<u64>,
+}
+
+impl TableConfig {
+    pub fn offline(name: impl Into<String>) -> TableConfig {
+        TableConfig {
+            name: name.into(),
+            table_type: TableType::Offline,
+            replication: 1,
+            tenant: "DefaultTenant".to_string(),
+            indexing: IndexingConfig::default(),
+            routing: RoutingStrategy::Balanced,
+            retention: None,
+            stream: None,
+            quota_bytes: None,
+        }
+    }
+
+    pub fn realtime(name: impl Into<String>, stream: StreamConfig) -> TableConfig {
+        TableConfig {
+            stream: Some(stream),
+            table_type: TableType::Realtime,
+            ..TableConfig::offline(name)
+        }
+    }
+
+    pub fn with_replication(mut self, r: usize) -> TableConfig {
+        self.replication = r;
+        self
+    }
+
+    pub fn with_tenant(mut self, t: impl Into<String>) -> TableConfig {
+        self.tenant = t.into();
+        self
+    }
+
+    pub fn with_inverted_indexes(mut self, cols: &[&str]) -> TableConfig {
+        self.indexing.inverted_index_columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_sorted_column(mut self, col: impl Into<String>) -> TableConfig {
+        self.indexing.sorted_column = Some(col.into());
+        self
+    }
+
+    pub fn with_star_tree(mut self, cfg: StarTreeConfig) -> TableConfig {
+        self.indexing.star_tree = Some(cfg);
+        self
+    }
+
+    pub fn with_routing(mut self, r: RoutingStrategy) -> TableConfig {
+        self.routing = r;
+        self
+    }
+
+    pub fn with_retention(mut self, unit: TimeUnit, duration: i64) -> TableConfig {
+        self.retention = Some(RetentionConfig { unit, duration });
+        self
+    }
+
+    pub fn with_quota_bytes(mut self, q: u64) -> TableConfig {
+        self.quota_bytes = Some(q);
+        self
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(PinotError::Metadata("table name is empty".into()));
+        }
+        if self.replication == 0 {
+            return Err(PinotError::Metadata("replication must be >= 1".into()));
+        }
+        if self.table_type == TableType::Realtime && self.stream.is_none() {
+            return Err(PinotError::Metadata(
+                "realtime table requires a stream config".into(),
+            ));
+        }
+        if let Some(s) = &self.stream {
+            if s.flush_threshold_rows == 0 {
+                return Err(PinotError::Metadata(
+                    "flush_threshold_rows must be >= 1".into(),
+                ));
+            }
+        }
+        if let (Some(sorted), inv) = (
+            &self.indexing.sorted_column,
+            &self.indexing.inverted_index_columns,
+        ) {
+            if inv.contains(sorted) {
+                return Err(PinotError::Metadata(format!(
+                    "column {sorted} cannot be both sorted and inverted-indexed"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the JSON stored in the metastore.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("name", self.name.as_str().into()),
+            ("type", self.table_type.suffix().into()),
+            ("replication", self.replication.into()),
+            ("tenant", self.tenant.as_str().into()),
+            ("routing", self.routing.to_json()),
+            (
+                "invertedIndexColumns",
+                Json::Arr(
+                    self.indexing
+                        .inverted_index_columns
+                        .iter()
+                        .map(|c| c.as_str().into())
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(c) = &self.indexing.sorted_column {
+            pairs.push(("sortedColumn", c.as_str().into()));
+        }
+        if let Some(st) = &self.indexing.star_tree {
+            pairs.push((
+                "starTree",
+                Json::obj(vec![
+                    (
+                        "dimensions",
+                        Json::Arr(st.dimensions.iter().map(|c| c.as_str().into()).collect()),
+                    ),
+                    (
+                        "metrics",
+                        Json::Arr(st.metrics.iter().map(|c| c.as_str().into()).collect()),
+                    ),
+                    ("maxLeafRecords", st.max_leaf_records.into()),
+                    (
+                        "skipStarDimensions",
+                        Json::Arr(
+                            st.skip_star_dimensions
+                                .iter()
+                                .map(|c| c.as_str().into())
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(r) = &self.retention {
+            pairs.push((
+                "retention",
+                Json::obj(vec![
+                    ("unit", r.unit.name().into()),
+                    ("duration", r.duration.into()),
+                ]),
+            ));
+        }
+        if let Some(s) = &self.stream {
+            pairs.push((
+                "stream",
+                Json::obj(vec![
+                    ("topic", s.topic.as_str().into()),
+                    ("flushThresholdRows", s.flush_threshold_rows.into()),
+                    ("flushThresholdMillis", s.flush_threshold_millis.into()),
+                ]),
+            ));
+        }
+        if let Some(q) = self.quota_bytes {
+            pairs.push(("quotaBytes", q.into()));
+        }
+        Json::obj(pairs)
+    }
+
+    pub fn from_json(j: &Json) -> Result<TableConfig> {
+        let name = req_str(j, "name")?;
+        let table_type = match j.get("type").and_then(Json::as_str) {
+            Some("OFFLINE") => TableType::Offline,
+            Some("REALTIME") => TableType::Realtime,
+            other => {
+                return Err(PinotError::Metadata(format!(
+                    "bad table type {other:?}"
+                )))
+            }
+        };
+        let replication = req_u64(j, "replication")? as usize;
+        let tenant = req_str(j, "tenant")?;
+        let routing = RoutingStrategy::from_json(
+            j.get("routing")
+                .ok_or_else(|| PinotError::Metadata("missing routing".into()))?,
+        )?;
+        let inverted_index_columns = j
+            .get("invertedIndexColumns")
+            .and_then(Json::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Json::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let sorted_column = j
+            .get("sortedColumn")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let star_tree = match j.get("starTree") {
+            None => None,
+            Some(st) => Some(StarTreeConfig {
+                dimensions: str_arr(st, "dimensions"),
+                metrics: str_arr(st, "metrics"),
+                max_leaf_records: req_u64(st, "maxLeafRecords")? as usize,
+                skip_star_dimensions: str_arr(st, "skipStarDimensions"),
+            }),
+        };
+        let retention = match j.get("retention") {
+            None => None,
+            Some(r) => Some(RetentionConfig {
+                unit: TimeUnit::parse(&req_str(r, "unit")?)?,
+                duration: req_u64(r, "duration")? as i64,
+            }),
+        };
+        let stream = match j.get("stream") {
+            None => None,
+            Some(s) => Some(StreamConfig {
+                topic: req_str(s, "topic")?,
+                flush_threshold_rows: req_u64(s, "flushThresholdRows")? as usize,
+                flush_threshold_millis: req_u64(s, "flushThresholdMillis")? as i64,
+            }),
+        };
+        let quota_bytes = j.get("quotaBytes").and_then(Json::as_i64).map(|v| v as u64);
+        let cfg = TableConfig {
+            name,
+            table_type,
+            replication,
+            tenant,
+            indexing: IndexingConfig {
+                inverted_index_columns,
+                sorted_column,
+                star_tree,
+            },
+            routing,
+            retention,
+            stream,
+            quota_bytes,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| PinotError::Metadata(format!("missing string field {key:?}")))
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64> {
+    j.get(key)
+        .and_then(Json::as_i64)
+        .filter(|v| *v >= 0)
+        .map(|v| v as u64)
+        .ok_or_else(|| PinotError::Metadata(format!("missing numeric field {key:?}")))
+}
+
+fn str_arr(j: &Json, key: &str) -> Vec<String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_config() -> TableConfig {
+        TableConfig::realtime(
+            "feed",
+            StreamConfig {
+                topic: "feed-events".into(),
+                flush_threshold_rows: 500,
+                flush_threshold_millis: 60_000,
+            },
+        )
+        .with_replication(3)
+        .with_tenant("feedTenant")
+        .with_inverted_indexes(&["country", "browser"])
+        .with_sorted_column("viewee_id")
+        .with_star_tree(StarTreeConfig {
+            dimensions: vec!["country".into()],
+            metrics: vec!["clicks".into()],
+            max_leaf_records: 100,
+            skip_star_dimensions: vec!["browser".into()],
+        })
+        .with_routing(RoutingStrategy::Partitioned {
+            column: "viewee_id".into(),
+            num_partitions: 8,
+        })
+        .with_retention(TimeUnit::Days, 30)
+        .with_quota_bytes(1 << 30)
+    }
+
+    #[test]
+    fn json_round_trip_full() {
+        let cfg = full_config();
+        let j = cfg.to_json();
+        let back = TableConfig::from_json(&j).unwrap();
+        assert_eq!(back, cfg);
+        // And through text.
+        let text = j.emit();
+        let back2 = TableConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back2, cfg);
+    }
+
+    #[test]
+    fn json_round_trip_minimal() {
+        let cfg = TableConfig::offline("wvmp");
+        let back = TableConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(TableConfig::offline("").validate().is_err());
+        assert!(TableConfig::offline("t")
+            .with_replication(0)
+            .validate()
+            .is_err());
+        let mut rt = TableConfig::offline("t");
+        rt.table_type = TableType::Realtime;
+        assert!(rt.validate().is_err()); // realtime without stream
+
+        let conflict = TableConfig::offline("t")
+            .with_sorted_column("a")
+            .with_inverted_indexes(&["a"]);
+        assert!(conflict.validate().is_err());
+    }
+
+    #[test]
+    fn routing_strategy_round_trips() {
+        for r in [
+            RoutingStrategy::Balanced,
+            RoutingStrategy::LargeCluster {
+                target_servers: 4,
+                routing_table_count: 10,
+                generation_count: 100,
+            },
+            RoutingStrategy::Partitioned {
+                column: "k".into(),
+                num_partitions: 16,
+            },
+        ] {
+            assert_eq!(RoutingStrategy::from_json(&r.to_json()).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Error type shared across all Pinot components.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, PinotError>;
+
+/// Unified error for every Pinot component.
+///
+/// Variants are coarse-grained on purpose: callers almost always either
+/// propagate, retry, or mark a query response as partial; they rarely need to
+/// distinguish finer causes than these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinotError {
+    /// The query text failed to parse or validate.
+    InvalidQuery(String),
+    /// A schema violation: unknown column, wrong type, bad field spec.
+    Schema(String),
+    /// Segment data is malformed or an index is unusable.
+    Segment(String),
+    /// Table or segment does not exist, or config is inconsistent.
+    Metadata(String),
+    /// A cluster-management operation failed (state transition, assignment).
+    Cluster(String),
+    /// An I/O-ish failure in a substrate (object store, stream, metastore).
+    Io(String),
+    /// Query execution exceeded its deadline.
+    Timeout(String),
+    /// The tenant's token bucket is exhausted and the queue is full.
+    QuotaExceeded(String),
+    /// A quota on storage size would be exceeded by an upload.
+    StorageQuota(String),
+    /// The contacted node is not the leader for this operation.
+    NotLeader(String),
+    /// Catch-all for internal invariant violations.
+    Internal(String),
+}
+
+impl PinotError {
+    /// Short machine-readable kind label, used in stats and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PinotError::InvalidQuery(_) => "invalid_query",
+            PinotError::Schema(_) => "schema",
+            PinotError::Segment(_) => "segment",
+            PinotError::Metadata(_) => "metadata",
+            PinotError::Cluster(_) => "cluster",
+            PinotError::Io(_) => "io",
+            PinotError::Timeout(_) => "timeout",
+            PinotError::QuotaExceeded(_) => "quota_exceeded",
+            PinotError::StorageQuota(_) => "storage_quota",
+            PinotError::NotLeader(_) => "not_leader",
+            PinotError::Internal(_) => "internal",
+        }
+    }
+
+    /// True when retrying the same operation against the cluster could
+    /// plausibly succeed (leadership moved, transient timeout, throttling).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            PinotError::Timeout(_) | PinotError::QuotaExceeded(_) | PinotError::NotLeader(_)
+        )
+    }
+}
+
+impl fmt::Display for PinotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            PinotError::InvalidQuery(m) => ("invalid query", m),
+            PinotError::Schema(m) => ("schema error", m),
+            PinotError::Segment(m) => ("segment error", m),
+            PinotError::Metadata(m) => ("metadata error", m),
+            PinotError::Cluster(m) => ("cluster error", m),
+            PinotError::Io(m) => ("io error", m),
+            PinotError::Timeout(m) => ("timeout", m),
+            PinotError::QuotaExceeded(m) => ("quota exceeded", m),
+            PinotError::StorageQuota(m) => ("storage quota exceeded", m),
+            PinotError::NotLeader(m) => ("not leader", m),
+            PinotError::Internal(m) => ("internal error", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for PinotError {}
+
+impl From<std::io::Error> for PinotError {
+    fn from(e: std::io::Error) -> Self {
+        PinotError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = PinotError::InvalidQuery("bad token".into());
+        assert_eq!(e.to_string(), "invalid query: bad token");
+        let e = PinotError::Timeout("5s elapsed".into());
+        assert_eq!(e.to_string(), "timeout: 5s elapsed");
+    }
+
+    #[test]
+    fn retriable_classification() {
+        assert!(PinotError::Timeout(String::new()).is_retriable());
+        assert!(PinotError::NotLeader(String::new()).is_retriable());
+        assert!(PinotError::QuotaExceeded(String::new()).is_retriable());
+        assert!(!PinotError::Schema(String::new()).is_retriable());
+        assert!(!PinotError::Internal(String::new()).is_retriable());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: PinotError = io.into();
+        assert_eq!(e.kind(), "io");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            PinotError::InvalidQuery(String::new()).kind(),
+            PinotError::Schema(String::new()).kind(),
+            PinotError::Segment(String::new()).kind(),
+            PinotError::Metadata(String::new()).kind(),
+            PinotError::Cluster(String::new()).kind(),
+            PinotError::Io(String::new()).kind(),
+            PinotError::Timeout(String::new()).kind(),
+            PinotError::QuotaExceeded(String::new()).kind(),
+            PinotError::StorageQuota(String::new()).kind(),
+            PinotError::NotLeader(String::new()).kind(),
+            PinotError::Internal(String::new()).kind(),
+        ];
+        let set: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+}

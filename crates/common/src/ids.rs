@@ -1,0 +1,200 @@
+//! Identifiers: table names, segment names, instance ids.
+//!
+//! Segment naming mirrors Pinot's conventions: offline segments are
+//! `table_OFFLINE__<seq>` style opaque names, while realtime (LLC) segments
+//! encode table, Kafka partition and sequence number so that every replica
+//! consuming a partition independently derives the same name.
+
+use crate::error::{PinotError, Result};
+use std::fmt;
+
+/// Which physical table a segment or query targets. Hybrid tables are a
+/// logical pairing of one OFFLINE and one REALTIME physical table (§3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TableType {
+    Offline,
+    Realtime,
+}
+
+impl TableType {
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            TableType::Offline => "OFFLINE",
+            TableType::Realtime => "REALTIME",
+        }
+    }
+}
+
+impl fmt::Display for TableType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Fully qualified physical table name, e.g. `wvmp_OFFLINE`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableName {
+    raw: String,
+    table_type: TableType,
+}
+
+impl TableName {
+    pub fn new(raw: impl Into<String>, table_type: TableType) -> TableName {
+        TableName {
+            raw: raw.into(),
+            table_type,
+        }
+    }
+
+    pub fn offline(raw: impl Into<String>) -> TableName {
+        TableName::new(raw, TableType::Offline)
+    }
+
+    pub fn realtime(raw: impl Into<String>) -> TableName {
+        TableName::new(raw, TableType::Realtime)
+    }
+
+    /// Logical (user-facing) table name without the type suffix.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    pub fn table_type(&self) -> TableType {
+        self.table_type
+    }
+
+    /// `raw_TYPE` form used as keys in the metastore and cluster state.
+    pub fn qualified(&self) -> String {
+        format!("{}_{}", self.raw, self.table_type.suffix())
+    }
+
+    pub fn parse(s: &str) -> Result<TableName> {
+        if let Some(raw) = s.strip_suffix("_OFFLINE") {
+            Ok(TableName::offline(raw))
+        } else if let Some(raw) = s.strip_suffix("_REALTIME") {
+            Ok(TableName::realtime(raw))
+        } else {
+            Err(PinotError::Metadata(format!(
+                "table name {s:?} lacks _OFFLINE/_REALTIME suffix"
+            )))
+        }
+    }
+}
+
+impl fmt::Display for TableName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.qualified())
+    }
+}
+
+/// A segment name.
+///
+/// * Offline: `<table>__<sequence>` (opaque sequence assigned at upload).
+/// * Realtime: `<table>__<partition>__<sequence>` — all replicas of a
+///   consuming segment derive the same name deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentName(String);
+
+impl SegmentName {
+    pub fn offline(table: &str, sequence: u64) -> SegmentName {
+        SegmentName(format!("{table}__{sequence}"))
+    }
+
+    pub fn realtime(table: &str, partition: u32, sequence: u64) -> SegmentName {
+        SegmentName(format!("{table}__{partition}__{sequence}"))
+    }
+
+    pub fn from_raw(s: impl Into<String>) -> SegmentName {
+        SegmentName(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// For realtime segment names, the `(partition, sequence)` pair.
+    pub fn realtime_parts(&self) -> Option<(u32, u64)> {
+        let mut it = self.0.rsplitn(3, "__");
+        let seq = it.next()?.parse().ok()?;
+        let part = it.next()?.parse().ok()?;
+        it.next()?; // table part must exist
+        Some((part, seq))
+    }
+}
+
+impl fmt::Display for SegmentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier for a cluster node (server, broker, controller, minion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(String);
+
+impl InstanceId {
+    pub fn server(n: usize) -> InstanceId {
+        InstanceId(format!("Server_{n}"))
+    }
+    pub fn broker(n: usize) -> InstanceId {
+        InstanceId(format!("Broker_{n}"))
+    }
+    pub fn controller(n: usize) -> InstanceId {
+        InstanceId(format!("Controller_{n}"))
+    }
+    pub fn minion(n: usize) -> InstanceId {
+        InstanceId(format!("Minion_{n}"))
+    }
+    pub fn from_raw(s: impl Into<String>) -> InstanceId {
+        InstanceId(s.into())
+    }
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_name_round_trip() {
+        let t = TableName::offline("wvmp");
+        assert_eq!(t.qualified(), "wvmp_OFFLINE");
+        assert_eq!(TableName::parse("wvmp_OFFLINE").unwrap(), t);
+        let r = TableName::parse("feed_REALTIME").unwrap();
+        assert_eq!(r.table_type(), TableType::Realtime);
+        assert_eq!(r.raw(), "feed");
+        assert!(TableName::parse("plain").is_err());
+    }
+
+    #[test]
+    fn realtime_segment_name_parts() {
+        let s = SegmentName::realtime("feed_REALTIME", 3, 42);
+        assert_eq!(s.realtime_parts(), Some((3, 42)));
+        let o = SegmentName::offline("wvmp_OFFLINE", 7);
+        // Offline names have no partition component.
+        assert_eq!(o.realtime_parts(), None);
+    }
+
+    #[test]
+    fn instance_ids_distinct_by_role() {
+        assert_ne!(InstanceId::server(1), InstanceId::broker(1));
+        assert_eq!(InstanceId::server(2).as_str(), "Server_2");
+    }
+
+    #[test]
+    fn segment_names_sort_stably() {
+        let mut v = [SegmentName::offline("t", 10),
+            SegmentName::offline("t", 2)];
+        v.sort();
+        // Lexicographic, not numeric — fine, names are opaque identifiers.
+        assert_eq!(v[0].as_str(), "t__10");
+    }
+}

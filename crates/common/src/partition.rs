@@ -1,0 +1,87 @@
+//! The shared partition function.
+//!
+//! Pinot ships a partition function that matches the stream's partitioner so
+//! offline data can be partitioned the same way as realtime data (§4.4).
+//! Producers (the stream substrate), segment builders (offline pushes), and
+//! brokers (partition-aware routing) must all agree on this function, so it
+//! lives here in the shared crate.
+
+use crate::value::Value;
+
+/// Stable 64-bit FNV-1a hash of a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Hash a partition-key value to a stable 64-bit code.
+///
+/// Integers hash by their 8-byte little-endian form so that `Int(5)` and
+/// `Long(5)` land in the same partition; strings hash by UTF-8 bytes.
+pub fn hash_value(v: &Value) -> u64 {
+    match v {
+        Value::Int(x) => fnv1a(&(*x as i64).to_le_bytes()),
+        Value::Long(x) => fnv1a(&x.to_le_bytes()),
+        Value::Boolean(b) => fnv1a(&[*b as u8]),
+        Value::String(s) => fnv1a(s.as_bytes()),
+        Value::Float(x) => fnv1a(&(*x as f64).to_bits().to_le_bytes()),
+        Value::Double(x) => fnv1a(&x.to_bits().to_le_bytes()),
+        // Multi-value and null keys are unusual; hash a stable rendering.
+        other => fnv1a(other.to_string().as_bytes()),
+    }
+}
+
+/// The partition a key belongs to, for a topic/table with `num_partitions`.
+pub fn partition_for_value(v: &Value, num_partitions: u32) -> u32 {
+    assert!(num_partitions > 0, "num_partitions must be >= 1");
+    (hash_value(v) % num_partitions as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        for n in [1u32, 2, 8, 16] {
+            for i in 0..100i64 {
+                let p = partition_for_value(&Value::Long(i), n);
+                assert!(p < n);
+                assert_eq!(p, partition_for_value(&Value::Long(i), n));
+            }
+        }
+    }
+
+    #[test]
+    fn int_and_long_agree() {
+        for i in [-5i32, 0, 7, 1000] {
+            assert_eq!(
+                partition_for_value(&Value::Int(i), 16),
+                partition_for_value(&Value::Long(i as i64), 16)
+            );
+        }
+    }
+
+    #[test]
+    fn spreads_keys_reasonably() {
+        let n = 8u32;
+        let mut counts = vec![0usize; n as usize];
+        for i in 0..10_000i64 {
+            counts[partition_for_value(&Value::Long(i), n) as usize] += 1;
+        }
+        // Each partition should get 1250 ± 25%.
+        for c in counts {
+            assert!(c > 900 && c < 1600, "unbalanced: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_partitions")]
+    fn zero_partitions_panics() {
+        partition_for_value(&Value::Long(1), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Realtime segment-completion protocol messages (§3.3.6).
+//!
+//! Replicas consuming the same stream partition reach identical segment
+//! contents through this protocol: when a replica hits its end criteria it
+//! polls the lead controller with its current offset; the controller's state
+//! machine answers with one of the instructions below.
+
+use crate::ids::{InstanceId, SegmentName};
+
+/// Stream offset within one partition.
+pub type Offset = u64;
+
+/// A consuming server's poll to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionPoll {
+    pub segment: SegmentName,
+    pub instance: InstanceId,
+    /// Offset the replica has consumed up to (exclusive).
+    pub offset: Offset,
+    /// Set when the poll is a commit attempt completion ("I finished
+    /// uploading the segment you told me to commit").
+    pub commit_upload_done: bool,
+}
+
+impl CompletionPoll {
+    pub fn new(segment: SegmentName, instance: InstanceId, offset: Offset) -> CompletionPoll {
+        CompletionPoll {
+            segment,
+            instance,
+            offset,
+            commit_upload_done: false,
+        }
+    }
+}
+
+/// Controller instruction to a polling replica. The variants are exactly the
+/// instruction set listed in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletionInstruction {
+    /// Do nothing and poll again later.
+    Hold,
+    /// Discard local data; fetch the authoritative committed copy.
+    Discard,
+    /// Consume up to the given offset, then resume polling.
+    Catchup { target_offset: Offset },
+    /// Offsets match the committed copy exactly: flush locally and load,
+    /// no upload needed.
+    Keep,
+    /// Flush and attempt to commit (upload). On failure resume polling.
+    Commit,
+    /// This controller is not the leader; look up the leader and re-poll.
+    NotLeader,
+}
+
+impl CompletionInstruction {
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompletionInstruction::Hold => "HOLD",
+            CompletionInstruction::Discard => "DISCARD",
+            CompletionInstruction::Catchup { .. } => "CATCHUP",
+            CompletionInstruction::Keep => "KEEP",
+            CompletionInstruction::Commit => "COMMIT",
+            CompletionInstruction::NotLeader => "NOTLEADER",
+        }
+    }
+}
+
+/// Outcome a server reports after attempting a commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    Success,
+    Failure,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_names_match_paper() {
+        assert_eq!(CompletionInstruction::Hold.name(), "HOLD");
+        assert_eq!(CompletionInstruction::Discard.name(), "DISCARD");
+        assert_eq!(
+            CompletionInstruction::Catchup { target_offset: 5 }.name(),
+            "CATCHUP"
+        );
+        assert_eq!(CompletionInstruction::Keep.name(), "KEEP");
+        assert_eq!(CompletionInstruction::Commit.name(), "COMMIT");
+        assert_eq!(CompletionInstruction::NotLeader.name(), "NOTLEADER");
+    }
+
+    #[test]
+    fn poll_constructor_defaults() {
+        let p = CompletionPoll::new(
+            SegmentName::realtime("t_REALTIME", 0, 1),
+            InstanceId::server(1),
+            100,
+        );
+        assert!(!p.commit_upload_done);
+        assert_eq!(p.offset, 100);
+    }
+}

@@ -1,0 +1,221 @@
+//! Client-facing query request/response types.
+//!
+//! Brokers accept a PQL string and return a [`QueryResponse`]: the merged
+//! result plus execution statistics. Errors or timeouts on individual
+//! servers mark the response *partial* rather than failing it (§3.3.3 step
+//! 7), so the client can choose to display incomplete results or retry.
+
+use crate::value::Value;
+
+/// A query as submitted to a broker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// PQL text, e.g. `SELECT SUM(clicks) FROM feed WHERE country = 'us'`.
+    pub pql: String,
+    /// Per-query deadline; servers abandon work past this.
+    pub timeout_ms: u64,
+    /// Tenant on whose token-bucket budget this query runs (§4.5).
+    pub tenant: Option<String>,
+}
+
+impl QueryRequest {
+    pub fn new(pql: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            pql: pql.into(),
+            timeout_ms: 10_000,
+            tenant: None,
+        }
+    }
+
+    pub fn with_timeout_ms(mut self, ms: u64) -> QueryRequest {
+        self.timeout_ms = ms;
+        self
+    }
+
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> QueryRequest {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
+
+/// One aggregation result: `SUM(clicks) -> 42`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationRow {
+    /// Display name, e.g. `sum(clicks)`.
+    pub function: String,
+    pub value: Value,
+}
+
+/// One group-by result table for a single aggregation function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByRows {
+    pub function: String,
+    pub group_columns: Vec<String>,
+    /// Rows ordered by aggregate descending (top-n semantics).
+    pub rows: Vec<(Vec<Value>, Value)>,
+}
+
+/// The merged result payload of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Plain aggregations without grouping.
+    Aggregation(Vec<AggregationRow>),
+    /// Aggregations with GROUP BY, one table per function.
+    GroupBy(Vec<GroupByRows>),
+    /// SELECT column projections.
+    Selection {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl QueryResult {
+    /// Convenience for tests: the single aggregate value, if that is the shape.
+    pub fn single_aggregate(&self) -> Option<&Value> {
+        match self {
+            QueryResult::Aggregation(rows) if rows.len() == 1 => Some(&rows[0].value),
+            _ => None,
+        }
+    }
+
+    pub fn group_by(&self) -> Option<&[GroupByRows]> {
+        match self {
+            QueryResult::GroupBy(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Execution statistics accumulated across all servers touched by a query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// Segments the routing table asked servers to consider.
+    pub num_segments_queried: u64,
+    /// Segments actually processed (not pruned by metadata).
+    pub num_segments_processed: u64,
+    /// Segments pruned by metadata/time-range checks.
+    pub num_segments_pruned: u64,
+    /// Documents (or preaggregated documents) the filter matched and that
+    /// were scanned post-filter.
+    pub num_docs_scanned: u64,
+    /// Column entries touched while evaluating filters.
+    pub num_entries_scanned_in_filter: u64,
+    /// Column entries touched while computing projections/aggregations.
+    pub num_entries_scanned_post_filter: u64,
+    /// Total documents in all queried segments.
+    pub total_docs: u64,
+    /// Raw (unaggregated) documents the query *would* have scanned without
+    /// the star-tree; used for the paper's Figure 13 ratio.
+    pub raw_docs_equivalent: u64,
+    /// Servers asked / answered; unequal values imply a partial response.
+    pub num_servers_queried: u64,
+    pub num_servers_responded: u64,
+    /// End-to-end broker time.
+    pub time_used_ms: u64,
+}
+
+impl ExecutionStats {
+    /// Merge per-server stats into broker-level totals.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.num_segments_queried += other.num_segments_queried;
+        self.num_segments_processed += other.num_segments_processed;
+        self.num_segments_pruned += other.num_segments_pruned;
+        self.num_docs_scanned += other.num_docs_scanned;
+        self.num_entries_scanned_in_filter += other.num_entries_scanned_in_filter;
+        self.num_entries_scanned_post_filter += other.num_entries_scanned_post_filter;
+        self.total_docs += other.total_docs;
+        self.raw_docs_equivalent += other.raw_docs_equivalent;
+        self.num_servers_queried += other.num_servers_queried;
+        self.num_servers_responded += other.num_servers_responded;
+        self.time_used_ms = self.time_used_ms.max(other.time_used_ms);
+    }
+
+    /// Figure 13's metric: preaggregated docs scanned / raw docs equivalent.
+    /// `None` when the query did not use a preaggregated path.
+    pub fn preaggregation_ratio(&self) -> Option<f64> {
+        if self.raw_docs_equivalent == 0 {
+            None
+        } else {
+            Some(self.num_docs_scanned as f64 / self.raw_docs_equivalent as f64)
+        }
+    }
+}
+
+/// The full broker response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    pub result: QueryResult,
+    pub stats: ExecutionStats,
+    /// True when some servers failed or timed out and their partial results
+    /// are missing from `result`.
+    pub partial: bool,
+    /// Human-readable per-server errors that caused `partial`.
+    pub exceptions: Vec<String>,
+}
+
+impl QueryResponse {
+    pub fn empty_aggregation() -> QueryResponse {
+        QueryResponse {
+            result: QueryResult::Aggregation(Vec::new()),
+            stats: ExecutionStats::default(),
+            partial: false,
+            exceptions: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder() {
+        let q = QueryRequest::new("SELECT COUNT(*) FROM t")
+            .with_timeout_ms(250)
+            .with_tenant("ads");
+        assert_eq!(q.timeout_ms, 250);
+        assert_eq!(q.tenant.as_deref(), Some("ads"));
+    }
+
+    #[test]
+    fn stats_merge_sums_and_maxes() {
+        let mut a = ExecutionStats {
+            num_docs_scanned: 10,
+            time_used_ms: 5,
+            num_servers_queried: 1,
+            ..Default::default()
+        };
+        let b = ExecutionStats {
+            num_docs_scanned: 7,
+            time_used_ms: 9,
+            num_servers_queried: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.num_docs_scanned, 17);
+        assert_eq!(a.time_used_ms, 9); // max, not sum
+        assert_eq!(a.num_servers_queried, 3);
+    }
+
+    #[test]
+    fn preaggregation_ratio() {
+        let s = ExecutionStats {
+            num_docs_scanned: 25,
+            raw_docs_equivalent: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.preaggregation_ratio(), Some(0.25));
+        assert_eq!(ExecutionStats::default().preaggregation_ratio(), None);
+    }
+
+    #[test]
+    fn single_aggregate_helper() {
+        let r = QueryResult::Aggregation(vec![AggregationRow {
+            function: "count(*)".into(),
+            value: Value::Long(3),
+        }]);
+        assert_eq!(r.single_aggregate(), Some(&Value::Long(3)));
+        let multi = QueryResult::Aggregation(vec![]);
+        assert_eq!(multi.single_aggregate(), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Records: rows flowing through ingestion.
+
+use crate::error::{PinotError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One row, positionally aligned with a [`Schema`]'s columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    pub fn new(values: Vec<Value>) -> Record {
+        Record { values }
+    }
+
+    /// Build a record from `(column, value)` pairs, filling unmentioned
+    /// columns with their schema defaults. Unknown columns are an error.
+    pub fn from_pairs(schema: &Schema, pairs: &[(&str, Value)]) -> Result<Record> {
+        let mut values: Vec<Value> = schema
+            .fields()
+            .iter()
+            .map(|f| f.default_value.clone())
+            .collect();
+        for (name, v) in pairs {
+            let idx = schema
+                .column_index(name)
+                .ok_or_else(|| PinotError::Schema(format!("unknown column {name}")))?;
+            schema.fields()[idx].validate(v)?;
+            values[idx] = v.clone();
+        }
+        Ok(Record { values })
+    }
+
+    /// Validate against a schema and replace nulls with column defaults.
+    pub fn normalize(mut self, schema: &Schema) -> Result<Record> {
+        if self.values.len() != schema.num_columns() {
+            return Err(PinotError::Schema(format!(
+                "record has {} values, schema has {} columns",
+                self.values.len(),
+                schema.num_columns()
+            )));
+        }
+        for (v, f) in self.values.iter_mut().zip(schema.fields()) {
+            f.validate(v)?;
+            if v.is_null() {
+                *v = f.default_value.clone();
+            }
+        }
+        Ok(self)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, FieldSpec, TimeUnit};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("d", DataType::String),
+                FieldSpec::metric("m", DataType::Long),
+                FieldSpec::time("ts", DataType::Long, TimeUnit::Hours),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_pairs_fills_defaults() {
+        let s = schema();
+        let r = Record::from_pairs(&s, &[("d", Value::String("x".into()))]).unwrap();
+        assert_eq!(r.get(0), Some(&Value::String("x".into())));
+        assert_eq!(r.get(1), Some(&Value::Long(0))); // metric default
+    }
+
+    #[test]
+    fn from_pairs_rejects_unknown_column() {
+        let s = schema();
+        assert!(Record::from_pairs(&s, &[("nope", Value::Int(1))]).is_err());
+    }
+
+    #[test]
+    fn normalize_replaces_nulls_and_checks_arity() {
+        let s = schema();
+        let r = Record::new(vec![Value::Null, Value::Long(4), Value::Long(10)])
+            .normalize(&s)
+            .unwrap();
+        assert_eq!(r.get(0), Some(&Value::String("null".into())));
+
+        let bad = Record::new(vec![Value::Long(4)]).normalize(&s);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn normalize_rejects_type_mismatch() {
+        let s = schema();
+        let bad = Record::new(vec![
+            Value::Int(1), // should be string
+            Value::Long(4),
+            Value::Long(10),
+        ])
+        .normalize(&s);
+        assert!(bad.is_err());
+    }
+}

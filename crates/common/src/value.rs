@@ -1,0 +1,291 @@
+//! Typed cell values.
+//!
+//! Pinot supports integers of various lengths, floating point numbers,
+//! strings and booleans, plus arrays of those (multi-value columns). A
+//! [`Value`] is one cell of a record.
+
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One cell of a record: a single value or a multi-value array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    String(String),
+    Boolean(bool),
+    /// Multi-value column cell. All elements must share one scalar type.
+    IntArray(Vec<i32>),
+    LongArray(Vec<i64>),
+    StringArray(Vec<String>),
+    /// Explicit null; columns fill nulls with the field default at ingest.
+    Null,
+}
+
+impl Value {
+    /// The declared data type this value conforms to, if unambiguous.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) | Value::IntArray(_) => Some(DataType::Int),
+            Value::Long(_) | Value::LongArray(_) => Some(DataType::Long),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Double(_) => Some(DataType::Double),
+            Value::String(_) | Value::StringArray(_) => Some(DataType::String),
+            Value::Boolean(_) => Some(DataType::Boolean),
+            Value::Null => None,
+        }
+    }
+
+    /// True when the cell holds a multi-value array.
+    pub fn is_multi_value(&self) -> bool {
+        matches!(
+            self,
+            Value::IntArray(_) | Value::LongArray(_) | Value::StringArray(_)
+        )
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by aggregation functions. Booleans count as 0/1 so
+    /// `SUM(clicked)` works on boolean metrics; strings are not numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Long(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats are rejected rather than truncated so callers
+    /// cannot silently lose precision when filling a LONG column.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::Long(v) => Some(*v),
+            Value::Boolean(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Scalar elements of the cell: one element for single values, each
+    /// array element for multi-value cells, nothing for null. Used when
+    /// building dictionaries and inverted indexes, where a multi-value row
+    /// contributes one posting per element.
+    pub fn elements(&self) -> Vec<Value> {
+        match self {
+            Value::IntArray(xs) => xs.iter().copied().map(Value::Int).collect(),
+            Value::LongArray(xs) => xs.iter().copied().map(Value::Long).collect(),
+            Value::StringArray(xs) => xs.iter().cloned().map(Value::String).collect(),
+            Value::Null => Vec::new(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Total order used for dictionary sorting and ORDER BY semantics.
+    ///
+    /// Values of different types order by type tag; NaN sorts greater than
+    /// every number so ordering stays total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Boolean(_) => 1,
+                Value::Int(_) | Value::Long(_) | Value::Float(_) | Value::Double(_) => 2,
+                Value::String(_) => 3,
+                Value::IntArray(_) | Value::LongArray(_) | Value::StringArray(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (Value::String(a), Value::String(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Long(a), Value::Long(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+                x.total_cmp(&y)
+            }
+            (Value::IntArray(a), Value::IntArray(b)) => a.cmp(b),
+            (Value::LongArray(a), Value::LongArray(b)) => a.cmp(b),
+            (Value::StringArray(a), Value::StringArray(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// The per-type default used to fill nulls and newly added columns
+    /// (Pinot adds new schema columns with a default value, §5.2).
+    pub fn default_for(dt: DataType, single_value: bool) -> Value {
+        if single_value {
+            match dt {
+                DataType::Int => Value::Int(i32::MIN),
+                DataType::Long => Value::Long(i64::MIN),
+                DataType::Float => Value::Float(f32::NEG_INFINITY),
+                DataType::Double => Value::Double(f64::NEG_INFINITY),
+                DataType::String => Value::String("null".to_string()),
+                DataType::Boolean => Value::Boolean(false),
+            }
+        } else {
+            match dt {
+                DataType::Int => Value::IntArray(vec![i32::MIN]),
+                DataType::Long => Value::LongArray(vec![i64::MIN]),
+                DataType::String => Value::StringArray(vec!["null".to_string()]),
+                // Float/double/boolean multi-value are not supported by the
+                // paper's data model; map them to the closest scalar default.
+                DataType::Float => Value::Float(f32::NEG_INFINITY),
+                DataType::Double => Value::Double(f64::NEG_INFINITY),
+                DataType::Boolean => Value::Boolean(false),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join<T: fmt::Display>(f: &mut fmt::Formatter<'_>, xs: &[T]) -> fmt::Result {
+            write!(f, "[")?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, "]")
+        }
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::String(s) => write!(f, "{s}"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::IntArray(xs) => join(f, xs),
+            Value::LongArray(xs) => join(f, xs),
+            Value::StringArray(xs) => join(f, xs),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Long(-5).as_i64(), Some(-5));
+        assert_eq!(Value::Boolean(true).as_i64(), Some(1));
+        assert_eq!(Value::Double(1.5).as_i64(), None);
+        assert_eq!(Value::String("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn elements_of_multivalue() {
+        let v = Value::IntArray(vec![1, 2, 3]);
+        assert_eq!(
+            v.elements(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        assert_eq!(Value::Null.elements(), Vec::<Value>::new());
+        assert_eq!(Value::Long(7).elements(), vec![Value::Long(7)]);
+    }
+
+    #[test]
+    fn total_order_is_total_across_types() {
+        let vals = [
+            Value::Null,
+            Value::Boolean(false),
+            Value::Int(1),
+            Value::Double(2.5),
+            Value::String("a".into()),
+            Value::IntArray(vec![1]),
+        ];
+        for a in &vals {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_orders_greater_than_numbers() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(Value::Double(1e300).total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Double(2.0)), Ordering::Equal);
+        assert_eq!(Value::Long(3).total_cmp(&Value::Float(2.5)), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::IntArray(vec![1, 2]).to_string(), "[1,2]");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn defaults_match_types() {
+        assert_eq!(
+            Value::default_for(DataType::Int, true).data_type(),
+            Some(DataType::Int)
+        );
+        assert!(Value::default_for(DataType::String, false).is_multi_value());
+    }
+}

@@ -1,0 +1,107 @@
+//! Robustness properties for the shared data layer: the JSON parser never
+//! panics and round-trips every value it emits; config/schema text
+//! serialization is stable; the partition function is deterministic.
+
+use pinot_common::config::{RoutingStrategy, StarTreeConfig, StreamConfig, TableConfig};
+use pinot_common::json::Json;
+use pinot_common::partition::partition_for_value;
+use pinot_common::{TimeUnit, Value};
+use proptest::prelude::*;
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite numbers only: JSON has no NaN/Inf representation.
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        "[a-zA-Z0-9 _\\-\"\\\\/\u{e9}\u{4e16}]*".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_parse_never_panics(s in ".*") {
+        let _ = Json::parse(&s);
+    }
+
+    #[test]
+    fn json_emit_parse_round_trip(j in json_strategy()) {
+        let text = j.emit();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        // Numbers may lose their integer-vs-float rendering but not value.
+        prop_assert_eq!(back.emit(), text);
+    }
+
+    #[test]
+    fn partition_function_deterministic_and_bounded(
+        v in prop_oneof![
+            any::<i64>().prop_map(Value::Long),
+            any::<i32>().prop_map(Value::Int),
+            "[a-z0-9]{0,16}".prop_map(Value::String),
+        ],
+        n in 1u32..64,
+    ) {
+        let p = partition_for_value(&v, n);
+        prop_assert!(p < n);
+        prop_assert_eq!(p, partition_for_value(&v, n));
+    }
+
+    #[test]
+    fn table_config_text_round_trip(
+        replication in 1usize..5,
+        tenant in "[a-zA-Z]{1,10}",
+        inverted in prop::collection::vec("[a-z]{1,6}", 0..3),
+        sorted in prop::option::of("[A-Z]{1,6}"),
+        star in any::<bool>(),
+        retention in prop::option::of(1i64..1000),
+        quota in prop::option::of(1u64..1_000_000),
+        partitions in prop::option::of(1u32..32),
+        stream in any::<bool>(),
+    ) {
+        let mut cfg = if stream {
+            TableConfig::realtime(
+                "t",
+                StreamConfig {
+                    topic: "topic".into(),
+                    flush_threshold_rows: 100,
+                    flush_threshold_millis: 1_000,
+                },
+            )
+        } else {
+            TableConfig::offline("t")
+        };
+        cfg = cfg.with_replication(replication).with_tenant(tenant);
+        let inverted_refs: Vec<&str> = inverted.iter().map(String::as_str).collect();
+        cfg = cfg.with_inverted_indexes(&inverted_refs);
+        if let Some(s) = sorted {
+            cfg = cfg.with_sorted_column(s);
+        }
+        if star {
+            cfg = cfg.with_star_tree(StarTreeConfig::default());
+        }
+        if let Some(r) = retention {
+            cfg = cfg.with_retention(TimeUnit::Days, r);
+        }
+        if let Some(q) = quota {
+            cfg = cfg.with_quota_bytes(q);
+        }
+        if let Some(p) = partitions {
+            cfg = cfg.with_routing(RoutingStrategy::Partitioned {
+                column: "k".into(),
+                num_partitions: p,
+            });
+        }
+        prop_assume!(cfg.validate().is_ok());
+        let text = cfg.to_json().emit();
+        let back = TableConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,107 @@
+//! Segment-to-server assignment strategies.
+//!
+//! The default strategy balances replica counts: each new segment's
+//! replicas go to the live servers currently holding the fewest replicas.
+//! (Routing-time balancing — which servers a *query* touches — is the
+//! broker's job, §4.4; this is storage placement.)
+
+use pinot_cluster::IdealState;
+use pinot_common::ids::InstanceId;
+use pinot_common::{PinotError, Result};
+use std::collections::HashMap;
+
+/// Pick `replication` distinct servers for a new segment, least-loaded
+/// first (ties broken by instance id for determinism).
+pub fn balanced_assignment(
+    servers: &[InstanceId],
+    ideal: &IdealState,
+    replication: usize,
+) -> Result<Vec<InstanceId>> {
+    if servers.is_empty() {
+        return Err(PinotError::Cluster("no live servers to assign to".into()));
+    }
+    if replication == 0 {
+        return Err(PinotError::Cluster("replication must be >= 1".into()));
+    }
+    if servers.len() < replication {
+        return Err(PinotError::Cluster(format!(
+            "need {replication} servers for replication, only {} live",
+            servers.len()
+        )));
+    }
+    let mut load: HashMap<&InstanceId, usize> = servers.iter().map(|s| (s, 0)).collect();
+    for replicas in ideal.segments.values() {
+        for instance in replicas.keys() {
+            if let Some(n) = load.get_mut(instance) {
+                *n += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<&InstanceId> = servers.iter().collect();
+    ranked.sort_by_key(|s| (load[*s], (*s).clone()));
+    Ok(ranked.into_iter().take(replication).cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_cluster::SegmentState;
+
+    fn servers(n: usize) -> Vec<InstanceId> {
+        (1..=n).map(InstanceId::server).collect()
+    }
+
+    #[test]
+    fn picks_least_loaded() {
+        let mut ideal = IdealState::default();
+        ideal.assign("s1", InstanceId::server(1), SegmentState::Online);
+        ideal.assign("s2", InstanceId::server(1), SegmentState::Online);
+        ideal.assign("s1", InstanceId::server(2), SegmentState::Online);
+        let picked = balanced_assignment(&servers(3), &ideal, 2).unwrap();
+        // Server 3 has 0 replicas, server 2 has 1, server 1 has 2.
+        assert_eq!(picked, vec![InstanceId::server(3), InstanceId::server(2)]);
+    }
+
+    #[test]
+    fn spreads_many_segments_evenly() {
+        let servers = servers(4);
+        let mut ideal = IdealState::default();
+        for i in 0..100 {
+            let picked = balanced_assignment(&servers, &ideal, 2).unwrap();
+            for p in picked {
+                ideal.assign(&format!("seg{i}"), p, SegmentState::Online);
+            }
+        }
+        let mut counts: HashMap<InstanceId, usize> = HashMap::new();
+        for replicas in ideal.segments.values() {
+            for s in replicas.keys() {
+                *counts.entry(s.clone()).or_default() += 1;
+            }
+        }
+        // 200 replicas over 4 servers: perfectly 50 each.
+        for s in &servers {
+            assert_eq!(counts[s], 50, "{s}");
+        }
+    }
+
+    #[test]
+    fn errors_on_impossible_requests() {
+        let ideal = IdealState::default();
+        assert!(balanced_assignment(&[], &ideal, 1).is_err());
+        assert!(balanced_assignment(&servers(2), &ideal, 0).is_err());
+        assert!(balanced_assignment(&servers(2), &ideal, 3).is_err());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let ideal = IdealState::default();
+        let a = balanced_assignment(&servers(5), &ideal, 3).unwrap();
+        let b = balanced_assignment(&servers(5), &ideal, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![
+            InstanceId::server(1),
+            InstanceId::server(2),
+            InstanceId::server(3)
+        ]);
+    }
+}

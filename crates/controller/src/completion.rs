@@ -1,0 +1,332 @@
+//! Realtime segment-completion protocol state machine (§3.3.6).
+//!
+//! Replicas consume the same stream partition independently; row-count end
+//! criteria keep them identical, but *time-based* criteria make their end
+//! offsets diverge. When a replica reaches its end criteria it polls the
+//! lead controller with its offset; this FSM drives all replicas to a
+//! consensus segment:
+//!
+//! 1. **Gathering** — record poll offsets until every replica has polled or
+//!    `max_wait_ms` has passed since the first poll;
+//! 2. pick the largest offset as the commit target and one replica at that
+//!    offset as the **committer** (others get CATCHUP/HOLD);
+//! 3. **Committing** — the committer uploads; everyone else HOLDs. If the
+//!    committer goes quiet past `commit_timeout_ms`, any caught-up replica
+//!    is promoted;
+//! 4. **Committed** — replicas at exactly the final offset KEEP their local
+//!    data; behind ones CATCHUP (then KEEP); ahead ones DISCARD and fetch
+//!    the authoritative copy.
+//!
+//! A controller failover starts blank FSMs on the new leader — the paper
+//! notes this only delays the commit, and the tests exercise exactly that.
+
+use pinot_common::ids::InstanceId;
+use pinot_common::protocol::{CompletionInstruction, Offset};
+use std::collections::BTreeMap;
+
+/// Tunables for one segment's completion.
+#[derive(Debug, Clone)]
+pub struct CompletionConfig {
+    /// Number of replicas consuming the segment.
+    pub replicas: usize,
+    /// How long to gather polls before deciding with partial information.
+    pub max_wait_ms: i64,
+    /// How long the committer may take before another replica is promoted.
+    pub commit_timeout_ms: i64,
+}
+
+impl Default for CompletionConfig {
+    fn default() -> Self {
+        CompletionConfig {
+            replicas: 1,
+            max_wait_ms: 10_000,
+            commit_timeout_ms: 30_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Gathering {
+        first_poll_ms: i64,
+    },
+    Committing {
+        committer: InstanceId,
+        target: Offset,
+        started_ms: i64,
+    },
+    Committed {
+        end: Offset,
+    },
+}
+
+/// The per-segment completion state machine.
+#[derive(Debug, Clone)]
+pub struct CompletionFsm {
+    config: CompletionConfig,
+    offsets: BTreeMap<InstanceId, Offset>,
+    phase: Phase,
+}
+
+impl CompletionFsm {
+    pub fn new(config: CompletionConfig) -> CompletionFsm {
+        CompletionFsm {
+            config,
+            offsets: BTreeMap::new(),
+            phase: Phase::Gathering { first_poll_ms: -1 },
+        }
+    }
+
+    /// Is the segment committed, and at what offset?
+    pub fn committed_end(&self) -> Option<Offset> {
+        match self.phase {
+            Phase::Committed { end } => Some(end),
+            _ => None,
+        }
+    }
+
+    /// The instance currently designated to commit, if any.
+    pub fn committer(&self) -> Option<&InstanceId> {
+        match &self.phase {
+            Phase::Committing { committer, .. } => Some(committer),
+            _ => None,
+        }
+    }
+
+    /// Handle a replica poll. `now_ms` is the controller's clock.
+    pub fn on_poll(
+        &mut self,
+        instance: &InstanceId,
+        offset: Offset,
+        now_ms: i64,
+    ) -> CompletionInstruction {
+        // Track the replica's progress (offsets only move forward).
+        let entry = self.offsets.entry(instance.clone()).or_insert(offset);
+        *entry = (*entry).max(offset);
+
+        match &mut self.phase {
+            Phase::Gathering { first_poll_ms } => {
+                if *first_poll_ms < 0 {
+                    *first_poll_ms = now_ms;
+                }
+                let have_all = self.offsets.len() >= self.config.replicas;
+                let waited_out = now_ms - *first_poll_ms >= self.config.max_wait_ms;
+                if !(have_all || waited_out) {
+                    return CompletionInstruction::Hold;
+                }
+                // Decide: target = largest seen offset; committer = the
+                // first replica (by id) sitting at the target.
+                let target = *self.offsets.values().max().expect("at least one poll");
+                if offset < target {
+                    return CompletionInstruction::Catchup {
+                        target_offset: target,
+                    };
+                }
+                let committer = self
+                    .offsets
+                    .iter()
+                    .filter(|(_, &o)| o == target)
+                    .map(|(i, _)| i.clone())
+                    .next()
+                    .expect("someone is at target");
+                self.phase = Phase::Committing {
+                    committer: committer.clone(),
+                    target,
+                    started_ms: now_ms,
+                };
+                if committer == *instance {
+                    CompletionInstruction::Commit
+                } else {
+                    CompletionInstruction::Hold
+                }
+            }
+            Phase::Committing {
+                committer,
+                target,
+                started_ms,
+            } => {
+                let target = *target;
+                if instance == committer {
+                    if offset == target {
+                        *started_ms = now_ms;
+                        CompletionInstruction::Commit
+                    } else {
+                        CompletionInstruction::Catchup {
+                            target_offset: target,
+                        }
+                    }
+                } else if offset < target {
+                    CompletionInstruction::Catchup {
+                        target_offset: target,
+                    }
+                } else if offset == target
+                    && now_ms - *started_ms >= self.config.commit_timeout_ms
+                {
+                    // Committer presumed dead; promote this caught-up one.
+                    // Only replicas at *exactly* the target qualify — one
+                    // that over-consumed must hold and DISCARD after the
+                    // commit lands (it has different data than the target).
+                    *committer = instance.clone();
+                    *started_ms = now_ms;
+                    CompletionInstruction::Commit
+                } else {
+                    CompletionInstruction::Hold
+                }
+            }
+            Phase::Committed { end } => {
+                let end = *end;
+                if offset == end {
+                    CompletionInstruction::Keep
+                } else if offset < end {
+                    CompletionInstruction::Catchup { target_offset: end }
+                } else {
+                    CompletionInstruction::Discard
+                }
+            }
+        }
+    }
+
+    /// The committer reports the outcome of its upload attempt.
+    /// Returns true when the commit was accepted.
+    pub fn on_commit_result(
+        &mut self,
+        instance: &InstanceId,
+        end_offset: Offset,
+        success: bool,
+        now_ms: i64,
+    ) -> bool {
+        match &self.phase {
+            Phase::Committing { committer, target, .. } if committer == instance => {
+                if success && end_offset == *target {
+                    self.phase = Phase::Committed { end: end_offset };
+                    true
+                } else {
+                    // Failed upload: back to gathering with what we know;
+                    // the next polls will re-decide a committer quickly.
+                    self.phase = Phase::Gathering { first_poll_ms: now_ms };
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(replicas: usize) -> CompletionConfig {
+        CompletionConfig {
+            replicas,
+            max_wait_ms: 1_000,
+            commit_timeout_ms: 5_000,
+        }
+    }
+
+    fn s(n: usize) -> InstanceId {
+        InstanceId::server(n)
+    }
+
+    #[test]
+    fn equal_offsets_commit_immediately() {
+        let mut fsm = CompletionFsm::new(cfg(3));
+        assert_eq!(fsm.on_poll(&s(1), 100, 0), CompletionInstruction::Hold);
+        assert_eq!(fsm.on_poll(&s(2), 100, 1), CompletionInstruction::Hold);
+        // Third replica completes the quorum; everyone is at 100, and
+        // Server_1 (smallest id at max) becomes committer — this poll is
+        // from Server_3, so it holds.
+        assert_eq!(fsm.on_poll(&s(3), 100, 2), CompletionInstruction::Hold);
+        assert_eq!(fsm.committer(), Some(&s(1)));
+        assert_eq!(fsm.on_poll(&s(1), 100, 3), CompletionInstruction::Commit);
+        assert!(fsm.on_commit_result(&s(1), 100, true, 4));
+        // Followers at the right offset keep their local copies.
+        assert_eq!(fsm.on_poll(&s(2), 100, 5), CompletionInstruction::Keep);
+        assert_eq!(fsm.on_poll(&s(3), 100, 5), CompletionInstruction::Keep);
+    }
+
+    #[test]
+    fn divergent_offsets_catch_up_to_largest() {
+        let mut fsm = CompletionFsm::new(cfg(3));
+        fsm.on_poll(&s(1), 90, 0);
+        fsm.on_poll(&s(2), 110, 1);
+        // Quorum reached on the third poll; max offset is 110.
+        let i = fsm.on_poll(&s(3), 95, 2);
+        assert_eq!(i, CompletionInstruction::Catchup { target_offset: 110 });
+        // Server_2 holds the max; when it polls it becomes committer.
+        assert_eq!(fsm.on_poll(&s(2), 110, 3), CompletionInstruction::Commit);
+        // Laggard catches up, then holds while the commit is in flight.
+        assert_eq!(
+            fsm.on_poll(&s(1), 90, 4),
+            CompletionInstruction::Catchup { target_offset: 110 }
+        );
+        assert_eq!(fsm.on_poll(&s(1), 110, 5), CompletionInstruction::Hold);
+        assert!(fsm.on_commit_result(&s(2), 110, true, 6));
+        assert_eq!(fsm.on_poll(&s(1), 110, 7), CompletionInstruction::Keep);
+        assert_eq!(fsm.on_poll(&s(3), 95, 8), CompletionInstruction::Catchup { target_offset: 110 });
+        assert_eq!(fsm.on_poll(&s(3), 110, 9), CompletionInstruction::Keep);
+    }
+
+    #[test]
+    fn timeout_decides_with_partial_polls() {
+        let mut fsm = CompletionFsm::new(cfg(3));
+        assert_eq!(fsm.on_poll(&s(1), 50, 0), CompletionInstruction::Hold);
+        // Replica 2 and 3 never poll; after max_wait the lone replica wins.
+        assert_eq!(fsm.on_poll(&s(1), 50, 1_500), CompletionInstruction::Commit);
+        assert!(fsm.on_commit_result(&s(1), 50, true, 1_600));
+        // A late replica that consumed beyond the committed end discards.
+        assert_eq!(fsm.on_poll(&s(2), 60, 2_000), CompletionInstruction::Discard);
+    }
+
+    #[test]
+    fn committer_failure_promotes_another_replica() {
+        let mut fsm = CompletionFsm::new(cfg(2));
+        fsm.on_poll(&s(1), 100, 0);
+        assert_eq!(fsm.on_poll(&s(2), 100, 1), CompletionInstruction::Hold);
+        assert_eq!(fsm.on_poll(&s(1), 100, 2), CompletionInstruction::Commit);
+        // Committer crashes silently. The other replica polls past the
+        // commit timeout and gets promoted.
+        assert_eq!(fsm.on_poll(&s(2), 100, 3), CompletionInstruction::Hold);
+        assert_eq!(
+            fsm.on_poll(&s(2), 100, 10_000),
+            CompletionInstruction::Commit
+        );
+        assert!(fsm.on_commit_result(&s(2), 100, true, 10_001));
+        // The original committer resurfaces at the same offset: KEEP.
+        assert_eq!(fsm.on_poll(&s(1), 100, 10_002), CompletionInstruction::Keep);
+    }
+
+    #[test]
+    fn failed_commit_retries() {
+        let mut fsm = CompletionFsm::new(cfg(1));
+        assert_eq!(fsm.on_poll(&s(1), 10, 0), CompletionInstruction::Commit);
+        assert!(!fsm.on_commit_result(&s(1), 10, false, 1));
+        // Paper: "if the commit fails, resume polling" — and the FSM offers
+        // the commit again.
+        assert_eq!(fsm.on_poll(&s(1), 10, 2), CompletionInstruction::Commit);
+        assert!(fsm.on_commit_result(&s(1), 10, true, 3));
+        assert_eq!(fsm.committed_end(), Some(10));
+    }
+
+    #[test]
+    fn commit_result_from_non_committer_rejected() {
+        let mut fsm = CompletionFsm::new(cfg(2));
+        fsm.on_poll(&s(1), 5, 0);
+        fsm.on_poll(&s(2), 5, 1);
+        assert_eq!(fsm.on_poll(&s(1), 5, 2), CompletionInstruction::Commit);
+        assert!(!fsm.on_commit_result(&s(2), 5, true, 3));
+        assert_eq!(fsm.committed_end(), None);
+    }
+
+    #[test]
+    fn blank_fsm_after_failover_still_converges() {
+        // Replica states: all consumed to 100, commit was in flight when
+        // the controller died. New leader starts blank (the paper's
+        // failover behaviour): polls re-gather and commit proceeds.
+        let mut fsm = CompletionFsm::new(cfg(2));
+        assert_eq!(fsm.on_poll(&s(1), 100, 0), CompletionInstruction::Hold);
+        assert_eq!(fsm.on_poll(&s(2), 100, 1), CompletionInstruction::Hold);
+        assert_eq!(fsm.on_poll(&s(1), 100, 2), CompletionInstruction::Commit);
+        assert!(fsm.on_commit_result(&s(1), 100, true, 3));
+    }
+}

@@ -1,0 +1,565 @@
+//! The Pinot controller (§3.2).
+//!
+//! Controllers own the authoritative segment→server mapping, handle
+//! administrative operations (tables, schemas, uploads, deletion), garbage
+//! collect expired segments, enforce storage quotas, and run the realtime
+//! segment-completion protocol. Multiple controller instances run per
+//! cluster with a single leader elected through the metastore; non-leaders
+//! answer completion polls with `NOTLEADER` and administrative calls with a
+//! `NotLeader` error, exactly mirroring the paper's three-controller
+//! deployment where "non-leader controllers are mostly idle".
+
+pub mod assignment;
+pub mod completion;
+
+use bytes::Bytes;
+use completion::{CompletionConfig, CompletionFsm};
+use parking_lot::Mutex;
+use pinot_cluster::{ClusterManager, IdealState, SegmentState};
+use pinot_common::config::TableConfig;
+use pinot_common::ids::{InstanceId, SegmentName, TableName, TableType};
+use pinot_common::json::Json;
+use pinot_common::protocol::{CompletionInstruction, CompletionPoll, Offset};
+use pinot_common::time::Clock;
+use pinot_common::{PinotError, Result, Schema};
+use pinot_metastore::{MetaStore, SessionId};
+use pinot_objstore::ObjectStoreRef;
+use pinot_segment::ImmutableSegment;
+use pinot_stream::StreamRegistry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Election scope for controller leadership in the metastore.
+const LEADER_SCOPE: &str = "controllers";
+
+/// One controller instance.
+pub struct Controller {
+    id: InstanceId,
+    metastore: MetaStore,
+    session: SessionId,
+    cluster: ClusterManager,
+    objstore: ObjectStoreRef,
+    streams: StreamRegistry,
+    clock: Clock,
+    completions: Mutex<HashMap<String, CompletionFsm>>,
+    /// Gathering/commit timeouts handed to each new completion FSM.
+    completion_config: CompletionConfig,
+}
+
+impl Controller {
+    pub fn new(
+        n: usize,
+        metastore: MetaStore,
+        cluster: ClusterManager,
+        objstore: ObjectStoreRef,
+        streams: StreamRegistry,
+        clock: Clock,
+    ) -> Arc<Controller> {
+        let session = metastore.create_session();
+        Arc::new(Controller {
+            id: InstanceId::controller(n),
+            metastore,
+            session,
+            cluster,
+            objstore,
+            streams,
+            clock,
+            completions: Mutex::new(HashMap::new()),
+            completion_config: CompletionConfig::default(),
+        })
+    }
+
+    pub fn id(&self) -> &InstanceId {
+        &self.id
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn cluster(&self) -> &ClusterManager {
+        &self.cluster
+    }
+
+    pub fn objstore(&self) -> &ObjectStoreRef {
+        &self.objstore
+    }
+
+    /// Try to acquire (or confirm) leadership.
+    pub fn try_become_leader(&self) -> bool {
+        self.metastore
+            .elect_leader(LEADER_SCOPE, self.session, self.id.as_str())
+            .unwrap_or(false)
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.metastore.leader(LEADER_SCOPE).as_deref() == Some(self.id.as_str())
+    }
+
+    /// Simulate this controller crashing: its session expires (releasing
+    /// leadership) and its in-memory completion FSMs are lost.
+    pub fn crash(&self) {
+        self.metastore.expire_session(self.session);
+        self.completions.lock().clear();
+    }
+
+    fn require_leader(&self) -> Result<()> {
+        if self.is_leader() {
+            Ok(())
+        } else {
+            Err(PinotError::NotLeader(format!(
+                "{} is not the lead controller",
+                self.id
+            )))
+        }
+    }
+
+    // ---- table administration ----
+
+    /// Create a table (and register its schema). For realtime tables this
+    /// also provisions the initial consuming segments on every stream
+    /// partition.
+    pub fn create_table(&self, config: TableConfig, schema: Schema) -> Result<()> {
+        self.require_leader()?;
+        config.validate()?;
+        let table = TableName::new(config.name.clone(), config.table_type);
+        let config_path = format!("/configs/{}", table.qualified());
+        if self.metastore.exists(&config_path) {
+            return Err(PinotError::Metadata(format!(
+                "table {} already exists",
+                table.qualified()
+            )));
+        }
+        self.metastore.set(
+            &format!("/schemas/{}", config.name),
+            schema.to_json().emit(),
+            None,
+        )?;
+        self.metastore
+            .create(&config_path, config.to_json().emit(), None)?;
+        self.cluster
+            .set_ideal_state(&table.qualified(), IdealState::default())?;
+
+        if config.table_type == TableType::Realtime {
+            self.provision_consuming_segments(&table, &config)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a table: drop replicas, delete blobs and metadata.
+    pub fn delete_table(&self, name: &str, table_type: TableType) -> Result<()> {
+        self.require_leader()?;
+        let table = TableName::new(name, table_type);
+        let qualified = table.qualified();
+        self.cluster.remove_table(&qualified)?;
+        for key in self.objstore.list(&format!("segments/{qualified}/")) {
+            let _ = self.objstore.delete(&key);
+        }
+        for child in self.metastore.children(&format!("/segments/{qualified}")) {
+            let _ = self
+                .metastore
+                .delete(&format!("/segments/{qualified}/{child}"));
+        }
+        self.metastore.delete(&format!("/configs/{qualified}"))?;
+        Ok(())
+    }
+
+    pub fn table_config(&self, qualified: &str) -> Result<TableConfig> {
+        let (text, _) = self
+            .metastore
+            .get(&format!("/configs/{qualified}"))
+            .ok_or_else(|| PinotError::Metadata(format!("no table {qualified}")))?;
+        TableConfig::from_json(&Json::parse(&text)?)
+    }
+
+    pub fn table_schema(&self, raw_name: &str) -> Result<Schema> {
+        let (text, _) = self
+            .metastore
+            .get(&format!("/schemas/{raw_name}"))
+            .ok_or_else(|| PinotError::Metadata(format!("no schema for {raw_name}")))?;
+        Schema::from_json(&Json::parse(&text)?)
+    }
+
+    /// All physical tables (qualified names).
+    pub fn list_tables(&self) -> Vec<String> {
+        self.metastore.children("/configs")
+    }
+
+    /// Schema evolution: add a column on the fly (§5.2). Existing segments
+    /// keep serving the default value for the new column.
+    pub fn add_column(&self, raw_name: &str, field: pinot_common::FieldSpec) -> Result<Schema> {
+        self.require_leader()?;
+        let schema = self.table_schema(raw_name)?;
+        let evolved = schema.with_added_column(field)?;
+        self.metastore.set(
+            &format!("/schemas/{raw_name}"),
+            evolved.to_json().emit(),
+            None,
+        )?;
+        Ok(evolved)
+    }
+
+    /// Update a table's config (index settings, routing, quotas, ...).
+    pub fn update_table_config(&self, config: TableConfig) -> Result<()> {
+        self.require_leader()?;
+        config.validate()?;
+        let table = TableName::new(config.name.clone(), config.table_type);
+        let path = format!("/configs/{}", table.qualified());
+        if !self.metastore.exists(&path) {
+            return Err(PinotError::Metadata(format!(
+                "table {} does not exist",
+                table.qualified()
+            )));
+        }
+        self.metastore.set(&path, config.to_json().emit(), None)?;
+        Ok(())
+    }
+
+    // ---- segment upload (offline push, §3.3.5 / Figure 8) ----
+
+    /// Upload a serialized segment blob to a table. The controller unpacks
+    /// it to verify integrity, checks the storage quota, persists blob +
+    /// metadata, and updates the ideal state so servers load it.
+    pub fn upload_segment(&self, qualified_table: &str, blob: Bytes) -> Result<SegmentName> {
+        self.require_leader()?;
+        let config = self.table_config(qualified_table)?;
+
+        // 1. Unpack to verify integrity.
+        let segment = pinot_segment::persist::deserialize(&blob)?;
+        let segment_name = SegmentName::from_raw(segment.name());
+
+        // 2. Quota check: existing data plus this blob must fit.
+        if let Some(quota) = config.quota_bytes {
+            let used = self
+                .objstore
+                .size_under(&format!("segments/{qualified_table}/"));
+            if used + blob.len() as u64 > quota {
+                return Err(PinotError::StorageQuota(format!(
+                    "table {qualified_table} quota {quota}B exceeded ({used}B used, +{}B)",
+                    blob.len()
+                )));
+            }
+        }
+
+        // 3. Persist blob, then metadata.
+        self.objstore
+            .put(&format!("segments/{qualified_table}/{segment_name}"), blob)?;
+        self.write_segment_metadata(qualified_table, &segment)?;
+
+        // 4. Assign replicas and update the desired cluster state.
+        let servers = self.assign_servers(qualified_table, config.replication)?;
+        let mut ideal = self
+            .cluster
+            .ideal_state(qualified_table)
+            .unwrap_or_default();
+        // Re-uploading an existing name replaces the segment: drop old
+        // replicas first so servers reload the new blob.
+        if ideal.segments.remove(segment_name.as_str()).is_some() {
+            self.cluster
+                .set_ideal_state(qualified_table, ideal.clone())?;
+        }
+        for s in servers {
+            ideal.assign(segment_name.as_str(), s, SegmentState::Online);
+        }
+        self.cluster.set_ideal_state(qualified_table, ideal)?;
+        Ok(segment_name)
+    }
+
+    fn write_segment_metadata(&self, qualified: &str, segment: &ImmutableSegment) -> Result<()> {
+        let m = segment.metadata();
+        let mut pairs: Vec<(&str, Json)> = vec![
+            ("numDocs", (m.num_docs as u64).into()),
+            ("sizeBytes", m.size_bytes.into()),
+            ("createdAtMillis", m.created_at_millis.into()),
+        ];
+        if let (Some(lo), Some(hi)) = (m.min_time, m.max_time) {
+            pairs.push(("minTime", lo.into()));
+            pairs.push(("maxTime", hi.into()));
+        }
+        if let Some((s, e)) = m.offset_range {
+            pairs.push(("startOffset", s.into()));
+            pairs.push(("endOffset", e.into()));
+        }
+        if let Some(p) = &m.partition {
+            pairs.push(("partitionColumn", p.column.as_str().into()));
+            pairs.push(("partitionId", (p.partition_id as u64).into()));
+            pairs.push(("numPartitions", (p.num_partitions as u64).into()));
+        }
+        self.metastore.set(
+            &format!("/segments/{qualified}/{}", m.segment_name),
+            Json::obj(pairs).emit(),
+            None,
+        )?;
+        Ok(())
+    }
+
+    /// Segment names registered for a table.
+    pub fn list_segments(&self, qualified: &str) -> Vec<String> {
+        self.metastore.children(&format!("/segments/{qualified}"))
+    }
+
+    /// Live server instances (participants whose id says "Server_").
+    fn live_servers(&self) -> Vec<InstanceId> {
+        self.cluster
+            .live_instances()
+            .into_iter()
+            .filter(|i| i.as_str().starts_with("Server_"))
+            .collect()
+    }
+
+    fn assign_servers(&self, qualified: &str, replication: usize) -> Result<Vec<InstanceId>> {
+        let servers = self.live_servers();
+        let ideal = self.cluster.ideal_state(qualified).unwrap_or_default();
+        assignment::balanced_assignment(&servers, &ideal, replication)
+    }
+
+    // ---- retention (§3.2: segments past retention are GCed) ----
+
+    /// Drop segments wholly older than the table retention window.
+    /// Returns `(table, segment)` pairs that were removed.
+    pub fn run_retention(&self) -> Result<Vec<(String, String)>> {
+        self.require_leader()?;
+        let mut removed = Vec::new();
+        let now_ms = self.clock.now_millis();
+        for qualified in self.list_tables() {
+            let config = self.table_config(&qualified)?;
+            let Some(retention) = &config.retention else {
+                continue;
+            };
+            let schema = self.table_schema(&config.name)?;
+            let Some(tc) = schema.time_column() else {
+                continue;
+            };
+            let unit_ms = tc.time_unit.expect("validated by schema").millis();
+            let cutoff_ms = now_ms - retention.duration * retention.unit.millis();
+
+            let mut ideal = self.cluster.ideal_state(&qualified).unwrap_or_default();
+            let mut changed = false;
+            for seg in self.list_segments(&qualified) {
+                let Some((text, _)) = self.metastore.get(&format!("/segments/{qualified}/{seg}"))
+                else {
+                    continue;
+                };
+                let meta = Json::parse(&text)?;
+                let Some(max_time) = meta.get("maxTime").and_then(Json::as_i64) else {
+                    continue;
+                };
+                if max_time * unit_ms < cutoff_ms {
+                    ideal.segments.remove(&seg);
+                    changed = true;
+                    let _ = self.objstore.delete(&format!("segments/{qualified}/{seg}"));
+                    let _ = self
+                        .metastore
+                        .delete(&format!("/segments/{qualified}/{seg}"));
+                    removed.push((qualified.clone(), seg));
+                }
+            }
+            if changed {
+                self.cluster.set_ideal_state(&qualified, ideal)?;
+            }
+        }
+        Ok(removed)
+    }
+
+    // ---- realtime: consuming segment provisioning and completion ----
+
+    fn provision_consuming_segments(&self, table: &TableName, config: &TableConfig) -> Result<()> {
+        let stream = config
+            .stream
+            .as_ref()
+            .expect("validated: realtime tables have stream configs");
+        let topic = self.streams.topic(&stream.topic)?;
+        let qualified = table.qualified();
+        let mut ideal = self.cluster.ideal_state(&qualified).unwrap_or_default();
+        for partition in 0..topic.num_partitions() {
+            let start = topic.latest_offset(partition)?;
+            let segment = SegmentName::realtime(&qualified, partition, 0);
+            let servers = self.assign_servers(&qualified, config.replication)?;
+            self.metastore.set(
+                &format!("/segments/{qualified}/{segment}"),
+                Json::obj(vec![
+                    ("consuming", true.into()),
+                    ("partition", (partition as u64).into()),
+                    ("sequence", 0u64.into()),
+                    ("startOffset", start.into()),
+                ])
+                .emit(),
+                None,
+            )?;
+            for s in servers {
+                ideal.assign(segment.as_str(), s, SegmentState::Consuming);
+            }
+        }
+        self.cluster.set_ideal_state(&qualified, ideal)
+    }
+
+    /// Completion-protocol poll endpoint (servers call this repeatedly when
+    /// their consuming segment reaches its end criteria).
+    pub fn segment_completion_poll(&self, poll: &CompletionPoll) -> CompletionInstruction {
+        if !self.is_leader() {
+            return CompletionInstruction::NotLeader;
+        }
+        let mut fsms = self.completions.lock();
+        let fsm = fsms
+            .entry(poll.segment.as_str().to_string())
+            .or_insert_with(|| {
+                let mut cfg = self.completion_config.clone();
+                // Quorum = replicas assigned to this segment in the ideal
+                // state (fall back to 1). Realtime segment names embed the
+                // qualified table name before the first "__".
+                if let Some((table, _)) = poll.segment.as_str().split_once("__") {
+                    if let Some(ideal) = self.cluster.ideal_state(table) {
+                        let n = ideal.instances_for(poll.segment.as_str()).len();
+                        if n > 0 {
+                            cfg.replicas = n;
+                        }
+                    }
+                }
+                CompletionFsm::new(cfg)
+            });
+        fsm.on_poll(&poll.instance, poll.offset, self.clock.now_millis())
+    }
+
+    /// Commit endpoint: the designated committer uploads its sealed
+    /// segment. On success the segment goes ONLINE on all replicas and the
+    /// next consuming segment is provisioned from the committed offset.
+    pub fn commit_segment(
+        &self,
+        qualified_table: &str,
+        segment: &SegmentName,
+        instance: &InstanceId,
+        end_offset: Offset,
+        blob: Bytes,
+    ) -> Result<bool> {
+        if !self.is_leader() {
+            return Err(PinotError::NotLeader(self.id.to_string()));
+        }
+        let accepted = {
+            let mut fsms = self.completions.lock();
+            let Some(fsm) = fsms.get_mut(segment.as_str()) else {
+                return Ok(false);
+            };
+            if fsm.committer() != Some(instance) {
+                return Ok(false);
+            }
+            // Verify integrity before accepting.
+            let ok = pinot_segment::persist::deserialize(&blob).is_ok();
+            fsm.on_commit_result(instance, end_offset, ok, self.clock.now_millis())
+        };
+        if !accepted {
+            return Ok(false);
+        }
+
+        let parsed = pinot_segment::persist::deserialize(&blob)?;
+        self.objstore
+            .put(&format!("segments/{qualified_table}/{segment}"), blob)?;
+        self.write_segment_metadata(qualified_table, &parsed)?;
+
+        // Flip the committed segment ONLINE and start the next consuming
+        // segment on the same replicas.
+        let (partition, sequence) = segment
+            .realtime_parts()
+            .ok_or_else(|| PinotError::Internal("commit of non-realtime segment".into()))?;
+        let mut ideal = self
+            .cluster
+            .ideal_state(qualified_table)
+            .unwrap_or_default();
+        let replicas = ideal.instances_for(segment.as_str());
+        for r in &replicas {
+            ideal.assign(segment.as_str(), r.clone(), SegmentState::Online);
+        }
+        let next = SegmentName::realtime(qualified_table, partition, sequence + 1);
+        self.metastore.set(
+            &format!("/segments/{qualified_table}/{next}"),
+            Json::obj(vec![
+                ("consuming", true.into()),
+                ("partition", (partition as u64).into()),
+                ("sequence", (sequence + 1).into()),
+                ("startOffset", end_offset.into()),
+            ])
+            .emit(),
+            None,
+        )?;
+        for r in &replicas {
+            ideal.assign(next.as_str(), r.clone(), SegmentState::Consuming);
+        }
+        self.cluster.set_ideal_state(qualified_table, ideal)?;
+        Ok(true)
+    }
+
+    /// Start offset recorded for a consuming segment.
+    pub fn consuming_start_offset(&self, qualified: &str, segment: &SegmentName) -> Result<Offset> {
+        let (text, _) = self
+            .metastore
+            .get(&format!("/segments/{qualified}/{segment}"))
+            .ok_or_else(|| PinotError::Metadata(format!("no metadata for {segment}")))?;
+        Json::parse(&text)?
+            .get("startOffset")
+            .and_then(Json::as_i64)
+            .map(|v| v as Offset)
+            .ok_or_else(|| PinotError::Metadata(format!("segment {segment} has no startOffset")))
+    }
+
+    /// Fetch a committed segment blob (servers executing DISCARD or the
+    /// OFFLINE→ONLINE load path).
+    pub fn download_segment(&self, qualified: &str, segment: &str) -> Result<Bytes> {
+        self.objstore
+            .get(&format!("segments/{qualified}/{segment}"))
+    }
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("id", &self.id)
+            .field("leader", &self.is_leader())
+            .finish()
+    }
+}
+
+/// The set of controller instances in a cluster (the paper runs three per
+/// datacenter). Callers address the group; it resolves the current leader
+/// and re-elects on failure.
+#[derive(Clone)]
+pub struct ControllerGroup {
+    metastore: MetaStore,
+    controllers: Arc<parking_lot::RwLock<Vec<Arc<Controller>>>>,
+}
+
+impl ControllerGroup {
+    pub fn new(metastore: MetaStore) -> ControllerGroup {
+        ControllerGroup {
+            metastore,
+            controllers: Arc::new(parking_lot::RwLock::new(Vec::new())),
+        }
+    }
+
+    pub fn add(&self, controller: Arc<Controller>) {
+        self.controllers.write().push(controller);
+    }
+
+    pub fn all(&self) -> Vec<Arc<Controller>> {
+        self.controllers.read().clone()
+    }
+
+    /// The current lead controller; if none holds leadership, the first
+    /// live candidate is elected.
+    pub fn leader(&self) -> Option<Arc<Controller>> {
+        let controllers = self.controllers.read();
+        if let Some(leader_id) = self.metastore.leader(LEADER_SCOPE) {
+            if let Some(c) = controllers
+                .iter()
+                .find(|c| c.id().as_str() == leader_id)
+            {
+                return Some(Arc::clone(c));
+            }
+        }
+        // Nobody is leader: elect the first that succeeds.
+        for c in controllers.iter() {
+            if c.try_become_leader() {
+                return Some(Arc::clone(c));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,109 @@
+//! Property test: the segment-completion FSM must converge for any replica
+//! offsets and any poll interleaving — one committed offset, and every
+//! replica eventually instructed to KEEP (at the committed offset),
+//! CATCHUP (below it), or DISCARD (above it). Exercised across random
+//! replica counts, offsets, poll orders, and commit failures.
+
+use pinot_common::ids::InstanceId;
+use pinot_common::protocol::CompletionInstruction;
+use pinot_controller::completion::{CompletionConfig, CompletionFsm};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    offsets: Vec<u64>,
+    /// Poll order: indices into the replica set, with repetition.
+    polls: Vec<usize>,
+    /// Whether the first commit attempt fails.
+    first_commit_fails: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..5)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(0u64..200, n..=n),
+                prop::collection::vec(0usize..n, 1..40),
+                any::<bool>(),
+            )
+        })
+        .prop_map(|(offsets, polls, first_commit_fails)| Scenario {
+            offsets,
+            polls,
+            first_commit_fails,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fsm_always_converges(s in scenario()) {
+        let n = s.offsets.len();
+        let mut fsm = CompletionFsm::new(CompletionConfig {
+            replicas: n,
+            max_wait_ms: 50,
+            commit_timeout_ms: 100,
+        });
+        let ids: Vec<InstanceId> = (1..=n).map(InstanceId::server).collect();
+        let mut offsets = s.offsets.clone();
+        let max_offset = *offsets.iter().max().unwrap();
+        let mut now = 0i64;
+        let mut committed: Option<u64> = None;
+        let mut commit_failures_left = if s.first_commit_fails { 1 } else { 0 };
+
+        // Random poll prefix from the scenario, then a deterministic sweep
+        // so every replica keeps polling until the segment commits.
+        let mut schedule: Vec<usize> = s.polls.clone();
+        for round in 0..50 {
+            for r in 0..n {
+                schedule.push((r + round) % n);
+            }
+        }
+
+        for &r in &schedule {
+            now += 30; // time always advances between polls
+            let inst = &ids[r];
+            match fsm.on_poll(inst, offsets[r], now) {
+                CompletionInstruction::Hold | CompletionInstruction::NotLeader => {}
+                CompletionInstruction::Catchup { target_offset } => {
+                    // Catch-up targets never exceed what some replica has.
+                    prop_assert!(target_offset <= max_offset);
+                    prop_assert!(target_offset >= offsets[r]);
+                    offsets[r] = target_offset;
+                }
+                CompletionInstruction::Commit => {
+                    prop_assert!(committed.is_none(), "commit offered after commit");
+                    prop_assert_eq!(fsm.committer(), Some(inst));
+                    if commit_failures_left > 0 {
+                        commit_failures_left -= 1;
+                        prop_assert!(!fsm.on_commit_result(inst, offsets[r], false, now));
+                    } else {
+                        prop_assert!(fsm.on_commit_result(inst, offsets[r], true, now));
+                        committed = Some(offsets[r]);
+                    }
+                }
+                CompletionInstruction::Keep => {
+                    prop_assert_eq!(Some(offsets[r]), committed, "KEEP at wrong offset");
+                }
+                CompletionInstruction::Discard => {
+                    let c = committed.expect("DISCARD before commit");
+                    prop_assert!(offsets[r] > c, "DISCARD for a non-ahead replica");
+                    offsets[r] = c; // replica replaces local data with the copy
+                }
+            }
+            if committed.is_some() && offsets.iter().all(|&o| o == committed.unwrap()) {
+                break;
+            }
+        }
+
+        // Convergence: a commit happened and every replica ended at it.
+        let end = committed.expect("no commit despite endless polling");
+        prop_assert_eq!(fsm.committed_end(), Some(end));
+        for (r, &o) in offsets.iter().enumerate() {
+            prop_assert_eq!(o, end, "replica {} did not converge", r);
+        }
+        // The committed offset is one some replica actually reached.
+        prop_assert!(end <= max_offset);
+    }
+}

@@ -1,0 +1,57 @@
+//! Background realtime pump.
+//!
+//! Production servers consume their streams continuously on dedicated
+//! threads. [`RealtimePump`] reproduces that for live deployments and the
+//! examples: a background thread drives `consume_tick` on every server at a
+//! fixed cadence until the pump is stopped or dropped. Tests that need
+//! determinism call [`crate::PinotCluster::consume_tick`] directly instead.
+
+use crate::PinotCluster;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to the background consumption thread; stops on drop.
+pub struct RealtimePump {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RealtimePump {
+    /// Start pumping `cluster` every `interval`.
+    pub fn start(cluster: &Arc<PinotCluster>, interval: Duration) -> RealtimePump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let cluster = Arc::clone(cluster);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                // Consumption errors are retried on the next tick; a dead
+                // stream shouldn't kill the pump.
+                let _ = cluster.consume_tick();
+                std::thread::sleep(interval);
+            }
+        });
+        RealtimePump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the pump and wait for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RealtimePump {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

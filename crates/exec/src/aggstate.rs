@@ -1,0 +1,264 @@
+//! Aggregation function state: accumulate per segment, merge across
+//! segments and servers, finalize at the broker.
+
+use crate::key::GroupValue;
+use pinot_common::{PinotError, Result, Value};
+use pinot_pql::AggFunction;
+use std::collections::HashSet;
+
+/// Intermediate state of one aggregation function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Count(u64),
+    Sum(f64),
+    Min(f64),
+    Max(f64),
+    Avg { sum: f64, count: u64 },
+    /// Exact distinct count: set of canonical scalar values.
+    Distinct(HashSet<GroupValue>),
+}
+
+impl AggState {
+    /// Identity state for a function.
+    pub fn new(function: AggFunction) -> AggState {
+        match function {
+            AggFunction::Count => AggState::Count(0),
+            AggFunction::Sum => AggState::Sum(0.0),
+            AggFunction::Min => AggState::Min(f64::INFINITY),
+            AggFunction::Max => AggState::Max(f64::NEG_INFINITY),
+            AggFunction::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunction::DistinctCount => AggState::Distinct(HashSet::new()),
+        }
+    }
+
+    /// Accumulate one numeric input (COUNT ignores the value).
+    #[inline]
+    pub fn accept_numeric(&mut self, x: f64) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => *s += x,
+            AggState::Min(m) => *m = m.min(x),
+            AggState::Max(m) => *m = m.max(x),
+            AggState::Avg { sum, count } => {
+                *sum += x;
+                *count += 1;
+            }
+            AggState::Distinct(set) => {
+                set.insert(GroupValue::from_value(&Value::Double(x)));
+            }
+        }
+    }
+
+    /// Accumulate one value (needed for DISTINCTCOUNT over strings).
+    pub fn accept_value(&mut self, v: &Value) {
+        match self {
+            AggState::Distinct(set) => {
+                set.insert(GroupValue::from_value(v));
+            }
+            _ => {
+                if let Some(x) = v.as_f64() {
+                    self.accept_numeric(x);
+                } else if matches!(self, AggState::Count(_)) {
+                    self.accept_numeric(0.0);
+                }
+            }
+        }
+    }
+
+    /// Accumulate a preaggregated contribution (star-tree path).
+    pub fn accept_preaggregated(
+        &mut self,
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<()> {
+        match self {
+            AggState::Count(n) => *n += count,
+            AggState::Sum(s) => *s += sum,
+            AggState::Min(m) => *m = m.min(min),
+            AggState::Max(m) => *m = m.max(max),
+            AggState::Avg { sum: s, count: c } => {
+                *s += sum;
+                *c += count;
+            }
+            AggState::Distinct(_) => {
+                return Err(PinotError::Internal(
+                    "DISTINCTCOUNT cannot consume preaggregated data".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another state of the same function.
+    pub fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => *a = a.min(b),
+            (AggState::Max(a), AggState::Max(b)) => *a = a.max(b),
+            (
+                AggState::Avg { sum: a, count: c },
+                AggState::Avg { sum: b, count: d },
+            ) => {
+                *a += b;
+                *c += d;
+            }
+            (AggState::Distinct(a), AggState::Distinct(b)) => a.extend(b),
+            (a, b) => {
+                return Err(PinotError::Internal(format!(
+                    "cannot merge mismatched aggregation states {a:?} / {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Final client-facing value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Long(*n as i64),
+            AggState::Sum(s) => Value::Double(*s),
+            AggState::Min(m) => {
+                if m.is_finite() {
+                    Value::Double(*m)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Max(m) => {
+                if m.is_finite() {
+                    Value::Double(*m)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *count as f64)
+                }
+            }
+            AggState::Distinct(set) => Value::Long(set.len() as i64),
+        }
+    }
+
+    /// Numeric view of the final value (for top-n ordering); empty
+    /// min/max/avg order last.
+    pub fn finalize_f64(&self) -> f64 {
+        match self.finalize() {
+            Value::Long(n) => n as f64,
+            Value::Double(d) => d,
+            _ => f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sum_min_max_avg() {
+        let inputs = [3.0, -1.0, 7.0];
+        let mut states: Vec<AggState> = [
+            AggFunction::Count,
+            AggFunction::Sum,
+            AggFunction::Min,
+            AggFunction::Max,
+            AggFunction::Avg,
+        ]
+        .iter()
+        .map(|f| AggState::new(*f))
+        .collect();
+        for x in inputs {
+            for s in &mut states {
+                s.accept_numeric(x);
+            }
+        }
+        assert_eq!(states[0].finalize(), Value::Long(3));
+        assert_eq!(states[1].finalize(), Value::Double(9.0));
+        assert_eq!(states[2].finalize(), Value::Double(-1.0));
+        assert_eq!(states[3].finalize(), Value::Double(7.0));
+        assert_eq!(states[4].finalize(), Value::Double(3.0));
+    }
+
+    #[test]
+    fn empty_states_finalize_sanely() {
+        assert_eq!(AggState::new(AggFunction::Count).finalize(), Value::Long(0));
+        assert_eq!(AggState::new(AggFunction::Sum).finalize(), Value::Double(0.0));
+        assert_eq!(AggState::new(AggFunction::Min).finalize(), Value::Null);
+        assert_eq!(AggState::new(AggFunction::Max).finalize(), Value::Null);
+        assert_eq!(AggState::new(AggFunction::Avg).finalize(), Value::Null);
+        assert_eq!(
+            AggState::new(AggFunction::DistinctCount).finalize(),
+            Value::Long(0)
+        );
+    }
+
+    #[test]
+    fn distinct_count_exact_over_values() {
+        let mut s = AggState::new(AggFunction::DistinctCount);
+        for v in ["a", "b", "a", "c", "b"] {
+            s.accept_value(&Value::from(v));
+        }
+        assert_eq!(s.finalize(), Value::Long(3));
+    }
+
+    #[test]
+    fn merge_matches_streaming() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 20.0).collect();
+        for f in [
+            AggFunction::Count,
+            AggFunction::Sum,
+            AggFunction::Min,
+            AggFunction::Max,
+            AggFunction::Avg,
+        ] {
+            let mut whole = AggState::new(f);
+            for &x in &xs {
+                whole.accept_numeric(x);
+            }
+            let mut left = AggState::new(f);
+            let mut right = AggState::new(f);
+            for &x in &xs[..50] {
+                left.accept_numeric(x);
+            }
+            for &x in &xs[50..] {
+                right.accept_numeric(x);
+            }
+            left.merge(right).unwrap();
+            assert_eq!(left.finalize(), whole.finalize(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_merge_unions() {
+        let mut a = AggState::new(AggFunction::DistinctCount);
+        let mut b = AggState::new(AggFunction::DistinctCount);
+        a.accept_value(&Value::Long(1));
+        a.accept_value(&Value::Long(2));
+        b.accept_value(&Value::Long(2));
+        b.accept_value(&Value::Long(3));
+        a.merge(b).unwrap();
+        assert_eq!(a.finalize(), Value::Long(3));
+    }
+
+    #[test]
+    fn mismatched_merge_fails() {
+        let mut a = AggState::new(AggFunction::Count);
+        assert!(a.merge(AggState::new(AggFunction::Sum)).is_err());
+    }
+
+    #[test]
+    fn preaggregated_contributions() {
+        let mut s = AggState::new(AggFunction::Avg);
+        s.accept_preaggregated(4, 20.0, 1.0, 9.0).unwrap();
+        s.accept_preaggregated(1, 5.0, 5.0, 5.0).unwrap();
+        assert_eq!(s.finalize(), Value::Double(5.0));
+        let mut d = AggState::new(AggFunction::DistinctCount);
+        assert!(d.accept_preaggregated(1, 1.0, 1.0, 1.0).is_err());
+    }
+}

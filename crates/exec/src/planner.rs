@@ -1,0 +1,710 @@
+//! Per-segment physical planning.
+//!
+//! Implements the operator-selection rules of §3.3.4 and §4.1–4.3:
+//! metadata-only plans, star-tree plans, and index-backed filter plans with
+//! cost-based predicate ordering (sorted column first, then inverted
+//! indexes, then scans restricted to the already-selected docs).
+
+use crate::segment_exec::SegmentHandle;
+use crate::selection::{DocSelection, IdMatcher, MatchKind};
+use pinot_common::query::ExecutionStats;
+use pinot_common::{Result, Value};
+use pinot_pql::{AggFunction, CmpOp, Predicate, Query, SelectList};
+use pinot_segment::{DictId, ImmutableSegment};
+use pinot_startree::DimFilter;
+
+/// Which physical plan a segment execution used (exposed for tests, stats
+/// and the Figure 13 harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Answered purely from segment metadata.
+    MetadataOnly,
+    /// Answered from star-tree preaggregated records.
+    StarTree,
+    /// Filter plus scan/aggregation over raw docs.
+    Raw,
+}
+
+/// Decide the plan for a query on a segment (without executing it).
+pub fn plan_segment(handle: &SegmentHandle, query: &Query) -> PlanKind {
+    if metadata_only_plan(&handle.segment, query).is_some() {
+        PlanKind::MetadataOnly
+    } else if try_star_tree(handle, query).is_some() {
+        PlanKind::StarTree
+    } else {
+        PlanKind::Raw
+    }
+}
+
+/// Rewrite away `Ne` and `NOT IN` so downstream code only sees positive
+/// leaves under explicit `Not` nodes.
+pub fn normalize_predicate(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::And(ps) => Predicate::And(ps.iter().map(normalize_predicate).collect()),
+        Predicate::Or(ps) => Predicate::Or(ps.iter().map(normalize_predicate).collect()),
+        Predicate::Not(inner) => Predicate::Not(Box::new(normalize_predicate(inner))),
+        Predicate::Cmp {
+            column,
+            op: CmpOp::Ne,
+            value,
+        } => Predicate::Not(Box::new(Predicate::Cmp {
+            column: column.clone(),
+            op: CmpOp::Eq,
+            value: value.clone(),
+        })),
+        Predicate::In {
+            column,
+            values,
+            negated: true,
+        } => Predicate::Not(Box::new(Predicate::In {
+            column: column.clone(),
+            values: values.clone(),
+            negated: false,
+        })),
+        other => other.clone(),
+    }
+}
+
+/// Metadata-only plan: unfiltered, ungrouped COUNT(*)/MIN/MAX where the
+/// segment metadata already has the answer (§4.1). Returns the final value
+/// of each aggregation.
+pub fn metadata_only_plan(segment: &ImmutableSegment, query: &Query) -> Option<Vec<Value>> {
+    if query.filter.is_some() || !query.group_by.is_empty() {
+        return None;
+    }
+    let aggs = match &query.select {
+        SelectList::Aggregations(a) => a,
+        _ => return None,
+    };
+    let mut out = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match (a.function, &a.column) {
+            (AggFunction::Count, None) => {
+                out.push(Value::Long(segment.num_docs() as i64));
+            }
+            (AggFunction::Min, Some(c)) => {
+                let stats = segment.metadata().column(c)?;
+                if !stats.data_type.is_numeric() {
+                    return None;
+                }
+                out.push(Value::Double(stats.min.as_ref()?.as_f64()?));
+            }
+            (AggFunction::Max, Some(c)) => {
+                let stats = segment.metadata().column(c)?;
+                if !stats.data_type.is_numeric() {
+                    return None;
+                }
+                out.push(Value::Double(stats.max.as_ref()?.as_f64()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Try to convert the query into a star-tree execution: per-dimension
+/// filters plus group dims. `None` means the tree cannot serve this query
+/// and execution falls back to raw data (§4.3: "otherwise, query execution
+/// runs on the original unaggregated data").
+pub fn try_star_tree(handle: &SegmentHandle, query: &Query) -> Option<(Vec<DimFilter>, Vec<usize>)> {
+    let tree = handle.star_tree.as_ref()?;
+    let aggs = match &query.select {
+        SelectList::Aggregations(a) => a,
+        _ => return None,
+    };
+    // Every aggregation must be preaggregation-compatible and on a tree
+    // metric (COUNT(*) needs no column).
+    for a in aggs {
+        if !a.function.star_tree_compatible() {
+            return None;
+        }
+        if let Some(c) = &a.column {
+            tree.metric_index(c)?;
+        }
+    }
+    // Group-by columns must all be tree dimensions.
+    let mut group_dims = Vec::with_capacity(query.group_by.len());
+    for g in &query.group_by {
+        group_dims.push(tree.dimension_index(g)?);
+    }
+    // The filter must decompose into per-dimension id sets.
+    let mut filters = vec![DimFilter::Any; tree.dimensions().len()];
+    if let Some(pred) = &query.filter {
+        let normalized = normalize_predicate(pred);
+        collect_dim_filters(&handle.segment, tree, &normalized, &mut filters)?;
+    }
+    Some((filters, group_dims))
+}
+
+/// Maximum ids a range predicate may expand to for star-tree execution;
+/// beyond this the raw path with a real range operator is cheaper.
+const MAX_RANGE_EXPANSION: usize = 4096;
+
+fn collect_dim_filters(
+    segment: &ImmutableSegment,
+    tree: &pinot_startree::StarTree,
+    pred: &Predicate,
+    filters: &mut [DimFilter],
+) -> Option<()> {
+    match pred {
+        Predicate::And(ps) => {
+            for p in ps {
+                collect_dim_filters(segment, tree, p, filters)?;
+            }
+            Some(())
+        }
+        Predicate::Or(_) => {
+            // OR is convertible only when every branch constrains the same
+            // single dimension (Figure 10's multi-branch navigation).
+            let (dim, ids) = or_to_ids(segment, tree, pred)?;
+            intersect_filter(&mut filters[dim], ids);
+            Some(())
+        }
+        Predicate::Not(_) => None,
+        leaf => {
+            let (dim, ids) = leaf_to_ids(segment, tree, leaf)?;
+            intersect_filter(&mut filters[dim], ids);
+            Some(())
+        }
+    }
+}
+
+fn or_to_ids(
+    segment: &ImmutableSegment,
+    tree: &pinot_startree::StarTree,
+    pred: &Predicate,
+) -> Option<(usize, Vec<DictId>)> {
+    match pred {
+        Predicate::Or(ps) => {
+            let mut dim: Option<usize> = None;
+            let mut ids: Vec<DictId> = Vec::new();
+            for p in ps {
+                let (d, mut i) = or_to_ids(segment, tree, p)?;
+                match dim {
+                    None => dim = Some(d),
+                    Some(existing) if existing == d => {}
+                    Some(_) => return None, // spans multiple dimensions
+                }
+                ids.append(&mut i);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            Some((dim?, ids))
+        }
+        leaf => leaf_to_ids(segment, tree, leaf),
+    }
+}
+
+fn leaf_to_ids(
+    segment: &ImmutableSegment,
+    tree: &pinot_startree::StarTree,
+    leaf: &Predicate,
+) -> Option<(usize, Vec<DictId>)> {
+    let column = match leaf {
+        Predicate::Cmp { column, .. }
+        | Predicate::In { column, .. }
+        | Predicate::Between { column, .. } => column,
+        _ => return None,
+    };
+    let dim = tree.dimension_index(column)?;
+    let matcher = IdMatcher::compile(segment, leaf).ok()?;
+    let ids = match matcher.kind {
+        MatchKind::Range(lo, hi) => {
+            if (hi - lo) as usize > MAX_RANGE_EXPANSION {
+                return None;
+            }
+            (lo..hi).collect()
+        }
+        MatchKind::Set(ids) => ids,
+        MatchKind::Nothing => Vec::new(),
+    };
+    Some((dim, ids))
+}
+
+fn intersect_filter(f: &mut DimFilter, ids: Vec<DictId>) {
+    match f {
+        DimFilter::Any => *f = DimFilter::In(ids),
+        DimFilter::In(existing) => {
+            let keep: Vec<DictId> = existing
+                .iter()
+                .copied()
+                .filter(|id| ids.binary_search(id).is_ok())
+                .collect();
+            *existing = keep;
+        }
+    }
+}
+
+/// Evaluate a filter to a document selection, using the best index per leaf
+/// and ordering conjuncts cheapest-first (§4.2).
+pub fn evaluate_filter(
+    segment: &ImmutableSegment,
+    pred: Option<&Predicate>,
+    stats: &mut ExecutionStats,
+) -> Result<DocSelection> {
+    evaluate_filter_with_ordering(segment, pred, stats, true)
+}
+
+/// Like [`evaluate_filter`] but with cost-based conjunct reordering
+/// optionally disabled (conjuncts then evaluate in written order, each
+/// producing its full document set before intersection). Exists for the
+/// ablation benchmark quantifying §4.2's "sorted operators execute first
+/// and pass their range to subsequent operators" rule.
+pub fn evaluate_filter_with_ordering(
+    segment: &ImmutableSegment,
+    pred: Option<&Predicate>,
+    stats: &mut ExecutionStats,
+    cost_ordered: bool,
+) -> Result<DocSelection> {
+    let num_docs = segment.num_docs();
+    match pred {
+        None => Ok(DocSelection::All(num_docs)),
+        Some(p) => {
+            let normalized = normalize_predicate(p);
+            if cost_ordered {
+                eval(segment, &normalized, stats)
+            } else {
+                eval_unordered(segment, &normalized, stats)
+            }
+        }
+    }
+}
+
+/// Naive evaluation: no reordering, no range-restricted scans.
+fn eval_unordered(
+    segment: &ImmutableSegment,
+    pred: &Predicate,
+    stats: &mut ExecutionStats,
+) -> Result<DocSelection> {
+    let num_docs = segment.num_docs();
+    match pred {
+        Predicate::And(ps) => {
+            let mut acc = DocSelection::All(num_docs);
+            for p in ps {
+                let s = eval_unordered(segment, p, stats)?;
+                acc = acc.and(&s);
+            }
+            Ok(acc)
+        }
+        Predicate::Or(ps) => {
+            let mut acc = DocSelection::Empty;
+            for p in ps {
+                acc = acc.or(&eval_unordered(segment, p, stats)?);
+            }
+            Ok(acc)
+        }
+        Predicate::Not(inner) => Ok(eval_unordered(segment, inner, stats)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None),
+    }
+}
+
+fn eval(
+    segment: &ImmutableSegment,
+    pred: &Predicate,
+    stats: &mut ExecutionStats,
+) -> Result<DocSelection> {
+    let num_docs = segment.num_docs();
+    match pred {
+        Predicate::And(ps) => eval_and(segment, ps, stats),
+        Predicate::Or(ps) => {
+            let mut acc = DocSelection::Empty;
+            for p in ps {
+                acc = acc.or(&eval(segment, p, stats)?);
+            }
+            Ok(acc)
+        }
+        Predicate::Not(inner) => Ok(eval(segment, inner, stats)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None),
+    }
+}
+
+/// Cost class of a conjunct: lower executes first.
+fn cost_class(segment: &ImmutableSegment, pred: &Predicate) -> u8 {
+    match pred {
+        Predicate::Cmp { column, .. }
+        | Predicate::In { column, .. }
+        | Predicate::Between { column, .. } => match segment.column(column) {
+            Ok(col) if col.sorted.is_some() => 0,
+            Ok(col) if col.inverted.is_some() => 1,
+            _ => 3, // scan leaf: defer to the end
+        },
+        _ => 2, // complex subtree
+    }
+}
+
+fn eval_and(
+    segment: &ImmutableSegment,
+    conjuncts: &[Predicate],
+    stats: &mut ExecutionStats,
+) -> Result<DocSelection> {
+    let mut ordered: Vec<&Predicate> = conjuncts.iter().collect();
+    ordered.sort_by_key(|p| cost_class(segment, p));
+
+    let mut sel = DocSelection::All(segment.num_docs());
+    for p in ordered {
+        if sel.is_empty() {
+            return Ok(DocSelection::Empty);
+        }
+        let class = cost_class(segment, p);
+        if class == 3 {
+            // Scan leaf: evaluate only within the current selection — the
+            // "subsequent operators only evaluate part of the column" rule.
+            sel = eval_leaf(segment, p, stats, Some(&sel))?;
+        } else {
+            let s = eval(segment, p, stats)?;
+            sel = sel.and(&s);
+        }
+    }
+    Ok(sel)
+}
+
+fn eval_leaf(
+    segment: &ImmutableSegment,
+    leaf: &Predicate,
+    stats: &mut ExecutionStats,
+    within: Option<&DocSelection>,
+) -> Result<DocSelection> {
+    let column_name = match leaf {
+        Predicate::Cmp { column, .. }
+        | Predicate::In { column, .. }
+        | Predicate::Between { column, .. } => column.clone(),
+        _ => {
+            return Err(pinot_common::PinotError::Internal(
+                "eval_leaf expects a leaf predicate".into(),
+            ))
+        }
+    };
+    let matcher = IdMatcher::compile(segment, leaf)?;
+    let col = segment.column(&column_name)?;
+
+    if matches!(matcher.kind, MatchKind::Nothing) {
+        return Ok(DocSelection::Empty);
+    }
+
+    // Sorted column: predicates become one contiguous doc range.
+    if let Some(sorted) = &col.sorted {
+        let sel = match &matcher.kind {
+            MatchKind::Range(lo, hi) => {
+                let (s, e) = sorted.doc_range_for_ids(*lo, *hi);
+                stats.num_entries_scanned_in_filter += 2; // two index lookups
+                if s >= e {
+                    DocSelection::Empty
+                } else {
+                    DocSelection::Range(s, e)
+                }
+            }
+            MatchKind::Set(ids) => {
+                let mut acc = DocSelection::Empty;
+                for &id in ids {
+                    let (s, e) = sorted.doc_range(id);
+                    stats.num_entries_scanned_in_filter += 2;
+                    if s < e {
+                        acc = acc.or(&DocSelection::Range(s, e));
+                    }
+                }
+                acc
+            }
+            MatchKind::Nothing => DocSelection::Empty,
+        };
+        return Ok(match within {
+            Some(w) => w.and(&sel),
+            None => sel,
+        });
+    }
+
+    // Inverted index: bitmap union.
+    if let Some(inv) = &col.inverted {
+        let bm = match &matcher.kind {
+            MatchKind::Range(lo, hi) => inv.postings_range(*lo, *hi),
+            MatchKind::Set(ids) => inv.postings_set(ids),
+            MatchKind::Nothing => unreachable!("handled above"),
+        };
+        stats.num_entries_scanned_in_filter += bm.len();
+        let sel = if bm.is_empty() {
+            DocSelection::Empty
+        } else {
+            DocSelection::Bitmap(bm)
+        };
+        return Ok(match within {
+            Some(w) => w.and(&sel),
+            None => sel,
+        });
+    }
+
+    // Scan fallback, restricted to `within` when provided.
+    let mut bm = pinot_bitmap::RoaringBitmap::new();
+    match within {
+        Some(w) => {
+            stats.num_entries_scanned_in_filter += w.count();
+            w.for_each(|doc| {
+                if matcher.matches_doc(col, doc) {
+                    bm.push_back(doc);
+                }
+            });
+        }
+        None => {
+            stats.num_entries_scanned_in_filter += segment.num_docs() as u64;
+            for doc in 0..segment.num_docs() {
+                if matcher.matches_doc(col, doc) {
+                    bm.push_back(doc);
+                }
+            }
+        }
+    }
+    Ok(if bm.is_empty() {
+        DocSelection::Empty
+    } else {
+        DocSelection::Bitmap(bm)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_common::{DataType, FieldSpec, Record, Schema};
+    use pinot_pql::parse;
+    use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+    use std::sync::Arc;
+
+    fn segment(sorted: bool, inverted: bool) -> Arc<ImmutableSegment> {
+        let schema = Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("k", DataType::Long),
+                FieldSpec::dimension("c", DataType::String),
+                FieldSpec::metric("m", DataType::Long),
+            ],
+        )
+        .unwrap();
+        let mut cfg = BuilderConfig::new("s", "t");
+        if sorted {
+            cfg = cfg.with_sort_columns(&["k"]);
+        }
+        if inverted {
+            cfg = cfg.with_inverted_columns(&["c"]);
+        }
+        let mut b = SegmentBuilder::new(schema, cfg).unwrap();
+        for i in 0..100i64 {
+            b.add(Record::new(vec![
+                Value::Long(i % 10),
+                Value::String(format!("c{}", i % 4)),
+                Value::Long(i),
+            ]))
+            .unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn filter_of(q: &str) -> Predicate {
+        parse(q).unwrap().filter.unwrap()
+    }
+
+    fn docs(sel: &DocSelection) -> Vec<u32> {
+        let mut v = Vec::new();
+        sel.for_each(|d| v.push(d));
+        v
+    }
+
+    #[test]
+    fn normalize_rewrites_negations() {
+        let p = filter_of("SELECT COUNT(*) FROM t WHERE a != 1 AND b NOT IN (2)");
+        let n = normalize_predicate(&p);
+        match n {
+            Predicate::And(parts) => {
+                assert!(matches!(&parts[0], Predicate::Not(_)));
+                assert!(matches!(&parts[1], Predicate::Not(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sorted_column_yields_ranges() {
+        let seg = segment(true, false);
+        let mut stats = ExecutionStats::default();
+        let sel = evaluate_filter(
+            &seg,
+            Some(&filter_of("SELECT COUNT(*) FROM t WHERE k = 3")),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(matches!(sel, DocSelection::Range(_, _)));
+        assert_eq!(sel.count(), 10);
+        // Every selected doc has k == 3.
+        let col = seg.column("k").unwrap();
+        sel.for_each(|d| assert_eq!(col.long(d), Some(3)));
+    }
+
+    #[test]
+    fn inverted_column_yields_bitmaps() {
+        let seg = segment(false, true);
+        let mut stats = ExecutionStats::default();
+        let sel = evaluate_filter(
+            &seg,
+            Some(&filter_of("SELECT COUNT(*) FROM t WHERE c = 'c1'")),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(matches!(sel, DocSelection::Bitmap(_)));
+        assert_eq!(sel.count(), 25);
+    }
+
+    #[test]
+    fn all_filter_shapes_agree_across_index_types() {
+        let queries = [
+            "SELECT COUNT(*) FROM t WHERE k = 3",
+            "SELECT COUNT(*) FROM t WHERE k != 3",
+            "SELECT COUNT(*) FROM t WHERE k > 7",
+            "SELECT COUNT(*) FROM t WHERE k BETWEEN 2 AND 4",
+            "SELECT COUNT(*) FROM t WHERE k IN (1, 5, 9)",
+            "SELECT COUNT(*) FROM t WHERE k NOT IN (1, 5)",
+            "SELECT COUNT(*) FROM t WHERE c = 'c2'",
+            "SELECT COUNT(*) FROM t WHERE c = 'c2' AND k < 5",
+            "SELECT COUNT(*) FROM t WHERE c = 'c2' OR k = 0",
+            "SELECT COUNT(*) FROM t WHERE NOT (c = 'c2' OR k = 0)",
+            "SELECT COUNT(*) FROM t WHERE c = 'zz'",
+            "SELECT COUNT(*) FROM t WHERE m >= 90 AND c = 'c1'",
+        ];
+        let plain = segment(false, false);
+        let sorted = segment(true, false);
+        let inverted = segment(false, true);
+        for q in queries {
+            let pred = filter_of(q);
+            let mut s = ExecutionStats::default();
+            let a = docs(&evaluate_filter(&plain, Some(&pred), &mut s).unwrap());
+            // Sorted segments physically reorder rows, so compare match
+            // *counts* plus the multiset of k values.
+            let b_sel = evaluate_filter(&sorted, Some(&pred), &mut s).unwrap();
+            let c = docs(&evaluate_filter(&inverted, Some(&pred), &mut s).unwrap());
+            assert_eq!(a, c, "{q}");
+            assert_eq!(a.len() as u64, b_sel.count(), "{q}");
+            let key = |seg: &ImmutableSegment, ds: &[u32]| {
+                let mut v: Vec<(i64, String)> = ds
+                    .iter()
+                    .map(|&d| {
+                        (
+                            seg.column("m").unwrap().long(d).unwrap(),
+                            seg.column("c").unwrap().value(d).to_string(),
+                        )
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(key(&plain, &a), key(&sorted, &docs(&b_sel)), "{q}");
+        }
+    }
+
+    #[test]
+    fn metadata_only_detection() {
+        let seg = segment(false, false);
+        let q = parse("SELECT COUNT(*), MIN(m), MAX(m) FROM t").unwrap();
+        let vals = metadata_only_plan(&seg, &q).unwrap();
+        assert_eq!(vals[0], Value::Long(100));
+        assert_eq!(vals[1], Value::Double(0.0));
+        assert_eq!(vals[2], Value::Double(99.0));
+        // Filter or grouping disables it.
+        assert!(metadata_only_plan(
+            &seg,
+            &parse("SELECT COUNT(*) FROM t WHERE k = 1").unwrap()
+        )
+        .is_none());
+        assert!(metadata_only_plan(
+            &seg,
+            &parse("SELECT SUM(m) FROM t").unwrap()
+        )
+        .is_none());
+        assert!(metadata_only_plan(
+            &seg,
+            &parse("SELECT MIN(c) FROM t").unwrap()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn star_tree_conversion() {
+        use pinot_common::config::StarTreeConfig;
+        let seg = segment(false, false);
+        let tree = pinot_startree::build_star_tree(
+            &seg,
+            &StarTreeConfig {
+                dimensions: vec!["k".into(), "c".into()],
+                metrics: vec!["m".into()],
+                max_leaf_records: 10,
+                skip_star_dimensions: vec![],
+            },
+        )
+        .unwrap();
+        let handle = SegmentHandle {
+            segment: Arc::clone(&seg),
+            star_tree: Some(Arc::new(tree)),
+        };
+        // Convertible: equality + OR on one dim + group by tree dim.
+        let q = parse("SELECT SUM(m) FROM t WHERE k = 1 OR k = 2 GROUP BY c").unwrap();
+        let (filters, group) = try_star_tree(&handle, &q).unwrap();
+        assert_eq!(filters[0], DimFilter::In(vec![1, 2]));
+        assert_eq!(filters[1], DimFilter::Any);
+        assert_eq!(group, vec![1]);
+        assert_eq!(plan_segment(&handle, &q), PlanKind::StarTree);
+
+        // Range predicates expand to id sets.
+        let q = parse("SELECT SUM(m) FROM t WHERE k BETWEEN 2 AND 4").unwrap();
+        let (filters, _) = try_star_tree(&handle, &q).unwrap();
+        assert_eq!(filters[0], DimFilter::In(vec![2, 3, 4]));
+
+        // Not convertible: DISTINCTCOUNT, NOT, non-tree column, selection.
+        for q in [
+            "SELECT DISTINCTCOUNT(m) FROM t WHERE k = 1",
+            "SELECT SUM(m) FROM t WHERE NOT k = 1",
+            "SELECT SUM(m) FROM t WHERE m = 5",
+            "SELECT SUM(m) FROM t GROUP BY m",
+        ] {
+            assert!(try_star_tree(&handle, &parse(q).unwrap()).is_none(), "{q}");
+        }
+        // Cross-dimension OR cannot navigate the tree.
+        let q = parse("SELECT SUM(m) FROM t WHERE k = 1 OR c = 'c1'").unwrap();
+        assert!(try_star_tree(&handle, &q).is_none());
+    }
+
+    #[test]
+    fn unordered_evaluation_matches_ordered() {
+        for (sorted, inverted) in [(false, false), (true, false), (false, true), (true, true)] {
+            let seg = segment(sorted, inverted);
+            for q in [
+                "SELECT COUNT(*) FROM t WHERE k = 3 AND c = 'c1'",
+                "SELECT COUNT(*) FROM t WHERE m > 50 AND k < 5 AND c != 'c0'",
+                "SELECT COUNT(*) FROM t WHERE (k = 1 OR k = 2) AND m BETWEEN 10 AND 60",
+            ] {
+                let pred = filter_of(q);
+                let mut s1 = ExecutionStats::default();
+                let mut s2 = ExecutionStats::default();
+                let ordered =
+                    evaluate_filter_with_ordering(&seg, Some(&pred), &mut s1, true).unwrap();
+                let unordered =
+                    evaluate_filter_with_ordering(&seg, Some(&pred), &mut s2, false).unwrap();
+                assert_eq!(docs(&ordered), docs(&unordered), "{q}");
+                // The reordered plan never touches more entries in the
+                // filter phase than the naive one.
+                assert!(
+                    s1.num_entries_scanned_in_filter <= s2.num_entries_scanned_in_filter,
+                    "{q}: ordered {} vs unordered {}",
+                    s1.num_entries_scanned_in_filter,
+                    s2.num_entries_scanned_in_filter
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contradictory_conjuncts_empty() {
+        let seg = segment(true, false);
+        let mut stats = ExecutionStats::default();
+        let sel = evaluate_filter(
+            &seg,
+            Some(&filter_of("SELECT COUNT(*) FROM t WHERE k = 1 AND k = 2")),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(sel.is_empty());
+    }
+}

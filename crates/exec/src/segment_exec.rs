@@ -1,0 +1,370 @@
+//! Executing one query against one segment.
+
+use crate::aggstate::AggState;
+use crate::key::{GroupKey, GroupValue};
+use crate::planner;
+use crate::selection::DocSelection;
+use pinot_common::query::ExecutionStats;
+use pinot_common::{PinotError, Result, Value};
+use pinot_pql::{AggregateExpr, Query, SelectList};
+use pinot_segment::column::ColumnData;
+use pinot_segment::ImmutableSegment;
+use pinot_startree::StarTree;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A query-ready segment: the immutable data plus its optional star-tree.
+#[derive(Clone)]
+pub struct SegmentHandle {
+    pub segment: Arc<ImmutableSegment>,
+    pub star_tree: Option<Arc<StarTree>>,
+}
+
+impl SegmentHandle {
+    pub fn new(segment: Arc<ImmutableSegment>) -> SegmentHandle {
+        SegmentHandle {
+            segment,
+            star_tree: None,
+        }
+    }
+
+    pub fn with_star_tree(mut self, tree: Arc<StarTree>) -> SegmentHandle {
+        self.star_tree = Some(tree);
+        self
+    }
+}
+
+/// Partial result produced by a segment (and merged across segments and
+/// servers). The same shape flows server → broker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultPayload {
+    /// Ungrouped aggregation states, one per aggregation expression.
+    Aggregation(Vec<AggState>),
+    /// Grouped aggregation states.
+    GroupBy(HashMap<GroupKey, Vec<AggState>>),
+    /// Projected rows.
+    Selection {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+/// A partial result plus its execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntermediateResult {
+    pub payload: ResultPayload,
+    pub stats: ExecutionStats,
+}
+
+impl IntermediateResult {
+    /// Identity element matching the query shape.
+    pub fn empty_for(query: &Query) -> IntermediateResult {
+        let payload = match &query.select {
+            SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
+                ResultPayload::Aggregation(
+                    aggs.iter().map(|a| AggState::new(a.function)).collect(),
+                )
+            }
+            SelectList::Aggregations(_) => ResultPayload::GroupBy(HashMap::new()),
+            SelectList::Projections(cols) => ResultPayload::Selection {
+                columns: cols.clone(),
+                rows: Vec::new(),
+            },
+            SelectList::Star => ResultPayload::Selection {
+                columns: Vec::new(),
+                rows: Vec::new(),
+            },
+        };
+        IntermediateResult {
+            payload,
+            stats: ExecutionStats::default(),
+        }
+    }
+}
+
+/// Execute a query on one segment, producing a partial result.
+pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<IntermediateResult> {
+    let segment = &handle.segment;
+    let mut stats = ExecutionStats {
+        num_segments_queried: 1,
+        num_segments_processed: 1,
+        total_docs: segment.num_docs() as u64,
+        ..Default::default()
+    };
+
+    // Validate referenced columns up front for a clean error.
+    for c in query.referenced_columns() {
+        segment.column(c)?;
+    }
+
+    // 1. Metadata-only plan.
+    if let Some(values) = planner::metadata_only_plan(segment, query) {
+        let aggs = query.aggregations();
+        let mut states = Vec::with_capacity(aggs.len());
+        for (a, v) in aggs.iter().zip(values) {
+            let mut s = AggState::new(a.function);
+            match (&mut s, v) {
+                (AggState::Count(n), Value::Long(x)) => *n = x as u64,
+                (AggState::Min(m), Value::Double(x)) => *m = x,
+                (AggState::Max(m), Value::Double(x)) => *m = x,
+                _ => {
+                    return Err(PinotError::Internal(
+                        "metadata plan produced unexpected value shape".into(),
+                    ))
+                }
+            }
+            states.push(s);
+        }
+        return Ok(IntermediateResult {
+            payload: ResultPayload::Aggregation(states),
+            stats,
+        });
+    }
+
+    // 2. Star-tree plan.
+    if let Some((filters, group_dims)) = planner::try_star_tree(handle, query) {
+        let tree = handle.star_tree.as_ref().expect("checked by try_star_tree");
+        return execute_star_tree(segment, tree, query, &filters, &group_dims, stats);
+    }
+
+    // 3. Raw plan: filter then aggregate / group / select.
+    let selection = planner::evaluate_filter(segment, query.filter.as_ref(), &mut stats)?;
+    stats.num_docs_scanned = selection.count();
+
+    match &query.select {
+        SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
+            let states = aggregate_selection(segment, aggs, &selection, &mut stats)?;
+            Ok(IntermediateResult {
+                payload: ResultPayload::Aggregation(states),
+                stats,
+            })
+        }
+        SelectList::Aggregations(aggs) => {
+            let groups = group_by_selection(segment, aggs, &query.group_by, &selection, &mut stats)?;
+            Ok(IntermediateResult {
+                payload: ResultPayload::GroupBy(groups),
+                stats,
+            })
+        }
+        SelectList::Projections(cols) => {
+            let rows = select_rows(segment, cols, &selection, query.effective_limit(), &mut stats)?;
+            Ok(IntermediateResult {
+                payload: ResultPayload::Selection {
+                    columns: cols.clone(),
+                    rows,
+                },
+                stats,
+            })
+        }
+        SelectList::Star => {
+            let cols: Vec<String> = segment
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            let rows = select_rows(segment, &cols, &selection, query.effective_limit(), &mut stats)?;
+            Ok(IntermediateResult {
+                payload: ResultPayload::Selection {
+                    columns: cols,
+                    rows,
+                },
+                stats,
+            })
+        }
+    }
+}
+
+fn execute_star_tree(
+    segment: &ImmutableSegment,
+    tree: &StarTree,
+    query: &Query,
+    filters: &[pinot_startree::DimFilter],
+    group_dims: &[usize],
+    mut stats: ExecutionStats,
+) -> Result<IntermediateResult> {
+    let result = tree.execute(filters, group_dims);
+    stats.num_docs_scanned = result.preagg_docs_scanned;
+    stats.raw_docs_equivalent = result.raw_docs_matched;
+
+    let aggs = query.aggregations();
+    // Map each aggregation to its tree-metric index (None for COUNT(*)).
+    let metric_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| a.column.as_deref().and_then(|c| tree.metric_index(c)))
+        .collect();
+
+    let make_states = |agg_values: &pinot_startree::AggValues| -> Result<Vec<AggState>> {
+        aggs.iter()
+            .zip(&metric_idx)
+            .map(|(a, mi)| {
+                let mut s = AggState::new(a.function);
+                match mi {
+                    Some(i) => s.accept_preaggregated(
+                        agg_values.count,
+                        agg_values.sums[*i],
+                        agg_values.mins[*i],
+                        agg_values.maxs[*i],
+                    )?,
+                    None => s.accept_preaggregated(agg_values.count, 0.0, 0.0, 0.0)?,
+                }
+                Ok(s)
+            })
+            .collect()
+    };
+
+    if group_dims.is_empty() {
+        let total = result
+            .groups
+            .first()
+            .map(|(_, a)| a.clone())
+            .unwrap_or_else(|| pinot_startree::AggValues::empty(tree.metrics().len()));
+        let states = make_states(&total)?;
+        return Ok(IntermediateResult {
+            payload: ResultPayload::Aggregation(states),
+            stats,
+        });
+    }
+
+    // Translate group keys from dict-id space to values.
+    let dim_cols: Vec<&ColumnData> = group_dims
+        .iter()
+        .map(|&d| segment.column(&tree.dimensions()[d]))
+        .collect::<Result<_>>()?;
+    let mut out: HashMap<GroupKey, Vec<AggState>> = HashMap::with_capacity(result.groups.len());
+    for (ids, agg_values) in &result.groups {
+        if agg_values.is_empty() {
+            continue;
+        }
+        let key: GroupKey = ids
+            .iter()
+            .zip(&dim_cols)
+            .map(|(id, col)| GroupValue::from_value(&col.dictionary.value_of(*id)))
+            .collect();
+        out.insert(key, make_states(agg_values)?);
+    }
+    Ok(IntermediateResult {
+        payload: ResultPayload::GroupBy(out),
+        stats,
+    })
+}
+
+fn aggregate_selection(
+    segment: &ImmutableSegment,
+    aggs: &[AggregateExpr],
+    selection: &DocSelection,
+    stats: &mut ExecutionStats,
+) -> Result<Vec<AggState>> {
+    let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.function)).collect();
+    let cols: Vec<Option<&ColumnData>> = aggs
+        .iter()
+        .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+        .collect::<Result<_>>()?;
+    let mut entries = 0u64;
+    selection.for_each(|doc| {
+        for (state, col) in states.iter_mut().zip(&cols) {
+            match col {
+                Some(col) => {
+                    entries += 1;
+                    if matches!(state, AggState::Distinct(_)) {
+                        state.accept_value(&col.dictionary.value_of(col.dict_id(doc)));
+                    } else if let Some(x) = col.numeric(doc) {
+                        state.accept_numeric(x);
+                    }
+                }
+                None => state.accept_numeric(0.0), // COUNT(*)
+            }
+        }
+    });
+    stats.num_entries_scanned_post_filter += entries;
+    Ok(states)
+}
+
+fn group_by_selection(
+    segment: &ImmutableSegment,
+    aggs: &[AggregateExpr],
+    group_by: &[String],
+    selection: &DocSelection,
+    stats: &mut ExecutionStats,
+) -> Result<HashMap<GroupKey, Vec<AggState>>> {
+    let group_cols: Vec<&ColumnData> = group_by
+        .iter()
+        .map(|c| segment.column(c))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<Option<&ColumnData>> = aggs
+        .iter()
+        .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+        .collect::<Result<_>>()?;
+
+    let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+    let mut entries = 0u64;
+    let mut scratch_ids = Vec::new();
+    selection.for_each(|doc| {
+        // Multi-value group columns contribute one key per element
+        // (cartesian across multiple MV columns).
+        let mut keys: Vec<GroupKey> = vec![GroupKey::new()];
+        for col in &group_cols {
+            entries += 1;
+            if col.forward.is_single_value() {
+                let v = col.dictionary.value_of(col.dict_id(doc));
+                let gv = GroupValue::from_value(&v);
+                for k in &mut keys {
+                    k.push(gv.clone());
+                }
+            } else {
+                col.forward.get_multi(doc, &mut scratch_ids);
+                let mut expanded = Vec::with_capacity(keys.len() * scratch_ids.len().max(1));
+                for k in &keys {
+                    for &id in &scratch_ids {
+                        let mut nk = k.clone();
+                        nk.push(GroupValue::from_value(&col.dictionary.value_of(id)));
+                        expanded.push(nk);
+                    }
+                }
+                keys = expanded;
+            }
+        }
+        for key in keys {
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.function)).collect());
+            for (state, col) in states.iter_mut().zip(&agg_cols) {
+                match col {
+                    Some(col) => {
+                        entries += 1;
+                        if matches!(state, AggState::Distinct(_)) {
+                            state.accept_value(&col.dictionary.value_of(col.dict_id(doc)));
+                        } else if let Some(x) = col.numeric(doc) {
+                            state.accept_numeric(x);
+                        }
+                    }
+                    None => state.accept_numeric(0.0),
+                }
+            }
+        }
+    });
+    stats.num_entries_scanned_post_filter += entries;
+    Ok(groups)
+}
+
+fn select_rows(
+    segment: &ImmutableSegment,
+    columns: &[String],
+    selection: &DocSelection,
+    limit: usize,
+    stats: &mut ExecutionStats,
+) -> Result<Vec<Vec<Value>>> {
+    let cols: Vec<&ColumnData> = columns
+        .iter()
+        .map(|c| segment.column(c))
+        .collect::<Result<_>>()?;
+    let mut rows = Vec::new();
+    selection.for_each(|doc| {
+        if rows.len() >= limit {
+            return;
+        }
+        rows.push(cols.iter().map(|c| c.value(doc)).collect());
+    });
+    stats.num_entries_scanned_post_filter += (rows.len() * columns.len()) as u64;
+    Ok(rows)
+}

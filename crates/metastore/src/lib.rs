@@ -1,0 +1,374 @@
+//! Zookeeper-like metadata store substrate.
+//!
+//! Pinot stores all cluster state, segment assignment, and metadata in
+//! Zookeeper (through Helix) and uses it as the coordination mechanism
+//! between nodes (§3.2). This crate supplies the primitives the rest of the
+//! system needs:
+//!
+//! * a hierarchical, versioned key space with compare-and-set writes;
+//! * **ephemeral nodes** bound to a session, deleted when the session
+//!   expires (node liveness);
+//! * **watches**: subscribers receive change events for a path prefix;
+//! * **leader election** built from ephemeral nodes (controller mastership,
+//!   §3.2 "Controller mastership is managed by Apache Helix").
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use pinot_common::{PinotError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A liveness session; expiring it removes its ephemeral nodes.
+pub type SessionId = u64;
+
+/// What happened to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchKind {
+    Created,
+    Updated,
+    Deleted,
+}
+
+/// A change notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEvent {
+    pub path: String,
+    pub kind: WatchKind,
+    pub value: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    value: String,
+    version: u64,
+    ephemeral_owner: Option<SessionId>,
+}
+
+struct Inner {
+    nodes: BTreeMap<String, NodeData>,
+    watchers: Vec<(String, Sender<WatchEvent>)>,
+    next_session: SessionId,
+    live_sessions: Vec<SessionId>,
+}
+
+/// The metadata store handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct MetaStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for MetaStore {
+    fn default() -> Self {
+        MetaStore::new()
+    }
+}
+
+impl MetaStore {
+    pub fn new() -> MetaStore {
+        MetaStore {
+            inner: Arc::new(Mutex::new(Inner {
+                nodes: BTreeMap::new(),
+                watchers: Vec::new(),
+                next_session: 1,
+                live_sessions: Vec::new(),
+            })),
+        }
+    }
+
+    fn validate_path(path: &str) -> Result<()> {
+        if path.is_empty()
+            || !path.starts_with('/')
+            || path.ends_with('/')
+            || path.contains("//")
+        {
+            return Err(PinotError::Metadata(format!("invalid path {path:?}")));
+        }
+        Ok(())
+    }
+
+    /// Open a liveness session.
+    pub fn create_session(&self) -> SessionId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_session;
+        inner.next_session += 1;
+        inner.live_sessions.push(id);
+        id
+    }
+
+    /// Expire a session: its ephemeral nodes are deleted (with watch
+    /// events), as when a Pinot node dies.
+    pub fn expire_session(&self, session: SessionId) {
+        let mut inner = self.inner.lock();
+        inner.live_sessions.retain(|s| *s != session);
+        let doomed: Vec<String> = inner
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.ephemeral_owner == Some(session))
+            .map(|(p, _)| p.clone())
+            .collect();
+        for path in doomed {
+            inner.nodes.remove(&path);
+            notify(&mut inner, &path, WatchKind::Deleted, None);
+        }
+    }
+
+    /// Create a node; fails if it already exists.
+    pub fn create(
+        &self,
+        path: &str,
+        value: impl Into<String>,
+        ephemeral: Option<SessionId>,
+    ) -> Result<()> {
+        Self::validate_path(path)?;
+        let mut inner = self.inner.lock();
+        if let Some(s) = ephemeral {
+            if !inner.live_sessions.contains(&s) {
+                return Err(PinotError::Metadata(format!("session {s} is not live")));
+            }
+        }
+        if inner.nodes.contains_key(path) {
+            return Err(PinotError::Metadata(format!("node {path:?} exists")));
+        }
+        let value = value.into();
+        inner.nodes.insert(
+            path.to_string(),
+            NodeData {
+                value: value.clone(),
+                version: 0,
+                ephemeral_owner: ephemeral,
+            },
+        );
+        notify(&mut inner, path, WatchKind::Created, Some(value));
+        Ok(())
+    }
+
+    /// Write a node, creating it when absent. `expected_version` makes the
+    /// write a compare-and-set. Returns the new version.
+    pub fn set(&self, path: &str, value: impl Into<String>, expected_version: Option<u64>) -> Result<u64> {
+        Self::validate_path(path)?;
+        let mut inner = self.inner.lock();
+        let value = value.into();
+        match inner.nodes.get_mut(path) {
+            Some(node) => {
+                if let Some(ev) = expected_version {
+                    if node.version != ev {
+                        return Err(PinotError::Metadata(format!(
+                            "version conflict on {path:?}: expected {ev}, found {}",
+                            node.version
+                        )));
+                    }
+                }
+                node.value = value.clone();
+                node.version += 1;
+                let v = node.version;
+                notify(&mut inner, path, WatchKind::Updated, Some(value));
+                Ok(v)
+            }
+            None => {
+                if expected_version.is_some() {
+                    return Err(PinotError::Metadata(format!(
+                        "version check on missing node {path:?}"
+                    )));
+                }
+                inner.nodes.insert(
+                    path.to_string(),
+                    NodeData {
+                        value: value.clone(),
+                        version: 0,
+                        ephemeral_owner: None,
+                    },
+                );
+                notify(&mut inner, path, WatchKind::Created, Some(value));
+                Ok(0)
+            }
+        }
+    }
+
+    /// Read a node's value and version.
+    pub fn get(&self, path: &str) -> Option<(String, u64)> {
+        self.inner
+            .lock()
+            .nodes
+            .get(path)
+            .map(|n| (n.value.clone(), n.version))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.lock().nodes.contains_key(path)
+    }
+
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.nodes.remove(path).is_none() {
+            return Err(PinotError::Metadata(format!("node {path:?} not found")));
+        }
+        notify(&mut inner, path, WatchKind::Deleted, None);
+        Ok(())
+    }
+
+    /// Immediate child names of a path (like ZooKeeper `getChildren`).
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let inner = self.inner.lock();
+        let mut out: Vec<String> = inner
+            .nodes
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| {
+                let rest = &k[prefix.len()..];
+                match rest.find('/') {
+                    Some(i) => rest[..i].to_string(),
+                    None => rest.to_string(),
+                }
+            })
+            .collect();
+        out.dedup();
+        out
+    }
+
+    /// Subscribe to changes under a path prefix. Events created after the
+    /// call are delivered on the returned channel.
+    pub fn subscribe(&self, prefix: impl Into<String>) -> Receiver<WatchEvent> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().watchers.push((prefix.into(), tx));
+        rx
+    }
+
+    /// Attempt to become leader for `scope`. Returns true on success or if
+    /// this candidate already is the leader.
+    pub fn elect_leader(&self, scope: &str, session: SessionId, candidate: &str) -> Result<bool> {
+        let path = format!("/leaders/{scope}");
+        match self.create(&path, candidate, Some(session)) {
+            Ok(()) => Ok(true),
+            Err(_) => Ok(self
+                .get(&path)
+                .map(|(v, _)| v == candidate)
+                .unwrap_or(false)),
+        }
+    }
+
+    /// Current leader for `scope`, if any.
+    pub fn leader(&self, scope: &str) -> Option<String> {
+        self.get(&format!("/leaders/{scope}")).map(|(v, _)| v)
+    }
+}
+
+fn notify(inner: &mut Inner, path: &str, kind: WatchKind, value: Option<String>) {
+    let event = WatchEvent {
+        path: path.to_string(),
+        kind,
+        value,
+    };
+    inner
+        .watchers
+        .retain(|(prefix, tx)| !path.starts_with(prefix.as_str()) || tx.send(event.clone()).is_ok());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_set_delete() {
+        let ms = MetaStore::new();
+        ms.create("/tables/foo", "cfg1", None).unwrap();
+        assert!(ms.create("/tables/foo", "x", None).is_err());
+        assert_eq!(ms.get("/tables/foo"), Some(("cfg1".into(), 0)));
+        let v = ms.set("/tables/foo", "cfg2", None).unwrap();
+        assert_eq!(v, 1);
+        assert!(ms.exists("/tables/foo"));
+        ms.delete("/tables/foo").unwrap();
+        assert!(ms.delete("/tables/foo").is_err());
+        assert_eq!(ms.get("/tables/foo"), None);
+    }
+
+    #[test]
+    fn compare_and_set() {
+        let ms = MetaStore::new();
+        ms.set("/n", "a", None).unwrap();
+        assert!(ms.set("/n", "b", Some(5)).is_err());
+        let v = ms.set("/n", "b", Some(0)).unwrap();
+        assert_eq!(v, 1);
+        assert!(ms.set("/n", "c", Some(0)).is_err());
+        assert!(ms.set("/missing", "x", Some(0)).is_err());
+    }
+
+    #[test]
+    fn path_validation() {
+        let ms = MetaStore::new();
+        for p in ["", "nope", "/a/", "/a//b"] {
+            assert!(ms.create(p, "x", None).is_err(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn children_listing() {
+        let ms = MetaStore::new();
+        ms.create("/t/a", "1", None).unwrap();
+        ms.create("/t/b", "2", None).unwrap();
+        ms.create("/t/b/c", "3", None).unwrap();
+        ms.create("/other", "4", None).unwrap();
+        assert_eq!(ms.children("/t"), vec!["a", "b"]);
+        assert_eq!(ms.children("/t/b"), vec!["c"]);
+        assert!(ms.children("/t/a").is_empty());
+        assert_eq!(ms.children("/"), vec!["other", "t"]);
+    }
+
+    #[test]
+    fn watches_fire_for_prefix() {
+        let ms = MetaStore::new();
+        let rx = ms.subscribe("/tables/");
+        ms.create("/tables/foo", "v", None).unwrap();
+        ms.set("/tables/foo", "v2", None).unwrap();
+        ms.create("/ignored", "x", None).unwrap();
+        ms.delete("/tables/foo").unwrap();
+        let events: Vec<WatchEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, WatchKind::Created);
+        assert_eq!(events[1].kind, WatchKind::Updated);
+        assert_eq!(events[1].value.as_deref(), Some("v2"));
+        assert_eq!(events[2].kind, WatchKind::Deleted);
+    }
+
+    #[test]
+    fn ephemeral_nodes_die_with_session() {
+        let ms = MetaStore::new();
+        let s = ms.create_session();
+        let rx = ms.subscribe("/live/");
+        ms.create("/live/server1", "up", Some(s)).unwrap();
+        ms.create("/live/server2", "up", Some(s)).unwrap();
+        ms.create("/live/other", "up", None).unwrap();
+        ms.expire_session(s);
+        assert!(!ms.exists("/live/server1"));
+        assert!(!ms.exists("/live/server2"));
+        assert!(ms.exists("/live/other"));
+        let deletions = rx
+            .try_iter()
+            .filter(|e| e.kind == WatchKind::Deleted)
+            .count();
+        assert_eq!(deletions, 2);
+        // Dead sessions can't create ephemerals.
+        assert!(ms.create("/live/server3", "up", Some(s)).is_err());
+    }
+
+    #[test]
+    fn leader_election_and_failover() {
+        let ms = MetaStore::new();
+        let s1 = ms.create_session();
+        let s2 = ms.create_session();
+        assert!(ms.elect_leader("controllers", s1, "Controller_1").unwrap());
+        assert!(!ms.elect_leader("controllers", s2, "Controller_2").unwrap());
+        // Re-election by the current leader is a no-op success.
+        assert!(ms.elect_leader("controllers", s1, "Controller_1").unwrap());
+        assert_eq!(ms.leader("controllers").as_deref(), Some("Controller_1"));
+        // Leader dies; the other candidate takes over.
+        ms.expire_session(s1);
+        assert_eq!(ms.leader("controllers"), None);
+        assert!(ms.elect_leader("controllers", s2, "Controller_2").unwrap());
+        assert_eq!(ms.leader("controllers").as_deref(), Some("Controller_2"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Minions: compute-intensive maintenance tasks (§3.2).
+//!
+//! Minions execute tasks assigned by the controller's job scheduling
+//! system. The task framework is extensible (new task types plug in via
+//! [`MinionTask`]); the two built-in tasks mirror the paper's examples:
+//!
+//! * **purge** — LinkedIn must sometimes expunge member-specific data for
+//!   legal compliance. Since segments are immutable, the minion downloads
+//!   each segment, removes the unwanted records, rebuilds and reindexes the
+//!   segment, and uploads it back, replacing the original.
+//! * **reindex** — rebuild segments with the table's *current* index
+//!   configuration, so index changes roll out without user impact (§4.1).
+
+use bytes::Bytes;
+use pinot_common::config::TableConfig;
+use pinot_common::ids::InstanceId;
+use pinot_common::{PinotError, Record, Result, Value};
+use pinot_controller::ControllerGroup;
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use std::sync::Arc;
+
+/// What a finished task reports back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskReport {
+    pub task: String,
+    pub segments_processed: usize,
+    pub segments_rewritten: usize,
+    pub records_removed: u64,
+}
+
+/// A pluggable maintenance task.
+pub trait MinionTask: Send + Sync {
+    fn name(&self) -> &str;
+    fn run(&self, minion: &Minion) -> Result<TaskReport>;
+}
+
+/// Which records a purge removes: rows whose `column` matches any of
+/// `values`.
+#[derive(Debug, Clone)]
+pub struct PurgeSpec {
+    pub table: String,
+    pub column: String,
+    pub values: Vec<Value>,
+}
+
+/// One minion instance.
+pub struct Minion {
+    id: InstanceId,
+    controllers: ControllerGroup,
+}
+
+impl Minion {
+    pub fn new(n: usize, controllers: ControllerGroup) -> Arc<Minion> {
+        Arc::new(Minion {
+            id: InstanceId::minion(n),
+            controllers,
+        })
+    }
+
+    pub fn id(&self) -> &InstanceId {
+        &self.id
+    }
+
+    fn leader(&self) -> Result<Arc<pinot_controller::Controller>> {
+        self.controllers
+            .leader()
+            .ok_or_else(|| PinotError::Cluster("no lead controller".into()))
+    }
+
+    /// Run any task through the framework.
+    pub fn run(&self, task: &dyn MinionTask) -> Result<TaskReport> {
+        task.run(self)
+    }
+
+    /// Purge matching records from every segment of a table (download →
+    /// expunge → rebuild → re-upload, replacing the original segments).
+    pub fn run_purge(&self, spec: &PurgeSpec) -> Result<TaskReport> {
+        let leader = self.leader()?;
+        let config = leader.table_config(&spec.table)?;
+        let mut report = TaskReport {
+            task: format!("purge:{}", spec.table),
+            segments_processed: 0,
+            segments_rewritten: 0,
+            records_removed: 0,
+        };
+        for seg_name in leader.list_segments(&spec.table) {
+            let Ok(blob) = leader.download_segment(&spec.table, &seg_name) else {
+                continue; // consuming segment without a committed blob yet
+            };
+            report.segments_processed += 1;
+            let segment = pinot_segment::persist::deserialize(&blob)?;
+            let col_idx = segment
+                .schema()
+                .column_index(&spec.column)
+                .ok_or_else(|| {
+                    PinotError::Schema(format!("purge column {:?} not in schema", spec.column))
+                })?;
+
+            // Collect surviving records.
+            let mut survivors: Vec<Record> = Vec::new();
+            let mut removed = 0u64;
+            for doc in 0..segment.num_docs() {
+                let row = segment.record(doc);
+                let matches = spec
+                    .values
+                    .iter()
+                    .any(|v| row[col_idx].total_cmp(v).is_eq());
+                if matches {
+                    removed += 1;
+                } else {
+                    survivors.push(Record::new(row));
+                }
+            }
+            if removed == 0 {
+                continue;
+            }
+            report.records_removed += removed;
+            report.segments_rewritten += 1;
+
+            let rebuilt = rebuild_segment(&segment, survivors, &config)?;
+            leader.upload_segment(&spec.table, Bytes::from(rebuilt))?;
+        }
+        Ok(report)
+    }
+
+    /// Rebuild every segment with the table's current index configuration.
+    pub fn run_reindex(&self, table: &str) -> Result<TaskReport> {
+        let leader = self.leader()?;
+        let config = leader.table_config(table)?;
+        let mut report = TaskReport {
+            task: format!("reindex:{table}"),
+            segments_processed: 0,
+            segments_rewritten: 0,
+            records_removed: 0,
+        };
+        for seg_name in leader.list_segments(table) {
+            let Ok(blob) = leader.download_segment(table, &seg_name) else {
+                continue;
+            };
+            report.segments_processed += 1;
+            let segment = pinot_segment::persist::deserialize(&blob)?;
+            let rows: Vec<Record> = (0..segment.num_docs())
+                .map(|d| Record::new(segment.record(d)))
+                .collect();
+            let rebuilt = rebuild_segment(&segment, rows, &config)?;
+            leader.upload_segment(table, Bytes::from(rebuilt))?;
+            report.segments_rewritten += 1;
+        }
+        Ok(report)
+    }
+}
+
+/// Rebuild a segment (same name/table/partition) from the given rows, with
+/// the index settings from the current table config.
+fn rebuild_segment(
+    original: &pinot_segment::ImmutableSegment,
+    rows: Vec<Record>,
+    config: &TableConfig,
+) -> Result<Vec<u8>> {
+    let meta = original.metadata();
+    let mut cfg = BuilderConfig::new(meta.segment_name.clone(), meta.table.clone());
+    if let Some(sorted) = &config.indexing.sorted_column {
+        cfg.sort_columns = vec![sorted.clone()];
+    }
+    cfg.inverted_columns = config.indexing.inverted_index_columns.clone();
+    cfg.partition = meta.partition.clone();
+    if let Some((s, e)) = meta.offset_range {
+        cfg = cfg.with_offset_range(s, e);
+    }
+    cfg.created_at_millis = meta.created_at_millis;
+    let mut builder = SegmentBuilder::new(original.schema().clone(), cfg)?;
+    for r in rows {
+        builder.add(r)?;
+    }
+    Ok(pinot_segment::persist::serialize(&builder.build()?))
+}
+
+/// [`MinionTask`] wrapper for purges, so purges can be scheduled through
+/// the generic framework.
+pub struct PurgeTask(pub PurgeSpec);
+
+impl MinionTask for PurgeTask {
+    fn name(&self) -> &str {
+        "purge"
+    }
+
+    fn run(&self, minion: &Minion) -> Result<TaskReport> {
+        minion.run_purge(&self.0)
+    }
+}
+
+/// [`MinionTask`] wrapper for reindexing.
+pub struct ReindexTask(pub String);
+
+impl MinionTask for ReindexTask {
+    fn name(&self) -> &str {
+        "reindex"
+    }
+
+    fn run(&self, minion: &Minion) -> Result<TaskReport> {
+        minion.run_reindex(&self.0)
+    }
+}

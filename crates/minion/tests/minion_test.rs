@@ -1,0 +1,156 @@
+//! Minion task-framework tests against a real controller stack.
+
+use bytes::Bytes;
+use pinot_cluster::{ClusterManager, Participant, SegmentState};
+use pinot_common::config::TableConfig;
+use pinot_common::ids::InstanceId;
+use pinot_common::time::Clock;
+use pinot_common::{DataType, FieldSpec, Record, Result, Schema, Value};
+use pinot_controller::{Controller, ControllerGroup};
+use pinot_metastore::MetaStore;
+use pinot_minion::{Minion, MinionTask, PurgeSpec, PurgeTask, ReindexTask};
+use pinot_objstore::MemoryObjectStore;
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use pinot_stream::StreamRegistry;
+use std::sync::Arc;
+
+/// A do-nothing participant so segment assignment succeeds.
+struct NullServer(InstanceId);
+
+impl Participant for NullServer {
+    fn instance_id(&self) -> InstanceId {
+        self.0.clone()
+    }
+    fn handle_transition(
+        &self,
+        _: &str,
+        _: &str,
+        _: SegmentState,
+        _: SegmentState,
+    ) -> Result<()> {
+        Ok(())
+    }
+}
+
+fn setup() -> (Arc<Controller>, Arc<Minion>) {
+    let metastore = MetaStore::new();
+    let cluster = ClusterManager::new(metastore.clone());
+    cluster.register_participant(Arc::new(NullServer(InstanceId::server(1))));
+    let controller = Controller::new(
+        1,
+        metastore.clone(),
+        cluster,
+        MemoryObjectStore::shared(),
+        StreamRegistry::new(),
+        Clock::manual(0),
+    );
+    assert!(controller.try_become_leader());
+    let group = ControllerGroup::new(metastore);
+    group.add(Arc::clone(&controller));
+    let minion = Minion::new(1, group);
+    (controller, minion)
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            FieldSpec::dimension("member", DataType::Long),
+            FieldSpec::metric("m", DataType::Long),
+        ],
+    )
+    .unwrap()
+}
+
+fn upload(controller: &Controller, name: &str, members: &[i64]) {
+    let mut b = SegmentBuilder::new(schema(), BuilderConfig::new(name, "t_OFFLINE")).unwrap();
+    for m in members {
+        b.add(Record::new(vec![Value::Long(*m), Value::Long(1)]))
+            .unwrap();
+    }
+    controller
+        .upload_segment(
+            "t_OFFLINE",
+            Bytes::from(pinot_segment::persist::serialize(&b.build().unwrap())),
+        )
+        .unwrap();
+}
+
+#[test]
+fn purge_task_through_framework() {
+    let (controller, minion) = setup();
+    controller
+        .create_table(TableConfig::offline("t"), schema())
+        .unwrap();
+    upload(&controller, "t__0", &[1, 2, 3, 2, 1]);
+    upload(&controller, "t__1", &[4, 5, 6]);
+
+    let task = PurgeTask(PurgeSpec {
+        table: "t_OFFLINE".into(),
+        column: "member".into(),
+        values: vec![Value::Long(2), Value::Long(5)],
+    });
+    assert_eq!(task.name(), "purge");
+    let report = minion.run(&task).unwrap();
+    assert_eq!(report.segments_processed, 2);
+    assert_eq!(report.segments_rewritten, 2);
+    assert_eq!(report.records_removed, 3);
+
+    // Rewritten blobs no longer contain the purged members.
+    for seg in controller.list_segments("t_OFFLINE") {
+        let blob = controller.download_segment("t_OFFLINE", &seg).unwrap();
+        let parsed = pinot_segment::persist::deserialize(&blob).unwrap();
+        for d in 0..parsed.num_docs() {
+            let member = parsed.record(d)[0].as_i64().unwrap();
+            assert!(member != 2 && member != 5, "{seg} still has {member}");
+        }
+    }
+
+    // Idempotent: a second purge removes nothing.
+    let report = minion.run(&task).unwrap();
+    assert_eq!(report.records_removed, 0);
+    assert_eq!(report.segments_rewritten, 0);
+}
+
+#[test]
+fn reindex_task_applies_current_config() {
+    let (controller, minion) = setup();
+    controller
+        .create_table(TableConfig::offline("t"), schema())
+        .unwrap();
+    upload(&controller, "t__0", &[1, 2, 3]);
+
+    // Blob initially has no sorted layout.
+    let blob = controller.download_segment("t_OFFLINE", "t__0").unwrap();
+    let parsed = pinot_segment::persist::deserialize(&blob).unwrap();
+    assert!(!parsed.metadata().column("member").unwrap().is_sorted);
+
+    // Operator adds a sorted column; the reindex task rebuilds blobs.
+    controller
+        .update_table_config(TableConfig::offline("t").with_sorted_column("member"))
+        .unwrap();
+    let report = minion.run(&ReindexTask("t_OFFLINE".into())).unwrap();
+    assert_eq!(report.segments_rewritten, 1);
+
+    let blob = controller.download_segment("t_OFFLINE", "t__0").unwrap();
+    let parsed = pinot_segment::persist::deserialize(&blob).unwrap();
+    assert!(parsed.metadata().column("member").unwrap().is_sorted);
+    assert_eq!(parsed.num_docs(), 3);
+}
+
+#[test]
+fn purge_unknown_column_errors() {
+    let (controller, minion) = setup();
+    controller
+        .create_table(TableConfig::offline("t"), schema())
+        .unwrap();
+    upload(&controller, "t__0", &[1]);
+    let err = minion
+        .run_purge(&PurgeSpec {
+            table: "t_OFFLINE".into(),
+            column: "nope".into(),
+            values: vec![Value::Long(1)],
+        })
+        .unwrap_err();
+    assert_eq!(err.kind(), "schema");
+}

@@ -1,0 +1,261 @@
+//! Durable object store substrate.
+//!
+//! Pinot keeps all persistent segment data in a durable object store (NFS
+//! at LinkedIn, Azure Disk elsewhere, §3.2/§3.4); local server disks are
+//! only caches. This crate defines that contract — immutable blobs put/get
+//! by key, listable by prefix — with two implementations: an in-memory
+//! store for tests and simulations, and a directory-backed store that
+//! actually writes files.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use pinot_common::{PinotError, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A durable blob store. Keys are slash-separated logical paths, e.g.
+/// `segments/myTable_OFFLINE/myTable__3`.
+pub trait ObjectStore: Send + Sync {
+    /// Store a blob (overwrites an existing key — segment *replacement*,
+    /// which is how Pinot applies corrections to immutable data).
+    fn put(&self, key: &str, data: Bytes) -> Result<()>;
+
+    /// Fetch a blob.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    fn delete(&self, key: &str) -> Result<()>;
+
+    fn exists(&self, key: &str) -> bool;
+
+    /// All keys with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Total bytes stored under a prefix (quota accounting).
+    fn size_under(&self, prefix: &str) -> u64;
+}
+
+/// Shared handle.
+pub type ObjectStoreRef = Arc<dyn ObjectStore>;
+
+/// Validate a key: non-empty, no traversal, printable segments.
+fn validate_key(key: &str) -> Result<()> {
+    if key.is_empty() || key.len() > 512 {
+        return Err(PinotError::Io(format!("invalid object key {key:?}")));
+    }
+    for part in key.split('/') {
+        if part.is_empty() || part == "." || part == ".." {
+            return Err(PinotError::Io(format!("invalid object key {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// In-memory object store.
+#[derive(Default)]
+pub struct MemoryObjectStore {
+    blobs: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl MemoryObjectStore {
+    pub fn new() -> MemoryObjectStore {
+        MemoryObjectStore::default()
+    }
+
+    pub fn shared() -> ObjectStoreRef {
+        Arc::new(MemoryObjectStore::new())
+    }
+}
+
+impl ObjectStore for MemoryObjectStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        validate_key(key)?;
+        self.blobs.write().insert(key.to_string(), data);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.blobs
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| PinotError::Io(format!("object {key:?} not found")))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.blobs
+            .write()
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| PinotError::Io(format!("object {key:?} not found")))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.blobs.read().contains_key(key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.blobs
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn size_under(&self, prefix: &str) -> u64 {
+        self.blobs
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
+}
+
+/// Directory-backed object store. Keys map to files under the root; slashes
+/// become directories.
+pub struct DirObjectStore {
+    root: PathBuf,
+}
+
+impl DirObjectStore {
+    pub fn new(root: impl Into<PathBuf>) -> Result<DirObjectStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirObjectStore { root })
+    }
+
+    pub fn shared(root: impl Into<PathBuf>) -> Result<ObjectStoreRef> {
+        Ok(Arc::new(DirObjectStore::new(root)?))
+    }
+
+    fn path_of(&self, key: &str) -> Result<PathBuf> {
+        validate_key(key)?;
+        Ok(self.root.join(key))
+    }
+
+    fn collect(&self, dir: &Path, rel: &str, out: &mut Vec<String>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let key = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            let path = entry.path();
+            if path.is_dir() {
+                self.collect(&path, &key, out);
+            } else {
+                out.push(key);
+            }
+        }
+    }
+}
+
+impl ObjectStore for DirObjectStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        let path = self.path_of(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename for atomicity against concurrent readers.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &data)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_of(key)?;
+        let data = std::fs::read(&path)
+            .map_err(|e| PinotError::Io(format!("object {key:?}: {e}")))?;
+        Ok(Bytes::from(data))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_of(key)?;
+        std::fs::remove_file(&path).map_err(|e| PinotError::Io(format!("object {key:?}: {e}")))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        match self.path_of(key) {
+            Ok(p) => p.is_file(),
+            Err(_) => false,
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect(&self.root, "", &mut out);
+        out.retain(|k| k.starts_with(prefix));
+        out.sort();
+        out
+    }
+
+    fn size_under(&self, prefix: &str) -> u64 {
+        self.list(prefix)
+            .iter()
+            .filter_map(|k| self.path_of(k).ok())
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("a/b/seg1", Bytes::from_static(b"hello")).unwrap();
+        store.put("a/b/seg2", Bytes::from_static(b"world!")).unwrap();
+        store.put("a/c/seg3", Bytes::from_static(b"x")).unwrap();
+
+        assert_eq!(store.get("a/b/seg1").unwrap(), Bytes::from_static(b"hello"));
+        assert!(store.exists("a/b/seg2"));
+        assert!(!store.exists("a/b/nope"));
+        assert!(store.get("a/b/nope").is_err());
+
+        assert_eq!(store.list("a/b/"), vec!["a/b/seg1", "a/b/seg2"]);
+        assert_eq!(store.list("a/"), vec!["a/b/seg1", "a/b/seg2", "a/c/seg3"]);
+        assert_eq!(store.size_under("a/b/"), 11);
+
+        // Overwrite = segment replacement.
+        store.put("a/b/seg1", Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(store.get("a/b/seg1").unwrap(), Bytes::from_static(b"v2"));
+
+        store.delete("a/b/seg1").unwrap();
+        assert!(store.delete("a/b/seg1").is_err());
+        assert!(!store.exists("a/b/seg1"));
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&MemoryObjectStore::new());
+    }
+
+    #[test]
+    fn dir_store_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "pinot-objstore-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirObjectStore::new(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_keys() {
+        let store = MemoryObjectStore::new();
+        for key in ["", "a//b", "../etc/passwd", "a/./b", "/abs"] {
+            assert!(store.put(key, Bytes::new()).is_err(), "{key:?}");
+        }
+    }
+}

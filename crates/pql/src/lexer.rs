@@ -1,0 +1,266 @@
+//! PQL tokenizer.
+
+use pinot_common::{PinotError, Result};
+
+/// Lexical token. Keywords are case-insensitive and surfaced as `Kw`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier (column/table names, unrecognized words).
+    Ident(String),
+    /// Single-quoted literal.
+    Str(String),
+    Int(i64),
+    Float(f64),
+    /// Uppercased keyword: SELECT, FROM, WHERE, AND, OR, NOT, IN, BETWEEN,
+    /// GROUP, BY, TOP, LIMIT, TRUE, FALSE.
+    Kw(&'static str),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "BY", "TOP",
+    "LIMIT", "TRUE", "FALSE",
+];
+
+/// Tokenize PQL text.
+pub fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let err = |pos: usize, msg: &str| {
+        PinotError::InvalidQuery(format!("lex error at byte {pos}: {msg}"))
+    };
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "expected != "));
+                }
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    pos += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                // Single-quoted string; '' escapes a quote.
+                let mut s = String::new();
+                pos += 1;
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err(err(pos, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(pos + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                pos += 2;
+                            } else {
+                                pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) if b < 0x80 => {
+                            s.push(b as char);
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            // Copy the full UTF-8 character.
+                            let rest = &text[pos..];
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            pos += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = pos;
+                if c == b'-' {
+                    pos += 1;
+                    if !matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        return Err(err(start, "expected digits after '-'"));
+                    }
+                }
+                while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(pos) == Some(&b'.') {
+                    is_float = true;
+                    pos += 1;
+                    while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        pos += 1;
+                    }
+                }
+                if matches!(bytes.get(pos), Some(b'e' | b'E')) {
+                    is_float = true;
+                    pos += 1;
+                    if matches!(bytes.get(pos), Some(b'+' | b'-')) {
+                        pos += 1;
+                    }
+                    while matches!(bytes.get(pos), Some(b'0'..=b'9')) {
+                        pos += 1;
+                    }
+                }
+                let s = &text[start..pos];
+                if is_float {
+                    out.push(Token::Float(
+                        s.parse().map_err(|_| err(start, "bad float literal"))?,
+                    ));
+                } else {
+                    out.push(Token::Int(
+                        s.parse().map_err(|_| err(start, "bad integer literal"))?,
+                    ));
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = pos;
+                while matches!(
+                    bytes.get(pos),
+                    Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'.')
+                ) {
+                    pos += 1;
+                }
+                let word = &text[start..pos];
+                let upper = word.to_ascii_uppercase();
+                if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
+                    out.push(Token::Kw(kw));
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+            }
+            _ => return Err(err(pos, &format!("unexpected character {:?}", c as char))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_query() {
+        let toks = tokenize(
+            "SELECT campaignId, sum(click) FROM TableA WHERE accountId = 121011 AND 'day' >= 15949 GROUP BY campaignId",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Kw("SELECT")));
+        assert!(toks.contains(&Token::Ident("campaignId".into())));
+        assert!(toks.contains(&Token::Str("day".into())));
+        assert!(toks.contains(&Token::Int(121011)));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select FROM Where aNd").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Kw("SELECT"),
+                Token::Kw("FROM"),
+                Token::Kw("WHERE"),
+                Token::Kw("AND")
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("-7").unwrap(), vec![Token::Int(-7)]);
+        assert_eq!(tokenize("3.5").unwrap(), vec![Token::Float(3.5)]);
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        assert!(tokenize("- ").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            tokenize("'it''s'").unwrap(),
+            vec![Token::Str("it's".into())]
+        );
+        assert_eq!(tokenize("'héllo'").unwrap(), vec![Token::Str("héllo".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= != <> < <= > >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            tokenize("ns.table").unwrap(),
+            vec![Token::Ident("ns.table".into())]
+        );
+    }
+}

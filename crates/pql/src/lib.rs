@@ -1,0 +1,32 @@
+//! PQL — Pinot Query Language (§3.1).
+//!
+//! PQL is a subset of SQL: selection, projection, aggregation and top-n
+//! queries over a single table. By design (matching the paper) there are
+//! **no** joins, nested queries, DDL, or record-level mutation statements.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query      := SELECT select_list FROM ident [WHERE predicate]
+//!               [GROUP BY ident (, ident)*] [TOP number] [LIMIT number]
+//! select_list:= '*' | projection (, projection)* | agg (, agg)*
+//! agg        := (COUNT|SUM|MIN|MAX|AVG|DISTINCTCOUNT) '(' ('*'|ident) ')'
+//! predicate  := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | '(' predicate ')' | comparison
+//! comparison := operand (=|!=|<>|<|<=|>|>=) literal
+//!             | operand [NOT] IN '(' literal (, literal)* ')'
+//!             | operand BETWEEN literal AND literal
+//! ```
+//!
+//! String literals use single quotes; identifiers may also be quoted with
+//! single quotes on the left-hand side of a comparison (the paper's example
+//! query writes `'day' >= 15949`).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunction, AggregateExpr, CmpOp, Predicate, Query, SelectList};
+pub use parser::parse;

@@ -1,0 +1,76 @@
+//! Parser robustness: `parse` must never panic — arbitrary byte soup maps
+//! to a clean `InvalidQuery` error, and every structurally valid generated
+//! query parses to the expected AST shape.
+
+use pinot_pql::{parse, SelectList};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings (including non-ASCII and control characters)
+    /// never panic the lexer or parser.
+    #[test]
+    fn arbitrary_strings_never_panic(s in ".*") {
+        let _ = parse(&s);
+    }
+
+    /// Byte soup biased toward PQL tokens: worst case for the parser's
+    /// recovery paths.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
+            "GROUP", "BY", "TOP", "LIMIT", "COUNT", "SUM", "(", ")", ",",
+            "*", "=", "!=", "<", "<=", ">", ">=", "'x'", "42", "-7", "3.5",
+            "col", "tbl", "''",
+        ]),
+        0..25,
+    )) {
+        let q = tokens.join(" ");
+        let _ = parse(&q);
+    }
+
+    /// Generated well-formed queries always parse, and the AST reflects
+    /// the generated structure.
+    #[test]
+    fn well_formed_queries_parse(
+        n_aggs in 1usize..4,
+        n_preds in 0usize..4,
+        group in any::<bool>(),
+        top in prop::option::of(1usize..100),
+    ) {
+        let aggs: Vec<String> = (0..n_aggs)
+            .map(|i| {
+                let fns = ["COUNT(*)", "SUM(m)", "MIN(m)", "MAX(m)", "AVG(m)"];
+                fns[i % fns.len()].to_string()
+            })
+            .collect();
+        let mut q = format!("SELECT {} FROM t", aggs.join(", "));
+        if n_preds > 0 {
+            let preds: Vec<String> = (0..n_preds)
+                .map(|i| match i % 4 {
+                    0 => format!("a = {i}"),
+                    1 => format!("b IN ('x', 'y{i}')"),
+                    2 => format!("c BETWEEN {i} AND {}", i + 10),
+                    _ => format!("d >= {}", i * 3),
+                })
+                .collect();
+            q.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+        }
+        if group {
+            q.push_str(" GROUP BY g");
+            if let Some(t) = top {
+                q.push_str(&format!(" TOP {t}"));
+            }
+        }
+        let parsed = parse(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        prop_assert_eq!(parsed.aggregations().len(), n_aggs);
+        prop_assert_eq!(parsed.filter.is_some(), n_preds > 0);
+        prop_assert_eq!(!parsed.group_by.is_empty(), group);
+        if group {
+            prop_assert_eq!(parsed.top, top);
+        }
+        prop_assert!(matches!(parsed.select, SelectList::Aggregations(_)));
+    }
+}

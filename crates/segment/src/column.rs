@@ -1,0 +1,172 @@
+//! One column of an immutable segment: dictionary + forward index +
+//! optional inverted / sorted indexes.
+
+use crate::dictionary::Dictionary;
+use crate::forward::ForwardIndex;
+use crate::inverted::InvertedIndex;
+use crate::metadata::ColumnStats;
+use crate::sorted_index::SortedIndex;
+use crate::{DictId, DocId};
+use pinot_common::{FieldSpec, Value};
+
+/// Column storage plus its indexes.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    pub spec: FieldSpec,
+    pub dictionary: Dictionary,
+    pub forward: ForwardIndex,
+    pub inverted: Option<InvertedIndex>,
+    pub sorted: Option<SortedIndex>,
+}
+
+impl ColumnData {
+    /// Dictionary id for a single-value doc.
+    #[inline]
+    pub fn dict_id(&self, doc: DocId) -> DictId {
+        self.forward.get(doc)
+    }
+
+    /// Value of a single-value doc.
+    pub fn value(&self, doc: DocId) -> Value {
+        if self.forward.is_single_value() {
+            self.dictionary.value_of(self.forward.get(doc))
+        } else {
+            let mut ids = Vec::new();
+            self.forward.get_multi(doc, &mut ids);
+            let elems: Vec<Value> = ids.iter().map(|&i| self.dictionary.value_of(i)).collect();
+            // Re-wrap as the appropriate array value.
+            match elems.first() {
+                Some(Value::Int(_)) => {
+                    Value::IntArray(elems.iter().filter_map(|v| v.as_i64().map(|x| x as i32)).collect())
+                }
+                Some(Value::Long(_)) => {
+                    Value::LongArray(elems.iter().filter_map(|v| v.as_i64()).collect())
+                }
+                Some(Value::String(_)) => Value::StringArray(
+                    elems
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect(),
+                ),
+                _ => Value::Null,
+            }
+        }
+    }
+
+    /// Numeric value of a single-value doc (aggregation fast path).
+    #[inline]
+    pub fn numeric(&self, doc: DocId) -> Option<f64> {
+        self.dictionary.numeric_of(self.forward.get(doc))
+    }
+
+    /// Integer value of a single-value doc (time-column fast path).
+    #[inline]
+    pub fn long(&self, doc: DocId) -> Option<i64> {
+        self.dictionary.long_of(self.forward.get(doc))
+    }
+
+    /// Build (or rebuild) the inverted index for this column. Pinot servers
+    /// can create inverted indexes on demand because the index file is
+    /// append-only (§3.2); the in-memory analogue is this method.
+    pub fn ensure_inverted(&mut self) {
+        if self.inverted.is_none() {
+            self.inverted = Some(InvertedIndex::build(
+                &self.forward,
+                self.dictionary.cardinality(),
+            ));
+        }
+    }
+
+    pub fn stats(&self) -> ColumnStats {
+        ColumnStats {
+            name: self.spec.name.clone(),
+            data_type: self.spec.data_type,
+            single_value: self.forward.is_single_value(),
+            cardinality: self.dictionary.cardinality(),
+            min: self.dictionary.min_value(),
+            max: self.dictionary.max_value(),
+            total_entries: self.forward.num_entries(),
+            has_inverted_index: self.inverted.is_some(),
+            is_sorted: self.sorted.is_some(),
+        }
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.dictionary.size_bytes()
+            + self.forward.size_bytes()
+            + self.inverted.as_ref().map_or(0, InvertedIndex::size_bytes)
+            + self.sorted.as_ref().map_or(0, SortedIndex::size_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_common::DataType;
+
+    fn string_column(values: &[&str]) -> ColumnData {
+        let dict = Dictionary::build(
+            DataType::String,
+            values.iter().map(|s| Value::from(*s)),
+        );
+        let ids: Vec<DictId> = values
+            .iter()
+            .map(|s| dict.id_of(&Value::from(*s)).unwrap())
+            .collect();
+        ColumnData {
+            spec: FieldSpec::dimension("c", DataType::String),
+            dictionary: dict,
+            forward: ForwardIndex::single(&ids),
+            inverted: None,
+            sorted: None,
+        }
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let col = string_column(&["b", "a", "b"]);
+        assert_eq!(col.value(0), Value::from("b"));
+        assert_eq!(col.value(1), Value::from("a"));
+        assert_eq!(col.dict_id(0), col.dict_id(2));
+    }
+
+    #[test]
+    fn ensure_inverted_is_idempotent() {
+        let mut col = string_column(&["x", "y", "x"]);
+        assert!(col.inverted.is_none());
+        col.ensure_inverted();
+        let first = col.inverted.clone().unwrap();
+        col.ensure_inverted();
+        assert_eq!(col.inverted.unwrap(), first);
+        assert_eq!(first.postings(0).to_vec(), vec![0, 2]); // "x"
+    }
+
+    #[test]
+    fn stats_reflect_indexes() {
+        let mut col = string_column(&["m", "n"]);
+        let s = col.stats();
+        assert_eq!(s.cardinality, 2);
+        assert!(!s.has_inverted_index);
+        col.ensure_inverted();
+        assert!(col.stats().has_inverted_index);
+        assert_eq!(col.stats().min, Some(Value::from("m")));
+    }
+
+    #[test]
+    fn multivalue_value_reconstruction() {
+        let dict = Dictionary::build(
+            DataType::Int,
+            [1, 2, 3].map(Value::from),
+        );
+        let ids = vec![vec![0u32, 2], vec![1]];
+        let col = ColumnData {
+            spec: FieldSpec::multi_value_dimension("mv", DataType::Int),
+            dictionary: dict,
+            forward: ForwardIndex::multi(&ids),
+            inverted: None,
+            sorted: None,
+        };
+        assert_eq!(col.value(0), Value::IntArray(vec![1, 3]));
+        assert_eq!(col.value(1), Value::IntArray(vec![2]));
+    }
+}

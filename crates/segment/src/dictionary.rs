@@ -1,0 +1,397 @@
+//! Per-column dictionaries.
+//!
+//! A dictionary maps each distinct column value to a dense id. Values are
+//! stored *sorted*, so ids preserve value order: range predicates translate
+//! to contiguous dictionary-id ranges, which both the sorted-column index
+//! and range filters exploit.
+
+use crate::DictId;
+use pinot_common::{DataType, Value};
+
+/// Typed sorted dictionary of distinct values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dictionary {
+    Int(Vec<i32>),
+    Long(Vec<i64>),
+    Float(Vec<f32>),
+    Double(Vec<f64>),
+    String(Vec<String>),
+    Boolean(Vec<bool>),
+}
+
+impl Dictionary {
+    /// Build a dictionary from raw (scalar) values; sorts and dedups.
+    pub fn build(data_type: DataType, values: impl IntoIterator<Item = Value>) -> Dictionary {
+        match data_type {
+            DataType::Int => {
+                let mut v: Vec<i32> = values
+                    .into_iter()
+                    .filter_map(|x| x.as_i64().map(|n| n as i32))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                Dictionary::Int(v)
+            }
+            DataType::Long => {
+                let mut v: Vec<i64> = values.into_iter().filter_map(|x| x.as_i64()).collect();
+                v.sort_unstable();
+                v.dedup();
+                Dictionary::Long(v)
+            }
+            DataType::Float => {
+                let mut v: Vec<f32> = values
+                    .into_iter()
+                    .filter_map(|x| x.as_f64().map(|n| n as f32))
+                    .collect();
+                v.sort_unstable_by(f32::total_cmp);
+                v.dedup_by(|a, b| a.total_cmp(b).is_eq());
+                Dictionary::Float(v)
+            }
+            DataType::Double => {
+                let mut v: Vec<f64> = values.into_iter().filter_map(|x| x.as_f64()).collect();
+                v.sort_unstable_by(f64::total_cmp);
+                v.dedup_by(|a, b| a.total_cmp(b).is_eq());
+                Dictionary::Double(v)
+            }
+            DataType::String => {
+                let mut v: Vec<String> = values
+                    .into_iter()
+                    .filter_map(|x| match x {
+                        Value::String(s) => Some(s),
+                        _ => None,
+                    })
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                Dictionary::String(v)
+            }
+            DataType::Boolean => {
+                let mut v: Vec<bool> = values
+                    .into_iter()
+                    .filter_map(|x| match x {
+                        Value::Boolean(b) => Some(b),
+                        _ => None,
+                    })
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                Dictionary::Boolean(v)
+            }
+        }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Dictionary::Int(_) => DataType::Int,
+            Dictionary::Long(_) => DataType::Long,
+            Dictionary::Float(_) => DataType::Float,
+            Dictionary::Double(_) => DataType::Double,
+            Dictionary::String(_) => DataType::String,
+            Dictionary::Boolean(_) => DataType::Boolean,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Dictionary::Int(v) => v.len(),
+            Dictionary::Long(v) => v.len(),
+            Dictionary::Float(v) => v.len(),
+            Dictionary::Double(v) => v.len(),
+            Dictionary::String(v) => v.len(),
+            Dictionary::Boolean(v) => v.len(),
+        }
+    }
+
+    /// Dictionary id of an exact value, if present. Values of a mismatched
+    /// type return `None` (a predicate on the wrong type matches nothing).
+    pub fn id_of(&self, value: &Value) -> Option<DictId> {
+        let r = match self {
+            Dictionary::Int(v) => {
+                let x = int_of(value)?;
+                v.binary_search(&x).ok()
+            }
+            Dictionary::Long(v) => {
+                let x = value.as_i64()?;
+                v.binary_search(&x).ok()
+            }
+            Dictionary::Float(v) => {
+                let x = value.as_f64()? as f32;
+                v.binary_search_by(|p| p.total_cmp(&x)).ok()
+            }
+            Dictionary::Double(v) => {
+                let x = value.as_f64()?;
+                v.binary_search_by(|p| p.total_cmp(&x)).ok()
+            }
+            Dictionary::String(v) => {
+                let x = value.as_str()?;
+                v.binary_search_by(|p| p.as_str().cmp(x)).ok()
+            }
+            Dictionary::Boolean(v) => {
+                let x = match value {
+                    Value::Boolean(b) => *b,
+                    _ => return None,
+                };
+                v.binary_search(&x).ok()
+            }
+        };
+        r.map(|i| i as DictId)
+    }
+
+    /// The contiguous dict-id range `[lo, hi)` of values within
+    /// `[min, max]` (inclusive bounds, either may be unbounded).
+    /// Because the dictionary is sorted, every range predicate reduces to
+    /// one id interval.
+    pub fn id_range(&self, min: Option<&Value>, max: Option<&Value>) -> (DictId, DictId) {
+        let lo = match min {
+            None => 0usize,
+            Some(v) => self.partition_point_lt(v),
+        };
+        let hi = match max {
+            None => self.cardinality(),
+            Some(v) => self.partition_point_le(v),
+        };
+        (lo as DictId, hi.max(lo) as DictId)
+    }
+
+    /// Index of the first value >= v.
+    fn partition_point_lt(&self, v: &Value) -> usize {
+        match self {
+            Dictionary::Int(d) => match int_of(v) {
+                Some(x) => d.partition_point(|p| *p < x),
+                None => d.len(),
+            },
+            Dictionary::Long(d) => match v.as_i64() {
+                Some(x) => d.partition_point(|p| *p < x),
+                None => d.len(),
+            },
+            Dictionary::Float(d) => match v.as_f64() {
+                Some(x) => d.partition_point(|p| p.total_cmp(&(x as f32)).is_lt()),
+                None => d.len(),
+            },
+            Dictionary::Double(d) => match v.as_f64() {
+                Some(x) => d.partition_point(|p| p.total_cmp(&x).is_lt()),
+                None => d.len(),
+            },
+            Dictionary::String(d) => match v.as_str() {
+                Some(x) => d.partition_point(|p| p.as_str() < x),
+                None => d.len(),
+            },
+            Dictionary::Boolean(d) => match v {
+                Value::Boolean(x) => d.partition_point(|p| (*p as u8) < (*x as u8)),
+                _ => d.len(),
+            },
+        }
+    }
+
+    /// Index just past the last value <= v.
+    fn partition_point_le(&self, v: &Value) -> usize {
+        match self {
+            Dictionary::Int(d) => match int_of(v) {
+                Some(x) => d.partition_point(|p| *p <= x),
+                None => 0,
+            },
+            Dictionary::Long(d) => match v.as_i64() {
+                Some(x) => d.partition_point(|p| *p <= x),
+                None => 0,
+            },
+            Dictionary::Float(d) => match v.as_f64() {
+                Some(x) => d.partition_point(|p| p.total_cmp(&(x as f32)).is_le()),
+                None => 0,
+            },
+            Dictionary::Double(d) => match v.as_f64() {
+                Some(x) => d.partition_point(|p| p.total_cmp(&x).is_le()),
+                None => 0,
+            },
+            Dictionary::String(d) => match v.as_str() {
+                Some(x) => d.partition_point(|p| p.as_str() <= x),
+                None => 0,
+            },
+            Dictionary::Boolean(d) => match v {
+                Value::Boolean(x) => d.partition_point(|p| (*p as u8) <= (*x as u8)),
+                _ => 0,
+            },
+        }
+    }
+
+    /// Value for a dictionary id. Panics when out of range.
+    pub fn value_of(&self, id: DictId) -> Value {
+        let i = id as usize;
+        match self {
+            Dictionary::Int(v) => Value::Int(v[i]),
+            Dictionary::Long(v) => Value::Long(v[i]),
+            Dictionary::Float(v) => Value::Float(v[i]),
+            Dictionary::Double(v) => Value::Double(v[i]),
+            Dictionary::String(v) => Value::String(v[i].clone()),
+            Dictionary::Boolean(v) => Value::Boolean(v[i]),
+        }
+    }
+
+    /// Numeric value for a dictionary id (aggregation fast path).
+    #[inline]
+    pub fn numeric_of(&self, id: DictId) -> Option<f64> {
+        let i = id as usize;
+        match self {
+            Dictionary::Int(v) => Some(v[i] as f64),
+            Dictionary::Long(v) => Some(v[i] as f64),
+            Dictionary::Float(v) => Some(v[i] as f64),
+            Dictionary::Double(v) => Some(v[i]),
+            Dictionary::Boolean(v) => Some(v[i] as u8 as f64),
+            Dictionary::String(_) => None,
+        }
+    }
+
+    /// Integer value for a dictionary id (time-column fast path).
+    #[inline]
+    pub fn long_of(&self, id: DictId) -> Option<i64> {
+        let i = id as usize;
+        match self {
+            Dictionary::Int(v) => Some(v[i] as i64),
+            Dictionary::Long(v) => Some(v[i]),
+            Dictionary::Boolean(v) => Some(v[i] as i64),
+            _ => None,
+        }
+    }
+
+    pub fn min_value(&self) -> Option<Value> {
+        if self.cardinality() == 0 {
+            None
+        } else {
+            Some(self.value_of(0))
+        }
+    }
+
+    pub fn max_value(&self) -> Option<Value> {
+        match self.cardinality() {
+            0 => None,
+            n => Some(self.value_of((n - 1) as DictId)),
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn size_bytes(&self) -> usize {
+        let base = std::mem::size_of::<Self>();
+        base + match self {
+            Dictionary::Int(v) => v.len() * 4,
+            Dictionary::Long(v) => v.len() * 8,
+            Dictionary::Float(v) => v.len() * 4,
+            Dictionary::Double(v) => v.len() * 8,
+            Dictionary::String(v) => v.iter().map(|s| s.len() + 24).sum(),
+            Dictionary::Boolean(v) => v.len(),
+        }
+    }
+}
+
+fn int_of(v: &Value) -> Option<i32> {
+    match v.as_i64() {
+        Some(x) if x >= i32::MIN as i64 && x <= i32::MAX as i64 => Some(x as i32),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let d = Dictionary::build(
+            DataType::String,
+            ["b", "a", "c", "a"].iter().map(|s| Value::from(*s)),
+        );
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.value_of(0), Value::from("a"));
+        assert_eq!(d.value_of(2), Value::from("c"));
+    }
+
+    #[test]
+    fn id_of_exact_lookup() {
+        let d = Dictionary::build(DataType::Long, [5i64, 1, 9].map(Value::from));
+        assert_eq!(d.id_of(&Value::Long(1)), Some(0));
+        assert_eq!(d.id_of(&Value::Long(5)), Some(1));
+        assert_eq!(d.id_of(&Value::Long(9)), Some(2));
+        assert_eq!(d.id_of(&Value::Long(2)), None);
+        // Cross-type numeric lookup works for ints into long dictionaries.
+        assert_eq!(d.id_of(&Value::Int(5)), Some(1));
+        // Wrong type matches nothing.
+        assert_eq!(d.id_of(&Value::String("5".into())), None);
+    }
+
+    #[test]
+    fn id_range_translates_predicates() {
+        let d = Dictionary::build(DataType::Int, [10i32, 20, 30, 40].map(Value::from));
+        // 15 <= x <= 35  →  ids {1, 2} = [1, 3)
+        assert_eq!(
+            d.id_range(Some(&Value::Int(15)), Some(&Value::Int(35))),
+            (1, 3)
+        );
+        // x >= 20 → [1, 4)
+        assert_eq!(d.id_range(Some(&Value::Int(20)), None), (1, 4));
+        // x <= 10 → [0, 1)
+        assert_eq!(d.id_range(None, Some(&Value::Int(10))), (0, 1));
+        // Empty range never inverts.
+        assert_eq!(
+            d.id_range(Some(&Value::Int(50)), Some(&Value::Int(60))),
+            (4, 4)
+        );
+        assert_eq!(
+            d.id_range(Some(&Value::Int(35)), Some(&Value::Int(15))),
+            (3, 3)
+        );
+    }
+
+    #[test]
+    fn string_ranges() {
+        let d = Dictionary::build(
+            DataType::String,
+            ["apple", "banana", "cherry"].map(Value::from),
+        );
+        assert_eq!(
+            d.id_range(Some(&Value::from("b")), Some(&Value::from("cz"))),
+            (1, 3)
+        );
+    }
+
+    #[test]
+    fn numeric_and_long_views() {
+        let d = Dictionary::build(DataType::Double, [1.5f64, 2.5].map(Value::from));
+        assert_eq!(d.numeric_of(1), Some(2.5));
+        assert_eq!(d.long_of(0), None);
+        let l = Dictionary::build(DataType::Long, [7i64].map(Value::from));
+        assert_eq!(l.long_of(0), Some(7));
+        let s = Dictionary::build(DataType::String, ["x"].map(Value::from));
+        assert_eq!(s.numeric_of(0), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let d = Dictionary::build(DataType::Int, [3i32, 1, 2].map(Value::from));
+        assert_eq!(d.min_value(), Some(Value::Int(1)));
+        assert_eq!(d.max_value(), Some(Value::Int(3)));
+        let e = Dictionary::build(DataType::Int, std::iter::empty());
+        assert_eq!(e.min_value(), None);
+        assert_eq!(e.max_value(), None);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let d = Dictionary::build(
+            DataType::Double,
+            [f64::NAN, 1.0, f64::NAN, 2.0].map(Value::from),
+        );
+        // NaN dedups to one entry and sorts last under total order.
+        assert_eq!(d.cardinality(), 3);
+        assert!(matches!(d.value_of(2), Value::Double(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn boolean_dictionary() {
+        let d = Dictionary::build(
+            DataType::Boolean,
+            [true, false, true].map(Value::from),
+        );
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.id_of(&Value::Boolean(false)), Some(0));
+        assert_eq!(d.id_of(&Value::Boolean(true)), Some(1));
+    }
+}

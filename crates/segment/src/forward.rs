@@ -1,0 +1,183 @@
+//! Forward indexes: per-document dictionary ids.
+
+use crate::bitpack::PackedIntVec;
+use crate::{DictId, DocId};
+
+/// Forward index for one column.
+///
+/// Single-value columns store one bit-packed dict id per document.
+/// Multi-value columns store a flattened id array plus per-document offsets
+/// (document `d` owns ids `[offsets[d], offsets[d+1])`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardIndex {
+    SingleValue(PackedIntVec),
+    MultiValue {
+        offsets: Vec<u32>,
+        ids: PackedIntVec,
+    },
+}
+
+impl ForwardIndex {
+    pub fn single(ids: &[DictId]) -> ForwardIndex {
+        ForwardIndex::SingleValue(PackedIntVec::from_slice(ids))
+    }
+
+    pub fn multi(per_doc: &[Vec<DictId>]) -> ForwardIndex {
+        let mut offsets = Vec::with_capacity(per_doc.len() + 1);
+        offsets.push(0u32);
+        let mut flat = Vec::new();
+        for ids in per_doc {
+            flat.extend_from_slice(ids);
+            offsets.push(flat.len() as u32);
+        }
+        ForwardIndex::MultiValue {
+            offsets,
+            ids: PackedIntVec::from_slice(&flat),
+        }
+    }
+
+    pub fn is_single_value(&self) -> bool {
+        matches!(self, ForwardIndex::SingleValue(_))
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        match self {
+            ForwardIndex::SingleValue(v) => v.len(),
+            ForwardIndex::MultiValue { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// Total entries (equals `num_docs` for single-value columns).
+    pub fn num_entries(&self) -> usize {
+        match self {
+            ForwardIndex::SingleValue(v) => v.len(),
+            ForwardIndex::MultiValue { ids, .. } => ids.len(),
+        }
+    }
+
+    /// Dict id of a single-value document. Panics on multi-value columns.
+    #[inline]
+    pub fn get(&self, doc: DocId) -> DictId {
+        match self {
+            ForwardIndex::SingleValue(v) => v.get(doc as usize),
+            ForwardIndex::MultiValue { .. } => {
+                panic!("get() on multi-value forward index; use get_multi()")
+            }
+        }
+    }
+
+    /// Dict ids of a document (one element for single-value columns).
+    pub fn get_multi(&self, doc: DocId, out: &mut Vec<DictId>) {
+        out.clear();
+        match self {
+            ForwardIndex::SingleValue(v) => out.push(v.get(doc as usize)),
+            ForwardIndex::MultiValue { offsets, ids } => {
+                let start = offsets[doc as usize] as usize;
+                let end = offsets[doc as usize + 1] as usize;
+                for i in start..end {
+                    out.push(ids.get(i));
+                }
+            }
+        }
+    }
+
+    /// True when any of the document's entries equals `id`.
+    pub fn doc_contains(&self, doc: DocId, id: DictId) -> bool {
+        match self {
+            ForwardIndex::SingleValue(v) => v.get(doc as usize) == id,
+            ForwardIndex::MultiValue { offsets, ids } => {
+                let start = offsets[doc as usize] as usize;
+                let end = offsets[doc as usize + 1] as usize;
+                (start..end).any(|i| ids.get(i) == id)
+            }
+        }
+    }
+
+    /// True when any entry of the document falls in the id range `[lo, hi)`.
+    pub fn doc_in_range(&self, doc: DocId, lo: DictId, hi: DictId) -> bool {
+        match self {
+            ForwardIndex::SingleValue(v) => {
+                let id = v.get(doc as usize);
+                id >= lo && id < hi
+            }
+            ForwardIndex::MultiValue { offsets, ids } => {
+                let start = offsets[doc as usize] as usize;
+                let end = offsets[doc as usize + 1] as usize;
+                (start..end).any(|i| {
+                    let id = ids.get(i);
+                    id >= lo && id < hi
+                })
+            }
+        }
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ForwardIndex::SingleValue(v) => v.size_bytes(),
+            ForwardIndex::MultiValue { offsets, ids } => offsets.len() * 4 + ids.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value_round_trip() {
+        let ids = vec![3u32, 0, 7, 7, 2];
+        let f = ForwardIndex::single(&ids);
+        assert!(f.is_single_value());
+        assert_eq!(f.num_docs(), 5);
+        assert_eq!(f.num_entries(), 5);
+        for (d, id) in ids.iter().enumerate() {
+            assert_eq!(f.get(d as DocId), *id);
+        }
+    }
+
+    #[test]
+    fn multi_value_round_trip() {
+        let per_doc = vec![vec![1u32, 2], vec![], vec![0, 3, 4]];
+        let f = ForwardIndex::multi(&per_doc);
+        assert!(!f.is_single_value());
+        assert_eq!(f.num_docs(), 3);
+        assert_eq!(f.num_entries(), 5);
+        let mut out = Vec::new();
+        f.get_multi(0, &mut out);
+        assert_eq!(out, vec![1, 2]);
+        f.get_multi(1, &mut out);
+        assert!(out.is_empty());
+        f.get_multi(2, &mut out);
+        assert_eq!(out, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn doc_contains_and_range() {
+        let f = ForwardIndex::multi(&[vec![1, 5], vec![2]]);
+        assert!(f.doc_contains(0, 5));
+        assert!(!f.doc_contains(0, 2));
+        assert!(f.doc_in_range(0, 4, 6));
+        assert!(!f.doc_in_range(1, 4, 6));
+
+        let s = ForwardIndex::single(&[4, 9]);
+        assert!(s.doc_contains(1, 9));
+        assert!(s.doc_in_range(0, 0, 5));
+        assert!(!s.doc_in_range(0, 5, 9));
+    }
+
+    #[test]
+    fn get_multi_on_single_value() {
+        let f = ForwardIndex::single(&[6]);
+        let mut out = Vec::new();
+        f.get_multi(0, &mut out);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-value")]
+    fn get_on_multi_value_panics() {
+        let f = ForwardIndex::multi(&[vec![1]]);
+        f.get(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bitmap inverted indexes.
+//!
+//! One roaring bitmap of matching document ids per dictionary id. Built
+//! on demand (the paper's index file is append-only precisely so inverted
+//! indexes can be added after the fact, §3.2).
+
+use crate::forward::ForwardIndex;
+use crate::{DictId, DocId};
+use pinot_bitmap::RoaringBitmap;
+
+/// Inverted index for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvertedIndex {
+    /// Indexed by dict id.
+    bitmaps: Vec<RoaringBitmap>,
+}
+
+impl InvertedIndex {
+    /// Build from a forward index; `cardinality` is the dictionary size.
+    /// Multi-value documents contribute one posting per element.
+    pub fn build(forward: &ForwardIndex, cardinality: usize) -> InvertedIndex {
+        let mut bitmaps = vec![RoaringBitmap::new(); cardinality];
+        let mut scratch = Vec::new();
+        for doc in 0..forward.num_docs() as DocId {
+            forward.get_multi(doc, &mut scratch);
+            for &id in &scratch {
+                bitmaps[id as usize].push_back(doc);
+            }
+        }
+        for bm in &mut bitmaps {
+            bm.optimize();
+        }
+        InvertedIndex { bitmaps }
+    }
+
+    pub fn cardinality(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Documents containing the given dictionary id.
+    pub fn postings(&self, id: DictId) -> &RoaringBitmap {
+        &self.bitmaps[id as usize]
+    }
+
+    /// Union of postings over a dict-id range `[lo, hi)` — a range
+    /// predicate's document set.
+    pub fn postings_range(&self, lo: DictId, hi: DictId) -> RoaringBitmap {
+        let mut acc = RoaringBitmap::new();
+        for id in lo..hi.min(self.bitmaps.len() as DictId) {
+            acc = acc.or(&self.bitmaps[id as usize]);
+        }
+        acc
+    }
+
+    /// Union of postings for an explicit id set (IN predicates).
+    pub fn postings_set(&self, ids: &[DictId]) -> RoaringBitmap {
+        let mut acc = RoaringBitmap::new();
+        for &id in ids {
+            if (id as usize) < self.bitmaps.len() {
+                acc = acc.or(&self.bitmaps[id as usize]);
+            }
+        }
+        acc
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.bitmaps.iter().map(RoaringBitmap::size_bytes).sum::<usize>()
+    }
+
+    pub(crate) fn bitmaps(&self) -> &[RoaringBitmap] {
+        &self.bitmaps
+    }
+
+    pub(crate) fn from_bitmaps(bitmaps: Vec<RoaringBitmap>) -> InvertedIndex {
+        InvertedIndex { bitmaps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_from_single_value() {
+        // docs:    0  1  2  3  4
+        // dictids: 1  0  1  2  0
+        let f = ForwardIndex::single(&[1, 0, 1, 2, 0]);
+        let inv = InvertedIndex::build(&f, 3);
+        assert_eq!(inv.postings(0).to_vec(), vec![1, 4]);
+        assert_eq!(inv.postings(1).to_vec(), vec![0, 2]);
+        assert_eq!(inv.postings(2).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn build_from_multi_value() {
+        let f = ForwardIndex::multi(&[vec![0, 1], vec![1], vec![2, 0]]);
+        let inv = InvertedIndex::build(&f, 3);
+        assert_eq!(inv.postings(0).to_vec(), vec![0, 2]);
+        assert_eq!(inv.postings(1).to_vec(), vec![0, 1]);
+        assert_eq!(inv.postings(2).to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn range_and_set_unions() {
+        let f = ForwardIndex::single(&[0, 1, 2, 3, 2, 1]);
+        let inv = InvertedIndex::build(&f, 4);
+        assert_eq!(inv.postings_range(1, 3).to_vec(), vec![1, 2, 4, 5]);
+        assert_eq!(inv.postings_set(&[0, 3]).to_vec(), vec![0, 3]);
+        // Out-of-range ids are ignored, empty ranges yield empty bitmaps.
+        assert!(inv.postings_range(3, 3).is_empty());
+        assert_eq!(inv.postings_set(&[99]).len(), 0);
+    }
+
+    #[test]
+    fn every_doc_appears_exactly_once_for_sv() {
+        let ids: Vec<u32> = (0..10_000).map(|i| i % 17).collect();
+        let f = ForwardIndex::single(&ids);
+        let inv = InvertedIndex::build(&f, 17);
+        let total: u64 = (0..17).map(|id| inv.postings(id).len()).sum();
+        assert_eq!(total, 10_000);
+    }
+}

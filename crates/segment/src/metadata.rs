@@ -1,0 +1,133 @@
+//! Segment metadata (§3.2).
+//!
+//! Each segment directory holds a metadata file describing its columns,
+//! their types, cardinalities, encodings, statistics, and which indexes are
+//! available — brokers and the controller rely on it without reading data.
+
+use pinot_common::{DataType, Value};
+
+/// Per-column statistics recorded at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    pub name: String,
+    pub data_type: DataType,
+    pub single_value: bool,
+    pub cardinality: usize,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Total entries across docs (≥ num_docs for multi-value columns).
+    pub total_entries: usize,
+    pub has_inverted_index: bool,
+    pub is_sorted: bool,
+}
+
+/// Partitioning info for partition-aware routing (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    pub column: String,
+    pub partition_id: u32,
+    pub num_partitions: u32,
+}
+
+/// Whole-segment metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMetadata {
+    pub segment_name: String,
+    pub table: String,
+    pub num_docs: u32,
+    pub columns: Vec<ColumnStats>,
+    /// Name of the time column, if the schema has one.
+    pub time_column: Option<String>,
+    /// Min/max value of the time column (in the column's own unit).
+    pub min_time: Option<i64>,
+    pub max_time: Option<i64>,
+    pub partition: Option<PartitionInfo>,
+    /// Stream offset range `[start, end)` for realtime segments.
+    pub offset_range: Option<(u64, u64)>,
+    pub created_at_millis: i64,
+    /// Approximate in-memory size.
+    pub size_bytes: u64,
+}
+
+impl SegmentMetadata {
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// True when the segment cannot contain rows in `[min_t, max_t]`
+    /// (inclusive). Used by servers to prune segments before planning.
+    pub fn time_disjoint(&self, min_t: Option<i64>, max_t: Option<i64>) -> bool {
+        match (self.min_time, self.max_time) {
+            (Some(seg_min), Some(seg_max)) => {
+                if let Some(q_max) = max_t {
+                    if seg_min > q_max {
+                        return true;
+                    }
+                }
+                if let Some(q_min) = min_t {
+                    if seg_max < q_min {
+                        return true;
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(min_time: i64, max_time: i64) -> SegmentMetadata {
+        SegmentMetadata {
+            segment_name: "s1".into(),
+            table: "t_OFFLINE".into(),
+            num_docs: 10,
+            columns: vec![ColumnStats {
+                name: "day".into(),
+                data_type: DataType::Long,
+                single_value: true,
+                cardinality: 3,
+                min: Some(Value::Long(min_time)),
+                max: Some(Value::Long(max_time)),
+                total_entries: 10,
+                has_inverted_index: false,
+                is_sorted: false,
+            }],
+            time_column: Some("day".into()),
+            min_time: Some(min_time),
+            max_time: Some(max_time),
+            partition: None,
+            offset_range: None,
+            created_at_millis: 0,
+            size_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn time_pruning() {
+        let m = meta(100, 200);
+        assert!(m.time_disjoint(Some(201), None)); // query starts after
+        assert!(m.time_disjoint(None, Some(99))); // query ends before
+        assert!(!m.time_disjoint(Some(150), Some(300)));
+        assert!(!m.time_disjoint(None, None));
+        assert!(!m.time_disjoint(Some(200), Some(200))); // touching boundary
+    }
+
+    #[test]
+    fn no_time_stats_never_prunes() {
+        let mut m = meta(0, 0);
+        m.min_time = None;
+        m.max_time = None;
+        assert!(!m.time_disjoint(Some(1), Some(2)));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let m = meta(1, 2);
+        assert!(m.column("day").is_some());
+        assert!(m.column("nope").is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Mutable (consuming) segments.
+//!
+//! A realtime server creates one mutable segment per stream partition it
+//! consumes (§3.3.1: the OFFLINE → CONSUMING transition). Records append in
+//! stream order; queries must see them within seconds. When the end criteria
+//! is reached (row count or elapsed time), the completion protocol decides a
+//! committer and the segment is *sealed* into an immutable segment with the
+//! table's full index configuration.
+//!
+//! Query access goes through [`MutableSegment::snapshot`], which lazily
+//! builds an immutable view of the rows consumed so far and caches it until
+//! the next append. The production system maintains incremental realtime
+//! indexes instead; the snapshot approach preserves the observable behaviour
+//! (near-realtime visibility, identical query semantics) with simpler code,
+//! and the paper's own evaluation disables realtime ingestion anyway.
+
+use crate::builder::{BuilderConfig, SegmentBuilder};
+use crate::segment::ImmutableSegment;
+use pinot_common::{Record, Result, Schema};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// A segment that is still consuming from the stream.
+pub struct MutableSegment {
+    schema: Schema,
+    segment_name: String,
+    table: String,
+    start_offset: u64,
+    /// Next offset to consume (exclusive end of what we hold).
+    current_offset: Mutex<u64>,
+    rows: Mutex<Vec<Record>>,
+    /// Cached immutable view; invalidated on append.
+    snapshot: Mutex<Option<Arc<ImmutableSegment>>>,
+    created_at_millis: i64,
+}
+
+impl MutableSegment {
+    pub fn new(
+        schema: Schema,
+        segment_name: impl Into<String>,
+        table: impl Into<String>,
+        start_offset: u64,
+        created_at_millis: i64,
+    ) -> MutableSegment {
+        MutableSegment {
+            schema,
+            segment_name: segment_name.into(),
+            table: table.into(),
+            start_offset,
+            current_offset: Mutex::new(start_offset),
+            rows: Mutex::new(Vec::new()),
+            snapshot: Mutex::new(None),
+            created_at_millis,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.segment_name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn start_offset(&self) -> u64 {
+        self.start_offset
+    }
+
+    /// Offset of the next record this segment would consume.
+    pub fn current_offset(&self) -> u64 {
+        *self.current_offset.lock().unwrap()
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.lock().unwrap().len()
+    }
+
+    pub fn created_at_millis(&self) -> i64 {
+        self.created_at_millis
+    }
+
+    /// Append one record consumed at `offset`. Offsets must arrive in
+    /// order, each exactly the current offset; this is what lets replicas
+    /// compare positions by a single number in the completion protocol.
+    pub fn append(&self, record: Record, offset: u64) -> Result<()> {
+        let normalized = record.normalize(&self.schema)?;
+        let mut cur = self.current_offset.lock().unwrap();
+        if offset != *cur {
+            return Err(pinot_common::PinotError::Segment(format!(
+                "out-of-order append: expected offset {}, got {offset}",
+                *cur
+            )));
+        }
+        self.rows.lock().unwrap().push(normalized);
+        *cur += 1;
+        *self.snapshot.lock().unwrap() = None;
+        Ok(())
+    }
+
+    /// An immutable view of everything consumed so far. Cached between
+    /// appends so repeated queries don't rebuild.
+    pub fn snapshot(&self) -> Result<Arc<ImmutableSegment>> {
+        if let Some(s) = self.snapshot.lock().unwrap().as_ref() {
+            return Ok(Arc::clone(s));
+        }
+        let rows = self.rows.lock().unwrap().clone();
+        let end_offset = self.current_offset();
+        let mut builder = SegmentBuilder::new(
+            self.schema.clone(),
+            BuilderConfig::new(self.segment_name.clone(), self.table.clone())
+                .with_offset_range(self.start_offset, end_offset),
+        )?;
+        for r in rows {
+            builder.add(r)?;
+        }
+        let seg = Arc::new(builder.build()?);
+        *self.snapshot.lock().unwrap() = Some(Arc::clone(&seg));
+        Ok(seg)
+    }
+
+    /// Seal into the final immutable segment with the table's full index
+    /// configuration (sort columns, inverted indexes, partition info).
+    pub fn seal(&self, mut config: BuilderConfig) -> Result<ImmutableSegment> {
+        config.segment_name = self.segment_name.clone();
+        config.table = self.table.clone();
+        config.offset_range = Some((self.start_offset, self.current_offset()));
+        config.created_at_millis = self.created_at_millis;
+        let rows = self.rows.lock().unwrap().clone();
+        let mut builder = SegmentBuilder::new(self.schema.clone(), config)?;
+        for r in rows {
+            builder.add(r)?;
+        }
+        builder.build()
+    }
+
+    /// Drop rows past `offset` (completion-protocol CATCHUP/DISCARD repair
+    /// never needs this in the happy path, but a replica that over-consumed
+    /// relative to the committed copy truncates before re-fetching).
+    pub fn truncate_to_offset(&self, offset: u64) {
+        let mut cur = self.current_offset.lock().unwrap();
+        if offset >= *cur {
+            return;
+        }
+        let keep = (offset - self.start_offset) as usize;
+        self.rows.lock().unwrap().truncate(keep);
+        *cur = offset;
+        *self.snapshot.lock().unwrap() = None;
+    }
+}
+
+impl std::fmt::Debug for MutableSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutableSegment")
+            .field("name", &self.segment_name)
+            .field("rows", &self.num_rows())
+            .field("offsets", &(self.start_offset, self.current_offset()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_common::{DataType, FieldSpec, TimeUnit, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("k", DataType::Long),
+                FieldSpec::metric("m", DataType::Long),
+                FieldSpec::time("ts", DataType::Long, TimeUnit::Seconds),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rec(k: i64, m: i64, ts: i64) -> Record {
+        Record::new(vec![Value::Long(k), Value::Long(m), Value::Long(ts)])
+    }
+
+    #[test]
+    fn append_and_snapshot() {
+        let ms = MutableSegment::new(schema(), "s__0__0", "t_REALTIME", 100, 0);
+        ms.append(rec(1, 10, 5), 100).unwrap();
+        ms.append(rec(2, 20, 6), 101).unwrap();
+        assert_eq!(ms.num_rows(), 2);
+        assert_eq!(ms.current_offset(), 102);
+
+        let snap = ms.snapshot().unwrap();
+        assert_eq!(snap.num_docs(), 2);
+        assert_eq!(snap.metadata().offset_range, Some((100, 102)));
+
+        // Cached until next append.
+        let snap2 = ms.snapshot().unwrap();
+        assert!(Arc::ptr_eq(&snap, &snap2));
+        ms.append(rec(3, 30, 7), 102).unwrap();
+        let snap3 = ms.snapshot().unwrap();
+        assert_eq!(snap3.num_docs(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_order_offsets() {
+        let ms = MutableSegment::new(schema(), "s", "t", 0, 0);
+        ms.append(rec(1, 1, 1), 0).unwrap();
+        assert!(ms.append(rec(2, 2, 2), 2).is_err()); // gap
+        assert!(ms.append(rec(2, 2, 2), 0).is_err()); // replay
+        assert!(ms.append(rec(2, 2, 2), 1).is_ok());
+    }
+
+    #[test]
+    fn seal_applies_index_config() {
+        let ms = MutableSegment::new(schema(), "s", "t_REALTIME", 0, 42);
+        for i in 0..10 {
+            ms.append(rec(10 - i, i, i), i as u64).unwrap();
+        }
+        let sealed = ms
+            .seal(BuilderConfig::new("ignored", "ignored").with_sort_columns(&["k"]))
+            .unwrap();
+        assert_eq!(sealed.name(), "s");
+        assert_eq!(sealed.metadata().table, "t_REALTIME");
+        assert_eq!(sealed.metadata().offset_range, Some((0, 10)));
+        assert_eq!(sealed.metadata().created_at_millis, 42);
+        assert!(sealed.column("k").unwrap().sorted.is_some());
+        // Physically re-sorted by k.
+        let ks: Vec<i64> = (0..10).map(|d| sealed.column("k").unwrap().long(d).unwrap()).collect();
+        let mut expect = ks.clone();
+        expect.sort();
+        assert_eq!(ks, expect);
+    }
+
+    #[test]
+    fn truncate_to_offset() {
+        let ms = MutableSegment::new(schema(), "s", "t", 10, 0);
+        for i in 0..5u64 {
+            ms.append(rec(i as i64, 0, 0), 10 + i).unwrap();
+        }
+        ms.truncate_to_offset(12);
+        assert_eq!(ms.num_rows(), 2);
+        assert_eq!(ms.current_offset(), 12);
+        // Truncating past the end is a no-op.
+        ms.truncate_to_offset(99);
+        assert_eq!(ms.current_offset(), 12);
+        // Can continue consuming from the truncation point.
+        ms.append(rec(9, 9, 9), 12).unwrap();
+        assert_eq!(ms.num_rows(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! The immutable segment.
+
+use crate::column::ColumnData;
+use crate::metadata::SegmentMetadata;
+use crate::DocId;
+use pinot_common::{PinotError, Result, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, query-ready segment: columnar data plus metadata.
+///
+/// Segments are shared across query threads behind `Arc`; all access is
+/// read-only after construction (reindexing produces a new segment).
+#[derive(Debug, Clone)]
+pub struct ImmutableSegment {
+    metadata: SegmentMetadata,
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ImmutableSegment {
+    pub(crate) fn new(
+        metadata: SegmentMetadata,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+    ) -> ImmutableSegment {
+        let by_name = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.spec.name.clone(), i))
+            .collect();
+        ImmutableSegment {
+            metadata,
+            schema,
+            columns,
+            by_name,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.metadata.segment_name
+    }
+
+    pub fn metadata(&self) -> &SegmentMetadata {
+        &self.metadata
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_docs(&self) -> u32 {
+        self.metadata.num_docs
+    }
+
+    pub fn column(&self, name: &str) -> Result<&ColumnData> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| PinotError::Schema(format!("unknown column {name:?}")))
+    }
+
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// Reconstruct one full record (selection queries, purge tasks).
+    pub fn record(&self, doc: DocId) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(doc)).collect()
+    }
+
+    /// Produce a copy of this segment with an inverted index added to the
+    /// given column (the minion/server reindex path). Metadata is refreshed.
+    pub fn with_inverted_index(&self, column: &str) -> Result<ImmutableSegment> {
+        let mut columns = self.columns.clone();
+        let idx = *self
+            .by_name
+            .get(column)
+            .ok_or_else(|| PinotError::Schema(format!("unknown column {column:?}")))?;
+        columns[idx].ensure_inverted();
+        let mut metadata = self.metadata.clone();
+        metadata.columns = columns.iter().map(ColumnData::stats).collect();
+        metadata.size_bytes = columns.iter().map(ColumnData::size_bytes).sum::<usize>() as u64;
+        Ok(ImmutableSegment::new(metadata, self.schema.clone(), columns))
+    }
+
+    pub fn size_bytes(&self) -> u64 {
+        self.metadata.size_bytes
+    }
+}
+
+/// Shared handle used throughout query execution.
+pub type SegmentRef = Arc<ImmutableSegment>;

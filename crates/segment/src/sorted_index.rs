@@ -1,0 +1,146 @@
+//! Sorted-column index (§4.2).
+//!
+//! When a segment's records are physically ordered by a column, each
+//! dictionary id occupies one contiguous run of documents. Storing only the
+//! run start per id (plus a sentinel) replaces an inverted index with two
+//! u32 lookups, makes range predicates a single `(start, end)` doc interval,
+//! and lets downstream operators run over one contiguous interval. The paper
+//! credits this layout with Pinot's advantage over Druid on the WVMP and
+//! share-analytics workloads.
+
+use crate::{DictId, DocId};
+
+/// Maps dict ids to contiguous doc ranges for a physically sorted column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedIndex {
+    /// `starts[id]` = first doc with this id; `starts[cardinality]` = num
+    /// docs. Monotonically non-decreasing; every id occupies
+    /// `[starts[id], starts[id+1])`.
+    starts: Vec<DocId>,
+}
+
+impl SortedIndex {
+    /// Build from the forward-index ids of a sorted column. Returns `None`
+    /// if the ids are not non-decreasing (column not actually sorted) or if
+    /// some dictionary id never occurs (impossible for a segment-local
+    /// dictionary built from the same data).
+    pub fn build(ids: &[DictId], cardinality: usize) -> Option<SortedIndex> {
+        let mut starts = Vec::with_capacity(cardinality + 1);
+        let mut prev: Option<DictId> = None;
+        for (doc, &id) in ids.iter().enumerate() {
+            match prev {
+                Some(p) if id < p => return None,
+                Some(p) if id == p => {}
+                _ => {
+                    // New id begins; it must be exactly the next id since the
+                    // dictionary is built from this very data.
+                    if id as usize != starts.len() {
+                        return None;
+                    }
+                    starts.push(doc as DocId);
+                }
+            }
+            prev = Some(id);
+        }
+        if starts.len() != cardinality {
+            return None;
+        }
+        starts.push(ids.len() as DocId);
+        Some(SortedIndex { starts })
+    }
+
+    pub fn cardinality(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    pub fn num_docs(&self) -> DocId {
+        *self.starts.last().expect("sentinel")
+    }
+
+    /// Document range `[start, end)` for one dictionary id.
+    #[inline]
+    pub fn doc_range(&self, id: DictId) -> (DocId, DocId) {
+        let i = id as usize;
+        (self.starts[i], self.starts[i + 1])
+    }
+
+    /// Document range covering a dict-id interval `[lo, hi)` — because ids
+    /// are sorted, this is a single contiguous doc range too.
+    pub fn doc_range_for_ids(&self, lo: DictId, hi: DictId) -> (DocId, DocId) {
+        let hi = hi.min(self.cardinality() as DictId);
+        if lo >= hi {
+            return (0, 0);
+        }
+        (self.starts[lo as usize], self.starts[hi as usize])
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.starts.len() * 4
+    }
+
+    pub(crate) fn starts(&self) -> &[DocId] {
+        &self.starts
+    }
+
+    pub(crate) fn from_starts(starts: Vec<DocId>) -> Option<SortedIndex> {
+        if starts.is_empty() || starts.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(SortedIndex { starts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        // ids: 0 0 1 1 1 2
+        let idx = SortedIndex::build(&[0, 0, 1, 1, 1, 2], 3).unwrap();
+        assert_eq!(idx.cardinality(), 3);
+        assert_eq!(idx.num_docs(), 6);
+        assert_eq!(idx.doc_range(0), (0, 2));
+        assert_eq!(idx.doc_range(1), (2, 5));
+        assert_eq!(idx.doc_range(2), (5, 6));
+    }
+
+    #[test]
+    fn range_of_ids_is_contiguous() {
+        let idx = SortedIndex::build(&[0, 0, 1, 2, 2, 3], 4).unwrap();
+        assert_eq!(idx.doc_range_for_ids(1, 3), (2, 5));
+        assert_eq!(idx.doc_range_for_ids(0, 4), (0, 6));
+        assert_eq!(idx.doc_range_for_ids(2, 2), (0, 0));
+        assert_eq!(idx.doc_range_for_ids(3, 99), (5, 6));
+    }
+
+    #[test]
+    fn rejects_unsorted_input() {
+        assert!(SortedIndex::build(&[0, 1, 0], 2).is_none());
+        assert!(SortedIndex::build(&[1, 0], 2).is_none());
+    }
+
+    #[test]
+    fn rejects_gapped_ids() {
+        // id 1 missing: dictionary built from same data can't produce this.
+        assert!(SortedIndex::build(&[0, 2], 3).is_none());
+        // cardinality larger than observed ids
+        assert!(SortedIndex::build(&[0, 0], 2).is_none());
+    }
+
+    #[test]
+    fn empty_segment() {
+        let idx = SortedIndex::build(&[], 0).unwrap();
+        assert_eq!(idx.cardinality(), 0);
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.doc_range_for_ids(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn from_starts_validation() {
+        assert!(SortedIndex::from_starts(vec![]).is_none());
+        assert!(SortedIndex::from_starts(vec![0, 3, 2]).is_none());
+        let ok = SortedIndex::from_starts(vec![0, 2, 5]).unwrap();
+        assert_eq!(ok.doc_range(1), (2, 5));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: segment build + persist must preserve record multisets
+//! and index consistency for arbitrary data.
+
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use pinot_segment::persist;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(
+        "t",
+        vec![
+            FieldSpec::dimension("k", DataType::Long),
+            FieldSpec::dimension("c", DataType::String),
+            FieldSpec::metric("m", DataType::Double),
+            FieldSpec::time("ts", DataType::Long, TimeUnit::Seconds),
+        ],
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    k: i64,
+    c: String,
+    m: f64,
+    ts: i64,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        -50i64..50,
+        prop::sample::select(vec!["us", "de", "fr", "jp", "br"]),
+        -1000f64..1000f64,
+        0i64..10_000,
+    )
+        .prop_map(|(k, c, m, ts)| Row {
+            k,
+            c: c.to_string(),
+            m,
+            ts,
+        })
+}
+
+fn build(rows: &[Row], sort: bool, inverted: bool) -> pinot_segment::ImmutableSegment {
+    let mut cfg = BuilderConfig::new("seg", "t_OFFLINE");
+    if sort {
+        cfg = cfg.with_sort_columns(&["k"]);
+    }
+    if inverted {
+        cfg = cfg.with_inverted_columns(&["c"]);
+    }
+    let mut b = SegmentBuilder::new(schema(), cfg).unwrap();
+    for r in rows {
+        b.add(Record::new(vec![
+            Value::Long(r.k),
+            Value::String(r.c.clone()),
+            Value::Double(r.m),
+            Value::Long(r.ts),
+        ]))
+        .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn record_multiset(seg: &pinot_segment::ImmutableSegment) -> Vec<String> {
+    let mut v: Vec<String> = (0..seg.num_docs())
+        .map(|d| format!("{:?}", seg.record(d)))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn build_preserves_record_multiset(rows in prop::collection::vec(row_strategy(), 0..200), sort in any::<bool>()) {
+        let seg = build(&rows, sort, false);
+        prop_assert_eq!(seg.num_docs() as usize, rows.len());
+        let mut expect: Vec<String> = rows.iter()
+            .map(|r| format!("{:?}", vec![
+                Value::Long(r.k), Value::String(r.c.clone()), Value::Double(r.m), Value::Long(r.ts)
+            ]))
+            .collect();
+        expect.sort();
+        prop_assert_eq!(record_multiset(&seg), expect);
+    }
+
+    #[test]
+    fn sorted_segment_is_physically_ordered(rows in prop::collection::vec(row_strategy(), 1..200)) {
+        let seg = build(&rows, true, false);
+        let col = seg.column("k").unwrap();
+        let vals: Vec<i64> = (0..seg.num_docs()).map(|d| col.long(d).unwrap()).collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        // Sorted index ranges partition the doc space and agree with values.
+        let sorted = col.sorted.as_ref().unwrap();
+        let mut covered = 0u32;
+        for id in 0..sorted.cardinality() as u32 {
+            let (s, e) = sorted.doc_range(id);
+            prop_assert_eq!(s, covered);
+            prop_assert!(e > s);
+            let expect = col.dictionary.value_of(id).as_i64().unwrap();
+            for d in s..e {
+                prop_assert_eq!(vals[d as usize], expect);
+            }
+            covered = e;
+        }
+        prop_assert_eq!(covered, seg.num_docs());
+    }
+
+    #[test]
+    fn inverted_index_matches_scan(rows in prop::collection::vec(row_strategy(), 0..200)) {
+        let seg = build(&rows, false, true);
+        let col = seg.column("c").unwrap();
+        let inv = col.inverted.as_ref().unwrap();
+        for id in 0..col.dictionary.cardinality() as u32 {
+            let expect: Vec<u32> = (0..seg.num_docs())
+                .filter(|&d| col.dict_id(d) == id)
+                .collect();
+            prop_assert_eq!(inv.postings(id).to_vec(), expect);
+        }
+    }
+
+    #[test]
+    fn persist_round_trip(rows in prop::collection::vec(row_strategy(), 0..150), sort in any::<bool>(), inv in any::<bool>()) {
+        let seg = build(&rows, sort, inv);
+        let blob = persist::serialize(&seg);
+        let back = persist::deserialize(&blob).unwrap();
+        prop_assert_eq!(back.num_docs(), seg.num_docs());
+        for d in 0..seg.num_docs() {
+            prop_assert_eq!(back.record(d), seg.record(d));
+        }
+        prop_assert_eq!(back.metadata().min_time, seg.metadata().min_time);
+        prop_assert_eq!(back.metadata().max_time, seg.metadata().max_time);
+        prop_assert_eq!(
+            back.metadata().columns.len(),
+            seg.metadata().columns.len()
+        );
+    }
+
+    #[test]
+    fn time_metadata_matches_data(rows in prop::collection::vec(row_strategy(), 1..100)) {
+        let seg = build(&rows, false, false);
+        let min = rows.iter().map(|r| r.ts).min().unwrap();
+        let max = rows.iter().map(|r| r.ts).max().unwrap();
+        prop_assert_eq!(seg.metadata().min_time, Some(min));
+        prop_assert_eq!(seg.metadata().max_time, Some(max));
+    }
+}

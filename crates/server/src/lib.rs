@@ -1,0 +1,649 @@
+//! The Pinot server (§3.2): hosts segments, consumes realtime streams,
+//! executes per-segment query plans, and enforces tenant quotas.
+//!
+//! A server is a Helix *participant*: the controller drives it through the
+//! segment state machine (Figure 3). `OFFLINE→ONLINE` downloads the blob
+//! from the object store (through the lead controller) and loads it —
+//! rebuilding any indexes the current table config asks for, which is how
+//! Pinot deploys new index types without users noticing (§4.1).
+//! `OFFLINE→CONSUMING` attaches a stream consumer at the controller-recorded
+//! start offset. Consumption advances via [`Server::consume_tick`]; when a
+//! consuming segment reaches its end criteria the server runs the
+//! segment-completion protocol against the lead controller (§3.3.6).
+
+pub mod tenancy;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use pinot_cluster::{ClusterManager, Participant, SegmentState};
+use pinot_common::config::TableConfig;
+use pinot_common::ids::{InstanceId, SegmentName};
+use pinot_common::protocol::{CompletionInstruction, CompletionPoll};
+use pinot_common::time::Clock;
+use pinot_common::{PinotError, Result, Schema};
+use pinot_controller::ControllerGroup;
+use pinot_exec::segment_exec::{execute_on_segment, IntermediateResult, SegmentHandle};
+use pinot_exec::{merge_intermediate, plan_segment, PlanKind};
+use pinot_pql::{CmpOp, Predicate, Query};
+use pinot_segment::builder::BuilderConfig;
+use pinot_segment::metadata::PartitionInfo;
+use pinot_segment::MutableSegment;
+use pinot_startree::build_star_tree;
+use pinot_stream::{PartitionConsumer, StreamRegistry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tenancy::{TenantThrottle, TokenBucketConfig};
+
+/// Records pulled from the stream per consume tick and per segment.
+const CONSUME_BATCH: usize = 1024;
+
+struct ConsumingSegment {
+    mutable: Arc<MutableSegment>,
+    consumer: Mutex<PartitionConsumer>,
+    partition: u32,
+    reached_end: AtomicBool,
+}
+
+struct TableState {
+    config: TableConfig,
+    schema: Schema,
+    online: HashMap<String, SegmentHandle>,
+    consuming: HashMap<String, Arc<ConsumingSegment>>,
+}
+
+/// One Pinot server instance.
+pub struct Server {
+    id: InstanceId,
+    controllers: ControllerGroup,
+    cluster: ClusterManager,
+    streams: StreamRegistry,
+    clock: Clock,
+    throttle: TenantThrottle,
+    tables: RwLock<HashMap<String, TableState>>,
+}
+
+/// A broker's request to one server: run `query` over this server's share
+/// of the routing table (§3.3.3 step 3).
+#[derive(Clone)]
+pub struct ServerRequest {
+    pub table: String,
+    pub query: Arc<Query>,
+    pub segments: Vec<String>,
+    pub tenant: String,
+}
+
+impl Server {
+    pub fn new(
+        n: usize,
+        controllers: ControllerGroup,
+        cluster: ClusterManager,
+        streams: StreamRegistry,
+        clock: Clock,
+    ) -> Arc<Server> {
+        let throttle = TenantThrottle::new(clock.clone(), TokenBucketConfig::default());
+        Arc::new(Server {
+            id: InstanceId::server(n),
+            controllers,
+            cluster,
+            streams,
+            clock,
+            throttle,
+            tables: RwLock::new(HashMap::new()),
+        })
+    }
+
+    pub fn id(&self) -> &InstanceId {
+        &self.id
+    }
+
+    pub fn throttle(&self) -> &TenantThrottle {
+        &self.throttle
+    }
+
+    fn leader(&self) -> Result<Arc<pinot_controller::Controller>> {
+        self.controllers
+            .leader()
+            .ok_or_else(|| PinotError::Cluster("no lead controller".into()))
+    }
+
+    fn table_state<R>(
+        &self,
+        qualified: &str,
+        f: impl FnOnce(&mut TableState) -> Result<R>,
+    ) -> Result<R> {
+        // Fast path: table already known.
+        {
+            let mut tables = self.tables.write();
+            if let Some(state) = tables.get_mut(qualified) {
+                return f(state);
+            }
+        }
+        // Load config + schema from the controller, then retry.
+        let leader = self.leader()?;
+        let config = leader.table_config(qualified)?;
+        let schema = leader.table_schema(&config.name)?;
+        let mut tables = self.tables.write();
+        let state = tables.entry(qualified.to_string()).or_insert(TableState {
+            config,
+            schema,
+            online: HashMap::new(),
+            consuming: HashMap::new(),
+        });
+        f(state)
+    }
+
+    /// Read-only table access on the query hot path: shared lock, so
+    /// concurrent queries on one server don't serialize on the table map.
+    fn with_table<R>(
+        &self,
+        qualified: &str,
+        f: impl FnOnce(&TableState) -> Result<R>,
+    ) -> Result<R> {
+        {
+            let tables = self.tables.read();
+            if let Some(state) = tables.get(qualified) {
+                return f(state);
+            }
+        }
+        // Table not cached yet: populate via the write path, then re-read.
+        self.table_state(qualified, |_| Ok(()))?;
+        let tables = self.tables.read();
+        let state = tables
+            .get(qualified)
+            .expect("populated by table_state above");
+        f(state)
+    }
+
+    /// Number of ONLINE segments held (all tables).
+    pub fn num_online_segments(&self) -> usize {
+        self.tables.read().values().map(|t| t.online.len()).sum()
+    }
+
+    /// Number of CONSUMING segments held (all tables).
+    pub fn num_consuming_segments(&self) -> usize {
+        self.tables.read().values().map(|t| t.consuming.len()).sum()
+    }
+
+    // ---- state transitions ----
+
+    fn load_online(&self, qualified: &str, segment: &str) -> Result<()> {
+        let leader = self.leader()?;
+        let blob = leader.download_segment(qualified, segment)?;
+        self.load_online_blob(qualified, segment, &blob)
+    }
+
+    fn load_online_blob(&self, qualified: &str, segment: &str, blob: &Bytes) -> Result<()> {
+        let parsed = pinot_segment::persist::deserialize(blob)?;
+        self.install_segment(qualified, segment, Arc::new(parsed))
+    }
+
+    fn install_segment(
+        &self,
+        qualified: &str,
+        segment: &str,
+        mut seg: Arc<pinot_segment::ImmutableSegment>,
+    ) -> Result<()> {
+        self.table_state(qualified, |state| {
+            // Reindex on the fly: make sure the segment carries every index
+            // the *current* table config wants (§4.1/§5.2).
+            for col in &state.config.indexing.inverted_index_columns {
+                let has = seg
+                    .metadata()
+                    .column(col)
+                    .map(|c| c.has_inverted_index || c.is_sorted)
+                    .unwrap_or(true);
+                if !has {
+                    seg = Arc::new(seg.with_inverted_index(col)?);
+                }
+            }
+            let mut handle = SegmentHandle::new(Arc::clone(&seg));
+            if let Some(st_cfg) = &state.config.indexing.star_tree {
+                let tree = build_star_tree(&seg, st_cfg)?;
+                handle = handle.with_star_tree(Arc::new(tree));
+            }
+            state.consuming.remove(segment);
+            state.online.insert(segment.to_string(), handle);
+            Ok(())
+        })
+    }
+
+    fn start_consuming(&self, qualified: &str, segment: &str) -> Result<()> {
+        let leader = self.leader()?;
+        let name = SegmentName::from_raw(segment);
+        let (partition, _seq) = name
+            .realtime_parts()
+            .ok_or_else(|| PinotError::Segment(format!("{segment} is not a realtime segment")))?;
+        let start = leader.consuming_start_offset(qualified, &name)?;
+        self.table_state(qualified, |state| {
+            let stream_cfg = state.config.stream.as_ref().ok_or_else(|| {
+                PinotError::Metadata(format!("table {qualified} has no stream config"))
+            })?;
+            let topic = self.streams.topic(&stream_cfg.topic)?;
+            let mutable = Arc::new(MutableSegment::new(
+                state.schema.clone(),
+                segment,
+                qualified,
+                start,
+                self.clock.now_millis(),
+            ));
+            let consumer = PartitionConsumer::new(topic, partition, start);
+            state.consuming.insert(
+                segment.to_string(),
+                Arc::new(ConsumingSegment {
+                    mutable,
+                    consumer: Mutex::new(consumer),
+                    partition,
+                    reached_end: AtomicBool::new(false),
+                }),
+            );
+            Ok(())
+        })
+    }
+
+    fn unload(&self, qualified: &str, segment: &str) {
+        let mut tables = self.tables.write();
+        if let Some(state) = tables.get_mut(qualified) {
+            state.online.remove(segment);
+            state.consuming.remove(segment);
+        }
+    }
+
+    // ---- realtime consumption ----
+
+    /// Advance every consuming segment: pull a batch from the stream, check
+    /// end criteria, and run the completion protocol for segments that are
+    /// done. Returns the number of records ingested this tick.
+    ///
+    /// Production servers run this continuously on consumer threads; the
+    /// reproduction exposes it as an explicit tick so tests and simulations
+    /// are deterministic (a background pump in `pinot-core` calls it in a
+    /// loop for live deployments).
+    pub fn consume_tick(&self) -> Result<usize> {
+        let work: Vec<(String, String, Arc<ConsumingSegment>)> = {
+            let tables = self.tables.read();
+            tables
+                .iter()
+                .flat_map(|(t, state)| {
+                    state
+                        .consuming
+                        .iter()
+                        .map(|(s, c)| (t.clone(), s.clone(), Arc::clone(c)))
+                })
+                .collect()
+        };
+        let mut ingested = 0usize;
+        for (qualified, segment, consuming) in work {
+            ingested += self.tick_segment(&qualified, &segment, &consuming)?;
+        }
+        Ok(ingested)
+    }
+
+    fn tick_segment(
+        &self,
+        qualified: &str,
+        segment: &str,
+        consuming: &Arc<ConsumingSegment>,
+    ) -> Result<usize> {
+        let (flush_rows, flush_millis) = self.with_table(qualified, |state| {
+            let s = state.config.stream.as_ref().ok_or_else(|| {
+                PinotError::Metadata(format!("table {qualified} lost its stream config"))
+            })?;
+            Ok((s.flush_threshold_rows, s.flush_threshold_millis))
+        })?;
+
+        let mut ingested = 0usize;
+        if !consuming.reached_end.load(Ordering::SeqCst) {
+            let batch = {
+                let mut consumer = consuming.consumer.lock();
+                consumer.poll(CONSUME_BATCH)?
+            };
+            for event in batch {
+                consuming.mutable.append(event.record, event.offset)?;
+                ingested += 1;
+                if consuming.mutable.num_rows() >= flush_rows {
+                    // Stop exactly at the threshold; remaining events stay
+                    // in the stream for the next segment.
+                    let mut consumer = consuming.consumer.lock();
+                    consumer.seek(consuming.mutable.current_offset());
+                    break;
+                }
+            }
+            let rows = consuming.mutable.num_rows();
+            let age = self.clock.now_millis() - consuming.mutable.created_at_millis();
+            if rows >= flush_rows || (rows > 0 && age >= flush_millis) {
+                consuming.reached_end.store(true, Ordering::SeqCst);
+            }
+        }
+
+        if consuming.reached_end.load(Ordering::SeqCst) {
+            self.run_completion_step(qualified, segment, consuming)?;
+        }
+        Ok(ingested)
+    }
+
+    fn run_completion_step(
+        &self,
+        qualified: &str,
+        segment: &str,
+        consuming: &Arc<ConsumingSegment>,
+    ) -> Result<()> {
+        let Some(leader) = self.controllers.leader() else {
+            return Ok(()); // retry next tick
+        };
+        let name = SegmentName::from_raw(segment);
+        let poll = CompletionPoll::new(
+            name.clone(),
+            self.id.clone(),
+            consuming.mutable.current_offset(),
+        );
+        match leader.segment_completion_poll(&poll) {
+            CompletionInstruction::Hold | CompletionInstruction::NotLeader => Ok(()),
+            CompletionInstruction::Catchup { target_offset } => {
+                // Consume up to exactly the target, then poll again later.
+                while consuming.mutable.current_offset() < target_offset {
+                    let need = (target_offset - consuming.mutable.current_offset()) as usize;
+                    let batch = {
+                        let mut consumer = consuming.consumer.lock();
+                        consumer.seek(consuming.mutable.current_offset());
+                        consumer.poll(need.min(CONSUME_BATCH))?
+                    };
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for event in batch {
+                        consuming.mutable.append(event.record, event.offset)?;
+                    }
+                }
+                Ok(())
+            }
+            CompletionInstruction::Commit => {
+                let sealed = self.seal(qualified, consuming)?;
+                let blob = Bytes::from(pinot_segment::persist::serialize(&sealed));
+                let end = consuming.mutable.current_offset();
+                let ok = leader.commit_segment(qualified, &name, &self.id, end, blob)?;
+                if ok {
+                    self.install_segment(qualified, segment, Arc::new(sealed))?;
+                    self.cluster
+                        .record_state(qualified, segment, &self.id, SegmentState::Online);
+                }
+                Ok(())
+            }
+            CompletionInstruction::Keep => {
+                // Identical offsets → identical data: flush locally, no
+                // upload needed.
+                let sealed = self.seal(qualified, consuming)?;
+                self.install_segment(qualified, segment, Arc::new(sealed))?;
+                self.cluster
+                    .record_state(qualified, segment, &self.id, SegmentState::Online);
+                Ok(())
+            }
+            CompletionInstruction::Discard => {
+                // Another replica committed a different version: drop local
+                // rows and fetch the authoritative copy.
+                let blob = leader.download_segment(qualified, segment)?;
+                self.load_online_blob(qualified, segment, &blob)?;
+                self.cluster
+                    .record_state(qualified, segment, &self.id, SegmentState::Online);
+                Ok(())
+            }
+        }
+    }
+
+    fn seal(
+        &self,
+        qualified: &str,
+        consuming: &Arc<ConsumingSegment>,
+    ) -> Result<pinot_segment::ImmutableSegment> {
+        self.with_table(qualified, |state| {
+            let mut cfg = BuilderConfig::new("", "");
+            if let Some(sorted) = &state.config.indexing.sorted_column {
+                cfg.sort_columns = vec![sorted.clone()];
+            }
+            cfg.inverted_columns = state.config.indexing.inverted_index_columns.clone();
+            if let pinot_common::config::RoutingStrategy::Partitioned {
+                column,
+                num_partitions,
+            } = &state.config.routing
+            {
+                cfg.partition = Some(PartitionInfo {
+                    column: column.clone(),
+                    partition_id: consuming.partition,
+                    num_partitions: *num_partitions,
+                });
+            }
+            consuming.mutable.seal(cfg)
+        })
+    }
+
+    // ---- query execution ----
+
+    /// Execute a broker request over this server's routed segments and
+    /// return the merged partial result (§3.3.3 steps 4–6).
+    pub fn execute(&self, req: &ServerRequest) -> Result<IntermediateResult> {
+        self.throttle.admit(&req.tenant)?;
+        let started = std::time::Instant::now();
+
+        let mut acc = IntermediateResult::empty_for(&req.query);
+        let time_bounds = self.with_table(&req.table, |state| {
+            Ok(state
+                .schema
+                .time_column()
+                .map(|tc| filter_time_bounds(req.query.filter.as_ref(), &tc.name)))
+        })?;
+
+        for seg_name in &req.segments {
+            let handle = self.with_table(&req.table, |state| {
+                if let Some(h) = state.online.get(seg_name) {
+                    return Ok(Some(h.clone()));
+                }
+                if let Some(c) = state.consuming.get(seg_name) {
+                    // Query the consuming segment's snapshot — this is the
+                    // near-realtime visibility path.
+                    return Ok(Some(SegmentHandle::new(c.mutable.snapshot()?)));
+                }
+                Ok(None)
+            })?;
+            let Some(handle) = handle else {
+                return Err(PinotError::Segment(format!(
+                    "{}: segment {seg_name} not hosted here",
+                    self.id
+                )));
+            };
+
+            // Metadata time pruning before planning.
+            if let Some((lo, hi)) = &time_bounds {
+                if handle.segment.metadata().time_disjoint(*lo, *hi) {
+                    acc.stats.num_segments_queried += 1;
+                    acc.stats.num_segments_pruned += 1;
+                    acc.stats.total_docs += handle.segment.num_docs() as u64;
+                    continue;
+                }
+            }
+            let partial = execute_on_segment(&handle, &req.query)?;
+            merge_intermediate(&mut acc, partial)?;
+        }
+
+        let micros = started.elapsed().as_micros() as u64;
+        acc.stats.time_used_ms = (micros / 1000).max(acc.stats.time_used_ms);
+        self.throttle.debit(&req.tenant, micros);
+        Ok(acc)
+    }
+
+    /// Which plan kind this server would use for a query on one segment
+    /// (exposed for the Figure 13 harness and tests).
+    pub fn plan_for(&self, table: &str, segment: &str, query: &Query) -> Result<PlanKind> {
+        self.with_table(table, |state| {
+            let handle = state
+                .online
+                .get(segment)
+                .ok_or_else(|| PinotError::Segment(format!("{segment} not online")))?;
+            Ok(plan_segment(handle, query))
+        })
+    }
+
+    /// Segment names (online + consuming) hosted for a table.
+    pub fn hosted_segments(&self, table: &str) -> Vec<String> {
+        let tables = self.tables.read();
+        let Some(state) = tables.get(table) else {
+            return Vec::new();
+        };
+        let mut v: Vec<String> = state
+            .online
+            .keys()
+            .chain(state.consuming.keys())
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl Participant for Server {
+    fn instance_id(&self) -> InstanceId {
+        self.id.clone()
+    }
+
+    fn handle_transition(
+        &self,
+        table: &str,
+        segment: &str,
+        from: SegmentState,
+        to: SegmentState,
+    ) -> Result<()> {
+        use SegmentState::*;
+        match (from, to) {
+            (Offline, Online) => self.load_online(table, segment),
+            (Offline, Consuming) => self.start_consuming(table, segment),
+            (Consuming, Online) => {
+                // The controller says this segment committed. If we already
+                // installed it (we were the committer or ran KEEP/DISCARD),
+                // this is a no-op; otherwise fetch the committed copy.
+                let already = {
+                    let tables = self.tables.read();
+                    tables
+                        .get(table)
+                        .map(|s| s.online.contains_key(segment))
+                        .unwrap_or(false)
+                };
+                if already {
+                    Ok(())
+                } else {
+                    self.load_online(table, segment)
+                }
+            }
+            (Online, Offline) | (Consuming, Offline) => {
+                self.unload(table, segment);
+                Ok(())
+            }
+            (Offline, Dropped) | (Error, Offline) => Ok(()),
+            (f, t) => Err(PinotError::Cluster(format!(
+                "illegal transition {}→{} for {segment}",
+                f.name(),
+                t.name()
+            ))),
+        }
+    }
+}
+
+/// Extract `[lo, hi]` bounds (inclusive) that top-level AND conjuncts put on
+/// the time column. Conservative: OR/NOT shapes yield no bounds.
+pub fn filter_time_bounds(
+    pred: Option<&Predicate>,
+    time_column: &str,
+) -> (Option<i64>, Option<i64>) {
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    fn tighten(slot: &mut Option<i64>, v: i64, take_min: bool) {
+        *slot = Some(match *slot {
+            None => v,
+            Some(cur) if take_min => cur.min(v),
+            Some(cur) => cur.max(v),
+        });
+    }
+    fn walk(p: &Predicate, col: &str, lo: &mut Option<i64>, hi: &mut Option<i64>) {
+        match p {
+            Predicate::And(ps) => {
+                for q in ps {
+                    walk(q, col, lo, hi);
+                }
+            }
+            Predicate::Cmp { column, op, value } if column == col => {
+                if let Some(v) = value.as_i64() {
+                    match op {
+                        CmpOp::Eq => {
+                            tighten(lo, v, false);
+                            tighten(hi, v, true);
+                        }
+                        CmpOp::Ge => tighten(lo, v, false),
+                        CmpOp::Gt => tighten(lo, v + 1, false),
+                        CmpOp::Le => tighten(hi, v, true),
+                        CmpOp::Lt => tighten(hi, v - 1, true),
+                        CmpOp::Ne => {}
+                    }
+                }
+            }
+            Predicate::Between { column, low, high } if column == col => {
+                if let (Some(l), Some(h)) = (low.as_i64(), high.as_i64()) {
+                    tighten(lo, l, false);
+                    tighten(hi, h, true);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(p) = pred {
+        walk(p, time_column, &mut lo, &mut hi);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_pql::parse;
+
+    fn bounds(pql: &str) -> (Option<i64>, Option<i64>) {
+        let q = parse(pql).unwrap();
+        filter_time_bounds(q.filter.as_ref(), "day")
+    }
+
+    #[test]
+    fn time_bounds_extraction() {
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day >= 10"),
+            (Some(10), None)
+        );
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day > 10"),
+            (Some(11), None)
+        );
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day >= 10 AND day < 20"),
+            (Some(10), Some(19))
+        );
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day BETWEEN 5 AND 9 AND x = 1"),
+            (Some(5), Some(9))
+        );
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day = 7"),
+            (Some(7), Some(7))
+        );
+        // OR gives nothing (conservative).
+        assert_eq!(
+            bounds("SELECT COUNT(*) FROM t WHERE day = 7 OR day = 9"),
+            (None, None)
+        );
+        // Other columns ignored.
+        assert_eq!(bounds("SELECT COUNT(*) FROM t WHERE x = 7"), (None, None));
+        assert_eq!(bounds("SELECT COUNT(*) FROM t"), (None, None));
+        // Multiple constraints tighten.
+        assert_eq!(
+            bounds(
+                "SELECT COUNT(*) FROM t WHERE day >= 3 AND day >= 8 AND day <= 30 AND day <= 12"
+            ),
+            (Some(8), Some(12))
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Preaggregated metric values carried by star-tree records and nodes.
+
+/// Aggregates for a fixed set of metrics: per metric SUM/MIN/MAX plus a
+/// shared raw-record count. These suffice for the aggregation functions the
+/// tree serves (SUM, COUNT, MIN, MAX, AVG = SUM/COUNT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggValues {
+    /// Number of raw (unaggregated) records this aggregate represents.
+    pub count: u64,
+    pub sums: Vec<f64>,
+    pub mins: Vec<f64>,
+    pub maxs: Vec<f64>,
+}
+
+impl AggValues {
+    /// Identity element for `num_metrics` metrics.
+    pub fn empty(num_metrics: usize) -> AggValues {
+        AggValues {
+            count: 0,
+            sums: vec![0.0; num_metrics],
+            mins: vec![f64::INFINITY; num_metrics],
+            maxs: vec![f64::NEG_INFINITY; num_metrics],
+        }
+    }
+
+    /// Aggregate of a single raw record.
+    pub fn from_row(metrics: &[f64]) -> AggValues {
+        AggValues {
+            count: 1,
+            sums: metrics.to_vec(),
+            mins: metrics.to_vec(),
+            maxs: metrics.to_vec(),
+        }
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge(&mut self, other: &AggValues) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        self.count += other.count;
+        for i in 0..self.sums.len() {
+            self.sums[i] += other.sums[i];
+            self.mins[i] = self.mins[i].min(other.mins[i]);
+            self.maxs[i] = self.maxs[i].max(other.maxs[i]);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Average of one metric; `None` when empty.
+    pub fn avg(&self, metric: usize) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sums[metric] / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_merge() {
+        let mut acc = AggValues::empty(2);
+        assert!(acc.is_empty());
+        acc.merge(&AggValues::from_row(&[3.0, -1.0]));
+        acc.merge(&AggValues::from_row(&[7.0, 5.0]));
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.sums, vec![10.0, 4.0]);
+        assert_eq!(acc.mins, vec![3.0, -1.0]);
+        assert_eq!(acc.maxs, vec![7.0, 5.0]);
+        assert_eq!(acc.avg(0), Some(5.0));
+    }
+
+    #[test]
+    fn merge_with_identity_is_noop() {
+        let mut a = AggValues::from_row(&[2.0]);
+        let before = a.clone();
+        a.merge(&AggValues::empty(1));
+        assert_eq!(a, before);
+        assert_eq!(AggValues::empty(1).avg(0), None);
+    }
+
+    #[test]
+    fn merge_is_associative_on_sums_and_count() {
+        let rows = [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]];
+        let mut left = AggValues::empty(2);
+        for r in &rows {
+            left.merge(&AggValues::from_row(r));
+        }
+        let mut ab = AggValues::from_row(&rows[0]);
+        ab.merge(&AggValues::from_row(&rows[1]));
+        let mut right = AggValues::empty(2);
+        right.merge(&ab);
+        right.merge(&AggValues::from_row(&rows[2]));
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,472 @@
+//! Star-tree construction (top-down splitting with star-node generation).
+
+use crate::agg::AggValues;
+use crate::tree::{Node, StarRecord, StarTree, STAR};
+use pinot_common::config::StarTreeConfig;
+use pinot_common::{FieldRole, PinotError, Result};
+use pinot_segment::{DictId, ImmutableSegment};
+use std::collections::HashMap;
+
+/// Build a star-tree over a segment.
+///
+/// Dimensions default to all single-value non-time dimension columns in
+/// descending cardinality order (most selective splits first); metrics
+/// default to all metric columns. Both can be overridden in the config.
+pub fn build_star_tree(segment: &ImmutableSegment, config: &StarTreeConfig) -> Result<StarTree> {
+    let schema = segment.schema();
+
+    let dimensions: Vec<String> = if config.dimensions.is_empty() {
+        let mut dims: Vec<(String, usize)> = schema
+            .fields()
+            .iter()
+            .filter(|f| f.role == FieldRole::Dimension && f.single_value)
+            .map(|f| {
+                let card = segment
+                    .column(&f.name)
+                    .map(|c| c.dictionary.cardinality())
+                    .unwrap_or(0);
+                (f.name.clone(), card)
+            })
+            .collect();
+        dims.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        dims.into_iter().map(|(n, _)| n).collect()
+    } else {
+        config.dimensions.clone()
+    };
+    if dimensions.is_empty() {
+        return Err(PinotError::Segment(
+            "star-tree needs at least one dimension".into(),
+        ));
+    }
+    for d in &dimensions {
+        let spec = schema
+            .field(d)
+            .ok_or_else(|| PinotError::Schema(format!("star-tree dimension {d:?} not in schema")))?;
+        if !spec.single_value {
+            return Err(PinotError::Schema(format!(
+                "star-tree dimension {d:?} must be single-value"
+            )));
+        }
+    }
+
+    let metrics: Vec<String> = if config.metrics.is_empty() {
+        schema.metrics().map(|f| f.name.clone()).collect()
+    } else {
+        config.metrics.clone()
+    };
+    for m in &metrics {
+        let spec = schema
+            .field(m)
+            .ok_or_else(|| PinotError::Schema(format!("star-tree metric {m:?} not in schema")))?;
+        if !spec.data_type.is_numeric() && spec.data_type != pinot_common::DataType::Boolean {
+            return Err(PinotError::Schema(format!(
+                "star-tree metric {m:?} must be numeric"
+            )));
+        }
+    }
+
+    let skip_star: Vec<usize> = config
+        .skip_star_dimensions
+        .iter()
+        .filter_map(|d| dimensions.iter().position(|x| x == d))
+        .collect();
+
+    // 1. Project every document to (dim ids, metric values) and aggregate
+    //    duplicates — the tree's base records.
+    let dim_cols: Vec<_> = dimensions
+        .iter()
+        .map(|d| segment.column(d))
+        .collect::<Result<_>>()?;
+    let metric_cols: Vec<_> = metrics
+        .iter()
+        .map(|m| segment.column(m))
+        .collect::<Result<_>>()?;
+
+    let mut base: HashMap<Vec<DictId>, AggValues> = HashMap::new();
+    let mut metric_row = vec![0f64; metrics.len()];
+    for doc in 0..segment.num_docs() {
+        let dims: Vec<DictId> = dim_cols.iter().map(|c| c.dict_id(doc)).collect();
+        for (i, c) in metric_cols.iter().enumerate() {
+            metric_row[i] = c.numeric(doc).unwrap_or(0.0);
+        }
+        base.entry(dims)
+            .or_insert_with(|| AggValues::empty(metrics.len()))
+            .merge(&AggValues::from_row(&metric_row));
+    }
+    let mut records: Vec<StarRecord> = base
+        .into_iter()
+        .map(|(dims, agg)| StarRecord { dims, agg })
+        .collect();
+    records.sort_by(|a, b| a.dims.cmp(&b.dims));
+
+    // 2. Recursive split.
+    let mut ctx = BuildCtx {
+        num_dims: dimensions.len(),
+        num_metrics: metrics.len(),
+        max_leaf_records: config.max_leaf_records.max(1),
+        skip_star,
+        flat: Vec::new(),
+        nodes: Vec::new(),
+    };
+    let root = ctx.build_node(records, 0);
+
+    Ok(StarTree {
+        dimensions,
+        metrics,
+        records: ctx.flat,
+        nodes: ctx.nodes,
+        root,
+        max_leaf_records: config.max_leaf_records.max(1),
+    })
+}
+
+struct BuildCtx {
+    num_dims: usize,
+    num_metrics: usize,
+    max_leaf_records: usize,
+    skip_star: Vec<usize>,
+    flat: Vec<StarRecord>,
+    nodes: Vec<Node>,
+}
+
+impl BuildCtx {
+    fn build_node(&mut self, records: Vec<StarRecord>, level: usize) -> usize {
+        let mut agg = AggValues::empty(self.num_metrics);
+        for r in &records {
+            agg.merge(&r.agg);
+        }
+
+        if level == self.num_dims || records.len() <= self.max_leaf_records {
+            let start = self.flat.len() as u32;
+            self.flat.extend(records);
+            let end = self.flat.len() as u32;
+            self.nodes.push(Node {
+                level,
+                agg,
+                children: Vec::new(),
+                star_child: None,
+                leaf_range: Some((start, end)),
+            });
+            return self.nodes.len() - 1;
+        }
+
+        // Group consecutive records by dims[level] (records are sorted).
+        let mut children = Vec::new();
+        let mut star_input: Vec<StarRecord> = Vec::new();
+        let make_star = !self.skip_star.contains(&level);
+        let mut i = 0usize;
+        while i < records.len() {
+            let v = records[i].dims[level];
+            let mut j = i + 1;
+            while j < records.len() && records[j].dims[level] == v {
+                j += 1;
+            }
+            let group: Vec<StarRecord> = records[i..j].to_vec();
+            if make_star {
+                star_input.extend(group.iter().cloned());
+            }
+            let child = self.build_node(group, level + 1);
+            children.push((v, child));
+            i = j;
+        }
+        children.sort_by_key(|(v, _)| *v);
+
+        // Star child: collapse this dimension to STAR and re-aggregate by
+        // the remaining dimensions.
+        let star_child = if make_star && children.len() > 1 {
+            let mut collapsed: HashMap<Vec<DictId>, AggValues> = HashMap::new();
+            for mut r in star_input {
+                r.dims[level] = STAR;
+                collapsed
+                    .entry(r.dims.clone())
+                    .or_insert_with(|| AggValues::empty(self.num_metrics))
+                    .merge(&r.agg);
+            }
+            let mut star_records: Vec<StarRecord> = collapsed
+                .into_iter()
+                .map(|(dims, agg)| StarRecord { dims, agg })
+                .collect();
+            star_records.sort_by(|a, b| a.dims.cmp(&b.dims));
+            Some(self.build_node(star_records, level + 1))
+        } else {
+            None
+        };
+
+        self.nodes.push(Node {
+            level,
+            agg,
+            children,
+            star_child,
+            leaf_range: None,
+        });
+        self.nodes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DimFilter;
+    use pinot_common::{DataType, FieldSpec, Record, Schema, Value};
+    use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+
+    /// The paper's Figure 9/10 style data: Browser × Country × Locale with
+    /// an Impressions metric.
+    fn build_segment(rows: &[(&str, &str, &str, i64)]) -> ImmutableSegment {
+        let schema = Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("browser", DataType::String),
+                FieldSpec::dimension("country", DataType::String),
+                FieldSpec::dimension("locale", DataType::String),
+                FieldSpec::metric("impressions", DataType::Long),
+            ],
+        )
+        .unwrap();
+        let mut b =
+            SegmentBuilder::new(schema, BuilderConfig::new("seg", "t_OFFLINE")).unwrap();
+        for (br, co, lo, imp) in rows {
+            b.add(Record::new(vec![
+                Value::from(*br),
+                Value::from(*co),
+                Value::from(*lo),
+                Value::Long(*imp),
+            ]))
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn sample_rows() -> Vec<(&'static str, &'static str, &'static str, i64)> {
+        vec![
+            ("firefox", "ca", "en", 10),
+            ("firefox", "ca", "fr", 20),
+            ("firefox", "us", "en", 30),
+            ("safari", "ca", "en", 40),
+            ("safari", "us", "en", 50),
+            ("chrome", "mx", "es", 60),
+            ("chrome", "us", "en", 70),
+            ("firefox", "ca", "en", 5),
+        ]
+    }
+
+    fn tree_over(
+        seg: &ImmutableSegment,
+        dims: &[&str],
+        max_leaf: usize,
+    ) -> StarTree {
+        build_star_tree(
+            seg,
+            &StarTreeConfig {
+                dimensions: dims.iter().map(|s| s.to_string()).collect(),
+                metrics: vec!["impressions".into()],
+                max_leaf_records: max_leaf,
+                skip_star_dimensions: vec![],
+            },
+        )
+        .unwrap()
+    }
+
+    fn in_filter(seg: &ImmutableSegment, col: &str, vals: &[&str]) -> DimFilter {
+        let dict = &seg.column(col).unwrap().dictionary;
+        let mut ids: Vec<u32> = vals
+            .iter()
+            .filter_map(|v| dict.id_of(&Value::from(*v)))
+            .collect();
+        ids.sort_unstable();
+        DimFilter::In(ids)
+    }
+
+    #[test]
+    fn figure9_single_predicate_sum() {
+        // select sum(Impressions) where Browser = 'firefox'
+        let seg = build_segment(&sample_rows());
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 1);
+        let filters = vec![
+            in_filter(&seg, "browser", &["firefox"]),
+            DimFilter::Any,
+            DimFilter::Any,
+        ];
+        let r = tree.execute(&filters, &[]);
+        assert_eq!(r.groups.len(), 1);
+        assert_eq!(r.groups[0].1.sums[0], 65.0); // 10+20+30+5
+        assert_eq!(r.raw_docs_matched, 4);
+    }
+
+    #[test]
+    fn figure10_or_predicate_group_by() {
+        // select sum(Impressions) where Browser in ('firefox','safari')
+        // group by Country
+        let seg = build_segment(&sample_rows());
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 1);
+        let country_dim = tree.dimension_index("country").unwrap();
+        let filters = vec![
+            in_filter(&seg, "browser", &["firefox", "safari"]),
+            DimFilter::Any,
+            DimFilter::Any,
+        ];
+        let r = tree.execute(&filters, &[country_dim]);
+        let dict = &seg.column("country").unwrap().dictionary;
+        let by_country: HashMap<String, f64> = r
+            .groups
+            .iter()
+            .map(|(k, a)| {
+                (
+                    dict.value_of(k[0]).as_str().unwrap().to_string(),
+                    a.sums[0],
+                )
+            })
+            .collect();
+        assert_eq!(by_country["ca"], 75.0); // 10+20+5+40
+        assert_eq!(by_country["us"], 80.0); // 30+50
+        assert_eq!(by_country.len(), 2);
+    }
+
+    #[test]
+    fn unfiltered_total_uses_star_path() {
+        let seg = build_segment(&sample_rows());
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 1);
+        let filters = vec![DimFilter::Any, DimFilter::Any, DimFilter::Any];
+        let r = tree.execute(&filters, &[]);
+        assert_eq!(r.groups[0].1.sums[0], 285.0);
+        assert_eq!(r.groups[0].1.count, 8);
+        // Root aggregate shortcut: O(1) work.
+        assert_eq!(r.preagg_docs_scanned, 1);
+    }
+
+    #[test]
+    fn preaggregation_reduces_scanned_docs() {
+        // Many raw rows, few distinct dim combos: tree scans far fewer.
+        let mut rows = Vec::new();
+        for i in 0..1000i64 {
+            let browsers = ["firefox", "safari", "chrome"];
+            let countries = ["us", "ca"];
+            rows.push((
+                browsers[(i % 3) as usize],
+                countries[(i % 2) as usize],
+                "en",
+                i,
+            ));
+        }
+        let seg = build_segment(&rows);
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 1);
+        let filters = vec![
+            in_filter(&seg, "browser", &["firefox"]),
+            DimFilter::Any,
+            DimFilter::Any,
+        ];
+        let r = tree.execute(&filters, &[]);
+        // firefox rows: i % 3 == 0 → 334 rows.
+        assert_eq!(r.raw_docs_matched, 334);
+        assert!(r.preagg_docs_scanned < 10, "scanned {}", r.preagg_docs_scanned);
+        let expect: f64 = (0..1000i64).filter(|i| i % 3 == 0).map(|i| i as f64).sum();
+        assert_eq!(r.groups[0].1.sums[0], expect);
+    }
+
+    #[test]
+    fn max_leaf_records_stops_splitting() {
+        let seg = build_segment(&sample_rows());
+        let small = tree_over(&seg, &["browser", "country", "locale"], 1);
+        let big = tree_over(&seg, &["browser", "country", "locale"], 1000);
+        // A huge leaf threshold yields a single-leaf tree.
+        assert!(big.num_nodes() < small.num_nodes());
+        assert_eq!(big.num_nodes(), 1);
+        // Results still identical.
+        let filters = vec![
+            in_filter(&seg, "browser", &["chrome"]),
+            DimFilter::Any,
+            DimFilter::Any,
+        ];
+        let a = small.execute(&filters, &[]);
+        let b = big.execute(&filters, &[]);
+        assert_eq!(a.groups[0].1.sums[0], b.groups[0].1.sums[0]);
+        assert_eq!(a.groups[0].1.count, b.groups[0].1.count);
+    }
+
+    #[test]
+    fn skip_star_dimensions_still_correct() {
+        let seg = build_segment(&sample_rows());
+        let tree = build_star_tree(
+            &seg,
+            &StarTreeConfig {
+                dimensions: vec!["browser".into(), "country".into(), "locale".into()],
+                metrics: vec!["impressions".into()],
+                max_leaf_records: 1,
+                skip_star_dimensions: vec!["browser".into()],
+            },
+        )
+        .unwrap();
+        let filters = vec![DimFilter::Any, DimFilter::Any, DimFilter::Any];
+        let r = tree.execute(&filters, &[]);
+        assert_eq!(r.groups[0].1.sums[0], 285.0);
+        assert_eq!(r.groups[0].1.count, 8);
+    }
+
+    #[test]
+    fn default_dimension_order_by_cardinality() {
+        let seg = build_segment(&sample_rows());
+        let tree = build_star_tree(
+            &seg,
+            &StarTreeConfig {
+                dimensions: vec![],
+                metrics: vec![],
+                max_leaf_records: 1,
+                skip_star_dimensions: vec![],
+            },
+        )
+        .unwrap();
+        // browser has 3 distinct values, country 3, locale 3 — ties broken
+        // by name; all three dims present.
+        assert_eq!(tree.dimensions().len(), 3);
+        assert_eq!(tree.metrics(), &["impressions".to_string()]);
+    }
+
+    #[test]
+    fn filter_on_deep_dimension_scans_leaves() {
+        let seg = build_segment(&sample_rows());
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 100);
+        // Single leaf; filter on locale must still work via residual scan.
+        let filters = vec![
+            DimFilter::Any,
+            DimFilter::Any,
+            in_filter(&seg, "locale", &["es"]),
+        ];
+        let r = tree.execute(&filters, &[]);
+        assert_eq!(r.groups[0].1.sums[0], 60.0);
+        assert_eq!(r.raw_docs_matched, 1);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let seg = build_segment(&sample_rows());
+        assert!(build_star_tree(
+            &seg,
+            &StarTreeConfig {
+                dimensions: vec!["nope".into()],
+                metrics: vec![],
+                max_leaf_records: 1,
+                skip_star_dimensions: vec![],
+            }
+        )
+        .is_err());
+        assert!(build_star_tree(
+            &seg,
+            &StarTreeConfig {
+                dimensions: vec!["browser".into()],
+                metrics: vec!["browser".into()], // non-numeric metric
+                max_leaf_records: 1,
+                skip_star_dimensions: vec![],
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_segment_tree() {
+        let seg = build_segment(&[]);
+        let tree = tree_over(&seg, &["browser", "country", "locale"], 10);
+        let r = tree.execute(&[DimFilter::Any, DimFilter::Any, DimFilter::Any], &[]);
+        assert_eq!(r.groups.len(), 1);
+        assert!(r.groups[0].1.is_empty());
+    }
+}

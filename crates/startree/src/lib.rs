@@ -1,0 +1,26 @@
+//! Star-tree index (§4.3 of the paper; star-cubing, Xin et al.).
+//!
+//! A star-tree is a pruned hierarchy of preaggregated records. Dimensions
+//! are arranged in a *split order*; each tree level splits the records of
+//! its parent node by the next dimension's value, and additionally creates a
+//! **star node** that aggregates the whole level (the "all values"
+//! branch). Splitting stops at `max_leaf_records`, bounding work per query.
+//!
+//! Queries whose filters and group-bys touch only tree dimensions, and whose
+//! aggregations are SUM/COUNT/MIN/MAX/AVG over tree metrics, can be answered
+//! from preaggregated records: navigating per-predicate branches (Figure 9)
+//! or multiple branches for OR predicates (Figure 10), and the star branch
+//! where a dimension is unconstrained. `DISTINCTCOUNT` and friends cannot
+//! use the tree — preaggregation loses the original rows — matching the
+//! paper's discussion of lost resolution.
+//!
+//! The tree is built per segment, in the segment's own dictionary-id space,
+//! so predicate translation is a dictionary lookup.
+
+mod agg;
+mod build;
+mod tree;
+
+pub use agg::AggValues;
+pub use build::build_star_tree;
+pub use tree::{DimFilter, StarTree, StarTreeResult, STAR};

@@ -1,0 +1,252 @@
+//! Star-tree structure and traversal.
+
+use crate::agg::AggValues;
+use pinot_segment::DictId;
+use std::collections::HashMap;
+
+/// Sentinel dictionary id for star ("all values") positions.
+pub const STAR: DictId = DictId::MAX;
+
+/// One preaggregated star-tree record: dimension dict ids (possibly STAR)
+/// plus aggregated metrics.
+#[derive(Debug, Clone)]
+pub(crate) struct StarRecord {
+    pub dims: Vec<DictId>,
+    pub agg: AggValues,
+}
+
+pub(crate) struct Node {
+    /// Dimension level this node's *children* split on.
+    pub level: usize,
+    /// Aggregate over the node's entire subtree.
+    pub agg: AggValues,
+    /// Concrete children keyed by dict id, sorted by id.
+    pub children: Vec<(DictId, usize)>,
+    /// Star child (absent for leaves and skip-star dimensions).
+    pub star_child: Option<usize>,
+    /// For leaves: record range `[start, end)` in the flat record table.
+    pub leaf_range: Option<(u32, u32)>,
+}
+
+/// Per-dimension constraint during traversal, aligned to the tree's split
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimFilter {
+    /// No constraint on this dimension.
+    Any,
+    /// Dimension must be one of these dict ids (sorted). Equality is a
+    /// one-element set; OR / IN predicates are larger sets (Figure 10).
+    In(Vec<DictId>),
+}
+
+impl DimFilter {
+    fn matches(&self, id: DictId) -> bool {
+        match self {
+            DimFilter::Any => true,
+            DimFilter::In(ids) => ids.binary_search(&id).is_ok(),
+        }
+    }
+}
+
+/// Result of a star-tree execution.
+#[derive(Debug, Clone)]
+pub struct StarTreeResult {
+    /// One entry per group; for ungrouped queries a single entry with an
+    /// empty key. Keys are dict ids aligned to the requested group dims.
+    pub groups: Vec<(Vec<DictId>, AggValues)>,
+    /// Preaggregated records/nodes examined (the numerator of Figure 13).
+    pub preagg_docs_scanned: u64,
+    /// Raw records represented by the contributions (the denominator of
+    /// Figure 13 — what a raw scan of the same filter would have touched).
+    pub raw_docs_matched: u64,
+}
+
+/// An immutable star-tree for one segment.
+pub struct StarTree {
+    pub(crate) dimensions: Vec<String>,
+    pub(crate) metrics: Vec<String>,
+    pub(crate) records: Vec<StarRecord>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: usize,
+    pub(crate) max_leaf_records: usize,
+}
+
+impl StarTree {
+    /// Split-order dimension names.
+    pub fn dimensions(&self) -> &[String] {
+        &self.dimensions
+    }
+
+    /// Preaggregated metric names.
+    pub fn metrics(&self) -> &[String] {
+        &self.metrics
+    }
+
+    pub fn dimension_index(&self, name: &str) -> Option<usize> {
+        self.dimensions.iter().position(|d| d == name)
+    }
+
+    pub fn metric_index(&self, name: &str) -> Option<usize> {
+        self.metrics.iter().position(|m| m == name)
+    }
+
+    /// Total preaggregated records stored.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn max_leaf_records(&self) -> usize {
+        self.max_leaf_records
+    }
+
+    /// Execute an aggregation over the tree.
+    ///
+    /// * `filters` — one [`DimFilter`] per tree dimension (same order).
+    /// * `group_dims` — indexes of tree dimensions to group by.
+    ///
+    /// Returns per-group aggregates (a single empty-key group when
+    /// `group_dims` is empty) plus scan accounting.
+    pub fn execute(&self, filters: &[DimFilter], group_dims: &[usize]) -> StarTreeResult {
+        assert_eq!(
+            filters.len(),
+            self.dimensions.len(),
+            "one filter per tree dimension"
+        );
+        let mut groups: HashMap<Vec<DictId>, AggValues> = HashMap::new();
+        let mut scanned = 0u64;
+        let mut path = vec![STAR; self.dimensions.len()];
+        self.visit(
+            self.root,
+            filters,
+            group_dims,
+            &mut path,
+            &mut groups,
+            &mut scanned,
+        );
+        let raw = groups.values().map(|a| a.count).sum();
+        let mut groups: Vec<(Vec<DictId>, AggValues)> = groups.into_iter().collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        StarTreeResult {
+            groups,
+            preagg_docs_scanned: scanned,
+            raw_docs_matched: raw,
+        }
+    }
+
+    fn visit(
+        &self,
+        node_id: usize,
+        filters: &[DimFilter],
+        group_dims: &[usize],
+        path: &mut Vec<DictId>,
+        groups: &mut HashMap<Vec<DictId>, AggValues>,
+        scanned: &mut u64,
+    ) {
+        let node = &self.nodes[node_id];
+        let level = node.level;
+
+        // Shortcut: if no remaining dimension is filtered or grouped, the
+        // node's own aggregate answers the subtree in O(1).
+        let residual_needed = (level..self.dimensions.len()).any(|d| {
+            filters[d] != DimFilter::Any || group_dims.contains(&d)
+        });
+        if !residual_needed {
+            *scanned += 1;
+            let key = Self::group_key(path, group_dims);
+            groups
+                .entry(key)
+                .or_insert_with(|| AggValues::empty(self.metrics.len()))
+                .merge(&node.agg);
+            return;
+        }
+
+        if let Some((start, end)) = node.leaf_range {
+            // Leaf: scan its records applying residual filters on
+            // dimensions at or past this level (shallower dimensions were
+            // fixed by the path).
+            for rec in &self.records[start as usize..end as usize] {
+                *scanned += 1;
+                let ok = (level..self.dimensions.len())
+                    .all(|d| filters[d].matches(rec.dims[d]));
+                if !ok {
+                    continue;
+                }
+                let key: Vec<DictId> = group_dims
+                    .iter()
+                    .map(|&d| if d < level { path[d] } else { rec.dims[d] })
+                    .collect();
+                groups
+                    .entry(key)
+                    .or_insert_with(|| AggValues::empty(self.metrics.len()))
+                    .merge(&rec.agg);
+            }
+            return;
+        }
+
+        // Internal node: choose branches on dimension `level`.
+        match &filters[level] {
+            DimFilter::In(ids) => {
+                for &id in ids {
+                    if let Ok(pos) = node.children.binary_search_by_key(&id, |(v, _)| *v) {
+                        let child = node.children[pos].1;
+                        path[level] = id;
+                        self.visit(child, filters, group_dims, path, groups, scanned);
+                        path[level] = STAR;
+                    }
+                }
+            }
+            DimFilter::Any => {
+                if group_dims.contains(&level) {
+                    // Grouped: need every concrete value.
+                    for &(id, child) in &node.children {
+                        path[level] = id;
+                        self.visit(child, filters, group_dims, path, groups, scanned);
+                        path[level] = STAR;
+                    }
+                } else if let Some(star) = node.star_child {
+                    // Unconstrained and ungrouped: the star branch holds
+                    // the level's aggregate.
+                    self.visit(star, filters, group_dims, path, groups, scanned);
+                } else {
+                    for &(_, child) in &node.children {
+                        self.visit(child, filters, group_dims, path, groups, scanned);
+                    }
+                }
+            }
+        }
+    }
+
+    fn group_key(path: &[DictId], group_dims: &[usize]) -> Vec<DictId> {
+        group_dims.iter().map(|&d| path[d]).collect()
+    }
+
+    /// Approximate heap size.
+    pub fn size_bytes(&self) -> usize {
+        let rec: usize = self
+            .records
+            .iter()
+            .map(|r| r.dims.len() * 4 + r.agg.sums.len() * 24 + 16)
+            .sum();
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| 64 + n.children.len() * 12)
+            .sum();
+        rec + nodes
+    }
+}
+
+impl std::fmt::Debug for StarTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StarTree")
+            .field("dimensions", &self.dimensions)
+            .field("metrics", &self.metrics)
+            .field("records", &self.records.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: for any data and any filter/group-by combination over
+//! tree dimensions, the star-tree must produce exactly the same aggregates
+//! as a brute-force scan of the raw rows.
+
+use pinot_common::config::StarTreeConfig;
+use pinot_common::{DataType, FieldSpec, Record, Schema, Value};
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use pinot_segment::ImmutableSegment;
+use pinot_startree::{build_star_tree, DimFilter};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Row {
+    a: i64, // dim, cardinality ~4
+    b: i64, // dim, cardinality ~3
+    c: i64, // dim, cardinality ~5
+    m: i64, // metric
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (0i64..4, 0i64..3, 0i64..5, -100i64..100).prop_map(|(a, b, c, m)| Row { a, b, c, m }),
+        1..300,
+    )
+}
+
+fn build(rows: &[Row], max_leaf: usize, skip_star: Vec<String>) -> (ImmutableSegment, pinot_startree::StarTree) {
+    let schema = Schema::new(
+        "t",
+        vec![
+            FieldSpec::dimension("a", DataType::Long),
+            FieldSpec::dimension("b", DataType::Long),
+            FieldSpec::dimension("c", DataType::Long),
+            FieldSpec::metric("m", DataType::Long),
+        ],
+    )
+    .unwrap();
+    let mut b = SegmentBuilder::new(schema, BuilderConfig::new("s", "t")).unwrap();
+    for r in rows {
+        b.add(Record::new(vec![
+            Value::Long(r.a),
+            Value::Long(r.b),
+            Value::Long(r.c),
+            Value::Long(r.m),
+        ]))
+        .unwrap();
+    }
+    let seg = b.build().unwrap();
+    let tree = build_star_tree(
+        &seg,
+        &StarTreeConfig {
+            dimensions: vec!["a".into(), "b".into(), "c".into()],
+            metrics: vec!["m".into()],
+            max_leaf_records: max_leaf,
+            skip_star_dimensions: skip_star,
+        },
+    )
+    .unwrap();
+    (seg, tree)
+}
+
+/// Filter spec in raw value space: None = Any, Some(vals) = IN.
+type RawFilter = Option<Vec<i64>>;
+
+fn to_dim_filter(seg: &ImmutableSegment, col: &str, f: &RawFilter) -> DimFilter {
+    match f {
+        None => DimFilter::Any,
+        Some(vals) => {
+            let dict = &seg.column(col).unwrap().dictionary;
+            let mut ids: Vec<u32> = vals
+                .iter()
+                .filter_map(|v| dict.id_of(&Value::Long(*v)))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            DimFilter::In(ids)
+        }
+    }
+}
+
+fn filter_strategy(card: i64) -> impl Strategy<Value = RawFilter> {
+    prop_oneof![
+        3 => Just(None),
+        2 => prop::collection::vec(0..card, 1..3).prop_map(Some),
+    ]
+}
+
+fn brute_force(
+    rows: &[Row],
+    fa: &RawFilter,
+    fb: &RawFilter,
+    fc: &RawFilter,
+    group: &[usize],
+) -> HashMap<Vec<i64>, (u64, f64, f64, f64)> {
+    let mut out: HashMap<Vec<i64>, (u64, f64, f64, f64)> = HashMap::new();
+    let matches = |f: &RawFilter, v: i64| f.as_ref().is_none_or(|s| s.contains(&v));
+    for r in rows {
+        if !(matches(fa, r.a) && matches(fb, r.b) && matches(fc, r.c)) {
+            continue;
+        }
+        let dims = [r.a, r.b, r.c];
+        let key: Vec<i64> = group.iter().map(|&d| dims[d]).collect();
+        let e = out
+            .entry(key)
+            .or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
+        e.0 += 1;
+        e.1 += r.m as f64;
+        e.2 = e.2.min(r.m as f64);
+        e.3 = e.3.max(r.m as f64);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_brute_force(
+        rows in rows_strategy(),
+        fa in filter_strategy(4),
+        fb in filter_strategy(3),
+        fc in filter_strategy(5),
+        group_mask in 0usize..8,
+        max_leaf in prop::sample::select(vec![1usize, 2, 10, 1000]),
+        skip_star_b in any::<bool>(),
+    ) {
+        let skip = if skip_star_b { vec!["b".to_string()] } else { vec![] };
+        let (seg, tree) = build(&rows, max_leaf, skip);
+        let group: Vec<usize> = (0..3).filter(|d| group_mask & (1 << d) != 0).collect();
+        let filters = vec![
+            to_dim_filter(&seg, "a", &fa),
+            to_dim_filter(&seg, "b", &fb),
+            to_dim_filter(&seg, "c", &fc),
+        ];
+        let result = tree.execute(&filters, &group);
+        let expected = brute_force(&rows, &fa, &fb, &fc, &group);
+
+        // Translate tree group keys (dict ids) back to raw values.
+        let dims = ["a", "b", "c"];
+        let mut got: HashMap<Vec<i64>, (u64, f64, f64, f64)> = HashMap::new();
+        for (key, agg) in &result.groups {
+            if agg.count == 0 {
+                // Ungrouped empty result over empty match set.
+                continue;
+            }
+            let raw_key: Vec<i64> = key
+                .iter()
+                .zip(group.iter())
+                .map(|(id, &d)| {
+                    seg.column(dims[d]).unwrap().dictionary.value_of(*id).as_i64().unwrap()
+                })
+                .collect();
+            got.insert(raw_key, (agg.count, agg.sums[0], agg.mins[0], agg.maxs[0]));
+        }
+
+        prop_assert_eq!(got.len(), expected.len());
+        for (k, (cnt, sum, min, max)) in &expected {
+            let (gc, gs, gmin, gmax) = got.get(k).copied()
+                .ok_or_else(|| TestCaseError::fail(format!("missing group {k:?}")))?;
+            prop_assert_eq!(gc, *cnt);
+            prop_assert!((gs - sum).abs() < 1e-6);
+            prop_assert_eq!(gmin, *min);
+            prop_assert_eq!(gmax, *max);
+        }
+
+        // The scan-accounting invariant behind Figure 13: the tree never
+        // claims more raw matches than exist.
+        prop_assert_eq!(
+            result.raw_docs_matched,
+            expected.values().map(|e| e.0).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Anomaly-detection / ad hoc reporting dataset (Figures 11–13).
+//!
+//! The paper's first scenario: "ad hoc reporting and anomaly detection on
+//! multidimensional key business metrics". The query set mixes
+//! automatically generated monitoring queries (fixed shapes, high rate)
+//! with ad hoc root-cause drill-downs (variable predicates and groupings).
+//! Queries aggregate metrics with a variable number of filtering predicates
+//! and grouping clauses — exactly the shape star-trees accelerate.
+
+use crate::util::pick;
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use rand::Rng;
+
+pub const TABLE: &str = "anomaly";
+
+const METRIC_NAMES: usize = 40;
+const DATACENTERS: [&str; 4] = ["dc-east", "dc-west", "dc-eu", "dc-ap"];
+const FABRICS: usize = 8;
+const COUNTRIES: [&str; 12] = [
+    "us", "de", "in", "br", "jp", "uk", "fr", "ca", "au", "mx", "es", "it",
+];
+const PLATFORMS: [&str; 5] = ["web", "ios", "android", "api", "email"];
+pub const DAYS: i64 = 30;
+
+pub fn schema() -> Schema {
+    Schema::new(
+        TABLE,
+        vec![
+            FieldSpec::dimension("metric_name", DataType::String),
+            FieldSpec::dimension("datacenter", DataType::String),
+            FieldSpec::dimension("fabric", DataType::String),
+            FieldSpec::dimension("country", DataType::String),
+            FieldSpec::dimension("platform", DataType::String),
+            FieldSpec::metric("value", DataType::Double),
+            FieldSpec::metric("events", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+/// Generate `n` rows starting at `base_day`.
+///
+/// Business metrics are *series*: the same (metric, datacenter, fabric,
+/// country, platform) combination reports many observations over time.
+/// Rows therefore sample from a bounded pool of series (≈ n/200 of them)
+/// rather than drawing every dimension independently — this is what gives
+/// preaggregation its leverage (Figure 13 plots exactly that ratio).
+pub fn rows(n: usize, base_day: i64, rng: &mut impl Rng) -> Vec<Record> {
+    let num_series = (n / 200).clamp(1, 5_000);
+    let series: Vec<(String, String, String, String, String)> = (0..num_series)
+        .map(|_| {
+            (
+                format!("metric_{:02}", rng.gen_range(0..METRIC_NAMES)),
+                pick(rng, &DATACENTERS).to_string(),
+                format!("fabric_{}", rng.gen_range(0..FABRICS)),
+                pick(rng, &COUNTRIES).to_string(),
+                pick(rng, &PLATFORMS).to_string(),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let s = pick(rng, &series);
+            Record::new(vec![
+                Value::String(s.0.clone()),
+                Value::String(s.1.clone()),
+                Value::String(s.2.clone()),
+                Value::String(s.3.clone()),
+                Value::String(s.4.clone()),
+                Value::Double(rng.gen_range(0.0..1_000.0)),
+                Value::Long(rng.gen_range(1..100)),
+                Value::Long(base_day + rng.gen_range(0..DAYS)),
+            ])
+        })
+        .collect()
+}
+
+/// One query from the production-like mix: ~70% automated monitoring
+/// (metric over time with one or two fixed filters), ~30% ad hoc
+/// drill-downs (more predicates, group-bys, OR shapes).
+pub fn query(base_day: i64, rng: &mut impl Rng) -> String {
+    let metric = format!("metric_{:02}", rng.gen_range(0..METRIC_NAMES));
+    let day_lo = base_day + rng.gen_range(0..DAYS / 2);
+    if rng.gen_bool(0.7) {
+        // Monitoring: total for one metric since a day, optionally split by
+        // one dimension.
+        match rng.gen_range(0..3) {
+            0 => format!(
+                "SELECT SUM(value) FROM {TABLE} WHERE metric_name = '{metric}' AND day >= {day_lo}"
+            ),
+            1 => format!(
+                "SELECT SUM(value), COUNT(*) FROM {TABLE} WHERE metric_name = '{metric}' \
+                 AND datacenter = '{}' AND day >= {day_lo}",
+                pick(rng, &DATACENTERS)
+            ),
+            _ => format!(
+                "SELECT SUM(value) FROM {TABLE} WHERE metric_name = '{metric}' \
+                 AND day >= {day_lo} GROUP BY datacenter TOP 10"
+            ),
+        }
+    } else {
+        // Ad hoc drill-down during root-cause analysis.
+        match rng.gen_range(0..4) {
+            0 => format!(
+                "SELECT SUM(value) FROM {TABLE} WHERE metric_name = '{metric}' \
+                 AND country = '{}' AND platform = '{}' AND day >= {day_lo} \
+                 GROUP BY fabric TOP 20",
+                pick(rng, &COUNTRIES),
+                pick(rng, &PLATFORMS)
+            ),
+            1 => format!(
+                "SELECT SUM(events) FROM {TABLE} WHERE metric_name = '{metric}' \
+                 AND (datacenter = '{}' OR datacenter = '{}') AND day >= {day_lo} \
+                 GROUP BY country TOP 20",
+                pick(rng, &DATACENTERS),
+                pick(rng, &DATACENTERS)
+            ),
+            2 => format!(
+                "SELECT SUM(value), MAX(value) FROM {TABLE} WHERE country IN ('{}', '{}') \
+                 AND day BETWEEN {day_lo} AND {} GROUP BY platform TOP 10",
+                pick(rng, &COUNTRIES),
+                pick(rng, &COUNTRIES),
+                day_lo + 7
+            ),
+            _ => format!(
+                "SELECT COUNT(*) FROM {TABLE} WHERE platform = '{}' AND fabric = 'fabric_{}' \
+                 AND day >= {day_lo} GROUP BY metric_name TOP 30",
+                pick(rng, &PLATFORMS),
+                rng.gen_range(0..FABRICS)
+            ),
+        }
+    }
+}
+
+/// A sampled query set with `n` entries.
+pub fn queries(n: usize, base_day: i64, rng: &mut impl Rng) -> Vec<String> {
+    (0..n).map(|_| query(base_day, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_match_schema() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = schema();
+        for r in rows(200, 17_000, &mut rng) {
+            r.normalize(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn queries_parse() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for q in queries(500, 17_000, &mut rng) {
+            pinot_pql_parse_check(&q);
+        }
+    }
+
+    fn pinot_pql_parse_check(q: &str) {
+        // The workloads crate doesn't depend on the parser; a lightweight
+        // sanity check suffices here (bench/tests parse for real).
+        assert!(q.starts_with("SELECT"), "{q}");
+        assert!(q.contains(TABLE), "{q}");
+    }
+
+    #[test]
+    fn query_set_is_diverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = queries(1000, 17_000, &mut rng);
+        let distinct: std::collections::HashSet<&String> = qs.iter().collect();
+        assert!(distinct.len() > 500, "only {} distinct", distinct.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic generators for the paper's evaluation workloads (§6).
+//!
+//! The paper's datasets and query sets came from LinkedIn production
+//! systems; they are not available, so each module here generates a
+//! synthetic equivalent matched to the *described characteristics* of its
+//! scenario — cardinalities, skew, filter shapes, and query mixes — so the
+//! relative behaviour of the indexing techniques (who wins, by roughly what
+//! factor, where crossovers fall) is preserved:
+//!
+//! * [`anomaly`] — ad hoc reporting and anomaly detection on
+//!   multidimensional business metrics: few low-cardinality dimensions,
+//!   automated monitoring queries plus ad hoc drill-downs (Figures 11–13);
+//! * [`share_analytics`] — content-share analytics: every query keys on a
+//!   shared-item id with a few facets (Figure 14);
+//! * [`wvmp`] — "Who viewed my profile": every query filters on
+//!   `viewee_id`, the column Pinot physically sorts by (Figure 15);
+//! * [`impressions`] — impression discounting for feed personalization:
+//!   very high rates of per-member point aggregations (Figure 16).
+//!
+//! Query sets are sampled with tens of thousands of distinct queries, as in
+//! the paper's evaluation setup.
+
+pub mod anomaly;
+pub mod impressions;
+pub mod share_analytics;
+pub mod util;
+pub mod wvmp;
+
+pub use util::Zipf;

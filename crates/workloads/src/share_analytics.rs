@@ -1,0 +1,114 @@
+//! "Share analytics" dataset (Figure 14).
+//!
+//! End-user analytics on who viewed published content: simple aggregations
+//! (sum of clicks/views, distinct count of viewers) with a few facets such
+//! as region, seniority or industry, always for one piece of shared
+//! content. Pinot sorts physically by the shared item identifier — the
+//! paper attributes most of its advantage over Druid on this dataset to
+//! that ordering.
+
+use crate::util::{pick, Zipf};
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use rand::Rng;
+
+pub const TABLE: &str = "shares";
+
+const REGIONS: [&str; 8] = [
+    "na-east", "na-west", "emea", "apac", "latam", "india", "anz", "mena",
+];
+const SENIORITIES: [&str; 6] = ["entry", "senior", "manager", "director", "vp", "cxo"];
+const INDUSTRIES: usize = 25;
+pub const DAYS: i64 = 21;
+
+pub fn schema() -> Schema {
+    Schema::new(
+        TABLE,
+        vec![
+            FieldSpec::dimension("item_id", DataType::Long),
+            FieldSpec::dimension("region", DataType::String),
+            FieldSpec::dimension("seniority", DataType::String),
+            FieldSpec::dimension("industry", DataType::String),
+            FieldSpec::metric("views", DataType::Long),
+            FieldSpec::metric("clicks", DataType::Long),
+            FieldSpec::metric("viewer_hash", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+pub struct ShareGen {
+    zipf: Zipf,
+    base_day: i64,
+}
+
+impl ShareGen {
+    pub fn new(num_items: usize, base_day: i64) -> ShareGen {
+        ShareGen {
+            zipf: Zipf::new(num_items, 1.1),
+            base_day,
+        }
+    }
+
+    pub fn rows(&self, n: usize, rng: &mut impl Rng) -> Vec<Record> {
+        (0..n)
+            .map(|_| {
+                Record::new(vec![
+                    Value::Long(self.zipf.sample(rng) as i64),
+                    Value::String(pick(rng, &REGIONS).to_string()),
+                    Value::String(pick(rng, &SENIORITIES).to_string()),
+                    Value::String(format!("industry_{:02}", rng.gen_range(0..INDUSTRIES))),
+                    Value::Long(1),
+                    Value::Long(if rng.gen_bool(0.1) { 1 } else { 0 }),
+                    Value::Long(rng.gen_range(0..500_000)),
+                    Value::Long(self.base_day + rng.gen_range(0..DAYS)),
+                ])
+            })
+            .collect()
+    }
+
+    pub fn query(&self, rng: &mut impl Rng) -> String {
+        let item = self.zipf.sample(rng) as i64;
+        match rng.gen_range(0..4) {
+            0 => format!(
+                "SELECT SUM(views), SUM(clicks) FROM {TABLE} WHERE item_id = {item}"
+            ),
+            1 => format!(
+                "SELECT SUM(views) FROM {TABLE} WHERE item_id = {item} GROUP BY region TOP 10"
+            ),
+            2 => format!(
+                "SELECT SUM(views) FROM {TABLE} WHERE item_id = {item} \
+                 GROUP BY industry TOP 10"
+            ),
+            _ => format!(
+                "SELECT DISTINCTCOUNT(viewer_hash) FROM {TABLE} WHERE item_id = {item} \
+                 AND seniority = '{}'",
+                pick(rng, &SENIORITIES)
+            ),
+        }
+    }
+
+    pub fn queries(&self, n: usize, rng: &mut impl Rng) -> Vec<String> {
+        (0..n).map(|_| self.query(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_match_schema_and_queries_key_on_item() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = ShareGen::new(5_000, 17_000);
+        let s = schema();
+        for r in gen.rows(200, &mut rng) {
+            r.normalize(&s).unwrap();
+        }
+        for q in gen.queries(100, &mut rng) {
+            assert!(q.contains("item_id ="), "{q}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Sampling utilities shared by the workload generators.
+
+use rand::Rng;
+
+/// Zipf-distributed sampler over `0..n` with exponent `s`.
+///
+/// Web entity popularity (profiles viewed, items shared) follows long-tail
+/// distributions; the paper's iceberg-query discussion (§4.3) leans on
+/// exactly this property. Implemented by inverse-CDF over precomputed
+/// cumulative weights — O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one element");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample an index in `0..n`; index 0 is the most popular.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Pick one element of a slice uniformly.
+pub fn pick<'a, T>(rng: &mut impl Rng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_head() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0usize;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-1% of ids should take far more than 1% of samples.
+        assert!(
+            head as f64 / samples as f64 > 0.2,
+            "head share {}",
+            head as f64 / samples as f64
+        );
+    }
+
+    #[test]
+    fn zipf_covers_range() {
+        let z = Zipf::new(10, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn zipf_samples_in_bounds() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

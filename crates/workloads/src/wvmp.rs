@@ -1,0 +1,132 @@
+//! "Who viewed my profile" dataset (Figure 15).
+//!
+//! Every query filters on `viewee_id` — the member whose profile views are
+//! being summarized — which is why Pinot physically reorders records by
+//! that column (§4.2): any query touches one contiguous range. Queries are
+//! simple aggregations (sum of views, distinct viewers) with a few facets
+//! (country, industry, seniority). Popularity is long-tailed.
+
+use crate::util::{pick, Zipf};
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use rand::Rng;
+
+pub const TABLE: &str = "wvmp";
+
+const COUNTRIES: [&str; 10] = ["us", "in", "br", "uk", "de", "fr", "ca", "cn", "jp", "au"];
+const INDUSTRIES: usize = 30;
+const SENIORITIES: [&str; 6] = [
+    "entry", "senior", "manager", "director", "vp", "cxo",
+];
+pub const DAYS: i64 = 14;
+
+pub fn schema() -> Schema {
+    Schema::new(
+        TABLE,
+        vec![
+            FieldSpec::dimension("viewee_id", DataType::Long),
+            FieldSpec::dimension("viewer_country", DataType::String),
+            FieldSpec::dimension("viewer_industry", DataType::String),
+            FieldSpec::dimension("viewer_seniority", DataType::String),
+            FieldSpec::metric("views", DataType::Long),
+            FieldSpec::metric("viewer_hash", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+/// Row generator: `num_members` distinct viewees with zipf popularity.
+pub struct WvmpGen {
+    zipf: Zipf,
+    num_members: usize,
+    base_day: i64,
+}
+
+impl WvmpGen {
+    pub fn new(num_members: usize, base_day: i64) -> WvmpGen {
+        WvmpGen {
+            zipf: Zipf::new(num_members, 1.05),
+            num_members,
+            base_day,
+        }
+    }
+
+    pub fn num_members(&self) -> usize {
+        self.num_members
+    }
+
+    pub fn rows(&self, n: usize, rng: &mut impl Rng) -> Vec<Record> {
+        (0..n)
+            .map(|_| {
+                let viewee = self.zipf.sample(rng) as i64;
+                Record::new(vec![
+                    Value::Long(viewee),
+                    Value::String(pick(rng, &COUNTRIES).to_string()),
+                    Value::String(format!("industry_{:02}", rng.gen_range(0..INDUSTRIES))),
+                    Value::String(pick(rng, &SENIORITIES).to_string()),
+                    Value::Long(1),
+                    Value::Long(rng.gen_range(0..1_000_000)),
+                    Value::Long(self.base_day + rng.gen_range(0..DAYS)),
+                ])
+            })
+            .collect()
+    }
+
+    /// WVMP queries always key on a viewee; viewees are queried with the
+    /// same popularity skew as their data (active members check more).
+    pub fn query(&self, rng: &mut impl Rng) -> String {
+        let viewee = self.zipf.sample(rng) as i64;
+        match rng.gen_range(0..4) {
+            0 => format!("SELECT SUM(views) FROM {TABLE} WHERE viewee_id = {viewee}"),
+            1 => format!(
+                "SELECT SUM(views) FROM {TABLE} WHERE viewee_id = {viewee} \
+                 GROUP BY viewer_country TOP 10"
+            ),
+            2 => format!(
+                "SELECT SUM(views), COUNT(*) FROM {TABLE} WHERE viewee_id = {viewee} \
+                 GROUP BY viewer_seniority TOP 10"
+            ),
+            _ => format!(
+                "SELECT DISTINCTCOUNT(viewer_hash) FROM {TABLE} WHERE viewee_id = {viewee} \
+                 AND day >= {}",
+                self.base_day + DAYS / 2
+            ),
+        }
+    }
+
+    pub fn queries(&self, n: usize, rng: &mut impl Rng) -> Vec<String> {
+        (0..n).map(|_| self.query(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rows_match_schema_and_queries_key_on_viewee() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = WvmpGen::new(1_000, 17_000);
+        let s = schema();
+        for r in gen.rows(300, &mut rng) {
+            r.normalize(&s).unwrap();
+        }
+        for q in gen.queries(200, &mut rng) {
+            assert!(q.contains("viewee_id ="), "{q}");
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = WvmpGen::new(10_000, 17_000);
+        let rows = gen.rows(20_000, &mut rng);
+        let head = rows
+            .iter()
+            .filter(|r| r.values()[0].as_i64().unwrap() < 100)
+            .count();
+        assert!(head > 2_000, "head rows: {head}");
+    }
+}

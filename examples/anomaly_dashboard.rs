@@ -1,0 +1,114 @@
+//! Anomaly-detection dashboard: the paper's internal-analytics scenario
+//! (§6, Figures 11–13). Loads the multidimensional business-metric dataset
+//! with a star-tree index and contrasts the preaggregated execution path
+//! against raw scans on the same queries.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_dashboard
+//! ```
+
+use pinot::common::config::{StarTreeConfig, TableConfig};
+use pinot::workloads::anomaly;
+use pinot::{ClusterConfig, PinotCluster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Numeric comparison of two query results with relative tolerance (the
+/// two execution paths sum floats in different orders).
+fn results_close(
+    a: &pinot::common::query::QueryResult,
+    b: &pinot::common::query::QueryResult,
+) -> bool {
+    use pinot::common::query::QueryResult;
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    match (a, b) {
+        (QueryResult::Aggregation(x), QueryResult::Aggregation(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(p, q)| {
+                    match (p.value.as_f64(), q.value.as_f64()) {
+                        (Some(m), Some(n)) => close(m, n),
+                        _ => p.value == q.value,
+                    }
+                })
+        }
+        (QueryResult::GroupBy(x), QueryResult::GroupBy(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(tx, ty)| {
+                    tx.rows.len() == ty.rows.len()
+                        && tx.rows.iter().zip(&ty.rows).all(|((ka, va), (kb, vb))| {
+                            ka == kb
+                                && match (va.as_f64(), vb.as_f64()) {
+                                    (Some(m), Some(n)) => close(m, n),
+                                    _ => va == vb,
+                                }
+                        })
+                })
+        }
+        _ => false,
+    }
+}
+
+fn main() -> pinot::common::Result<()> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows = anomaly::rows(60_000, 17_000, &mut rng);
+
+    // One cluster with a star-tree, one without: same data, same queries.
+    let with_tree = PinotCluster::start(ClusterConfig::default())?;
+    with_tree.create_table(
+        TableConfig::offline(anomaly::TABLE).with_star_tree(StarTreeConfig {
+            dimensions: vec![
+                "metric_name".into(),
+                "datacenter".into(),
+                "country".into(),
+                "platform".into(),
+                "fabric".into(),
+                "day".into(),
+            ],
+            metrics: vec!["value".into(), "events".into()],
+            max_leaf_records: 20,
+            skip_star_dimensions: vec![],
+        }),
+        anomaly::schema(),
+    )?;
+    with_tree.upload_rows(anomaly::TABLE, rows.clone())?;
+
+    let without_tree = PinotCluster::start(ClusterConfig::default())?;
+    without_tree.create_table(TableConfig::offline(anomaly::TABLE), anomaly::schema())?;
+    without_tree.upload_rows(anomaly::TABLE, rows)?;
+
+    println!("query\tstar_docs\traw_docs\tratio\tanswers_match");
+    let queries = anomaly::queries(8, 17_000, &mut rng);
+    for pql in &queries {
+        let a = with_tree.query(pql);
+        let b = without_tree.query(pql);
+        assert!(!a.partial && !b.partial);
+        // Star-tree and raw execution add the same doubles in different
+        // orders; compare numerically.
+        let matches = results_close(&a.result, &b.result);
+        let ratio = a
+            .stats
+            .preaggregation_ratio()
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            &pql[..60.min(pql.len())],
+            a.stats.num_docs_scanned,
+            b.stats.num_docs_scanned,
+            ratio,
+            matches
+        );
+    }
+
+    // A dashboard drill-down, end to end.
+    let resp = with_tree.query(
+        "SELECT SUM(value) FROM anomaly WHERE metric_name = 'metric_03' \
+         AND day >= 17010 GROUP BY datacenter TOP 5",
+    );
+    println!("\ndrill-down result: {:?}", resp.result);
+    println!(
+        "scanned {} preaggregated records representing {} raw rows",
+        resp.stats.num_docs_scanned, resp.stats.raw_docs_equivalent
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: boot an in-process Pinot cluster, create an offline table,
+//! push a segment, and run a few PQL queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pinot::common::config::TableConfig;
+use pinot::common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot::{ClusterConfig, PinotCluster};
+
+fn main() -> pinot::common::Result<()> {
+    // A cluster with 3 controllers (one leader), 1 broker, 3 servers.
+    let cluster = PinotCluster::start(ClusterConfig::default())?;
+
+    // Tables have fixed schemas of dimensions, metrics, and a time column.
+    let schema = Schema::new(
+        "pageviews",
+        vec![
+            FieldSpec::dimension("country", DataType::String),
+            FieldSpec::dimension("browser", DataType::String),
+            FieldSpec::metric("views", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )?;
+    cluster.create_table(
+        TableConfig::offline("pageviews")
+            .with_replication(2)
+            .with_inverted_indexes(&["browser"]),
+        schema,
+    )?;
+
+    // Offline push: build a segment from records and upload it. The
+    // controller verifies, stores, and assigns it; servers load it.
+    let mut rows = Vec::new();
+    for i in 0..10_000i64 {
+        rows.push(Record::new(vec![
+            Value::String(["us", "de", "jp", "br"][(i % 4) as usize].to_string()),
+            Value::String(["firefox", "safari", "chrome"][(i % 3) as usize].to_string()),
+            Value::Long(1 + i % 5),
+            Value::Long(18_000 + i % 7),
+        ]));
+    }
+    cluster.upload_rows("pageviews", rows)?;
+
+    // Query through a broker with PQL.
+    for pql in [
+        "SELECT COUNT(*) FROM pageviews",
+        "SELECT SUM(views) FROM pageviews WHERE browser = 'firefox'",
+        "SELECT SUM(views) FROM pageviews WHERE country IN ('us', 'de') AND day >= 18003 \
+         GROUP BY country TOP 5",
+        "SELECT country, browser FROM pageviews WHERE views > 4 LIMIT 3",
+    ] {
+        let resp = cluster.query(pql);
+        println!("query: {pql}");
+        println!(
+            "  -> {:?}  ({} docs scanned, {} servers, {} ms)",
+            resp.result,
+            resp.stats.num_docs_scanned,
+            resp.stats.num_servers_queried,
+            resp.stats.time_used_ms
+        );
+        assert!(!resp.partial, "unexpected partial response: {:?}", resp.exceptions);
+    }
+    Ok(())
+}

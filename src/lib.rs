@@ -1,0 +1,43 @@
+//! # pinot — a Rust reproduction of "Pinot: Realtime OLAP for 530 Million Users"
+//!
+//! This facade crate re-exports the integrated system from [`pinot_core`]
+//! and anchors the workspace's examples and integration tests. See the
+//! repository README for a tour, DESIGN.md for the system inventory, and
+//! EXPERIMENTS.md for the paper-versus-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pinot::{ClusterConfig, PinotCluster};
+//! use pinot::common::config::TableConfig;
+//! use pinot::common::{DataType, FieldSpec, Record, Schema, Value};
+//!
+//! let cluster = PinotCluster::start(ClusterConfig::default()).unwrap();
+//! let schema = Schema::new(
+//!     "hits",
+//!     vec![
+//!         FieldSpec::dimension("country", DataType::String),
+//!         FieldSpec::metric("clicks", DataType::Long),
+//!     ],
+//! )
+//! .unwrap();
+//! cluster.create_table(TableConfig::offline("hits"), schema).unwrap();
+//! cluster
+//!     .upload_rows(
+//!         "hits",
+//!         vec![
+//!             Record::new(vec![Value::from("us"), Value::Long(3)]),
+//!             Record::new(vec![Value::from("de"), Value::Long(4)]),
+//!         ],
+//!     )
+//!     .unwrap();
+//! let resp = cluster.query("SELECT SUM(clicks) FROM hits");
+//! assert_eq!(resp.result.single_aggregate(), Some(&Value::Double(7.0)));
+//! ```
+
+pub use pinot_core::*;
+
+/// The Druid-like comparison engine used throughout the paper's evaluation.
+pub use pinot_baseline as baseline;
+/// Synthetic generators for the paper's four evaluation workloads.
+pub use pinot_workloads as workloads;

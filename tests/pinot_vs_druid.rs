@@ -1,0 +1,190 @@
+//! Cross-engine equivalence: the Pinot cluster (under every index
+//! configuration) and the Druid-like baseline must return the same answers
+//! for the same data and queries — the property every performance figure
+//! in the evaluation silently relies on.
+
+use pinot::baseline::DruidEngine;
+use pinot::common::config::{StarTreeConfig, TableConfig};
+use pinot::common::query::{QueryRequest, QueryResult};
+use pinot::common::{Record, Schema};
+use pinot::workloads::{anomaly, impressions, share_analytics, wvmp};
+use pinot::{ClusterConfig, PinotCluster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0)
+}
+
+/// Structural comparison with numeric tolerance (execution paths sum floats
+/// in different orders).
+fn results_equivalent(a: &QueryResult, b: &QueryResult) -> bool {
+    match (a, b) {
+        (QueryResult::Aggregation(x), QueryResult::Aggregation(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(p, q)| {
+                    p.function == q.function
+                        && match (p.value.as_f64(), q.value.as_f64()) {
+                            (Some(m), Some(n)) => close(m, n),
+                            _ => p.value == q.value,
+                        }
+                })
+        }
+        (QueryResult::GroupBy(x), QueryResult::GroupBy(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(tx, ty)| {
+                    // Compare as maps: ties in top-n can order differently.
+                    let to_map = |t: &pinot::common::query::GroupByRows| {
+                        t.rows
+                            .iter()
+                            .map(|(k, v)| (format!("{k:?}"), v.as_f64().unwrap_or(f64::NAN)))
+                            .collect::<std::collections::BTreeMap<_, _>>()
+                    };
+                    let (ma, mb) = (to_map(tx), to_map(ty));
+                    if ma.len() != mb.len() {
+                        return false;
+                    }
+                    // Tied boundary rows may differ; require 90% key overlap
+                    // and matching values on the intersection.
+                    let common: Vec<_> = ma.keys().filter(|k| mb.contains_key(*k)).collect();
+                    common.len() * 10 >= ma.len() * 9
+                        && common.iter().all(|k| close(ma[*k], mb[*k]))
+                })
+        }
+        _ => false,
+    }
+}
+
+fn check_workload(
+    schema: Schema,
+    table: &str,
+    configs: Vec<TableConfig>,
+    rows: Vec<Record>,
+    queries: Vec<String>,
+) {
+    // Druid baseline.
+    let mut druid = DruidEngine::new(3);
+    druid
+        .load_table(table, schema.clone(), rows.clone(), rows.len() / 5 + 1)
+        .unwrap();
+
+    // Pinot clusters, one per index configuration.
+    let clusters: Vec<Arc<PinotCluster>> = configs
+        .into_iter()
+        .map(|cfg| {
+            let cluster =
+                Arc::new(PinotCluster::start(ClusterConfig::default().with_servers(3)).unwrap());
+            cluster.create_table(cfg, schema.clone()).unwrap();
+            for chunk in rows.chunks(rows.len() / 5 + 1) {
+                cluster.upload_rows(table, chunk.to_vec()).unwrap();
+            }
+            cluster
+        })
+        .collect();
+
+    for pql in &queries {
+        let reference = druid.execute(&QueryRequest::new(pql)).unwrap();
+        assert!(!reference.partial, "{pql}: {:?}", reference.exceptions);
+        for (i, cluster) in clusters.iter().enumerate() {
+            let got = cluster.query(pql);
+            assert!(!got.partial, "{pql} (config {i}): {:?}", got.exceptions);
+            assert!(
+                results_equivalent(&reference.result, &got.result),
+                "config {i} diverged on {pql}\n druid: {:?}\n pinot: {:?}",
+                reference.result,
+                got.result
+            );
+        }
+    }
+}
+
+#[test]
+fn anomaly_workload_equivalence() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let rows = anomaly::rows(8_000, 17_000, &mut rng);
+    let queries = anomaly::queries(40, 17_000, &mut rng);
+    check_workload(
+        anomaly::schema(),
+        anomaly::TABLE,
+        vec![
+            TableConfig::offline(anomaly::TABLE),
+            TableConfig::offline(anomaly::TABLE).with_inverted_indexes(&[
+                "metric_name",
+                "datacenter",
+                "country",
+            ]),
+            TableConfig::offline(anomaly::TABLE).with_star_tree(StarTreeConfig {
+                dimensions: vec![
+                    "metric_name".into(),
+                    "datacenter".into(),
+                    "country".into(),
+                    "platform".into(),
+                    "fabric".into(),
+                    "day".into(),
+                ],
+                metrics: vec!["value".into(), "events".into()],
+                max_leaf_records: 20,
+                skip_star_dimensions: vec![],
+            }),
+        ],
+        rows,
+        queries,
+    );
+}
+
+#[test]
+fn wvmp_workload_equivalence() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let gen = wvmp::WvmpGen::new(300, 17_000);
+    let rows = gen.rows(8_000, &mut rng);
+    let queries = gen.queries(40, &mut rng);
+    check_workload(
+        wvmp::schema(),
+        wvmp::TABLE,
+        vec![
+            TableConfig::offline(wvmp::TABLE).with_sorted_column("viewee_id"),
+            TableConfig::offline(wvmp::TABLE).with_inverted_indexes(&["viewee_id"]),
+        ],
+        rows,
+        queries,
+    );
+}
+
+#[test]
+fn share_workload_equivalence() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let gen = share_analytics::ShareGen::new(200, 17_000);
+    let rows = gen.rows(8_000, &mut rng);
+    let queries = gen.queries(40, &mut rng);
+    check_workload(
+        share_analytics::schema(),
+        share_analytics::TABLE,
+        vec![TableConfig::offline(share_analytics::TABLE).with_sorted_column("item_id")],
+        rows,
+        queries,
+    );
+}
+
+#[test]
+fn impressions_workload_equivalence() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let gen = impressions::ImpressionGen::new(500, 200, 420_000);
+    let rows = gen.rows(8_000, &mut rng);
+    let queries = gen.queries(40, &mut rng);
+    check_workload(
+        impressions::schema(),
+        impressions::TABLE,
+        vec![
+            TableConfig::offline(impressions::TABLE).with_sorted_column("member_id"),
+            TableConfig::offline(impressions::TABLE).with_routing(
+                pinot::common::config::RoutingStrategy::Partitioned {
+                    column: "member_id".into(),
+                    num_partitions: 3,
+                },
+            ),
+        ],
+        rows,
+        queries,
+    );
+}
