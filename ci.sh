@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 test suites (root package:
+# integration tests + examples). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 tests (root package) =="
+cargo test -q
+
+echo "CI OK"

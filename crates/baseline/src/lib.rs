@@ -71,15 +71,12 @@ impl DruidEngine {
         if self.tables.contains_key(name) {
             return Err(PinotError::Metadata(format!("table {name} already loaded")));
         }
-        let all_dims: Vec<String> = schema
-            .dimensions()
-            .map(|f| f.name.clone())
-            .collect();
+        let all_dims: Vec<String> = schema.dimensions().map(|f| f.name.clone()).collect();
         let dim_refs: Vec<&str> = all_dims.iter().map(String::as_str).collect();
 
         for (seq, chunk) in rows.chunks(rows_per_segment.max(1)).enumerate() {
-            let cfg = BuilderConfig::new(format!("{name}__{seq}"), name)
-                .with_inverted_columns(&dim_refs);
+            let cfg =
+                BuilderConfig::new(format!("{name}__{seq}"), name).with_inverted_columns(&dim_refs);
             let mut builder = SegmentBuilder::new(schema.clone(), cfg)?;
             for r in chunk {
                 builder.add(r.clone())?;
@@ -131,7 +128,10 @@ impl DruidEngine {
                     scope.spawn(move || execute_historical(h, &q))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
         });
 
         let mut acc = IntermediateResult::empty_for(&query);
@@ -143,8 +143,7 @@ impl DruidEngine {
             }
         }
         acc.stats.num_servers_queried = self.historicals.len() as u64;
-        acc.stats.num_servers_responded =
-            self.historicals.len() as u64 - exceptions.len() as u64;
+        acc.stats.num_servers_responded = self.historicals.len() as u64 - exceptions.len() as u64;
         acc.stats.time_used_ms = started.elapsed().as_millis() as u64;
         let partial = !exceptions.is_empty();
         let stats = acc.stats.clone();

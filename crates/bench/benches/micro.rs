@@ -172,11 +172,7 @@ fn bench_startree(c: &mut Criterion) {
         .unwrap();
     let filters = vec![DimFilter::In(vec![k_id]), DimFilter::Any];
     c.bench_function("startree/filtered_sum", |bench| {
-        bench.iter(|| {
-            tree.execute(black_box(&filters), &[])
-                .groups
-                .len()
-        })
+        bench.iter(|| tree.execute(black_box(&filters), &[]).groups.len())
     });
     c.bench_function("startree/group_by_unfiltered", |bench| {
         let any = vec![DimFilter::Any, DimFilter::Any];

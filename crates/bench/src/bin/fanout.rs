@@ -68,7 +68,9 @@ fn main() {
             } else {
                 // One segment per server so balanced fan-out really fans out.
                 for chunk in all_rows.chunks(rows / servers + 1) {
-                    cluster.upload_rows(impressions::TABLE, chunk.to_vec()).unwrap();
+                    cluster
+                        .upload_rows(impressions::TABLE, chunk.to_vec())
+                        .unwrap();
                 }
             }
             // Sample the per-query server count from stats.

@@ -20,8 +20,7 @@ fn main() {
     for (label, engine) in &setup.engines {
         for qps in [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0] {
             let total = (qps as usize).clamp(100, 2_000);
-            let r: LoadResult =
-                run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
+            let r: LoadResult = run_open_loop(engine.as_ref(), &setup.queries, qps, total, workers);
             println!("{label}\t{}", r.tsv());
             // Stop sweeping an engine once it is hopelessly saturated, like
             // the truncated curves in the paper's figure.

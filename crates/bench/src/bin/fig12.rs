@@ -7,7 +7,7 @@
 
 use pinot_bench::harness::print_density;
 use pinot_bench::setup::{anomaly_setup, scale};
-use pinot_bench::{percentile, run_sequential};
+use pinot_bench::{latency_histogram, run_sequential};
 
 fn main() {
     let rows = 120_000 * scale();
@@ -19,15 +19,15 @@ fn main() {
     println!("engine\tavg_ms\tp50_ms\tp90_ms\tp99_ms\tmax_ms");
     let mut all: Vec<(String, Vec<f64>)> = Vec::new();
     for (label, engine) in &setup.engines {
-        let (mut lat, _) = run_sequential(engine.as_ref(), &setup.queries);
-        let avg = lat.iter().sum::<f64>() / lat.len() as f64;
+        let (lat, _) = run_sequential(engine.as_ref(), &setup.queries);
+        let hist = latency_histogram(&lat);
         println!(
             "{label}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
-            avg,
-            percentile(&mut lat, 0.50),
-            percentile(&mut lat, 0.90),
-            percentile(&mut lat, 0.99),
-            percentile(&mut lat, 1.0),
+            hist.mean(),
+            hist.p50(),
+            hist.quantile(0.90),
+            hist.p99(),
+            hist.max(),
         );
         all.push((label.clone(), lat));
     }

@@ -3,8 +3,8 @@
 //! dimension, inflating storage) and physical row ordering (Pinot sorts by
 //! the shared-item id, which the paper credits for most of the gap).
 
-use pinot_bench::setup::{num_servers, scale, share_setup};
 use pinot_bench::run_open_loop;
+use pinot_bench::setup::{num_servers, scale, share_setup};
 
 fn main() {
     let rows = 150_000 * scale();

@@ -4,8 +4,8 @@
 //! with two index lookups and a contiguous scan, while bitmaps pay
 //! per-posting costs, so the sorted layout scales further (§4.2).
 
-use pinot_bench::setup::{num_servers, scale, wvmp_setup};
 use pinot_bench::run_open_loop;
+use pinot_bench::setup::{num_servers, scale, wvmp_setup};
 
 fn main() {
     let rows = 150_000 * scale();

@@ -4,8 +4,8 @@
 //! the latency curve flat as the query rate grows — with Druid (which
 //! always fans out) as the baseline.
 
-use pinot_bench::setup::{impression_setup, num_servers, scale};
 use pinot_bench::run_open_loop;
+use pinot_bench::setup::{impression_setup, num_servers, scale};
 
 fn main() {
     let rows = 150_000 * scale();

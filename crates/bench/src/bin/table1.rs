@@ -7,11 +7,13 @@
 //! rate, and point-query latency on the WVMP workload.
 
 use pinot_bench::setup::{scale, wvmp_setup};
-use pinot_bench::{percentile, run_open_loop, run_sequential};
+use pinot_bench::{latency_histogram, run_open_loop, run_sequential};
 
 fn main() {
     println!("# Table 1 — techniques for OLAP and their applicability to large-scale serving");
-    println!("technique\tfast_ingest_and_indexing\thigh_query_rate\tquery_flexibility\tquery_latency");
+    println!(
+        "technique\tfast_ingest_and_indexing\thigh_query_rate\tquery_flexibility\tquery_latency"
+    );
     for (tech, ingest, rate, flex, lat) in [
         ("RDBMS", "Not typically", "Yes", "High", "Low/moderate"),
         ("KV stores", "Yes", "Yes", "None", "Low"),
@@ -37,9 +39,13 @@ fn main() {
     println!("engine\tsustained_qps\tp50_latency_ms\tp99_latency_ms");
     for (label, engine) in &setup.engines {
         // Latency at modest load.
-        let (mut lat, _) = run_sequential(engine.as_ref(), &setup.queries[..500.min(setup.queries.len())]);
-        let p50 = percentile(&mut lat, 0.5);
-        let p99 = percentile(&mut lat, 0.99);
+        let (lat, _) = run_sequential(
+            engine.as_ref(),
+            &setup.queries[..500.min(setup.queries.len())],
+        );
+        let hist = latency_histogram(&lat);
+        let p50 = hist.p50();
+        let p99 = hist.p99();
         // Highest load point that stays under 50 ms average.
         let mut sustained = 0.0;
         for qps in [200.0, 400.0, 800.0, 1600.0, 3200.0] {

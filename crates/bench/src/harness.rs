@@ -3,6 +3,7 @@
 use pinot_baseline::DruidEngine;
 use pinot_common::query::{QueryRequest, QueryResponse};
 use pinot_core::PinotCluster;
+use pinot_obs::{Histogram, LATENCY_MS_BOUNDARIES};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -85,6 +86,9 @@ impl LoadResult {
 }
 
 /// Value at quantile `q` (0..=1) of an unsorted latency sample, in ms.
+/// Exact (sorts the sample); the harness figures use
+/// [`latency_histogram`] instead so bench percentiles share the cluster
+/// metrics' quantile estimation.
 pub fn percentile(latencies_ms: &mut [f64], q: f64) -> f64 {
     if latencies_ms.is_empty() {
         return 0.0;
@@ -92,6 +96,18 @@ pub fn percentile(latencies_ms: &mut [f64], q: f64) -> f64 {
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let idx = ((latencies_ms.len() - 1) as f64 * q).round() as usize;
     latencies_ms[idx]
+}
+
+/// Fold a latency sample into the same fixed-boundary histogram type the
+/// cluster's own `broker.phase.*`/`server.exec.*` metrics use, so the
+/// percentiles behind Figures 11/12/14/15/16 and live cluster metrics are
+/// computed by one implementation.
+pub fn latency_histogram(latencies_ms: &[f64]) -> Histogram {
+    let mut h = Histogram::new(LATENCY_MS_BOUNDARIES);
+    for &l in latencies_ms {
+        h.record(l);
+    }
+    h
 }
 
 /// Open-loop load: `total` queries arrive at a fixed rate; `workers`
@@ -141,17 +157,17 @@ pub fn run_open_loop(
     });
 
     let elapsed = start.elapsed().as_secs_f64();
-    let mut lat = latencies.into_inner().unwrap();
-    let avg = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    let lat = latencies.into_inner().unwrap();
+    let hist = latency_histogram(&lat);
     LoadResult {
         target_qps,
         achieved_qps: total as f64 / elapsed.max(1e-9),
         queries: total,
         errors: errors.into_inner(),
-        avg_ms: avg,
-        p50_ms: percentile(&mut lat, 0.50),
-        p95_ms: percentile(&mut lat, 0.95),
-        p99_ms: percentile(&mut lat, 0.99),
+        avg_ms: hist.mean(),
+        p50_ms: hist.p50(),
+        p95_ms: hist.p95(),
+        p99_ms: hist.p99(),
     }
 }
 

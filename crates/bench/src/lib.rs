@@ -20,4 +20,6 @@
 pub mod harness;
 pub mod setup;
 
-pub use harness::{percentile, run_open_loop, run_sequential, LoadResult, QueryEngine};
+pub use harness::{
+    latency_histogram, percentile, run_open_loop, run_sequential, LoadResult, QueryEngine,
+};

@@ -170,7 +170,10 @@ pub fn anomaly_setup(num_rows: usize, num_queries: usize) -> Result<AnomalySetup
                 "druid".into(),
                 Box::new(DruidAdapter { engine: standalone }) as Box<dyn QueryEngine>,
             ),
-            ("pinot-noindex".into(), pinot_engine("pinot-noindex", noindex)),
+            (
+                "pinot-noindex".into(),
+                pinot_engine("pinot-noindex", noindex),
+            ),
             (
                 "pinot-inverted".into(),
                 pinot_engine("pinot-inverted", inverted),

@@ -54,9 +54,7 @@ impl Container {
     pub fn contains(&self, v: u16) -> bool {
         match self {
             Container::Array(a) => a.binary_search(&v).is_ok(),
-            Container::Bitmap { words, .. } => {
-                words[(v >> 6) as usize] & (1u64 << (v & 63)) != 0
-            }
+            Container::Bitmap { words, .. } => words[(v >> 6) as usize] & (1u64 << (v & 63)) != 0,
             Container::Run(runs) => runs
                 .binary_search_by(|(s, l)| {
                     if *l < v {
@@ -182,7 +180,11 @@ impl Container {
     pub fn iter(&self) -> Box<dyn Iterator<Item = u16> + '_> {
         match self {
             Container::Array(a) => Box::new(a.iter().copied()),
-            Container::Bitmap { words, .. } => Box::new(BitmapIter { words, word_idx: 0, cur: words[0] }),
+            Container::Bitmap { words, .. } => Box::new(BitmapIter {
+                words,
+                word_idx: 0,
+                cur: words[0],
+            }),
             Container::Run(runs) => Box::new(
                 runs.iter()
                     .flat_map(|(s, l)| (*s as u32..=*l as u32).map(|v| v as u16)),
@@ -224,9 +226,7 @@ impl Container {
     fn normalized(self) -> Container {
         let n = self.len() as usize;
         match &self {
-            Container::Bitmap { .. } if n <= ARRAY_MAX => {
-                Container::Array(self.iter().collect())
-            }
+            Container::Bitmap { .. } if n <= ARRAY_MAX => Container::Array(self.iter().collect()),
             Container::Array(_) if n > ARRAY_MAX => self.to_bitmap(),
             _ => self,
         }
@@ -286,10 +286,7 @@ impl Container {
             _ => {
                 let (x, y) = (self.to_bitmap(), other.to_bitmap());
                 match (x, y) {
-                    (
-                        Container::Bitmap { words: wa, .. },
-                        Container::Bitmap { words: wb, .. },
-                    ) => {
+                    (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                         let mut words = Box::new([0u64; WORDS]);
                         let mut len = 0u32;
                         for i in 0..WORDS {
@@ -306,12 +303,8 @@ impl Container {
 
     pub fn and_len(&self, other: &Container) -> u32 {
         match (self, other) {
-            (Container::Array(a), other) => {
-                a.iter().filter(|v| other.contains(**v)).count() as u32
-            }
-            (this, Container::Array(b)) => {
-                b.iter().filter(|v| this.contains(**v)).count() as u32
-            }
+            (Container::Array(a), other) => a.iter().filter(|v| other.contains(**v)).count() as u32,
+            (this, Container::Array(b)) => b.iter().filter(|v| this.contains(**v)).count() as u32,
             (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                 (0..WORDS).map(|i| (wa[i] & wb[i]).count_ones()).sum()
             }
@@ -321,9 +314,7 @@ impl Container {
 
     pub fn or(&self, other: &Container) -> Container {
         match (self, other) {
-            (Container::Array(a), Container::Array(b))
-                if a.len() + b.len() <= ARRAY_MAX =>
-            {
+            (Container::Array(a), Container::Array(b)) if a.len() + b.len() <= ARRAY_MAX => {
                 let mut out = Vec::with_capacity(a.len() + b.len());
                 let (mut i, mut j) = (0usize, 0usize);
                 while i < a.len() || j < b.len() {
@@ -359,10 +350,7 @@ impl Container {
             _ => {
                 let (x, y) = (self.to_bitmap(), other.to_bitmap());
                 match (x, y) {
-                    (
-                        Container::Bitmap { words: wa, .. },
-                        Container::Bitmap { words: wb, .. },
-                    ) => {
+                    (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                         let mut words = Box::new([0u64; WORDS]);
                         let mut len = 0u32;
                         for i in 0..WORDS {
@@ -385,10 +373,7 @@ impl Container {
             _ => {
                 let (x, y) = (self.to_bitmap(), other.to_bitmap());
                 match (x, y) {
-                    (
-                        Container::Bitmap { words: wa, .. },
-                        Container::Bitmap { words: wb, .. },
-                    ) => {
+                    (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                         let mut words = Box::new([0u64; WORDS]);
                         let mut len = 0u32;
                         for i in 0..WORDS {
@@ -580,7 +565,10 @@ mod tests {
         for c in cases {
             let (kind, data) = c.encode_parts();
             let back = Container::decode_parts(kind, data).unwrap();
-            assert_eq!(back.iter().collect::<Vec<_>>(), c.iter().collect::<Vec<_>>());
+            assert_eq!(
+                back.iter().collect::<Vec<_>>(),
+                c.iter().collect::<Vec<_>>()
+            );
         }
     }
 

@@ -406,7 +406,10 @@ mod tests {
             a.and(&b).to_vec(),
             sa.intersection(&sb).copied().collect::<Vec<_>>()
         );
-        assert_eq!(a.or(&b).to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            a.or(&b).to_vec(),
+            sa.union(&sb).copied().collect::<Vec<_>>()
+        );
         assert_eq!(
             a.and_not(&b).to_vec(),
             sa.difference(&sb).copied().collect::<Vec<_>>()

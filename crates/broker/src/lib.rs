@@ -20,10 +20,12 @@ use pinot_cluster::ClusterManager;
 use pinot_common::config::{RoutingStrategy, TableConfig};
 use pinot_common::ids::{InstanceId, SegmentName};
 use pinot_common::json::Json;
+use pinot_common::query::ServerContribution;
 use pinot_common::query::{ExecutionStats, QueryRequest, QueryResponse};
 use pinot_common::{PinotError, Result, Value};
 use pinot_exec::segment_exec::IntermediateResult;
 use pinot_exec::{finalize, merge_intermediate};
+use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
 use pinot_pql::{CmpOp, Predicate, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,10 +74,16 @@ pub struct Broker {
     config_cache: Mutex<HashMap<String, (u64, TableConfig)>>,
     dirty: Arc<Mutex<HashSet<String>>>,
     rng: Mutex<StdRng>,
+    obs: Arc<Obs>,
 }
 
 impl Broker {
     pub fn new(n: usize, cluster: ClusterManager) -> Arc<Broker> {
+        Broker::with_obs(n, cluster, Obs::shared())
+    }
+
+    /// Like [`Broker::new`] but sharing a cluster-wide observability sink.
+    pub fn with_obs(n: usize, cluster: ClusterManager, obs: Arc<Obs>) -> Arc<Broker> {
         let dirty: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
         let dirty_sub = Arc::clone(&dirty);
         cluster.subscribe_view(move |change| {
@@ -89,11 +97,16 @@ impl Broker {
             config_cache: Mutex::new(HashMap::new()),
             dirty,
             rng: Mutex::new(StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ n as u64)),
+            obs,
         })
     }
 
     pub fn id(&self) -> &InstanceId {
         &self.id
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Register the service endpoint for a server instance.
@@ -105,27 +118,86 @@ impl Broker {
 
     /// Execute a PQL query (§3.3.3).
     pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
-        let started = Instant::now();
-        let deadline = started + Duration::from_millis(request.timeout_ms);
-        match self.execute_inner(request, deadline) {
-            Ok(mut resp) => {
-                resp.stats.time_used_ms = started.elapsed().as_millis() as u64;
-                resp
-            }
-            Err(e) => QueryResponse {
-                result: pinot_common::query::QueryResult::Aggregation(Vec::new()),
-                stats: ExecutionStats {
-                    time_used_ms: started.elapsed().as_millis() as u64,
-                    ..Default::default()
-                },
-                partial: true,
-                exceptions: vec![e.to_string()],
-            },
-        }
+        self.execute_traced(request).0
     }
 
-    fn execute_inner(&self, request: &QueryRequest, deadline: Instant) -> Result<QueryResponse> {
-        let query = Arc::new(pinot_pql::parse(&request.pql)?);
+    /// Execute a PQL query and return the response together with its
+    /// [`QueryTrace`]: phase spans (parse, route, scatter, gather, merge),
+    /// per-server execution times, and per-segment plan kinds. Phase
+    /// durations also feed the broker's `broker.phase.*_ms` histograms, and
+    /// the finished query is offered to the slow/partial query log.
+    pub fn execute_traced(&self, request: &QueryRequest) -> (QueryResponse, QueryTrace) {
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(request.timeout_ms);
+        let mut trace = QueryTrace::new(&request.pql);
+        let mut response = match self.execute_inner(request, deadline, &mut trace) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.obs.metrics.counter_add("broker.query.failed", 1);
+                QueryResponse {
+                    result: pinot_common::query::QueryResult::Aggregation(Vec::new()),
+                    stats: ExecutionStats::default(),
+                    partial: true,
+                    exceptions: vec![e.to_string()],
+                }
+            }
+        };
+        response.stats.time_used_ms = started.elapsed().as_millis() as u64;
+
+        // Fold the merged execution stats into the trace.
+        for (seg, kind) in &response.stats.segment_plans {
+            trace.add_segment_plan(seg.clone(), kind.clone());
+        }
+        trace.add_counter("num_docs_scanned", response.stats.num_docs_scanned);
+        trace.add_counter(
+            "num_segments_processed",
+            response.stats.num_segments_processed,
+        );
+        trace.add_counter("num_segments_pruned", response.stats.num_segments_pruned);
+        trace.add_counter("num_servers_queried", response.stats.num_servers_queried);
+        trace.add_counter(
+            "num_servers_responded",
+            response.stats.num_servers_responded,
+        );
+
+        let m = &self.obs.metrics;
+        for span in &trace.spans {
+            match span.name.as_str() {
+                "parse" | "route" | "scatter" | "gather" | "merge" => {
+                    m.observe_ms(&format!("broker.phase.{}_ms", span.name), span.duration_ms);
+                }
+                s if s.starts_with("server:") => {
+                    m.observe_ms("broker.phase.server_execute_ms", span.duration_ms);
+                }
+                _ => {}
+            }
+        }
+        m.observe_ms(
+            "broker.query.total_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        m.counter_add("broker.query.total", 1);
+        if response.partial {
+            m.counter_add("broker.query.partial", 1);
+        }
+
+        self.obs.query_log.observe(QueryLogEntry {
+            query: request.pql.clone(),
+            time_used_ms: response.stats.time_used_ms,
+            partial: response.partial,
+            exception_count: response.exceptions.len(),
+            trace: Some(trace.clone()),
+        });
+        (response, trace)
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        deadline: Instant,
+        trace: &mut QueryTrace,
+    ) -> Result<QueryResponse> {
+        let query = Arc::new(trace.span("parse", |_| pinot_pql::parse(&request.pql))?);
         let tenant = request.tenant.clone().unwrap_or_else(|| {
             self.table_config_any(&query.table)
                 .map(|c| c.tenant)
@@ -138,14 +210,22 @@ impl Broker {
         let realtime = format!("{}_REALTIME", query.table);
         // A fully qualified name targets that one physical table.
         if tables.contains(&query.table) {
-            return self.execute_physical(&query.table, &query, &tenant, deadline, None);
+            return trace.span(format!("physical:{}", query.table), |t| {
+                self.execute_physical(&query.table, &query, &tenant, deadline, None, t)
+            });
         }
         let has_offline = tables.contains(&offline);
         let has_realtime = tables.contains(&realtime);
         match (has_offline, has_realtime) {
-            (true, false) => self.execute_physical(&offline, &query, &tenant, deadline, None),
-            (false, true) => self.execute_physical(&realtime, &query, &tenant, deadline, None),
-            (true, true) => self.execute_hybrid(&offline, &realtime, &query, &tenant, deadline),
+            (true, false) => trace.span(format!("physical:{offline}"), |t| {
+                self.execute_physical(&offline, &query, &tenant, deadline, None, t)
+            }),
+            (false, true) => trace.span(format!("physical:{realtime}"), |t| {
+                self.execute_physical(&realtime, &query, &tenant, deadline, None, t)
+            }),
+            (true, true) => {
+                self.execute_hybrid(&offline, &realtime, &query, &tenant, deadline, trace)
+            }
             (false, false) => Err(PinotError::Metadata(format!(
                 "unknown table {:?}",
                 query.table
@@ -162,11 +242,12 @@ impl Broker {
         query: &Arc<Query>,
         tenant: &str,
         deadline: Instant,
+        trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
         let time_column = self
             .table_time_column(offline)?
             .ok_or_else(|| PinotError::Metadata(format!("{offline} has no time column")))?;
-        let boundary = self.offline_time_boundary(offline);
+        let boundary = trace.span("time_boundary", |_| self.offline_time_boundary(offline));
 
         let (offline_query, realtime_query) = match boundary {
             None => (None, Some(Arc::clone(query))), // no offline data yet
@@ -193,10 +274,14 @@ impl Broker {
 
         let mut responses = Vec::new();
         if let Some(q) = offline_query {
-            responses.push(self.execute_physical(offline, &q, tenant, deadline, Some(query))?);
+            responses.push(trace.span(format!("physical:{offline}"), |t| {
+                self.execute_physical(offline, &q, tenant, deadline, Some(query), t)
+            })?);
         }
         if let Some(q) = realtime_query {
-            responses.push(self.execute_physical(realtime, &q, tenant, deadline, Some(query))?);
+            responses.push(trace.span(format!("physical:{realtime}"), |t| {
+                self.execute_physical(realtime, &q, tenant, deadline, Some(query), t)
+            })?);
         }
         // Merge the per-side responses.
         let mut iter = responses.into_iter();
@@ -219,14 +304,21 @@ impl Broker {
         tenant: &str,
         deadline: Instant,
         finalize_as: Option<&Arc<Query>>,
+        trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
-        let plan = self.route(table, query)?;
+        let plan = trace.span("route", |_| self.route(table, query))?;
         let num_servers = plan.len() as u64;
+        self.obs
+            .metrics
+            .observe_ms("broker.routing.fanout", num_servers as f64);
 
         // Fast path: a single-server plan (partition-aware routing's whole
         // point, §4.4) runs inline — no scatter thread, no channel. This is
         // what keeps the partitioned latency curve flat as QPS grows.
         if plan.len() == 1 {
+            self.obs
+                .metrics
+                .counter_add("broker.routing.single_server_fastpath", 1);
             let (server, segments) = plan.into_iter().next().expect("len checked");
             let svc = self
                 .executors
@@ -243,15 +335,31 @@ impl Broker {
             let final_query = finalize_as.unwrap_or(query);
             let mut acc = IntermediateResult::empty_for(final_query);
             let mut exceptions = Vec::new();
-            match svc.execute(&req) {
-                Ok(partial) => merge_intermediate(&mut acc, partial)?,
-                Err(e) => exceptions.push(format!("{server}: {e}")),
+            let outcome = trace.span(format!("server:{server}"), |_| svc.execute(&req));
+            match outcome {
+                Ok(partial) => {
+                    acc.stats.per_server.push(ServerContribution {
+                        server: server.to_string(),
+                        responded: true,
+                        segments_processed: partial.stats.num_segments_processed,
+                        docs_scanned: partial.stats.num_docs_scanned,
+                        time_ms: partial.stats.time_used_ms,
+                    });
+                    merge_intermediate(&mut acc, partial)?;
+                }
+                Err(e) => {
+                    exceptions.push(format!("{server}: {e}"));
+                    acc.stats.per_server.push(ServerContribution {
+                        server: server.to_string(),
+                        ..Default::default()
+                    });
+                }
             }
             acc.stats.num_servers_queried = 1;
             acc.stats.num_servers_responded = 1 - exceptions.len() as u64;
             let partial = !exceptions.is_empty();
             let stats = acc.stats.clone();
-            let result = finalize(acc, final_query)?;
+            let result = trace.span("merge", |_| finalize(acc, final_query))?;
             return Ok(QueryResponse {
                 result,
                 stats,
@@ -263,30 +371,34 @@ impl Broker {
         // Scatter: one worker per server; results stream into a channel.
         let (tx, rx) = bounded(plan.len().max(1));
         let mut outstanding = 0usize;
-        for (server, segments) in plan {
-            let Some(svc) = self.executors.read().get(&server).cloned() else {
-                // Routing raced with a server death; report it as a failure.
-                let _ = tx.send((
-                    server.clone(),
-                    Err(PinotError::Cluster(format!("no endpoint for {server}"))),
-                ));
+        let mut pending: HashSet<InstanceId> = HashSet::new();
+        trace.span("scatter", |_| {
+            for (server, segments) in plan {
+                pending.insert(server.clone());
+                let Some(svc) = self.executors.read().get(&server).cloned() else {
+                    // Routing raced with a server death; report it as a failure.
+                    let _ = tx.send((
+                        server.clone(),
+                        Err(PinotError::Cluster(format!("no endpoint for {server}"))),
+                    ));
+                    outstanding += 1;
+                    continue;
+                };
+                let req = RoutedRequest {
+                    table: table.to_string(),
+                    query: Arc::clone(query),
+                    segments,
+                    tenant: tenant.to_string(),
+                };
+                let tx = tx.clone();
+                let server_id = server.clone();
+                std::thread::spawn(move || {
+                    let result = svc.execute(&req);
+                    let _ = tx.send((server_id, result));
+                });
                 outstanding += 1;
-                continue;
-            };
-            let req = RoutedRequest {
-                table: table.to_string(),
-                query: Arc::clone(query),
-                segments,
-                tenant: tenant.to_string(),
-            };
-            let tx = tx.clone();
-            let server_id = server.clone();
-            std::thread::spawn(move || {
-                let result = svc.execute(&req);
-                let _ = tx.send((server_id, result));
-            });
-            outstanding += 1;
-        }
+            }
+        });
         drop(tx);
 
         // Gather until deadline.
@@ -294,32 +406,61 @@ impl Broker {
         let mut acc = IntermediateResult::empty_for(final_query);
         let mut exceptions = Vec::new();
         let mut responded = 0u64;
-        for _ in 0..outstanding {
-            let timeout = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(timeout) {
-                Ok((_, Ok(partial))) => {
-                    responded += 1;
-                    merge_intermediate(&mut acc, partial)?;
+        trace.span("gather", |trace| -> Result<()> {
+            for _ in 0..outstanding {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok((server, Ok(partial))) => {
+                        responded += 1;
+                        pending.remove(&server);
+                        trace.record_span_ms(
+                            format!("server:{server}"),
+                            partial.stats.time_used_ms as f64,
+                        );
+                        acc.stats.per_server.push(ServerContribution {
+                            server: server.to_string(),
+                            responded: true,
+                            segments_processed: partial.stats.num_segments_processed,
+                            docs_scanned: partial.stats.num_docs_scanned,
+                            time_ms: partial.stats.time_used_ms,
+                        });
+                        merge_intermediate(&mut acc, partial)?;
+                    }
+                    Ok((server, Err(e))) => {
+                        exceptions.push(format!("{server}: {e}"));
+                        pending.remove(&server);
+                        acc.stats.per_server.push(ServerContribution {
+                            server: server.to_string(),
+                            ..Default::default()
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.obs.metrics.counter_add("broker.scatter.timeout", 1);
+                        exceptions.push(format!(
+                            "timeout waiting for {} server response(s)",
+                            outstanding as u64 - responded - exceptions.len() as u64
+                        ));
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
-                Ok((server, Err(e))) => {
-                    exceptions.push(format!("{server}: {e}"));
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    exceptions.push(format!(
-                        "timeout waiting for {} server response(s)",
-                        outstanding as u64 - responded - exceptions.len() as u64
-                    ));
-                    break;
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
             }
+            Ok(())
+        })?;
+        // Servers that never answered before the deadline: record them so a
+        // partial response says exactly which servers' data is missing.
+        for server in pending {
+            acc.stats.per_server.push(ServerContribution {
+                server: server.to_string(),
+                ..Default::default()
+            });
         }
 
         acc.stats.num_servers_queried = num_servers;
         acc.stats.num_servers_responded = responded;
         let partial = !exceptions.is_empty();
         let stats = acc.stats.clone();
-        let result = finalize(acc, final_query)?;
+        let result = trace.span("merge", |_| finalize(acc, final_query))?;
         Ok(QueryResponse {
             result,
             stats,
@@ -344,10 +485,12 @@ impl Broker {
         // restricts to the matching partitions' segments (§4.4).
         if let Some(pidx) = &cached.partitions {
             if let Some(values) = partition_filter_values(query.filter.as_ref(), &pidx.column) {
+                self.obs
+                    .metrics
+                    .counter_add("broker.routing.partition_routed", 1);
                 let mut replicas = SegmentReplicas::new();
                 for v in values {
-                    let p =
-                        pinot_common::partition::partition_for_value(&v, pidx.num_partitions);
+                    let p = pinot_common::partition::partition_for_value(&v, pidx.num_partitions);
                     if let Some(segs) = pidx.by_partition.get(&p) {
                         for (seg, servers) in segs {
                             replicas.insert(seg.clone(), servers.clone());
@@ -374,6 +517,7 @@ impl Broker {
         if !needs {
             return Ok(());
         }
+        self.obs.metrics.counter_add("broker.routing.refresh", 1);
         let view = self.cluster.routable_view(table);
         let replicas = routing::invert_view(&view);
 

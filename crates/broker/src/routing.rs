@@ -116,8 +116,7 @@ pub fn generate_routing_table(
     let mut entries: Vec<(&String, Vec<&InstanceId>)> = replicas
         .iter()
         .map(|(seg, servers)| {
-            let usable: Vec<&InstanceId> =
-                servers.iter().filter(|s| used.contains(*s)).collect();
+            let usable: Vec<&InstanceId> = servers.iter().filter(|s| used.contains(*s)).collect();
             (seg, usable)
         })
         .collect();
@@ -142,10 +141,7 @@ pub fn generate_routing_table(
             .collect();
         let picked: &InstanceId = least.choose(rng).expect("non-empty");
         *load.entry(picked).or_default() += 1;
-        table
-            .entry(picked.clone())
-            .or_default()
-            .push(seg.clone());
+        table.entry(picked.clone()).or_default().push(seg.clone());
     }
     table
 }
@@ -268,8 +264,7 @@ mod tests {
             assert!(covers_exactly(t, &replicas));
         }
         // Kept tables are at least as good as a fresh average.
-        let kept_avg: f64 =
-            kept.iter().map(routing_table_metric).sum::<f64>() / kept.len() as f64;
+        let kept_avg: f64 = kept.iter().map(routing_table_metric).sum::<f64>() / kept.len() as f64;
         let fresh_avg: f64 = (0..30)
             .map(|_| routing_table_metric(&generate_routing_table(&replicas, 5, &mut rng)))
             .sum::<f64>()
@@ -294,7 +289,10 @@ mod tests {
     #[test]
     fn invert_view_round_trip() {
         let mut view = BTreeMap::new();
-        view.insert(InstanceId::server(1), vec!["a".to_string(), "b".to_string()]);
+        view.insert(
+            InstanceId::server(1),
+            vec!["a".to_string(), "b".to_string()],
+        );
         view.insert(InstanceId::server(2), vec!["b".to_string()]);
         let replicas = invert_view(&view);
         assert_eq!(replicas["a"], vec![InstanceId::server(1)]);
@@ -310,7 +308,10 @@ mod tests {
         balanced.insert(InstanceId::server(1), vec!["a".into(), "b".into()]);
         balanced.insert(InstanceId::server(2), vec!["c".into(), "d".into()]);
         let mut skewed = RoutingTable::new();
-        skewed.insert(InstanceId::server(1), vec!["a".into(), "b".into(), "c".into()]);
+        skewed.insert(
+            InstanceId::server(1),
+            vec!["a".into(), "b".into(), "c".into()],
+        );
         skewed.insert(InstanceId::server(2), vec!["d".into()]);
         assert!(routing_table_metric(&balanced) < routing_table_metric(&skewed));
     }

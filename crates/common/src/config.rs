@@ -27,10 +27,7 @@ pub enum RoutingStrategy {
     },
     /// Partition-aware routing: route only to servers whose segments can
     /// match the query's partition-column equality filter.
-    Partitioned {
-        column: String,
-        num_partitions: u32,
-    },
+    Partitioned { column: String, num_partitions: u32 },
 }
 
 impl RoutingStrategy {
@@ -337,11 +334,7 @@ impl TableConfig {
         let table_type = match j.get("type").and_then(Json::as_str) {
             Some("OFFLINE") => TableType::Offline,
             Some("REALTIME") => TableType::Realtime,
-            other => {
-                return Err(PinotError::Metadata(format!(
-                    "bad table type {other:?}"
-                )))
-            }
+            other => return Err(PinotError::Metadata(format!("bad table type {other:?}"))),
         };
         let replication = req_u64(j, "replication")? as usize;
         let tenant = req_str(j, "tenant")?;

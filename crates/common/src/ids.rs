@@ -191,8 +191,7 @@ mod tests {
 
     #[test]
     fn segment_names_sort_stably() {
-        let mut v = [SegmentName::offline("t", 10),
-            SegmentName::offline("t", 2)];
+        let mut v = [SegmentName::offline("t", 10), SegmentName::offline("t", 2)];
         v.sort();
         // Lexicographic, not numeric — fine, names are opaque identifiers.
         assert_eq!(v[0].as_str(), "t__10");

@@ -316,8 +316,8 @@ impl<'a> Parser<'a> {
                         }
                         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
                             .map_err(|_| self.err("bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| self.err("bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
                         self.pos += 4;
                         s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }

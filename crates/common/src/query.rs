@@ -86,6 +86,20 @@ impl QueryResult {
     }
 }
 
+/// What one server contributed to a query — recorded by the broker during
+/// gather so partial responses say exactly which servers answered and how
+/// much data each returned, not just a boolean flag.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerContribution {
+    pub server: String,
+    /// False when this server timed out or errored and its results are
+    /// missing from the merged response.
+    pub responded: bool,
+    pub segments_processed: u64,
+    pub docs_scanned: u64,
+    pub time_ms: u64,
+}
+
 /// Execution statistics accumulated across all servers touched by a query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionStats {
@@ -112,6 +126,16 @@ pub struct ExecutionStats {
     pub num_servers_responded: u64,
     /// End-to-end broker time.
     pub time_used_ms: u64,
+    /// Segments answered from metadata alone / the star-tree / raw scans.
+    pub num_segments_metadata_only: u64,
+    pub num_segments_star_tree: u64,
+    pub num_segments_raw: u64,
+    /// `(segment name, plan kind)` for each segment executed.
+    pub segment_plans: Vec<(String, String)>,
+    /// Per-server accounting filled in by the broker during gather; on a
+    /// partial response the non-responding servers appear with
+    /// `responded: false`.
+    pub per_server: Vec<ServerContribution>,
 }
 
 impl ExecutionStats {
@@ -128,6 +152,12 @@ impl ExecutionStats {
         self.num_servers_queried += other.num_servers_queried;
         self.num_servers_responded += other.num_servers_responded;
         self.time_used_ms = self.time_used_ms.max(other.time_used_ms);
+        self.num_segments_metadata_only += other.num_segments_metadata_only;
+        self.num_segments_star_tree += other.num_segments_star_tree;
+        self.num_segments_raw += other.num_segments_raw;
+        self.segment_plans
+            .extend(other.segment_plans.iter().cloned());
+        self.per_server.extend(other.per_server.iter().cloned());
     }
 
     /// Figure 13's metric: preaggregated docs scanned / raw docs equivalent.

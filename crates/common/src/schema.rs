@@ -357,16 +357,18 @@ impl Schema {
                     .and_then(Json::as_str)
                     .ok_or_else(|| PinotError::Schema("field missing type".into()))?,
             )?;
-            let single_value = fj.get("singleValue").and_then(Json::as_bool).unwrap_or(true);
+            let single_value = fj
+                .get("singleValue")
+                .and_then(Json::as_bool)
+                .unwrap_or(true);
             let role = fj.get("role").and_then(Json::as_str).unwrap_or("DIMENSION");
             let spec = match role {
                 "METRIC" => FieldSpec::metric(fname, dt),
                 "TIME" => {
-                    let unit = TimeUnit::parse(
-                        fj.get("timeUnit")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| PinotError::Schema("time field missing unit".into()))?,
-                    )?;
+                    let unit =
+                        TimeUnit::parse(fj.get("timeUnit").and_then(Json::as_str).ok_or_else(
+                            || PinotError::Schema("time field missing unit".into()),
+                        )?)?;
                     FieldSpec::time(fname, dt, unit)
                 }
                 _ if single_value => FieldSpec::dimension(fname, dt),

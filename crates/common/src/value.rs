@@ -116,7 +116,10 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Long(a), Value::Long(b)) => a.cmp(b),
             (a, b) if rank(a) == 2 && rank(b) == 2 => {
-                let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+                let (x, y) = (
+                    a.as_f64().unwrap_or(f64::NAN),
+                    b.as_f64().unwrap_or(f64::NAN),
+                );
                 x.total_cmp(&y)
             }
             (Value::IntArray(a), Value::IntArray(b)) => a.cmp(b),
@@ -269,8 +272,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Int(2).total_cmp(&Value::Double(2.0)), Ordering::Equal);
-        assert_eq!(Value::Long(3).total_cmp(&Value::Float(2.5)), Ordering::Greater);
+        assert_eq!(
+            Value::Int(2).total_cmp(&Value::Double(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Long(3).total_cmp(&Value::Float(2.5)),
+            Ordering::Greater
+        );
     }
 
     #[test]

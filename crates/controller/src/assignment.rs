@@ -98,10 +98,13 @@ mod tests {
         let a = balanced_assignment(&servers(5), &ideal, 3).unwrap();
         let b = balanced_assignment(&servers(5), &ideal, 3).unwrap();
         assert_eq!(a, b);
-        assert_eq!(a, vec![
-            InstanceId::server(1),
-            InstanceId::server(2),
-            InstanceId::server(3)
-        ]);
+        assert_eq!(
+            a,
+            vec![
+                InstanceId::server(1),
+                InstanceId::server(2),
+                InstanceId::server(3)
+            ]
+        );
     }
 }

@@ -77,6 +77,16 @@ impl CompletionFsm {
         }
     }
 
+    /// Name of the current phase: `gathering`, `committing`, or
+    /// `committed`. Used for FSM transition metrics.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Gathering { .. } => "gathering",
+            Phase::Committing { .. } => "committing",
+            Phase::Committed { .. } => "committed",
+        }
+    }
+
     /// Is the segment committed, and at what offset?
     pub fn committed_end(&self) -> Option<Offset> {
         match self.phase {
@@ -159,8 +169,7 @@ impl CompletionFsm {
                     CompletionInstruction::Catchup {
                         target_offset: target,
                     }
-                } else if offset == target
-                    && now_ms - *started_ms >= self.config.commit_timeout_ms
+                } else if offset == target && now_ms - *started_ms >= self.config.commit_timeout_ms
                 {
                     // Committer presumed dead; promote this caught-up one.
                     // Only replicas at *exactly* the target qualify — one
@@ -196,14 +205,18 @@ impl CompletionFsm {
         now_ms: i64,
     ) -> bool {
         match &self.phase {
-            Phase::Committing { committer, target, .. } if committer == instance => {
+            Phase::Committing {
+                committer, target, ..
+            } if committer == instance => {
                 if success && end_offset == *target {
                     self.phase = Phase::Committed { end: end_offset };
                     true
                 } else {
                     // Failed upload: back to gathering with what we know;
                     // the next polls will re-decide a committer quickly.
-                    self.phase = Phase::Gathering { first_poll_ms: now_ms };
+                    self.phase = Phase::Gathering {
+                        first_poll_ms: now_ms,
+                    };
                     false
                 }
             }
@@ -263,7 +276,10 @@ mod tests {
         assert_eq!(fsm.on_poll(&s(1), 110, 5), CompletionInstruction::Hold);
         assert!(fsm.on_commit_result(&s(2), 110, true, 6));
         assert_eq!(fsm.on_poll(&s(1), 110, 7), CompletionInstruction::Keep);
-        assert_eq!(fsm.on_poll(&s(3), 95, 8), CompletionInstruction::Catchup { target_offset: 110 });
+        assert_eq!(
+            fsm.on_poll(&s(3), 95, 8),
+            CompletionInstruction::Catchup { target_offset: 110 }
+        );
         assert_eq!(fsm.on_poll(&s(3), 110, 9), CompletionInstruction::Keep);
     }
 
@@ -275,7 +291,10 @@ mod tests {
         assert_eq!(fsm.on_poll(&s(1), 50, 1_500), CompletionInstruction::Commit);
         assert!(fsm.on_commit_result(&s(1), 50, true, 1_600));
         // A late replica that consumed beyond the committed end discards.
-        assert_eq!(fsm.on_poll(&s(2), 60, 2_000), CompletionInstruction::Discard);
+        assert_eq!(
+            fsm.on_poll(&s(2), 60, 2_000),
+            CompletionInstruction::Discard
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use pinot_common::time::Clock;
 use pinot_common::{PinotError, Result, Schema};
 use pinot_metastore::{MetaStore, SessionId};
 use pinot_objstore::ObjectStoreRef;
+use pinot_obs::Obs;
 use pinot_segment::ImmutableSegment;
 use pinot_stream::StreamRegistry;
 use std::collections::HashMap;
@@ -44,6 +45,7 @@ pub struct Controller {
     completions: Mutex<HashMap<String, CompletionFsm>>,
     /// Gathering/commit timeouts handed to each new completion FSM.
     completion_config: CompletionConfig,
+    obs: Arc<Obs>,
 }
 
 impl Controller {
@@ -54,6 +56,27 @@ impl Controller {
         objstore: ObjectStoreRef,
         streams: StreamRegistry,
         clock: Clock,
+    ) -> Arc<Controller> {
+        Controller::with_obs(
+            n,
+            metastore,
+            cluster,
+            objstore,
+            streams,
+            clock,
+            Obs::shared(),
+        )
+    }
+
+    /// Like [`Controller::new`] but sharing a cluster-wide observability sink.
+    pub fn with_obs(
+        n: usize,
+        metastore: MetaStore,
+        cluster: ClusterManager,
+        objstore: ObjectStoreRef,
+        streams: StreamRegistry,
+        clock: Clock,
+        obs: Arc<Obs>,
     ) -> Arc<Controller> {
         let session = metastore.create_session();
         Arc::new(Controller {
@@ -66,7 +89,12 @@ impl Controller {
             clock,
             completions: Mutex::new(HashMap::new()),
             completion_config: CompletionConfig::default(),
+            obs,
         })
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     pub fn id(&self) -> &InstanceId {
@@ -397,6 +425,9 @@ impl Controller {
     /// their consuming segment reaches its end criteria).
     pub fn segment_completion_poll(&self, poll: &CompletionPoll) -> CompletionInstruction {
         if !self.is_leader() {
+            self.obs
+                .metrics
+                .counter_add("controller.completion.instruction.NOTLEADER", 1);
             return CompletionInstruction::NotLeader;
         }
         let mut fsms = self.completions.lock();
@@ -417,7 +448,22 @@ impl Controller {
                 }
                 CompletionFsm::new(cfg)
             });
-        fsm.on_poll(&poll.instance, poll.offset, self.clock.now_millis())
+        let before = fsm.phase_name();
+        let instruction = fsm.on_poll(&poll.instance, poll.offset, self.clock.now_millis());
+        self.record_fsm_transition(before, fsm.phase_name());
+        self.obs.metrics.counter_add(
+            &format!("controller.completion.instruction.{}", instruction.name()),
+            1,
+        );
+        instruction
+    }
+
+    fn record_fsm_transition(&self, before: &str, after: &str) {
+        if before != after {
+            self.obs
+                .metrics
+                .counter_add(&format!("controller.fsm.transition.{before}_{after}"), 1);
+        }
     }
 
     /// Commit endpoint: the designated committer uploads its sealed
@@ -444,11 +490,18 @@ impl Controller {
             }
             // Verify integrity before accepting.
             let ok = pinot_segment::persist::deserialize(&blob).is_ok();
-            fsm.on_commit_result(instance, end_offset, ok, self.clock.now_millis())
+            let before = fsm.phase_name();
+            let accepted = fsm.on_commit_result(instance, end_offset, ok, self.clock.now_millis());
+            self.record_fsm_transition(before, fsm.phase_name());
+            accepted
         };
         if !accepted {
+            self.obs
+                .metrics
+                .counter_add("controller.commit.rejected", 1);
             return Ok(false);
         }
+        self.obs.metrics.counter_add("controller.commit.ok", 1);
 
         let parsed = pinot_segment::persist::deserialize(&blob)?;
         self.objstore
@@ -524,13 +577,21 @@ impl std::fmt::Debug for Controller {
 pub struct ControllerGroup {
     metastore: MetaStore,
     controllers: Arc<parking_lot::RwLock<Vec<Arc<Controller>>>>,
+    obs: Arc<Obs>,
 }
 
 impl ControllerGroup {
     pub fn new(metastore: MetaStore) -> ControllerGroup {
+        ControllerGroup::with_obs(metastore, Obs::shared())
+    }
+
+    /// Like [`ControllerGroup::new`] but sharing a cluster-wide
+    /// observability sink (leader election counts land there).
+    pub fn with_obs(metastore: MetaStore, obs: Arc<Obs>) -> ControllerGroup {
         ControllerGroup {
             metastore,
             controllers: Arc::new(parking_lot::RwLock::new(Vec::new())),
+            obs,
         }
     }
 
@@ -547,16 +608,16 @@ impl ControllerGroup {
     pub fn leader(&self) -> Option<Arc<Controller>> {
         let controllers = self.controllers.read();
         if let Some(leader_id) = self.metastore.leader(LEADER_SCOPE) {
-            if let Some(c) = controllers
-                .iter()
-                .find(|c| c.id().as_str() == leader_id)
-            {
+            if let Some(c) = controllers.iter().find(|c| c.id().as_str() == leader_id) {
                 return Some(Arc::clone(c));
             }
         }
         // Nobody is leader: elect the first that succeeds.
         for c in controllers.iter() {
             if c.try_become_leader() {
+                self.obs
+                    .metrics
+                    .counter_add("controller.leader.elections", 1);
                 return Some(Arc::clone(c));
             }
         }

@@ -74,7 +74,14 @@ fn fixture(num_servers: usize) -> Fixture {
         streams.clone(),
         clock.clone(),
     );
-    let standby = Controller::new(2, metastore, cluster, objstore, streams.clone(), clock.clone());
+    let standby = Controller::new(
+        2,
+        metastore,
+        cluster,
+        objstore,
+        streams.clone(),
+        clock.clone(),
+    );
     assert!(controller.try_become_leader());
     assert!(!standby.try_become_leader());
     Fixture {
@@ -120,7 +127,10 @@ fn create_upload_and_load_offline_table() {
 
     let name = fx
         .controller
-        .upload_segment("events_OFFLINE", segment_blob("events__0", "events_OFFLINE", &[100]))
+        .upload_segment(
+            "events_OFFLINE",
+            segment_blob("events__0", "events_OFFLINE", &[100]),
+        )
         .unwrap();
     assert_eq!(name.as_str(), "events__0");
 
@@ -190,7 +200,10 @@ fn leader_failover() {
     fx.controller.crash();
     assert!(fx.standby.try_become_leader());
     fx.standby
-        .upload_segment("events_OFFLINE", segment_blob("events__0", "events_OFFLINE", &[5]))
+        .upload_segment(
+            "events_OFFLINE",
+            segment_blob("events__0", "events_OFFLINE", &[5]),
+        )
         .unwrap();
     assert_eq!(fx.standby.list_segments("events_OFFLINE").len(), 1);
 }
@@ -290,7 +303,10 @@ fn delete_table_removes_everything() {
         .create_table(TableConfig::offline("events"), schema())
         .unwrap();
     fx.controller
-        .upload_segment("events_OFFLINE", segment_blob("events__0", "events_OFFLINE", &[1]))
+        .upload_segment(
+            "events_OFFLINE",
+            segment_blob("events__0", "events_OFFLINE", &[1]),
+        )
         .unwrap();
     fx.controller
         .delete_table("events", TableType::Offline)

@@ -39,6 +39,7 @@ use pinot_exec::segment_exec::IntermediateResult;
 use pinot_metastore::MetaStore;
 use pinot_minion::{Minion, PurgeSpec, TaskReport};
 use pinot_objstore::{MemoryObjectStore, ObjectStoreRef};
+use pinot_obs::{MetricsSnapshot, Obs, QueryLogEntry, QueryTrace};
 use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
 use pinot_segment::metadata::PartitionInfo;
 use pinot_server::{Server, ServerRequest};
@@ -53,6 +54,7 @@ pub use pinot_common as common;
 pub use pinot_controller as controller;
 pub use pinot_exec as exec;
 pub use pinot_minion as minion;
+pub use pinot_obs as obs;
 pub use pinot_pql as pql;
 pub use pinot_segment as segment;
 pub use pinot_server as server;
@@ -130,6 +132,7 @@ pub struct PinotCluster {
     clock: Clock,
     next_broker: AtomicUsize,
     upload_sequence: AtomicUsize,
+    obs: Arc<Obs>,
 }
 
 impl PinotCluster {
@@ -143,20 +146,23 @@ impl PinotCluster {
         }
         let metastore = MetaStore::new();
         let streams = StreamRegistry::new();
-        let objstore = config
-            .objstore
-            .unwrap_or_else(MemoryObjectStore::shared);
+        let objstore = config.objstore.unwrap_or_else(MemoryObjectStore::shared);
         let cluster = ClusterManager::new(metastore.clone());
+        // One observability sink shared by every component, so
+        // `metrics_snapshot()` sees broker, server, and controller metrics
+        // side by side.
+        let obs = Obs::shared();
 
-        let controllers = ControllerGroup::new(metastore.clone());
+        let controllers = ControllerGroup::with_obs(metastore.clone(), Arc::clone(&obs));
         for n in 1..=config.num_controllers {
-            controllers.add(Controller::new(
+            controllers.add(Controller::with_obs(
                 n,
                 metastore.clone(),
                 cluster.clone(),
                 objstore.clone(),
                 streams.clone(),
                 config.clock.clone(),
+                Arc::clone(&obs),
             ));
         }
         controllers
@@ -165,12 +171,13 @@ impl PinotCluster {
 
         let mut servers = Vec::with_capacity(config.num_servers);
         for n in 1..=config.num_servers {
-            let server = Server::new(
+            let server = Server::with_obs(
                 n,
                 controllers.clone(),
                 cluster.clone(),
                 streams.clone(),
                 config.clock.clone(),
+                Arc::clone(&obs),
             );
             cluster.register_participant(server.clone());
             servers.push(server);
@@ -178,7 +185,7 @@ impl PinotCluster {
 
         let mut brokers = Vec::with_capacity(config.num_brokers);
         for n in 1..=config.num_brokers {
-            let broker = Broker::new(n, cluster.clone());
+            let broker = Broker::with_obs(n, cluster.clone(), Arc::clone(&obs));
             for server in &servers {
                 broker.register_server(
                     server.id().clone(),
@@ -204,6 +211,7 @@ impl PinotCluster {
             clock: config.clock,
             next_broker: AtomicUsize::new(0),
             upload_sequence: AtomicUsize::new(0),
+            obs,
         })
     }
 
@@ -423,9 +431,39 @@ impl PinotCluster {
         self.broker().execute(request)
     }
 
+    /// Execute a query through a broker, returning its [`QueryTrace`]
+    /// (phase spans, per-server times, per-segment plan kinds) alongside
+    /// the response.
+    pub fn execute_traced(&self, request: &QueryRequest) -> (QueryResponse, QueryTrace) {
+        self.broker().execute_traced(request)
+    }
+
     /// Convenience: run a PQL string with default settings.
     pub fn query(&self, pql: &str) -> QueryResponse {
         self.execute(&QueryRequest::new(pql))
+    }
+
+    // ---- observability ----
+
+    /// The observability sink shared by every component of this cluster.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Point-in-time snapshot of all metrics recorded by the cluster's
+    /// brokers, servers, and controllers.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics.snapshot()
+    }
+
+    /// Recent slow, partial, or errored queries (with their traces).
+    pub fn recent_queries(&self) -> Vec<QueryLogEntry> {
+        self.obs.query_log.recent()
+    }
+
+    /// Plain-text rendering of the current metrics, for dashboards/debug.
+    pub fn render_metrics(&self) -> String {
+        self.metrics_snapshot().render_text()
     }
 
     // ---- maintenance ----

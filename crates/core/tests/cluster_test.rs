@@ -69,7 +69,14 @@ fn offline_table_end_to_end() {
     // Three segment uploads.
     for base in [0i64, 100, 200] {
         let rows: Vec<Record> = (0..100)
-            .map(|i| row(base + i, ["us", "de", "jp"][(i % 3) as usize], 1, 10 + i % 5))
+            .map(|i| {
+                row(
+                    base + i,
+                    ["us", "de", "jp"][(i % 3) as usize],
+                    1,
+                    10 + i % 5,
+                )
+            })
             .collect();
         cluster.upload_rows("views", rows).unwrap();
     }
@@ -167,7 +174,11 @@ fn realtime_ingestion_with_completion_protocol() {
     // Freshness: a new event is visible after one tick (seconds-level
     // freshness in the paper; immediate here).
     cluster
-        .produce("view-events", &Value::Long(9999), row(9999, "jp", 1, 20_000))
+        .produce(
+            "view-events",
+            &Value::Long(9999),
+            row(9999, "jp", 1, 20_000),
+        )
         .unwrap();
     cluster.consume_tick().unwrap();
     let resp = cluster.query("SELECT COUNT(*) FROM views WHERE viewer = 9999");
@@ -235,10 +246,7 @@ fn hybrid_table_time_boundary() {
 fn server_failure_degrades_then_recovers() {
     let cluster = PinotCluster::start(ClusterConfig::default().with_servers(3)).unwrap();
     cluster
-        .create_table(
-            TableConfig::offline("views").with_replication(2),
-            schema(),
-        )
+        .create_table(TableConfig::offline("views").with_replication(2), schema())
         .unwrap();
     for base in [0i64, 100] {
         let rows: Vec<Record> = (0..50).map(|i| row(base + i, "us", 1, 10)).collect();
@@ -316,8 +324,7 @@ fn purge_task_rewrites_segments() {
 #[test]
 fn retention_gc_through_cluster() {
     let clock = Clock::manual(1_700_000_000_000);
-    let cluster =
-        PinotCluster::start(ClusterConfig::default().with_clock(clock.clone())).unwrap();
+    let cluster = PinotCluster::start(ClusterConfig::default().with_clock(clock.clone())).unwrap();
     cluster
         .create_table(
             TableConfig::offline("views").with_retention(TimeUnit::Days, 7),

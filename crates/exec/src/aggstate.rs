@@ -13,7 +13,10 @@ pub enum AggState {
     Sum(f64),
     Min(f64),
     Max(f64),
-    Avg { sum: f64, count: u64 },
+    Avg {
+        sum: f64,
+        count: u64,
+    },
     /// Exact distinct count: set of canonical scalar values.
     Distinct(HashSet<GroupValue>),
 }
@@ -66,13 +69,7 @@ impl AggState {
     }
 
     /// Accumulate a preaggregated contribution (star-tree path).
-    pub fn accept_preaggregated(
-        &mut self,
-        count: u64,
-        sum: f64,
-        min: f64,
-        max: f64,
-    ) -> Result<()> {
+    pub fn accept_preaggregated(&mut self, count: u64, sum: f64, min: f64, max: f64) -> Result<()> {
         match self {
             AggState::Count(n) => *n += count,
             AggState::Sum(s) => *s += sum,
@@ -98,10 +95,7 @@ impl AggState {
             (AggState::Sum(a), AggState::Sum(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => *a = a.min(b),
             (AggState::Max(a), AggState::Max(b)) => *a = a.max(b),
-            (
-                AggState::Avg { sum: a, count: c },
-                AggState::Avg { sum: b, count: d },
-            ) => {
+            (AggState::Avg { sum: a, count: c }, AggState::Avg { sum: b, count: d }) => {
                 *a += b;
                 *c += d;
             }
@@ -188,7 +182,10 @@ mod tests {
     #[test]
     fn empty_states_finalize_sanely() {
         assert_eq!(AggState::new(AggFunction::Count).finalize(), Value::Long(0));
-        assert_eq!(AggState::new(AggFunction::Sum).finalize(), Value::Double(0.0));
+        assert_eq!(
+            AggState::new(AggFunction::Sum).finalize(),
+            Value::Double(0.0)
+        );
         assert_eq!(AggState::new(AggFunction::Min).finalize(), Value::Null);
         assert_eq!(AggState::new(AggFunction::Max).finalize(), Value::Null);
         assert_eq!(AggState::new(AggFunction::Avg).finalize(), Value::Null);

@@ -98,9 +98,8 @@ pub fn finalize(result: IntermediateResult, query: &Query) -> Result<QueryResult
                     })
                     .collect();
                 rows.sort_by(|x, y| {
-                    y.1.total_cmp(&x.1).then_with(|| {
-                        format!("{:?}", x.0).cmp(&format!("{:?}", y.0))
-                    })
+                    y.1.total_cmp(&x.1)
+                        .then_with(|| format!("{:?}", x.0).cmp(&format!("{:?}", y.0)))
                 });
                 rows.truncate(top);
                 tables.push(GroupByRows {
@@ -185,10 +184,7 @@ mod tests {
         match &a.payload {
             ResultPayload::GroupBy(g) => {
                 assert_eq!(g.len(), 3);
-                assert_eq!(
-                    g[&key_of(&[Value::from("b")])][0],
-                    AggState::Sum(5.0)
-                );
+                assert_eq!(g[&key_of(&[Value::from("b")])][0], AggState::Sum(5.0));
             }
             other => panic!("{other:?}"),
         }

@@ -25,6 +25,23 @@ pub enum PlanKind {
     Raw,
 }
 
+impl PlanKind {
+    /// Stable lowercase label used in stats and query traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanKind::MetadataOnly => "metadata_only",
+            PlanKind::StarTree => "star_tree",
+            PlanKind::Raw => "raw",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Decide the plan for a query on a segment (without executing it).
 pub fn plan_segment(handle: &SegmentHandle, query: &Query) -> PlanKind {
     if metadata_only_plan(&handle.segment, query).is_some() {
@@ -106,7 +123,10 @@ pub fn metadata_only_plan(segment: &ImmutableSegment, query: &Query) -> Option<V
 /// filters plus group dims. `None` means the tree cannot serve this query
 /// and execution falls back to raw data (§4.3: "otherwise, query execution
 /// runs on the original unaggregated data").
-pub fn try_star_tree(handle: &SegmentHandle, query: &Query) -> Option<(Vec<DimFilter>, Vec<usize>)> {
+pub fn try_star_tree(
+    handle: &SegmentHandle,
+    query: &Query,
+) -> Option<(Vec<DimFilter>, Vec<usize>)> {
     let tree = handle.star_tree.as_ref()?;
     let aggs = match &query.select {
         SelectList::Aggregations(a) => a,
@@ -604,21 +624,12 @@ mod tests {
         assert_eq!(vals[1], Value::Double(0.0));
         assert_eq!(vals[2], Value::Double(99.0));
         // Filter or grouping disables it.
-        assert!(metadata_only_plan(
-            &seg,
-            &parse("SELECT COUNT(*) FROM t WHERE k = 1").unwrap()
-        )
-        .is_none());
-        assert!(metadata_only_plan(
-            &seg,
-            &parse("SELECT SUM(m) FROM t").unwrap()
-        )
-        .is_none());
-        assert!(metadata_only_plan(
-            &seg,
-            &parse("SELECT MIN(c) FROM t").unwrap()
-        )
-        .is_none());
+        assert!(
+            metadata_only_plan(&seg, &parse("SELECT COUNT(*) FROM t WHERE k = 1").unwrap())
+                .is_none()
+        );
+        assert!(metadata_only_plan(&seg, &parse("SELECT SUM(m) FROM t").unwrap()).is_none());
+        assert!(metadata_only_plan(&seg, &parse("SELECT MIN(c) FROM t").unwrap()).is_none());
     }
 
     #[test]

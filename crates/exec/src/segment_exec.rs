@@ -61,9 +61,7 @@ impl IntermediateResult {
     pub fn empty_for(query: &Query) -> IntermediateResult {
         let payload = match &query.select {
             SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
-                ResultPayload::Aggregation(
-                    aggs.iter().map(|a| AggState::new(a.function)).collect(),
-                )
+                ResultPayload::Aggregation(aggs.iter().map(|a| AggState::new(a.function)).collect())
             }
             SelectList::Aggregations(_) => ResultPayload::GroupBy(HashMap::new()),
             SelectList::Projections(cols) => ResultPayload::Selection {
@@ -99,6 +97,7 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
 
     // 1. Metadata-only plan.
     if let Some(values) = planner::metadata_only_plan(segment, query) {
+        record_plan(&mut stats, segment.name(), planner::PlanKind::MetadataOnly);
         let aggs = query.aggregations();
         let mut states = Vec::with_capacity(aggs.len());
         for (a, v) in aggs.iter().zip(values) {
@@ -124,10 +123,12 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
     // 2. Star-tree plan.
     if let Some((filters, group_dims)) = planner::try_star_tree(handle, query) {
         let tree = handle.star_tree.as_ref().expect("checked by try_star_tree");
+        record_plan(&mut stats, segment.name(), planner::PlanKind::StarTree);
         return execute_star_tree(segment, tree, query, &filters, &group_dims, stats);
     }
 
     // 3. Raw plan: filter then aggregate / group / select.
+    record_plan(&mut stats, segment.name(), planner::PlanKind::Raw);
     let selection = planner::evaluate_filter(segment, query.filter.as_ref(), &mut stats)?;
     stats.num_docs_scanned = selection.count();
 
@@ -140,14 +141,21 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
             })
         }
         SelectList::Aggregations(aggs) => {
-            let groups = group_by_selection(segment, aggs, &query.group_by, &selection, &mut stats)?;
+            let groups =
+                group_by_selection(segment, aggs, &query.group_by, &selection, &mut stats)?;
             Ok(IntermediateResult {
                 payload: ResultPayload::GroupBy(groups),
                 stats,
             })
         }
         SelectList::Projections(cols) => {
-            let rows = select_rows(segment, cols, &selection, query.effective_limit(), &mut stats)?;
+            let rows = select_rows(
+                segment,
+                cols,
+                &selection,
+                query.effective_limit(),
+                &mut stats,
+            )?;
             Ok(IntermediateResult {
                 payload: ResultPayload::Selection {
                     columns: cols.clone(),
@@ -163,7 +171,13 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
                 .iter()
                 .map(|f| f.name.clone())
                 .collect();
-            let rows = select_rows(segment, &cols, &selection, query.effective_limit(), &mut stats)?;
+            let rows = select_rows(
+                segment,
+                &cols,
+                &selection,
+                query.effective_limit(),
+                &mut stats,
+            )?;
             Ok(IntermediateResult {
                 payload: ResultPayload::Selection {
                     columns: cols,
@@ -173,6 +187,17 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
             })
         }
     }
+}
+
+fn record_plan(stats: &mut ExecutionStats, segment_name: &str, kind: planner::PlanKind) {
+    match kind {
+        planner::PlanKind::MetadataOnly => stats.num_segments_metadata_only += 1,
+        planner::PlanKind::StarTree => stats.num_segments_star_tree += 1,
+        planner::PlanKind::Raw => stats.num_segments_raw += 1,
+    }
+    stats
+        .segment_plans
+        .push((segment_name.to_string(), kind.as_str().to_string()));
 }
 
 fn execute_star_tree(

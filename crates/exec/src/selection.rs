@@ -219,9 +219,7 @@ impl DocSelection {
         match (self, other) {
             (Empty, x) | (x, Empty) => x.clone(),
             (All(n), _) | (_, All(n)) => All(*n),
-            (Range(a, b), Range(c, d)) if *c <= *b && *a <= *d => {
-                Range((*a).min(*c), (*b).max(*d))
-            }
+            (Range(a, b), Range(c, d)) if *c <= *b && *a <= *d => Range((*a).min(*c), (*b).max(*d)),
             (x, y) => Bitmap(x.to_bitmap().or(&y.to_bitmap())),
         }
     }

@@ -80,15 +80,11 @@ fn build(rows: &[Row], variant: u8) -> SegmentHandle {
 fn query_strategy() -> impl Strategy<Value = String> {
     prop_oneof![
         Just("SELECT COUNT(*), SUM(m), MIN(m), MAX(m), AVG(m) FROM t".to_string()),
-        (0i64..8).prop_map(|k| format!(
-            "SELECT SUM(m), COUNT(*) FROM t WHERE k = {k}"
-        )),
-        (0i64..8, 0i64..8).prop_map(|(a, b)| format!(
-            "SELECT SUM(m) FROM t WHERE k = {a} OR k = {b}"
-        )),
-        (0i64..8).prop_map(|k| format!(
-            "SELECT SUM(m), COUNT(*) FROM t WHERE k >= {k} AND c = 'us'"
-        )),
+        (0i64..8).prop_map(|k| format!("SELECT SUM(m), COUNT(*) FROM t WHERE k = {k}")),
+        (0i64..8, 0i64..8)
+            .prop_map(|(a, b)| format!("SELECT SUM(m) FROM t WHERE k = {a} OR k = {b}")),
+        (0i64..8)
+            .prop_map(|k| format!("SELECT SUM(m), COUNT(*) FROM t WHERE k >= {k} AND c = 'us'")),
         Just("SELECT SUM(m) FROM t WHERE c IN ('us', 'de') GROUP BY k TOP 100".to_string()),
         Just("SELECT COUNT(*) FROM t GROUP BY c TOP 100".to_string()),
         (0i64..8).prop_map(|k| format!(

@@ -76,11 +76,7 @@ impl MetaStore {
     }
 
     fn validate_path(path: &str) -> Result<()> {
-        if path.is_empty()
-            || !path.starts_with('/')
-            || path.ends_with('/')
-            || path.contains("//")
-        {
+        if path.is_empty() || !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
             return Err(PinotError::Metadata(format!("invalid path {path:?}")));
         }
         Ok(())
@@ -144,7 +140,12 @@ impl MetaStore {
 
     /// Write a node, creating it when absent. `expected_version` makes the
     /// write a compare-and-set. Returns the new version.
-    pub fn set(&self, path: &str, value: impl Into<String>, expected_version: Option<u64>) -> Result<u64> {
+    pub fn set(
+        &self,
+        path: &str,
+        value: impl Into<String>,
+        expected_version: Option<u64>,
+    ) -> Result<u64> {
         Self::validate_path(path)?;
         let mut inner = self.inner.lock();
         let value = value.into();
@@ -263,9 +264,9 @@ fn notify(inner: &mut Inner, path: &str, kind: WatchKind, value: Option<String>)
         kind,
         value,
     };
-    inner
-        .watchers
-        .retain(|(prefix, tx)| !path.starts_with(prefix.as_str()) || tx.send(event.clone()).is_ok());
+    inner.watchers.retain(|(prefix, tx)| {
+        !path.starts_with(prefix.as_str()) || tx.send(event.clone()).is_ok()
+    });
 }
 
 #[cfg(test)]

@@ -95,7 +95,8 @@ fn concurrent_ephemeral_expiry_is_clean() {
     let sessions: Vec<_> = (0..6).map(|_| ms.create_session()).collect();
     for (i, s) in sessions.iter().enumerate() {
         for k in 0..20 {
-            ms.create(&format!("/eph/s{i}/k{k}"), "x", Some(*s)).unwrap();
+            ms.create(&format!("/eph/s{i}/k{k}"), "x", Some(*s))
+                .unwrap();
         }
     }
     thread::scope(|scope| {
@@ -105,7 +106,8 @@ fn concurrent_ephemeral_expiry_is_clean() {
             scope.spawn(move || ms.expire_session(s));
         }
     });
-    assert!(ms.children("/eph").iter().all(|c| ms
-        .children(&format!("/eph/{c}"))
-        .is_empty()));
+    assert!(ms
+        .children("/eph")
+        .iter()
+        .all(|c| ms.children(&format!("/eph/{c}")).is_empty()));
 }

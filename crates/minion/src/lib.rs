@@ -89,12 +89,9 @@ impl Minion {
             };
             report.segments_processed += 1;
             let segment = pinot_segment::persist::deserialize(&blob)?;
-            let col_idx = segment
-                .schema()
-                .column_index(&spec.column)
-                .ok_or_else(|| {
-                    PinotError::Schema(format!("purge column {:?} not in schema", spec.column))
-                })?;
+            let col_idx = segment.schema().column_index(&spec.column).ok_or_else(|| {
+                PinotError::Schema(format!("purge column {:?} not in schema", spec.column))
+            })?;
 
             // Collect surviving records.
             let mut survivors: Vec<Record> = Vec::new();

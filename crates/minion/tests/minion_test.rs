@@ -21,13 +21,7 @@ impl Participant for NullServer {
     fn instance_id(&self) -> InstanceId {
         self.0.clone()
     }
-    fn handle_transition(
-        &self,
-        _: &str,
-        _: &str,
-        _: SegmentState,
-        _: SegmentState,
-    ) -> Result<()> {
+    fn handle_transition(&self, _: &str, _: &str, _: SegmentState, _: SegmentState) -> Result<()> {
         Ok(())
     }
 }

@@ -171,8 +171,8 @@ impl ObjectStore for DirObjectStore {
 
     fn get(&self, key: &str) -> Result<Bytes> {
         let path = self.path_of(key)?;
-        let data = std::fs::read(&path)
-            .map_err(|e| PinotError::Io(format!("object {key:?}: {e}")))?;
+        let data =
+            std::fs::read(&path).map_err(|e| PinotError::Io(format!("object {key:?}: {e}")))?;
         Ok(Bytes::from(data))
     }
 
@@ -212,7 +212,9 @@ mod tests {
 
     fn exercise(store: &dyn ObjectStore) {
         store.put("a/b/seg1", Bytes::from_static(b"hello")).unwrap();
-        store.put("a/b/seg2", Bytes::from_static(b"world!")).unwrap();
+        store
+            .put("a/b/seg2", Bytes::from_static(b"world!"))
+            .unwrap();
         store.put("a/c/seg3", Bytes::from_static(b"x")).unwrap();
 
         assert_eq!(store.get("a/b/seg1").unwrap(), Bytes::from_static(b"hello"));

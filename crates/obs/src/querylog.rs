@@ -1,0 +1,101 @@
+//! Bounded ring buffer of recent interesting queries: anything slow,
+//! partial, or that raised exceptions. The broker records every finished
+//! query; the ring keeps the most recent qualifying ones.
+
+use crate::trace::QueryTrace;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One logged query.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    pub query: String,
+    pub time_used_ms: u64,
+    pub partial: bool,
+    pub exception_count: usize,
+    pub trace: Option<QueryTrace>,
+}
+
+/// Fixed-capacity ring of recent slow/partial queries.
+pub struct QueryLog {
+    capacity: usize,
+    slow_threshold_ms: u64,
+    ring: Mutex<VecDeque<QueryLogEntry>>,
+}
+
+impl QueryLog {
+    pub fn new(capacity: usize, slow_threshold_ms: u64) -> QueryLog {
+        assert!(capacity > 0);
+        QueryLog {
+            capacity,
+            slow_threshold_ms,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Record a finished query. Returns whether it qualified for the log
+    /// (slow, partial, or errored); fast clean queries are dropped.
+    pub fn observe(&self, entry: QueryLogEntry) -> bool {
+        let interesting = entry.partial
+            || entry.exception_count > 0
+            || entry.time_used_ms >= self.slow_threshold_ms;
+        if !interesting {
+            return false;
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Most recent qualifying queries, oldest first.
+    pub fn recent(&self) -> Vec<QueryLogEntry> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(q: &str, ms: u64, partial: bool) -> QueryLogEntry {
+        QueryLogEntry {
+            query: q.to_string(),
+            time_used_ms: ms,
+            partial,
+            exception_count: 0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn keeps_only_interesting_bounded() {
+        let log = QueryLog::new(3, 100);
+        assert!(!log.observe(entry("fast", 5, false)));
+        assert!(log.observe(entry("slow1", 150, false)));
+        assert!(log.observe(entry("partial", 5, true)));
+        for i in 0..5 {
+            assert!(log.observe(entry(&format!("slow{i}"), 200 + i, false)));
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent.last().unwrap().query, "slow4");
+    }
+
+    #[test]
+    fn threshold_zero_logs_everything() {
+        let log = QueryLog::new(8, 0);
+        assert!(log.observe(entry("q", 0, false)));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-query tracing: named, nestable wall-clock spans plus the
+//! per-segment plan decisions and scan counters a query accumulated.
+//!
+//! A trace is single-threaded and owned by the broker driving the query;
+//! work done on other threads (per-server execution) is folded in after
+//! the fact with [`QueryTrace::record_span_ms`].
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One timed region. `depth` is its nesting level (0 = query phase),
+/// `start_ms` its offset from the start of the trace.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub name: String,
+    pub depth: u32,
+    pub start_ms: f64,
+    pub duration_ms: f64,
+}
+
+/// Handle returned by [`QueryTrace::begin`]; spans close in LIFO order.
+#[derive(Debug)]
+#[must_use = "end the span with QueryTrace::end"]
+pub struct SpanHandle(usize);
+
+/// The record of one query's execution.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    pub query: String,
+    pub spans: Vec<Span>,
+    /// `(segment name, plan kind)` for every segment the query executed on.
+    pub segment_plans: Vec<(String, String)>,
+    /// Free-form counters (docs scanned, segments pruned, servers queried).
+    pub counters: BTreeMap<String, u64>,
+    origin: Instant,
+    open: Vec<usize>,
+}
+
+impl QueryTrace {
+    pub fn new(query: impl Into<String>) -> QueryTrace {
+        QueryTrace {
+            query: query.into(),
+            spans: Vec::new(),
+            segment_plans: Vec::new(),
+            counters: BTreeMap::new(),
+            origin: Instant::now(),
+            open: Vec::new(),
+        }
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Open a span at the current nesting depth.
+    pub fn begin(&mut self, name: impl Into<String>) -> SpanHandle {
+        let idx = self.spans.len();
+        let span = Span {
+            name: name.into(),
+            depth: self.open.len() as u32,
+            start_ms: self.now_ms(),
+            duration_ms: 0.0,
+        };
+        self.spans.push(span);
+        self.open.push(idx);
+        SpanHandle(idx)
+    }
+
+    /// Close a span opened by [`begin`](Self::begin). Spans must close in
+    /// reverse order of opening.
+    pub fn end(&mut self, handle: SpanHandle) {
+        let top = self.open.pop().expect("QueryTrace::end with no open span");
+        assert_eq!(top, handle.0, "spans must end in LIFO order");
+        let now = self.now_ms();
+        let span = &mut self.spans[top];
+        span.duration_ms = now - span.start_ms;
+    }
+
+    /// Time `f` as a span named `name`.
+    pub fn span<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self) -> T) -> T {
+        let h = self.begin(name);
+        let out = f(self);
+        self.end(h);
+        out
+    }
+
+    /// Record an externally-timed span (e.g. a remote server's reported
+    /// execution time) nested under whatever span is currently open.
+    pub fn record_span_ms(&mut self, name: impl Into<String>, duration_ms: f64) {
+        let start_ms = self.now_ms() - duration_ms;
+        self.spans.push(Span {
+            name: name.into(),
+            depth: self.open.len() as u32,
+            start_ms: start_ms.max(0.0),
+            duration_ms,
+        });
+    }
+
+    pub fn add_counter(&mut self, name: impl Into<String>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    pub fn add_segment_plan(&mut self, segment: impl Into<String>, kind: impl Into<String>) {
+        self.segment_plans.push((segment.into(), kind.into()));
+    }
+
+    /// Sum of top-level (depth 0) span durations — the traced portion of
+    /// end-to-end query time.
+    pub fn total_ms(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.duration_ms)
+            .sum()
+    }
+
+    /// Indented rendering of spans plus segment plans and counters.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("query: {}\n", self.query);
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:indent$}{:<24} {:>9.3} ms  (at {:.3} ms)\n",
+                "",
+                s.name,
+                s.duration_ms,
+                s.start_ms,
+                indent = (s.depth as usize + 1) * 2,
+            ));
+        }
+        if !self.segment_plans.is_empty() {
+            out.push_str("  segment plans:\n");
+            for (seg, kind) in &self.segment_plans {
+                out.push_str(&format!("    {seg:<32} {kind}\n"));
+            }
+        }
+        for (k, v) in &self.counters {
+            out.push_str(&format!("  {k:<32} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nesting_depths_and_durations() {
+        let mut t = QueryTrace::new("select 1");
+        let outer = t.begin("outer");
+        std::thread::sleep(Duration::from_millis(4));
+        t.span("inner", |t| {
+            std::thread::sleep(Duration::from_millis(4));
+            t.record_span_ms("remote", 2.5);
+        });
+        t.end(outer);
+        assert_eq!(t.spans.len(), 3);
+        let outer = &t.spans[0];
+        let inner = &t.spans[1];
+        let remote = &t.spans[2];
+        assert_eq!((outer.depth, inner.depth, remote.depth), (0, 1, 2));
+        assert!(outer.duration_ms >= inner.duration_ms);
+        assert!(inner.duration_ms >= 3.0);
+        assert!((remote.duration_ms - 2.5).abs() < 1e-9);
+        // Only the outer span is top-level.
+        assert!((t.total_ms() - outer.duration_ms).abs() < 1e-9);
+        let text = t.render_text();
+        assert!(text.contains("outer") && text.contains("remote"));
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn out_of_order_end_panics() {
+        let mut t = QueryTrace::new("q");
+        let a = t.begin("a");
+        let _b = t.begin("b");
+        t.end(a);
+    }
+}

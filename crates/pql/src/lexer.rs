@@ -27,8 +27,8 @@ pub enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "BY", "TOP",
-    "LIMIT", "TRUE", "FALSE",
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "BY", "TOP", "LIMIT",
+    "TRUE", "FALSE",
 ];
 
 /// Tokenize PQL text.
@@ -36,9 +36,8 @@ pub fn tokenize(text: &str) -> Result<Vec<Token>> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let mut out = Vec::new();
-    let err = |pos: usize, msg: &str| {
-        PinotError::InvalidQuery(format!("lex error at byte {pos}: {msg}"))
-    };
+    let err =
+        |pos: usize, msg: &str| PinotError::InvalidQuery(format!("lex error at byte {pos}: {msg}"));
     while pos < bytes.len() {
         let c = bytes[pos];
         match c {
@@ -233,7 +232,10 @@ mod tests {
             tokenize("'it''s'").unwrap(),
             vec![Token::Str("it's".into())]
         );
-        assert_eq!(tokenize("'héllo'").unwrap(), vec![Token::Str("héllo".into())]);
+        assert_eq!(
+            tokenize("'héllo'").unwrap(),
+            vec![Token::Str("héllo".into())]
+        );
         assert!(tokenize("'open").is_err());
     }
 

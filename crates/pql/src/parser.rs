@@ -392,7 +392,10 @@ mod tests {
     #[test]
     fn selection_with_limit() {
         let q = parse("SELECT a, b FROM t WHERE c IN (1, 2, 3) LIMIT 50").unwrap();
-        assert_eq!(q.select, SelectList::Projections(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            q.select,
+            SelectList::Projections(vec!["a".into(), "b".into()])
+        );
         assert_eq!(q.limit, Some(50));
         assert!(matches!(
             q.filter,
@@ -415,9 +418,14 @@ mod tests {
         match q.filter.unwrap() {
             Predicate::And(parts) => {
                 assert!(matches!(&parts[0], Predicate::In { negated: true, .. }));
-                assert!(
-                    matches!(&parts[1], Predicate::Between { low: Value::Long(1), high: Value::Long(10), .. })
-                );
+                assert!(matches!(
+                    &parts[1],
+                    Predicate::Between {
+                        low: Value::Long(1),
+                        high: Value::Long(10),
+                        ..
+                    }
+                ));
                 assert!(matches!(&parts[2], Predicate::Not(_)));
             }
             other => panic!("{other:?}"),

@@ -90,7 +90,11 @@ impl PackedIntVec {
     /// Read the value at `idx`. Panics when out of bounds.
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let bits = self.bits as usize;
         let bit_pos = idx * bits;
         let word = bit_pos / 64;

@@ -134,10 +134,8 @@ impl SegmentBuilder {
         let num_docs = rows.len();
         let mut columns = Vec::with_capacity(schema.num_columns());
         for (ci, spec) in schema.fields().iter().enumerate() {
-            let dictionary = Dictionary::build(
-                spec.data_type,
-                rows.iter().flat_map(|r| r[ci].elements()),
-            );
+            let dictionary =
+                Dictionary::build(spec.data_type, rows.iter().flat_map(|r| r[ci].elements()));
             let forward = if spec.single_value {
                 let ids: Vec<DictId> = rows
                     .iter()
@@ -174,9 +172,7 @@ impl SegmentBuilder {
 
             // 3. Sorted index for the primary sort column.
             let sorted = if config.sort_columns.first() == Some(&spec.name) {
-                let ids: Vec<DictId> = (0..num_docs as u32)
-                    .map(|d| forward.get(d))
-                    .collect();
+                let ids: Vec<DictId> = (0..num_docs as u32).map(|d| forward.get(d)).collect();
                 SortedIndex::build(&ids, dictionary.cardinality())
             } else {
                 None
@@ -384,7 +380,10 @@ mod tests {
         let inv = tags.inverted.as_ref().unwrap();
         let b_id = tags.dictionary.id_of(&Value::from("b")).unwrap();
         assert_eq!(inv.postings(b_id).to_vec(), vec![0, 1]);
-        assert_eq!(tags.value(0), Value::StringArray(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            tags.value(0),
+            Value::StringArray(vec!["a".into(), "b".into()])
+        );
     }
 
     #[test]

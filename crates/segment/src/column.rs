@@ -36,9 +36,12 @@ impl ColumnData {
             let elems: Vec<Value> = ids.iter().map(|&i| self.dictionary.value_of(i)).collect();
             // Re-wrap as the appropriate array value.
             match elems.first() {
-                Some(Value::Int(_)) => {
-                    Value::IntArray(elems.iter().filter_map(|v| v.as_i64().map(|x| x as i32)).collect())
-                }
+                Some(Value::Int(_)) => Value::IntArray(
+                    elems
+                        .iter()
+                        .filter_map(|v| v.as_i64().map(|x| x as i32))
+                        .collect(),
+                ),
                 Some(Value::Long(_)) => {
                     Value::LongArray(elems.iter().filter_map(|v| v.as_i64()).collect())
                 }
@@ -105,10 +108,7 @@ mod tests {
     use pinot_common::DataType;
 
     fn string_column(values: &[&str]) -> ColumnData {
-        let dict = Dictionary::build(
-            DataType::String,
-            values.iter().map(|s| Value::from(*s)),
-        );
+        let dict = Dictionary::build(DataType::String, values.iter().map(|s| Value::from(*s)));
         let ids: Vec<DictId> = values
             .iter()
             .map(|s| dict.id_of(&Value::from(*s)).unwrap())
@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn multivalue_value_reconstruction() {
-        let dict = Dictionary::build(
-            DataType::Int,
-            [1, 2, 3].map(Value::from),
-        );
+        let dict = Dictionary::build(DataType::Int, [1, 2, 3].map(Value::from));
         let ids = vec![vec![0u32, 2], vec![1]];
         let col = ColumnData {
             spec: FieldSpec::multi_value_dimension("mv", DataType::Int),

@@ -386,10 +386,7 @@ mod tests {
 
     #[test]
     fn boolean_dictionary() {
-        let d = Dictionary::build(
-            DataType::Boolean,
-            [true, false, true].map(Value::from),
-        );
+        let d = Dictionary::build(DataType::Boolean, [true, false, true].map(Value::from));
         assert_eq!(d.cardinality(), 2);
         assert_eq!(d.id_of(&Value::Boolean(false)), Some(0));
         assert_eq!(d.id_of(&Value::Boolean(true)), Some(1));

@@ -65,7 +65,11 @@ impl InvertedIndex {
 
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.bitmaps.iter().map(RoaringBitmap::size_bytes).sum::<usize>()
+            + self
+                .bitmaps
+                .iter()
+                .map(RoaringBitmap::size_bytes)
+                .sum::<usize>()
     }
 
     pub(crate) fn bitmaps(&self) -> &[RoaringBitmap] {

@@ -223,7 +223,9 @@ mod tests {
         assert_eq!(sealed.metadata().created_at_millis, 42);
         assert!(sealed.column("k").unwrap().sorted.is_some());
         // Physically re-sorted by k.
-        let ks: Vec<i64> = (0..10).map(|d| sealed.column("k").unwrap().long(d).unwrap()).collect();
+        let ks: Vec<i64> = (0..10)
+            .map(|d| sealed.column("k").unwrap().long(d).unwrap())
+            .collect();
         let mut expect = ks.clone();
         expect.sort();
         assert_eq!(ks, expect);

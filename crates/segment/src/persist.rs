@@ -21,9 +21,7 @@ use crate::segment::ImmutableSegment;
 use crate::sorted_index::SortedIndex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pinot_bitmap::RoaringBitmap;
-use pinot_common::{
-    DataType, FieldRole, FieldSpec, PinotError, Result, Schema, TimeUnit, Value,
-};
+use pinot_common::{DataType, FieldRole, FieldSpec, PinotError, Result, Schema, TimeUnit, Value};
 
 const MAGIC: &[u8; 4] = b"PSEG";
 const VERSION: u16 = 1;
@@ -761,11 +759,7 @@ mod tests {
 
     #[test]
     fn empty_segment_round_trips() {
-        let schema = Schema::new(
-            "t",
-            vec![FieldSpec::dimension("a", DataType::Int)],
-        )
-        .unwrap();
+        let schema = Schema::new("t", vec![FieldSpec::dimension("a", DataType::Int)]).unwrap();
         let b = SegmentBuilder::new(schema, BuilderConfig::new("e", "t")).unwrap();
         let seg = b.build().unwrap();
         let back = deserialize(&serialize(&seg)).unwrap();

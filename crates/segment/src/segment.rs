@@ -82,7 +82,11 @@ impl ImmutableSegment {
         let mut metadata = self.metadata.clone();
         metadata.columns = columns.iter().map(ColumnData::stats).collect();
         metadata.size_bytes = columns.iter().map(ColumnData::size_bytes).sum::<usize>() as u64;
-        Ok(ImmutableSegment::new(metadata, self.schema.clone(), columns))
+        Ok(ImmutableSegment::new(
+            metadata,
+            self.schema.clone(),
+            columns,
+        ))
     }
 
     pub fn size_bytes(&self) -> u64 {

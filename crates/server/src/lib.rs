@@ -24,6 +24,7 @@ use pinot_common::{PinotError, Result, Schema};
 use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment, IntermediateResult, SegmentHandle};
 use pinot_exec::{merge_intermediate, plan_segment, PlanKind};
+use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
 use pinot_segment::builder::BuilderConfig;
 use pinot_segment::metadata::PartitionInfo;
@@ -61,6 +62,7 @@ pub struct Server {
     clock: Clock,
     throttle: TenantThrottle,
     tables: RwLock<HashMap<String, TableState>>,
+    obs: Arc<Obs>,
 }
 
 /// A broker's request to one server: run `query` over this server's share
@@ -81,6 +83,18 @@ impl Server {
         streams: StreamRegistry,
         clock: Clock,
     ) -> Arc<Server> {
+        Server::with_obs(n, controllers, cluster, streams, clock, Obs::shared())
+    }
+
+    /// Like [`Server::new`] but sharing a cluster-wide observability sink.
+    pub fn with_obs(
+        n: usize,
+        controllers: ControllerGroup,
+        cluster: ClusterManager,
+        streams: StreamRegistry,
+        clock: Clock,
+        obs: Arc<Obs>,
+    ) -> Arc<Server> {
         let throttle = TenantThrottle::new(clock.clone(), TokenBucketConfig::default());
         Arc::new(Server {
             id: InstanceId::server(n),
@@ -90,11 +104,16 @@ impl Server {
             clock,
             throttle,
             tables: RwLock::new(HashMap::new()),
+            obs,
         })
     }
 
     pub fn id(&self) -> &InstanceId {
         &self.id
+    }
+
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     pub fn throttle(&self) -> &TenantThrottle {
@@ -285,11 +304,15 @@ impl Server {
         segment: &str,
         consuming: &Arc<ConsumingSegment>,
     ) -> Result<usize> {
-        let (flush_rows, flush_millis) = self.with_table(qualified, |state| {
+        let (flush_rows, flush_millis, topic_name) = self.with_table(qualified, |state| {
             let s = state.config.stream.as_ref().ok_or_else(|| {
                 PinotError::Metadata(format!("table {qualified} lost its stream config"))
             })?;
-            Ok((s.flush_threshold_rows, s.flush_threshold_millis))
+            Ok((
+                s.flush_threshold_rows,
+                s.flush_threshold_millis,
+                s.topic.clone(),
+            ))
         })?;
 
         let mut ingested = 0usize;
@@ -313,6 +336,23 @@ impl Server {
             let age = self.clock.now_millis() - consuming.mutable.created_at_millis();
             if rows >= flush_rows || (rows > 0 && age >= flush_millis) {
                 consuming.reached_end.store(true, Ordering::SeqCst);
+            }
+        }
+
+        // Ingestion lag: how far the stream's head has moved past what this
+        // consuming segment has ingested (§3.3.6 freshness).
+        if ingested > 0 {
+            self.obs
+                .metrics
+                .counter_add("server.consume.records", ingested as u64);
+        }
+        if let Ok(topic) = self.streams.topic(&topic_name) {
+            if let Ok(latest) = topic.latest_offset(consuming.partition) {
+                let lag = latest.saturating_sub(consuming.mutable.current_offset());
+                self.obs.metrics.gauge_set(
+                    &format!("server.consume.lag.{qualified}.p{}", consuming.partition),
+                    lag as i64,
+                );
             }
         }
 
@@ -420,8 +460,20 @@ impl Server {
 
     /// Execute a broker request over this server's routed segments and
     /// return the merged partial result (§3.3.3 steps 4–6).
+    ///
+    /// The time from arrival until per-segment execution begins (admission
+    /// control plus table metadata resolution) is the request's queue time;
+    /// the segment loop itself is its execution time. Both feed this
+    /// server's `server.exec.{queue,execute}_ms` histograms.
     pub fn execute(&self, req: &ServerRequest) -> Result<IntermediateResult> {
-        self.throttle.admit(&req.tenant)?;
+        let entered = std::time::Instant::now();
+        if let Err(e) = self.throttle.admit(&req.tenant) {
+            self.obs.metrics.counter_add("server.throttle.rejected", 1);
+            self.obs
+                .metrics
+                .counter_add(&format!("server.throttle.rejected.{}", req.tenant), 1);
+            return Err(e);
+        }
         let started = std::time::Instant::now();
 
         let mut acc = IntermediateResult::empty_for(&req.query);
@@ -431,6 +483,11 @@ impl Server {
                 .time_column()
                 .map(|tc| filter_time_bounds(req.query.filter.as_ref(), &tc.name)))
         })?;
+        let exec_started = std::time::Instant::now();
+        self.obs.metrics.observe_ms(
+            "server.exec.queue_ms",
+            exec_started.duration_since(entered).as_secs_f64() * 1e3,
+        );
 
         for seg_name in &req.segments {
             let handle = self.with_table(&req.table, |state| {
@@ -464,6 +521,10 @@ impl Server {
             merge_intermediate(&mut acc, partial)?;
         }
 
+        self.obs.metrics.observe_ms(
+            "server.exec.execute_ms",
+            exec_started.elapsed().as_secs_f64() * 1e3,
+        );
         let micros = started.elapsed().as_micros() as u64;
         acc.stats.time_used_ms = (micros / 1000).max(acc.stats.time_used_ms);
         self.throttle.debit(&req.tenant, micros);

@@ -43,8 +43,7 @@ struct Bucket {
 impl Bucket {
     fn refill(&mut self, now_ms: i64) {
         let elapsed = (now_ms - self.last_refill_ms).max(0) as f64;
-        self.tokens = (self.tokens + elapsed * self.config.refill_per_ms)
-            .min(self.config.capacity);
+        self.tokens = (self.tokens + elapsed * self.config.refill_per_ms).min(self.config.capacity);
         self.last_refill_ms = now_ms;
     }
 }

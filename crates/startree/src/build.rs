@@ -39,9 +39,9 @@ pub fn build_star_tree(segment: &ImmutableSegment, config: &StarTreeConfig) -> R
         ));
     }
     for d in &dimensions {
-        let spec = schema
-            .field(d)
-            .ok_or_else(|| PinotError::Schema(format!("star-tree dimension {d:?} not in schema")))?;
+        let spec = schema.field(d).ok_or_else(|| {
+            PinotError::Schema(format!("star-tree dimension {d:?} not in schema"))
+        })?;
         if !spec.single_value {
             return Err(PinotError::Schema(format!(
                 "star-tree dimension {d:?} must be single-value"
@@ -223,8 +223,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut b =
-            SegmentBuilder::new(schema, BuilderConfig::new("seg", "t_OFFLINE")).unwrap();
+        let mut b = SegmentBuilder::new(schema, BuilderConfig::new("seg", "t_OFFLINE")).unwrap();
         for (br, co, lo, imp) in rows {
             b.add(Record::new(vec![
                 Value::from(*br),
@@ -250,11 +249,7 @@ mod tests {
         ]
     }
 
-    fn tree_over(
-        seg: &ImmutableSegment,
-        dims: &[&str],
-        max_leaf: usize,
-    ) -> StarTree {
+    fn tree_over(seg: &ImmutableSegment, dims: &[&str], max_leaf: usize) -> StarTree {
         build_star_tree(
             seg,
             &StarTreeConfig {
@@ -310,12 +305,7 @@ mod tests {
         let by_country: HashMap<String, f64> = r
             .groups
             .iter()
-            .map(|(k, a)| {
-                (
-                    dict.value_of(k[0]).as_str().unwrap().to_string(),
-                    a.sums[0],
-                )
-            })
+            .map(|(k, a)| (dict.value_of(k[0]).as_str().unwrap().to_string(), a.sums[0]))
             .collect();
         assert_eq!(by_country["ca"], 75.0); // 10+20+5+40
         assert_eq!(by_country["us"], 80.0); // 30+50
@@ -358,7 +348,11 @@ mod tests {
         let r = tree.execute(&filters, &[]);
         // firefox rows: i % 3 == 0 → 334 rows.
         assert_eq!(r.raw_docs_matched, 334);
-        assert!(r.preagg_docs_scanned < 10, "scanned {}", r.preagg_docs_scanned);
+        assert!(
+            r.preagg_docs_scanned < 10,
+            "scanned {}",
+            r.preagg_docs_scanned
+        );
         let expect: f64 = (0..1000i64).filter(|i| i % 3 == 0).map(|i| i as f64).sum();
         assert_eq!(r.groups[0].1.sums[0], expect);
     }

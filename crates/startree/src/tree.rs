@@ -151,9 +151,8 @@ impl StarTree {
 
         // Shortcut: if no remaining dimension is filtered or grouped, the
         // node's own aggregate answers the subtree in O(1).
-        let residual_needed = (level..self.dimensions.len()).any(|d| {
-            filters[d] != DimFilter::Any || group_dims.contains(&d)
-        });
+        let residual_needed = (level..self.dimensions.len())
+            .any(|d| filters[d] != DimFilter::Any || group_dims.contains(&d));
         if !residual_needed {
             *scanned += 1;
             let key = Self::group_key(path, group_dims);
@@ -170,8 +169,7 @@ impl StarTree {
             // fixed by the path).
             for rec in &self.records[start as usize..end as usize] {
                 *scanned += 1;
-                let ok = (level..self.dimensions.len())
-                    .all(|d| filters[d].matches(rec.dims[d]));
+                let ok = (level..self.dimensions.len()).all(|d| filters[d].matches(rec.dims[d]));
                 if !ok {
                     continue;
                 }
@@ -231,11 +229,7 @@ impl StarTree {
             .iter()
             .map(|r| r.dims.len() * 4 + r.agg.sums.len() * 24 + 16)
             .sum();
-        let nodes: usize = self
-            .nodes
-            .iter()
-            .map(|n| 64 + n.children.len() * 12)
-            .sum();
+        let nodes: usize = self.nodes.iter().map(|n| 64 + n.children.len() * 12).sum();
         rec + nodes
     }
 }

@@ -25,7 +25,11 @@ fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
     )
 }
 
-fn build(rows: &[Row], max_leaf: usize, skip_star: Vec<String>) -> (ImmutableSegment, pinot_startree::StarTree) {
+fn build(
+    rows: &[Row],
+    max_leaf: usize,
+    skip_star: Vec<String>,
+) -> (ImmutableSegment, pinot_startree::StarTree) {
     let schema = Schema::new(
         "t",
         vec![

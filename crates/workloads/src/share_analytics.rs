@@ -70,9 +70,7 @@ impl ShareGen {
     pub fn query(&self, rng: &mut impl Rng) -> String {
         let item = self.zipf.sample(rng) as i64;
         match rng.gen_range(0..4) {
-            0 => format!(
-                "SELECT SUM(views), SUM(clicks) FROM {TABLE} WHERE item_id = {item}"
-            ),
+            0 => format!("SELECT SUM(views), SUM(clicks) FROM {TABLE} WHERE item_id = {item}"),
             1 => format!(
                 "SELECT SUM(views) FROM {TABLE} WHERE item_id = {item} GROUP BY region TOP 10"
             ),

@@ -14,9 +14,7 @@ pub const TABLE: &str = "wvmp";
 
 const COUNTRIES: [&str; 10] = ["us", "in", "br", "uk", "de", "fr", "ca", "cn", "jp", "au"];
 const INDUSTRIES: usize = 30;
-const SENIORITIES: [&str; 6] = [
-    "entry", "senior", "manager", "director", "vp", "cxo",
-];
+const SENIORITIES: [&str; 6] = ["entry", "senior", "manager", "director", "vp", "cxo"];
 pub const DAYS: i64 = 14;
 
 pub fn schema() -> Schema {

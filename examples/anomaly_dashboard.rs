@@ -24,12 +24,12 @@ fn results_close(
     match (a, b) {
         (QueryResult::Aggregation(x), QueryResult::Aggregation(y)) => {
             x.len() == y.len()
-                && x.iter().zip(y).all(|(p, q)| {
-                    match (p.value.as_f64(), q.value.as_f64()) {
+                && x.iter()
+                    .zip(y)
+                    .all(|(p, q)| match (p.value.as_f64(), q.value.as_f64()) {
                         (Some(m), Some(n)) => close(m, n),
                         _ => p.value == q.value,
-                    }
-                })
+                    })
         }
         (QueryResult::GroupBy(x), QueryResult::GroupBy(y)) => {
             x.len() == y.len()

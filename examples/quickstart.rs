@@ -60,7 +60,11 @@ fn main() -> pinot::common::Result<()> {
             resp.stats.num_servers_queried,
             resp.stats.time_used_ms
         );
-        assert!(!resp.partial, "unexpected partial response: {:?}", resp.exceptions);
+        assert!(
+            !resp.partial,
+            "unexpected partial response: {:?}",
+            resp.exceptions
+        );
     }
     Ok(())
 }

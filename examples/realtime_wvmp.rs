@@ -50,15 +50,11 @@ fn main() -> pinot::common::Result<()> {
     // Committed segments + the still-consuming ones both serve queries.
     let resp = cluster.query("SELECT COUNT(*) FROM wvmp");
     println!("total rows queryable: {:?}", resp.result.single_aggregate());
-    assert_eq!(
-        resp.result.single_aggregate(),
-        Some(&Value::Long(40_000))
-    );
+    assert_eq!(resp.result.single_aggregate(), Some(&Value::Long(40_000)));
 
     // The product query: who viewed member 0's profile, by country?
-    let resp = cluster.query(
-        "SELECT SUM(views) FROM wvmp WHERE viewee_id = 0 GROUP BY viewer_country TOP 5",
-    );
+    let resp = cluster
+        .query("SELECT SUM(views) FROM wvmp WHERE viewee_id = 0 GROUP BY viewer_country TOP 5");
     println!("member 0 views by country: {:?}", resp.result);
 
     // Freshness: a new event is queryable right after the next tick.

@@ -1,0 +1,246 @@
+//! String generation from the regex subset test patterns use: literal
+//! characters, `.`, character classes (`[a-zA-Z0-9 _\-\"\\]`, with ranges,
+//! escapes, and leading `^` negation), and the `*`, `+`, `?`, `{m}`,
+//! `{m,n}`, `{m,}` quantifiers. Alternation and groups are not supported —
+//! tests needing a choice between shapes use `prop_oneof!` instead.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX_EXTRA: u64 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.` — any printable ASCII character plus a couple of non-ASCII
+    /// code points so parser tests see multi-byte UTF-8.
+    Dot,
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u64,
+    max: u64,
+}
+
+/// A printable char for `.*`-style patterns; occasionally non-ASCII.
+pub fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(12) {
+        0 => char::from_u32(0x00e0 + rng.below(0x20) as u32).unwrap(), // Latin-1 letters
+        1 => char::from_u32(0x4e00 + rng.below(0x100) as u32).unwrap(), // CJK
+        2 => ['"', '\\', '\n', '\t'][rng.below(4) as usize],
+        _ => (0x20u8 + rng.below(0x5f) as u8) as char, // printable ASCII
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("trailing \\ in {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class {
+                        ranges: vec![('0', '9')],
+                        negated: false,
+                    },
+                    'w' => Atom::Class {
+                        ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                        negated: false,
+                    },
+                    's' => Atom::Class {
+                        ranges: vec![(' ', ' '), ('\t', '\t')],
+                        negated: false,
+                    },
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    other => Atom::Literal(other),
+                }
+            }
+            '[' => {
+                i += 1;
+                let negated = chars.get(i) == Some(&'^');
+                if negated {
+                    i += 1;
+                }
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        let c = chars[i];
+                        i += 1;
+                        match c {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        }
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        c
+                    };
+                    // `a-z` range, unless `-` is the final literal char.
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|c| *c != ']') {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            let c = chars[i];
+                            i += 1;
+                            c
+                        } else {
+                            let c = chars[i];
+                            i += 1;
+                            c
+                        };
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(chars.get(i) == Some(&']'), "unterminated [ in {pattern:?}");
+                i += 1;
+                Atom::Class { ranges, negated }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX_EXTRA)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 1 + UNBOUNDED_MAX_EXTRA)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                i += 1;
+                let mut m = 0u64;
+                while chars[i].is_ascii_digit() {
+                    m = m * 10 + chars[i].to_digit(10).unwrap() as u64;
+                    i += 1;
+                }
+                let max = if chars[i] == ',' {
+                    i += 1;
+                    if chars[i] == '}' {
+                        m + UNBOUNDED_MAX_EXTRA
+                    } else {
+                        let mut n = 0u64;
+                        while chars[i].is_ascii_digit() {
+                            n = n * 10 + chars[i].to_digit(10).unwrap() as u64;
+                            i += 1;
+                        }
+                        n
+                    }
+                } else {
+                    m
+                };
+                assert!(chars[i] == '}', "unterminated {{ in {pattern:?}");
+                i += 1;
+                (m, max)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn pick_from_class(ranges: &[(char, char)], negated: bool, rng: &mut TestRng) -> char {
+    if negated {
+        // Rejection-sample printable ASCII; classes in practice exclude
+        // only a few characters, so this terminates fast.
+        for _ in 0..256 {
+            let c = (0x20u8 + rng.below(0x5f) as u8) as char;
+            if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                return c;
+            }
+        }
+        panic!("negated class covers all of printable ASCII");
+    }
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut k = rng.below(total.max(1));
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if k < span {
+            return char::from_u32(lo as u32 + k as u32).expect("range crosses surrogates");
+        }
+        k -= span;
+    }
+    unreachable!()
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.below(span.max(1));
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Dot => out.push(arbitrary_char(rng)),
+                Atom::Class { ranges, negated } => out.push(pick_from_class(ranges, *negated, rng)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_escapes_and_unicode() {
+        // The exact class the JSON round-trip test uses.
+        let pattern = "[a-zA-Z0-9 _\\-\"\\\\/\u{e9}\u{4e16}]*";
+        let mut rng = TestRng::deterministic("class");
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric() || " _-\"\\/".contains(c) || c == '\u{e9}' || c == '\u{4e16}'
+        };
+        for _ in 0..500 {
+            let s = generate_from_pattern(pattern, &mut rng);
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn quantifier_bounds() {
+        let mut rng = TestRng::deterministic("quant");
+        for _ in 0..200 {
+            let s = generate_from_pattern("[A-Z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+            let t = generate_from_pattern("a\\.b?x{2}", &mut rng);
+            assert!(t == "a.bxx" || t == "a.xx", "{t:?}");
+            let u = generate_from_pattern("x[0-9]+", &mut rng);
+            assert!(u.len() >= 2 && u.starts_with('x'));
+        }
+    }
+}

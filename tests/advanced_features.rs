@@ -234,11 +234,7 @@ fn realtime_pump_ingests_in_background() {
 #[test]
 fn broker_pool_round_robins() {
     let cluster = PinotCluster::start(ClusterConfig::default().with_brokers(3)).unwrap();
-    let schema = Schema::new(
-        "t",
-        vec![FieldSpec::dimension("k", DataType::Long)],
-    )
-    .unwrap();
+    let schema = Schema::new("t", vec![FieldSpec::dimension("k", DataType::Long)]).unwrap();
     cluster
         .create_table(TableConfig::offline("t"), schema)
         .unwrap();
@@ -262,24 +258,20 @@ fn broker_pool_round_robins() {
 #[test]
 fn zero_timeout_yields_partial_not_panic() {
     let cluster = PinotCluster::start(ClusterConfig::default()).unwrap();
-    let schema = Schema::new(
-        "t",
-        vec![FieldSpec::dimension("k", DataType::Long)],
-    )
-    .unwrap();
+    let schema = Schema::new("t", vec![FieldSpec::dimension("k", DataType::Long)]).unwrap();
     cluster
         .create_table(TableConfig::offline("t"), schema)
         .unwrap();
     cluster
         .upload_rows(
             "t",
-            (0..5000).map(|i| Record::new(vec![Value::Long(i)])).collect(),
+            (0..5000)
+                .map(|i| Record::new(vec![Value::Long(i)]))
+                .collect(),
         )
         .unwrap();
     // An unmeetable deadline must degrade to a partial response.
-    let resp = cluster.execute(
-        &QueryRequest::new("SELECT COUNT(*) FROM t").with_timeout_ms(0),
-    );
+    let resp = cluster.execute(&QueryRequest::new("SELECT COUNT(*) FROM t").with_timeout_ms(0));
     // Either the query squeaked through (fast machine) or it's partial;
     // both are acceptable, panicking/erroring is not.
     if resp.partial {

@@ -36,9 +36,9 @@ fn count(cluster: &PinotCluster, pql: &str) -> i64 {
     let resp = cluster.query(pql);
     assert!(!resp.partial, "{pql}: {:?}", resp.exceptions);
     match &resp.result {
-        pinot::common::query::QueryResult::Aggregation(rows) =>
-
-            rows[0].value.as_i64().unwrap_or(-1),
+        pinot::common::query::QueryResult::Aggregation(rows) => {
+            rows[0].value.as_i64().unwrap_or(-1)
+        }
         other => panic!("{other:?}"),
     }
 }
@@ -117,8 +117,7 @@ fn replicas_converge_despite_uneven_consumption() {
 #[test]
 fn maintenance_lifecycle() {
     let clock = Clock::manual(1_700_000_000_000);
-    let cluster =
-        PinotCluster::start(ClusterConfig::default().with_clock(clock.clone())).unwrap();
+    let cluster = PinotCluster::start(ClusterConfig::default().with_clock(clock.clone())).unwrap();
     cluster
         .create_table(
             TableConfig::offline("events").with_retention(TimeUnit::Days, 30),
@@ -196,10 +195,7 @@ fn large_cluster_routing_bounds_fanout() {
     for _ in 0..20 {
         let resp = cluster.execute(&QueryRequest::new("SELECT COUNT(*) FROM events"));
         assert!(!resp.partial, "{:?}", resp.exceptions);
-        assert_eq!(
-            resp.result.single_aggregate(),
-            Some(&Value::Long(24 * 50))
-        );
+        assert_eq!(resp.result.single_aggregate(), Some(&Value::Long(24 * 50)));
         assert_eq!(resp.stats.num_segments_queried, 24);
         max_servers = max_servers.max(resp.stats.num_servers_queried);
     }

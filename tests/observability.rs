@@ -1,0 +1,210 @@
+//! End-to-end observability: after a hybrid (offline + realtime) workload
+//! the cluster-wide metrics snapshot must show broker phase timings,
+//! server queue/execute timings, ingestion lag, and completion-protocol
+//! activity; traced queries must expose phase spans, per-segment plan
+//! kinds, and per-server contributions; partial queries must land in the
+//! slow/partial query log.
+
+use pinot::common::config::{StreamConfig, TableConfig};
+use pinot::common::query::QueryRequest;
+use pinot::common::time::Clock;
+use pinot::common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot::{ClusterConfig, PinotCluster};
+
+fn schema() -> Schema {
+    Schema::new(
+        "events",
+        vec![
+            FieldSpec::dimension("user", DataType::Long),
+            FieldSpec::dimension("kind", DataType::String),
+            FieldSpec::metric("n", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+fn row(user: i64, kind: &str, n: i64, day: i64) -> Record {
+    Record::new(vec![
+        Value::Long(user),
+        Value::String(kind.into()),
+        Value::Long(n),
+        Value::Long(day),
+    ])
+}
+
+fn count(cluster: &PinotCluster, pql: &str) -> i64 {
+    let resp = cluster.query(pql);
+    assert!(!resp.partial, "{pql}: {:?}", resp.exceptions);
+    match &resp.result {
+        pinot::common::query::QueryResult::Aggregation(rows) => {
+            rows[0].value.as_i64().unwrap_or(-1)
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn hybrid_workload_populates_metrics_and_traces() {
+    let clock = Clock::manual(1_700_000_000_000);
+    let cluster = PinotCluster::start(
+        ClusterConfig::default()
+            .with_servers(2)
+            .with_clock(clock.clone()),
+    )
+    .unwrap();
+    cluster.streams().create_topic("ev", 1).unwrap();
+    cluster
+        .create_table(TableConfig::offline("events"), schema())
+        .unwrap();
+    cluster
+        .create_table(
+            TableConfig::realtime(
+                "events",
+                StreamConfig {
+                    topic: "ev".into(),
+                    flush_threshold_rows: 25,
+                    flush_threshold_millis: i64::MAX / 4,
+                },
+            ),
+            schema(),
+        )
+        .unwrap();
+
+    // Offline side: two segments covering days 100..=101.
+    for batch in 0..2i64 {
+        let rows: Vec<Record> = (0..30)
+            .map(|i| row(batch * 100 + i, "a", 1, 100 + batch))
+            .collect();
+        cluster.upload_rows("events", rows).unwrap();
+    }
+    // Realtime side: 60 rows on days 101..=102; the 25-row flush threshold
+    // forces at least two segment commits through the completion protocol.
+    for i in 0..60i64 {
+        let day = if i < 30 { 101 } else { 102 };
+        cluster
+            .produce("ev", &Value::Long(i), row(1000 + i, "b", 2, day))
+            .unwrap();
+    }
+    cluster.consume_until_idle().unwrap();
+
+    // A few queries to exercise parse/route/execute/merge on both sides of
+    // the time boundary. Boundary = max offline day (101): the offline side
+    // answers day < 101 (30 rows), the realtime side day >= 101 (60 rows).
+    assert_eq!(count(&cluster, "SELECT COUNT(*) FROM events"), 90);
+    let sum = cluster.query("SELECT SUM(n) FROM events");
+    assert!(!sum.partial, "{:?}", sum.exceptions);
+    assert!(sum.result.single_aggregate().is_some());
+    assert_eq!(
+        count(&cluster, "SELECT COUNT(*) FROM events WHERE day = 102"),
+        30
+    );
+
+    // Traced query: spans, plan kinds, and per-server contributions.
+    let (resp, trace) = cluster.execute_traced(&QueryRequest::new("SELECT COUNT(*) FROM events"));
+    assert!(!resp.partial, "{:?}", resp.exceptions);
+    assert!(!trace.spans.is_empty());
+    assert!(trace.spans.iter().any(|s| s.name == "parse"));
+    assert!(trace.spans.iter().any(|s| s.name.starts_with("physical:")));
+    // Depth-0 spans tile the whole execution: their durations sum to the
+    // reported query time (both measured on the same wall clock).
+    let depth0_ms: f64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| s.duration_ms)
+        .sum();
+    let reported = resp.stats.time_used_ms as f64;
+    assert!(
+        (depth0_ms - reported).abs() <= 5.0,
+        "span sum {depth0_ms} vs time_used_ms {reported}"
+    );
+    assert!(!trace.segment_plans.is_empty());
+    for (seg, kind) in &trace.segment_plans {
+        assert!(
+            matches!(kind.as_str(), "metadata_only" | "star_tree" | "raw"),
+            "{seg}: unknown plan kind {kind}"
+        );
+    }
+    assert!(!resp.stats.per_server.is_empty());
+    assert!(resp.stats.per_server.iter().all(|c| c.responded));
+
+    // Cluster-wide metrics snapshot.
+    let snap = cluster.metrics_snapshot();
+    for name in [
+        "broker.phase.parse_ms",
+        "broker.phase.route_ms",
+        "broker.phase.merge_ms",
+        "broker.phase.server_execute_ms",
+        "broker.query.total_ms",
+        "server.exec.queue_ms",
+        "server.exec.execute_ms",
+    ] {
+        let hist = snap.histogram(name).unwrap_or_else(|| panic!("no {name}"));
+        assert!(hist.count() > 0, "{name} is empty");
+    }
+    assert!(snap.counter("broker.query.total") >= 4);
+    assert_eq!(snap.counter("broker.query.failed"), 0);
+    assert!(snap.counter("server.consume.records") >= 60);
+    assert!(
+        snap.gauges
+            .keys()
+            .any(|k| k.starts_with("server.consume.lag.")),
+        "no ingestion-lag gauge in {:?}",
+        snap.gauges.keys().collect::<Vec<_>>()
+    );
+    assert!(snap.counter_family("controller.completion.instruction.") > 0);
+    assert!(
+        snap.counter_family("controller.fsm.transition.") > 0,
+        "no FSM transitions recorded"
+    );
+    assert!(snap.counter("controller.commit.ok") >= 2);
+    assert!(snap.counter("controller.leader.elections") >= 1);
+
+    // The text rendering carries all three metric kinds.
+    let text = cluster.render_metrics();
+    assert!(text.contains("== counters =="));
+    assert!(text.contains("== gauges =="));
+    assert!(text.contains("== histograms (ms) =="));
+    assert!(text.contains("broker.phase.parse_ms"));
+}
+
+#[test]
+fn timed_out_queries_land_in_query_log_with_per_server_stats() {
+    let cluster = PinotCluster::start(ClusterConfig::default().with_servers(2)).unwrap();
+    cluster
+        .create_table(TableConfig::offline("events"), schema())
+        .unwrap();
+    // Four segments spread over two servers so the broker takes the
+    // scatter/gather path (the single-server fast path has no timeout to
+    // hit before the one server's synchronous call returns).
+    for batch in 0..4i64 {
+        let rows: Vec<Record> = (0..20).map(|i| row(batch * 100 + i, "a", 1, 100)).collect();
+        cluster.upload_rows("events", rows).unwrap();
+    }
+    assert_eq!(count(&cluster, "SELECT COUNT(*) FROM events"), 80);
+
+    // An already-expired deadline forces a scatter timeout: the response is
+    // partial and every routed server is reported as not responded.
+    let req = QueryRequest::new("SELECT SUM(n) FROM events").with_timeout_ms(0);
+    let resp = cluster.execute(&req);
+    assert!(resp.partial);
+    assert!(!resp.exceptions.is_empty());
+    assert!(!resp.stats.per_server.is_empty());
+    assert!(resp.stats.per_server.iter().any(|c| !c.responded));
+
+    let snap = cluster.metrics_snapshot();
+    assert!(snap.counter("broker.scatter.timeout") >= 1);
+    assert!(snap.counter("broker.query.partial") >= 1);
+
+    // Only the partial query is interesting enough for the query log; the
+    // fast, complete COUNT(*) above is not retained.
+    let recent = cluster.recent_queries();
+    assert_eq!(recent.len(), 1);
+    let entry = &recent[0];
+    assert!(entry.partial);
+    assert!(entry.exception_count > 0);
+    assert_eq!(entry.query, "SELECT SUM(n) FROM events");
+    let trace = entry.trace.as_ref().expect("logged query keeps its trace");
+    assert!(trace.spans.iter().any(|s| s.name == "scatter"));
+}
