@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests (root package) =="
 cargo test -q
 
+echo "== chaos suite (fault injection + failover) =="
+cargo test -p pinot-core --test chaos
+
 echo "CI OK"

@@ -22,7 +22,7 @@ use pinot_common::ids::{InstanceId, SegmentName};
 use pinot_common::json::Json;
 use pinot_common::query::ServerContribution;
 use pinot_common::query::{ExecutionStats, QueryRequest, QueryResponse};
-use pinot_common::{PinotError, Result, Value};
+use pinot_common::{PinotError, Result, RetryPolicy, Value};
 use pinot_exec::segment_exec::IntermediateResult;
 use pinot_exec::{finalize, merge_intermediate};
 use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
@@ -41,6 +41,10 @@ pub struct RoutedRequest {
     pub query: Arc<Query>,
     pub segments: Vec<String>,
     pub tenant: String,
+    /// The broker's scatter deadline. Servers check it between segments and
+    /// abandon work nobody will wait for; failover retries budget their
+    /// backoff against it.
+    pub deadline: Option<Instant>,
 }
 
 /// What brokers need from a server. Implemented by an adapter around
@@ -53,6 +57,9 @@ pub trait SegmentQueryService: Send + Sync {
 
 struct CachedRouting {
     tables: Vec<RoutingTable>,
+    /// The full segment → replicas view the tables were generated from;
+    /// consulted by replica failover when a routed server fails mid-query.
+    replicas: SegmentReplicas,
     /// For partitioned tables: partition id → (segment → replicas).
     partitions: Option<PartitionIndex>,
 }
@@ -75,6 +82,9 @@ pub struct Broker {
     dirty: Arc<Mutex<HashSet<String>>>,
     rng: Mutex<StdRng>,
     obs: Arc<Obs>,
+    /// Backoff schedule for replica-failover retries; seeded per broker so
+    /// delays are deterministic in tests yet de-synchronized across brokers.
+    retry: RetryPolicy,
 }
 
 impl Broker {
@@ -98,6 +108,7 @@ impl Broker {
             dirty,
             rng: Mutex::new(StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ n as u64)),
             obs,
+            retry: RetryPolicy::default().with_seed(n as u64),
         })
     }
 
@@ -307,6 +318,7 @@ impl Broker {
         trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
         let plan = trace.span("route", |_| self.route(table, query))?;
+        let replicas = self.segment_replicas(table);
         let num_servers = plan.len() as u64;
         self.obs
             .metrics
@@ -320,43 +332,56 @@ impl Broker {
                 .metrics
                 .counter_add("broker.routing.single_server_fastpath", 1);
             let (server, segments) = plan.into_iter().next().expect("len checked");
-            let svc = self
-                .executors
-                .read()
-                .get(&server)
-                .cloned()
-                .ok_or_else(|| PinotError::Cluster(format!("no endpoint for {server}")))?;
             let req = RoutedRequest {
                 table: table.to_string(),
                 query: Arc::clone(query),
-                segments,
+                segments: segments.clone(),
                 tenant: tenant.to_string(),
+                deadline: Some(deadline),
             };
             let final_query = finalize_as.unwrap_or(query);
             let mut acc = IntermediateResult::empty_for(final_query);
             let mut exceptions = Vec::new();
-            let outcome = trace.span(format!("server:{server}"), |_| svc.execute(&req));
+            let svc = self.executors.read().get(&server).cloned();
+            let outcome = match svc {
+                Some(svc) => trace.span(format!("server:{server}"), |_| svc.execute(&req)),
+                None => Err(PinotError::Cluster(format!("no endpoint for {server}"))),
+            };
+            let mut responded = 0u64;
             match outcome {
                 Ok(partial) => {
+                    responded = 1;
                     acc.stats.per_server.push(ServerContribution {
                         server: server.to_string(),
                         responded: true,
                         segments_processed: partial.stats.num_segments_processed,
                         docs_scanned: partial.stats.num_docs_scanned,
                         time_ms: partial.stats.time_used_ms,
+                        covered_by: Vec::new(),
                     });
                     merge_intermediate(&mut acc, partial)?;
                 }
                 Err(e) => {
-                    exceptions.push(format!("{server}: {e}"));
-                    acc.stats.per_server.push(ServerContribution {
-                        server: server.to_string(),
-                        ..Default::default()
-                    });
+                    let mut failed: HashSet<InstanceId> = HashSet::new();
+                    failed.insert(server.clone());
+                    self.handle_server_failure(
+                        table,
+                        query,
+                        tenant,
+                        deadline,
+                        &server,
+                        e,
+                        &segments,
+                        &replicas,
+                        &mut failed,
+                        &mut acc,
+                        &mut exceptions,
+                    )?;
                 }
             }
             acc.stats.num_servers_queried = 1;
-            acc.stats.num_servers_responded = 1 - exceptions.len() as u64;
+            acc.stats.num_servers_responded = responded;
+            coalesce_per_server(&mut acc.stats.per_server);
             let partial = !exceptions.is_empty();
             let stats = acc.stats.clone();
             let result = trace.span("merge", |_| finalize(acc, final_query))?;
@@ -368,8 +393,11 @@ impl Broker {
             });
         }
 
-        // Scatter: one worker per server; results stream into a channel.
-        let (tx, rx) = bounded(plan.len().max(1));
+        // Scatter: one worker per server; results stream into a channel
+        // along with the segment list each server was responsible for, so
+        // a failure can be re-routed to surviving replicas.
+        type ScatterMsg = (InstanceId, Vec<String>, Result<IntermediateResult>);
+        let (tx, rx) = bounded::<ScatterMsg>(plan.len().max(1));
         let mut outstanding = 0usize;
         let mut pending: HashSet<InstanceId> = HashSet::new();
         trace.span("scatter", |_| {
@@ -379,6 +407,7 @@ impl Broker {
                     // Routing raced with a server death; report it as a failure.
                     let _ = tx.send((
                         server.clone(),
+                        segments,
                         Err(PinotError::Cluster(format!("no endpoint for {server}"))),
                     ));
                     outstanding += 1;
@@ -387,30 +416,34 @@ impl Broker {
                 let req = RoutedRequest {
                     table: table.to_string(),
                     query: Arc::clone(query),
-                    segments,
+                    segments: segments.clone(),
                     tenant: tenant.to_string(),
+                    deadline: Some(deadline),
                 };
                 let tx = tx.clone();
                 let server_id = server.clone();
                 std::thread::spawn(move || {
                     let result = svc.execute(&req);
-                    let _ = tx.send((server_id, result));
+                    let _ = tx.send((server_id, segments, result));
                 });
                 outstanding += 1;
             }
         });
         drop(tx);
 
-        // Gather until deadline.
+        // Gather until deadline. Failed servers are recovered inline via
+        // surviving replicas while the remaining workers keep running.
         let final_query = finalize_as.unwrap_or(query);
         let mut acc = IntermediateResult::empty_for(final_query);
         let mut exceptions = Vec::new();
         let mut responded = 0u64;
+        let mut failed: HashSet<InstanceId> = HashSet::new();
         trace.span("gather", |trace| -> Result<()> {
+            let mut failures = 0u64;
             for _ in 0..outstanding {
                 let timeout = deadline.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(timeout) {
-                    Ok((server, Ok(partial))) => {
+                    Ok((server, _segments, Ok(partial))) => {
                         responded += 1;
                         pending.remove(&server);
                         trace.record_span_ms(
@@ -423,22 +456,33 @@ impl Broker {
                             segments_processed: partial.stats.num_segments_processed,
                             docs_scanned: partial.stats.num_docs_scanned,
                             time_ms: partial.stats.time_used_ms,
+                            covered_by: Vec::new(),
                         });
                         merge_intermediate(&mut acc, partial)?;
                     }
-                    Ok((server, Err(e))) => {
-                        exceptions.push(format!("{server}: {e}"));
+                    Ok((server, segments, Err(e))) => {
+                        failures += 1;
                         pending.remove(&server);
-                        acc.stats.per_server.push(ServerContribution {
-                            server: server.to_string(),
-                            ..Default::default()
-                        });
+                        failed.insert(server.clone());
+                        self.handle_server_failure(
+                            table,
+                            query,
+                            tenant,
+                            deadline,
+                            &server,
+                            e,
+                            &segments,
+                            &replicas,
+                            &mut failed,
+                            &mut acc,
+                            &mut exceptions,
+                        )?;
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         self.obs.metrics.counter_add("broker.scatter.timeout", 1);
                         exceptions.push(format!(
                             "timeout waiting for {} server response(s)",
-                            outstanding as u64 - responded - exceptions.len() as u64
+                            outstanding as u64 - responded - failures
                         ));
                         break;
                     }
@@ -458,6 +502,7 @@ impl Broker {
 
         acc.stats.num_servers_queried = num_servers;
         acc.stats.num_servers_responded = responded;
+        coalesce_per_server(&mut acc.stats.per_server);
         let partial = !exceptions.is_empty();
         let stats = acc.stats.clone();
         let result = trace.span("merge", |_| finalize(acc, final_query))?;
@@ -466,6 +511,155 @@ impl Broker {
             stats,
             partial,
             exceptions,
+        })
+    }
+
+    /// One routed server failed. If the error is transient, re-route its
+    /// segment list to surviving replicas (deadline permitting); only what
+    /// no replica can serve becomes an exception — naming the failed
+    /// server — and makes the response partial (§3.3.3 step 7, upgraded
+    /// from "any failure is partial" to "only unrecoverable loss is").
+    #[allow(clippy::too_many_arguments)]
+    fn handle_server_failure(
+        &self,
+        table: &str,
+        query: &Arc<Query>,
+        tenant: &str,
+        deadline: Instant,
+        server: &InstanceId,
+        error: PinotError,
+        segments: &[String],
+        replicas: &SegmentReplicas,
+        failed: &mut HashSet<InstanceId>,
+        acc: &mut IntermediateResult,
+        exceptions: &mut Vec<String>,
+    ) -> Result<()> {
+        let outcome = if error.is_retriable() && !segments.is_empty() {
+            self.failover_recover(
+                table, query, tenant, deadline, segments, replicas, failed, acc,
+            )?
+        } else {
+            FailoverOutcome {
+                covered_by: Vec::new(),
+                lost: segments.to_vec(),
+            }
+        };
+        if outcome.lost.is_empty() && !segments.is_empty() {
+            self.obs
+                .metrics
+                .counter_add("broker.scatter.failover_success", 1);
+        } else {
+            exceptions.push(format!(
+                "{server}: {error} ({} of {} segment(s) unrecoverable)",
+                outcome.lost.len(),
+                segments.len().max(1)
+            ));
+        }
+        acc.stats.per_server.push(ServerContribution {
+            server: server.to_string(),
+            responded: false,
+            covered_by: outcome.covered_by,
+            ..Default::default()
+        });
+        Ok(())
+    }
+
+    /// Re-route `segments` to surviving replicas with deadline-budgeted
+    /// backoff. Recovered results merge into `acc` (with per-server
+    /// contributions for the covering replicas); returns who covered and
+    /// which segments no live replica could serve. Replicas that fail
+    /// during recovery join `failed` so later failovers skip them too.
+    #[allow(clippy::too_many_arguments)]
+    fn failover_recover(
+        &self,
+        table: &str,
+        query: &Arc<Query>,
+        tenant: &str,
+        deadline: Instant,
+        segments: &[String],
+        replicas: &SegmentReplicas,
+        failed: &mut HashSet<InstanceId>,
+        acc: &mut IntermediateResult,
+    ) -> Result<FailoverOutcome> {
+        let mut remaining: Vec<String> = segments.to_vec();
+        let mut covered_by: Vec<String> = Vec::new();
+        for attempt in 1..=self.retry.max_attempts {
+            // Group what's left by the first surviving replica of each
+            // segment (replica lists are sorted, so this is deterministic).
+            let mut by_server: BTreeMap<InstanceId, Vec<String>> = BTreeMap::new();
+            let mut lost: Vec<String> = Vec::new();
+            for seg in &remaining {
+                let survivor = replicas
+                    .get(seg)
+                    .and_then(|rs| rs.iter().find(|r| !failed.contains(*r)));
+                match survivor {
+                    Some(r) => by_server.entry(r.clone()).or_default().push(seg.clone()),
+                    None => lost.push(seg.clone()),
+                }
+            }
+            if by_server.is_empty() {
+                return Ok(FailoverOutcome {
+                    covered_by,
+                    lost: remaining,
+                });
+            }
+            // The backoff must fit in what's left of the query's deadline;
+            // if it doesn't, the un-recovered segments are lost.
+            let delay = Duration::from_millis(self.retry.delay_ms(attempt));
+            if Instant::now() + delay >= deadline {
+                return Ok(FailoverOutcome {
+                    covered_by,
+                    lost: remaining,
+                });
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            self.obs.metrics.counter_add("broker.scatter.retry", 1);
+            for (replica, segs) in by_server {
+                let svc = self.executors.read().get(&replica).cloned();
+                let Some(svc) = svc else {
+                    failed.insert(replica);
+                    continue;
+                };
+                let req = RoutedRequest {
+                    table: table.to_string(),
+                    query: Arc::clone(query),
+                    segments: segs.clone(),
+                    tenant: tenant.to_string(),
+                    deadline: Some(deadline),
+                };
+                match svc.execute(&req) {
+                    Ok(partial) => {
+                        acc.stats.per_server.push(ServerContribution {
+                            server: replica.to_string(),
+                            responded: true,
+                            segments_processed: partial.stats.num_segments_processed,
+                            docs_scanned: partial.stats.num_docs_scanned,
+                            time_ms: partial.stats.time_used_ms,
+                            covered_by: Vec::new(),
+                        });
+                        merge_intermediate(acc, partial)?;
+                        covered_by.push(replica.to_string());
+                        remaining.retain(|s| !segs.contains(s));
+                    }
+                    Err(_) => {
+                        // The replica is down too; exclude it and let the
+                        // next attempt re-group onto whoever is left.
+                        failed.insert(replica);
+                    }
+                }
+            }
+            if remaining.is_empty() {
+                return Ok(FailoverOutcome {
+                    covered_by,
+                    lost: Vec::new(),
+                });
+            }
+        }
+        Ok(FailoverOutcome {
+            covered_by,
+            lost: remaining,
         })
     }
 
@@ -549,10 +743,25 @@ impl Broker {
             _ => None,
         };
 
+        self.routing_cache.lock().insert(
+            table.to_string(),
+            CachedRouting {
+                tables,
+                replicas,
+                partitions,
+            },
+        );
+        Ok(())
+    }
+
+    /// The replica placement the routing cache was built from — who else
+    /// can serve each segment when its routed server fails.
+    fn segment_replicas(&self, table: &str) -> SegmentReplicas {
         self.routing_cache
             .lock()
-            .insert(table.to_string(), CachedRouting { tables, partitions });
-        Ok(())
+            .get(table)
+            .map(|c| c.replicas.clone())
+            .unwrap_or_default()
     }
 
     fn build_partition_index(
@@ -674,6 +883,34 @@ impl Broker {
             .map(|c| c.tables.len())
             .unwrap_or(0)
     }
+}
+
+/// Result of one failover attempt for a failed server's segment list.
+struct FailoverOutcome {
+    /// Replicas that successfully served part of the failed server's share.
+    covered_by: Vec<String>,
+    /// Segments no surviving replica could serve — genuinely missing data.
+    lost: Vec<String>,
+}
+
+/// Collapse duplicate per-server entries (a replica that served its own
+/// share *and* covered for a failed peer reports once, summed) while
+/// preserving first-seen order.
+fn coalesce_per_server(entries: &mut Vec<ServerContribution>) {
+    let mut out: Vec<ServerContribution> = Vec::with_capacity(entries.len());
+    for e in entries.drain(..) {
+        match out.iter_mut().find(|o| o.server == e.server) {
+            Some(o) => {
+                o.responded |= e.responded;
+                o.segments_processed += e.segments_processed;
+                o.docs_scanned += e.docs_scanned;
+                o.time_ms += e.time_ms;
+                o.covered_by.extend(e.covered_by);
+            }
+            None => out.push(e),
+        }
+    }
+    *entries = out;
 }
 
 /// AND an extra predicate onto a query (hybrid rewrite).

@@ -1,0 +1,520 @@
+//! pinot-chaos: deterministic fault injection for cluster robustness tests.
+//!
+//! Components call [`FaultInjector::intercept`] at named *sites* — stable
+//! string labels like `server.execute` or `metastore.cas` — passing a
+//! [`FaultContext`] describing where the call is happening (instance,
+//! table, partition). Tests arm [`Fault`]s at those sites, optionally
+//! scoped to a subset of contexts and bounded by a call [`FaultBudget`];
+//! the injector decides per call whether a fault fires and returns the
+//! [`FaultAction`] the call site must take.
+//!
+//! Everything is deterministic: `Flaky` faults draw from a seeded SplitMix64
+//! stream keyed on the per-fault match counter, not from wall-clock or a
+//! global RNG, so a chaos test that fails replays identically.
+//!
+//! The injector never performs the fault itself (it does not sleep, kill,
+//! or error) — the call site interprets the action. That keeps this crate
+//! dependency-light and lets `Crash` mean the right thing per component
+//! (a server unregisters from cluster management; an adapter drops the
+//! request on the floor).
+//!
+//! A default-constructed injector with nothing armed is the production
+//! configuration: `intercept` is a single map lookup that finds no entry.
+
+use parking_lot::Mutex;
+use pinot_common::PinotError;
+use pinot_obs::Obs;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Well-known site names. Call sites and tests should use these constants
+/// rather than ad-hoc strings so a typo cannot silently arm nothing.
+pub mod sites {
+    /// A server executing its slice of a scattered query.
+    pub const SERVER_EXECUTE: &str = "server.execute";
+    /// A consuming server polling its realtime stream partition.
+    pub const STREAM_FETCH: &str = "stream.fetch";
+    /// A controller compare-and-set write to the metastore.
+    pub const METASTORE_CAS: &str = "metastore.cas";
+    /// The elected committer building + committing a completed segment.
+    pub const COMPLETION_COMMIT: &str = "completion.commit";
+}
+
+/// What kind of failure an armed fault injects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The call fails with this error.
+    Fail(PinotError),
+    /// The call is delayed by this many milliseconds before proceeding.
+    Delay(u64),
+    /// The component should crash: unregister from cluster management and
+    /// stop serving. The process stays up (this is a simulation), but to
+    /// the rest of the cluster the instance is gone.
+    Crash,
+    /// Fails with `error` with probability `prob`, decided by a SplitMix64
+    /// hash of `(seed, nth matching call)` — deterministic per fault.
+    Flaky {
+        prob: f64,
+        seed: u64,
+        error: PinotError,
+    },
+}
+
+/// Which calls at a site a fault applies to. `None` fields match anything;
+/// the default scope matches every call at the site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScope {
+    pub instance: Option<String>,
+    pub table: Option<String>,
+    pub partition: Option<u32>,
+}
+
+impl FaultScope {
+    pub fn any() -> FaultScope {
+        FaultScope::default()
+    }
+
+    pub fn instance(mut self, id: impl Into<String>) -> FaultScope {
+        self.instance = Some(id.into());
+        self
+    }
+
+    pub fn table(mut self, table: impl Into<String>) -> FaultScope {
+        self.table = Some(table.into());
+        self
+    }
+
+    pub fn partition(mut self, p: u32) -> FaultScope {
+        self.partition = Some(p);
+        self
+    }
+
+    fn matches(&self, ctx: &FaultContext) -> bool {
+        fn ok<T: PartialEq>(want: &Option<T>, got: &Option<T>) -> bool {
+            match want {
+                None => true,
+                Some(w) => got.as_ref() == Some(w),
+            }
+        }
+        ok(&self.instance, &ctx.instance) && ok(&self.table, &ctx.table) && {
+            match self.partition {
+                None => true,
+                Some(p) => ctx.partition == Some(p),
+            }
+        }
+    }
+}
+
+/// How many of the scope-matching calls a fault fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultBudget {
+    /// Every matching call, until disarmed.
+    Unlimited,
+    /// Only the first `n` matching calls; after that the fault is spent.
+    FirstN(u64),
+    /// Every `k`-th matching call (the k-th, 2k-th, …).
+    EveryKth(u64),
+}
+
+/// A fault as armed by a test: what to inject, where, and how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    pub kind: FaultKind,
+    pub scope: FaultScope,
+    pub budget: FaultBudget,
+}
+
+impl Fault {
+    /// Fail every matching call with `error` until disarmed.
+    pub fn fail(error: PinotError) -> Fault {
+        Fault {
+            kind: FaultKind::Fail(error),
+            scope: FaultScope::any(),
+            budget: FaultBudget::Unlimited,
+        }
+    }
+
+    /// Delay every matching call by `ms` milliseconds.
+    pub fn delay_ms(ms: u64) -> Fault {
+        Fault {
+            kind: FaultKind::Delay(ms),
+            scope: FaultScope::any(),
+            budget: FaultBudget::Unlimited,
+        }
+    }
+
+    /// Crash the component on the first matching call.
+    pub fn crash() -> Fault {
+        Fault {
+            kind: FaultKind::Crash,
+            scope: FaultScope::any(),
+            budget: FaultBudget::FirstN(1),
+        }
+    }
+
+    /// Fail matching calls with probability `prob`, deterministically from
+    /// `seed`.
+    pub fn flaky(prob: f64, seed: u64, error: PinotError) -> Fault {
+        Fault {
+            kind: FaultKind::Flaky { prob, seed, error },
+            scope: FaultScope::any(),
+            budget: FaultBudget::Unlimited,
+        }
+    }
+
+    pub fn with_scope(mut self, scope: FaultScope) -> Fault {
+        self.scope = scope;
+        self
+    }
+
+    pub fn with_budget(mut self, budget: FaultBudget) -> Fault {
+        self.budget = budget;
+        self
+    }
+
+    /// Shorthand for `with_budget(FaultBudget::FirstN(n))`.
+    pub fn first_n(self, n: u64) -> Fault {
+        self.with_budget(FaultBudget::FirstN(n))
+    }
+
+    /// Shorthand for `with_budget(FaultBudget::EveryKth(k))`.
+    pub fn every_kth(self, k: u64) -> Fault {
+        self.with_budget(FaultBudget::EveryKth(k))
+    }
+}
+
+/// Where a call is happening, passed by the call site to `intercept`.
+/// Unset fields mean "not applicable here" (a metastore write has no
+/// partition) and only match scopes that leave that field open.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultContext {
+    pub instance: Option<String>,
+    pub table: Option<String>,
+    pub partition: Option<u32>,
+}
+
+impl FaultContext {
+    pub fn new() -> FaultContext {
+        FaultContext::default()
+    }
+
+    pub fn instance(mut self, id: impl Into<String>) -> FaultContext {
+        self.instance = Some(id.into());
+        self
+    }
+
+    pub fn table(mut self, table: impl Into<String>) -> FaultContext {
+        self.table = Some(table.into());
+        self
+    }
+
+    pub fn partition(mut self, p: u32) -> FaultContext {
+        self.partition = Some(p);
+        self
+    }
+}
+
+/// What the call site must do, decided by the injector for this one call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Return this error from the call.
+    Fail(PinotError),
+    /// Sleep this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Simulate a crash: unregister the component and fail the call.
+    Crash,
+}
+
+/// Handle for disarming a fault armed with [`FaultInjector::arm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultId(u64);
+
+struct ArmedFault {
+    id: FaultId,
+    fault: Fault,
+    /// How many scope-matching calls this fault has seen (drives budgets
+    /// and the Flaky hash stream).
+    matched: u64,
+}
+
+impl ArmedFault {
+    /// Decide whether this fault fires for one matching call, advancing the
+    /// match counter.
+    fn fire(&mut self) -> Option<FaultAction> {
+        self.matched += 1;
+        let within_budget = match self.fault.budget {
+            FaultBudget::Unlimited => true,
+            FaultBudget::FirstN(n) => self.matched <= n,
+            FaultBudget::EveryKth(k) => k > 0 && self.matched.is_multiple_of(k),
+        };
+        if !within_budget {
+            return None;
+        }
+        match &self.fault.kind {
+            FaultKind::Fail(e) => Some(FaultAction::Fail(e.clone())),
+            FaultKind::Delay(ms) => Some(FaultAction::Delay(*ms)),
+            FaultKind::Crash => Some(FaultAction::Crash),
+            FaultKind::Flaky { prob, seed, error } => {
+                let h = splitmix64(seed ^ self.matched.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Map the hash onto [0, 1); fire when below prob.
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                (u < *prob).then(|| FaultAction::Fail(error.clone()))
+            }
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The registry of armed faults, shared across the whole cluster as an
+/// `Arc<FaultInjector>`. Thread-safe; `intercept` on a site with nothing
+/// armed is one short mutex acquisition and a map miss.
+#[derive(Default)]
+pub struct FaultInjector {
+    by_site: Mutex<HashMap<String, Vec<ArmedFault>>>,
+    next_id: Mutex<u64>,
+    obs: Mutex<Option<Arc<Obs>>>,
+}
+
+impl FaultInjector {
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Attach an observability handle; injected faults then count under
+    /// `chaos.fault.injected` and `chaos.fault.injected.<site>`.
+    pub fn set_obs(&self, obs: Arc<Obs>) {
+        *self.obs.lock() = Some(obs);
+    }
+
+    /// Arm a fault at `site`. Returns an id for [`FaultInjector::disarm`].
+    pub fn arm(&self, site: &str, fault: Fault) -> FaultId {
+        let id = {
+            let mut next = self.next_id.lock();
+            *next += 1;
+            FaultId(*next)
+        };
+        self.by_site
+            .lock()
+            .entry(site.to_string())
+            .or_default()
+            .push(ArmedFault {
+                id,
+                fault,
+                matched: 0,
+            });
+        id
+    }
+
+    /// Remove one armed fault. Unknown ids are ignored (already disarmed).
+    pub fn disarm(&self, id: FaultId) {
+        let mut sites = self.by_site.lock();
+        for faults in sites.values_mut() {
+            faults.retain(|f| f.id != id);
+        }
+        sites.retain(|_, v| !v.is_empty());
+    }
+
+    /// Remove every armed fault.
+    pub fn clear(&self) {
+        self.by_site.lock().clear();
+    }
+
+    /// Number of currently armed faults (spent `FirstN` faults included
+    /// until disarmed).
+    pub fn armed_count(&self) -> usize {
+        self.by_site.lock().values().map(Vec::len).sum()
+    }
+
+    /// The heart of the crate: called by a component at a named site.
+    /// Returns the action to take, or `None` to proceed normally. The
+    /// first armed fault (in arm order) whose scope matches and whose
+    /// budget allows it wins; every scope-matching fault still advances
+    /// its match counter so budgets stay accurate under overlap.
+    pub fn intercept(&self, site: &str, ctx: &FaultContext) -> Option<FaultAction> {
+        let action = {
+            let mut sites = self.by_site.lock();
+            let faults = sites.get_mut(site)?;
+            let mut chosen: Option<FaultAction> = None;
+            for f in faults.iter_mut() {
+                if f.fault.scope.matches(ctx) {
+                    let fired = f.fire();
+                    if chosen.is_none() {
+                        chosen = fired;
+                    }
+                }
+            }
+            chosen?
+        };
+        if let Some(obs) = self.obs.lock().clone() {
+            obs.metrics.counter_add("chaos.fault.injected", 1);
+            obs.metrics
+                .counter_add(&format!("chaos.fault.injected.{site}"), 1);
+        }
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io() -> PinotError {
+        PinotError::Io("injected".into())
+    }
+
+    #[test]
+    fn nothing_armed_injects_nothing() {
+        let inj = FaultInjector::new();
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &FaultContext::new()),
+            None
+        );
+        assert_eq!(inj.armed_count(), 0);
+    }
+
+    #[test]
+    fn arm_fire_disarm() {
+        let inj = FaultInjector::new();
+        let id = inj.arm(sites::SERVER_EXECUTE, Fault::fail(io()));
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &FaultContext::new()),
+            Some(FaultAction::Fail(io()))
+        );
+        // Different site: untouched.
+        assert_eq!(
+            inj.intercept(sites::STREAM_FETCH, &FaultContext::new()),
+            None
+        );
+        inj.disarm(id);
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &FaultContext::new()),
+            None
+        );
+    }
+
+    #[test]
+    fn scope_restricts_matches() {
+        let inj = FaultInjector::new();
+        inj.arm(
+            sites::STREAM_FETCH,
+            Fault::fail(io()).with_scope(FaultScope::any().instance("server-2").partition(1)),
+        );
+        let hit = FaultContext::new().instance("server-2").partition(1);
+        let wrong_instance = FaultContext::new().instance("server-1").partition(1);
+        let wrong_partition = FaultContext::new().instance("server-2").partition(0);
+        let no_partition = FaultContext::new().instance("server-2");
+        assert!(inj.intercept(sites::STREAM_FETCH, &hit).is_some());
+        assert!(inj
+            .intercept(sites::STREAM_FETCH, &wrong_instance)
+            .is_none());
+        assert!(inj
+            .intercept(sites::STREAM_FETCH, &wrong_partition)
+            .is_none());
+        assert!(inj.intercept(sites::STREAM_FETCH, &no_partition).is_none());
+    }
+
+    #[test]
+    fn first_n_budget_spends() {
+        let inj = FaultInjector::new();
+        inj.arm(sites::METASTORE_CAS, Fault::fail(io()).first_n(2));
+        let ctx = FaultContext::new();
+        assert!(inj.intercept(sites::METASTORE_CAS, &ctx).is_some());
+        assert!(inj.intercept(sites::METASTORE_CAS, &ctx).is_some());
+        assert!(inj.intercept(sites::METASTORE_CAS, &ctx).is_none());
+        assert!(inj.intercept(sites::METASTORE_CAS, &ctx).is_none());
+    }
+
+    #[test]
+    fn every_kth_budget_fires_periodically() {
+        let inj = FaultInjector::new();
+        inj.arm(sites::STREAM_FETCH, Fault::fail(io()).every_kth(3));
+        let ctx = FaultContext::new();
+        let fired: Vec<bool> = (0..9)
+            .map(|_| inj.intercept(sites::STREAM_FETCH, &ctx).is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn flaky_is_deterministic_and_roughly_calibrated() {
+        let run = |seed| {
+            let inj = FaultInjector::new();
+            inj.arm(sites::SERVER_EXECUTE, Fault::flaky(0.3, seed, io()));
+            let ctx = FaultContext::new();
+            (0..200)
+                .map(|_| inj.intercept(sites::SERVER_EXECUTE, &ctx).is_some())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same fault sequence");
+        assert_ne!(a, run(43), "different seed diverges");
+        let hits = a.iter().filter(|b| **b).count();
+        assert!((30..=90).contains(&hits), "p=0.3 over 200 calls: {hits}");
+    }
+
+    #[test]
+    fn crash_fires_once_by_default() {
+        let inj = FaultInjector::new();
+        inj.arm(sites::COMPLETION_COMMIT, Fault::crash());
+        let ctx = FaultContext::new();
+        assert_eq!(
+            inj.intercept(sites::COMPLETION_COMMIT, &ctx),
+            Some(FaultAction::Crash)
+        );
+        assert_eq!(inj.intercept(sites::COMPLETION_COMMIT, &ctx), None);
+    }
+
+    #[test]
+    fn delay_action_carries_millis() {
+        let inj = FaultInjector::new();
+        inj.arm(sites::SERVER_EXECUTE, Fault::delay_ms(25));
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &FaultContext::new()),
+            Some(FaultAction::Delay(25))
+        );
+    }
+
+    #[test]
+    fn injections_are_counted_in_obs() {
+        let inj = FaultInjector::new();
+        let obs = Obs::shared();
+        inj.set_obs(Arc::clone(&obs));
+        inj.arm(sites::METASTORE_CAS, Fault::fail(io()).first_n(2));
+        let ctx = FaultContext::new();
+        for _ in 0..5 {
+            let _ = inj.intercept(sites::METASTORE_CAS, &ctx);
+        }
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("chaos.fault.injected"), 2);
+        assert_eq!(snap.counter("chaos.fault.injected.metastore.cas"), 2);
+    }
+
+    #[test]
+    fn overlapping_faults_first_armed_wins_but_both_count() {
+        let inj = FaultInjector::new();
+        inj.arm(sites::SERVER_EXECUTE, Fault::delay_ms(5).first_n(1));
+        inj.arm(sites::SERVER_EXECUTE, Fault::fail(io()));
+        let ctx = FaultContext::new();
+        // First call: the delay (armed first) wins.
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &ctx),
+            Some(FaultAction::Delay(5))
+        );
+        // Second call: delay budget spent, the fail shows through — and its
+        // match counter advanced during call one, proving overlap counting.
+        assert_eq!(
+            inj.intercept(sites::SERVER_EXECUTE, &ctx),
+            Some(FaultAction::Fail(io()))
+        );
+    }
+}

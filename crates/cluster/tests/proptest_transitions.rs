@@ -1,0 +1,110 @@
+//! Properties of the segment state machine (Figure 3): every path that
+//! `transition_path` plans is legal step by step, visits no state twice,
+//! and is minimal against an independent breadth-first oracle.
+
+use pinot_cluster::{legal_transition, transition_path, SegmentState};
+use proptest::prelude::*;
+
+const STATES: [SegmentState; 5] = [
+    SegmentState::Offline,
+    SegmentState::Consuming,
+    SegmentState::Online,
+    SegmentState::Error,
+    SegmentState::Dropped,
+];
+
+fn state_strategy() -> impl Strategy<Value = SegmentState> {
+    prop::sample::select(STATES.to_vec())
+}
+
+/// Independent shortest-distance oracle over `legal_transition` edges.
+fn bfs_distance(from: SegmentState, to: SegmentState) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut dist = vec![(from, 0usize)];
+    let mut cursor = 0;
+    while cursor < dist.len() {
+        let (state, d) = dist[cursor];
+        cursor += 1;
+        for cand in STATES {
+            if legal_transition(state, cand) && !dist.iter().any(|(s, _)| *s == cand) {
+                if cand == to {
+                    return Some(d + 1);
+                }
+                dist.push((cand, d + 1));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn planned_paths_are_legal_step_by_step(
+        from in state_strategy(),
+        to in state_strategy(),
+    ) {
+        if let Some(path) = transition_path(from, to) {
+            let mut prev = from;
+            for step in &path {
+                prop_assert!(
+                    legal_transition(prev, *step),
+                    "illegal hop {} -> {} in path {:?}",
+                    prev.name(),
+                    step.name(),
+                    path
+                );
+                prev = *step;
+            }
+            if from != to {
+                prop_assert_eq!(*path.last().unwrap(), to);
+            } else {
+                prop_assert!(path.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_paths_never_revisit_a_state(
+        from in state_strategy(),
+        to in state_strategy(),
+    ) {
+        if let Some(path) = transition_path(from, to) {
+            let mut seen = vec![from];
+            for step in &path {
+                prop_assert!(
+                    !seen.contains(step),
+                    "path {:?} revisits {}",
+                    path,
+                    step.name()
+                );
+                seen.push(*step);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_paths_are_minimal_and_complete(
+        from in state_strategy(),
+        to in state_strategy(),
+    ) {
+        let oracle = bfs_distance(from, to);
+        match transition_path(from, to) {
+            Some(path) => prop_assert_eq!(Some(path.len()), oracle),
+            None => prop_assert_eq!(oracle, None, "{} -> {} reachable but unplanned", from.name(), to.name()),
+        }
+    }
+
+    #[test]
+    fn direct_edges_plan_single_hops(
+        from in state_strategy(),
+        to in state_strategy(),
+    ) {
+        if from != to && legal_transition(from, to) {
+            prop_assert_eq!(transition_path(from, to), Some(vec![to]));
+        }
+    }
+}

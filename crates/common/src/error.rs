@@ -55,11 +55,24 @@ impl PinotError {
     }
 
     /// True when retrying the same operation against the cluster could
-    /// plausibly succeed (leadership moved, transient timeout, throttling).
+    /// plausibly succeed: transient timeouts, substrate I/O hiccups, moved
+    /// leadership, and cluster-management races (a server died between
+    /// routing and scatter). `RetryPolicy` consults this before every
+    /// retry.
+    ///
+    /// Deliberately *not* retriable: query/schema errors (permanent until
+    /// the caller changes the input), segment corruption and metadata
+    /// inconsistencies (retrying re-reads the same bad state), quota
+    /// exhaustion (retrying amplifies exactly the load the quota is
+    /// shedding — callers must back off at their own cadence), and
+    /// internal invariant violations.
     pub fn is_retriable(&self) -> bool {
         matches!(
             self,
-            PinotError::Timeout(_) | PinotError::QuotaExceeded(_) | PinotError::NotLeader(_)
+            PinotError::Timeout(_)
+                | PinotError::Io(_)
+                | PinotError::NotLeader(_)
+                | PinotError::Cluster(_)
         )
     }
 }
@@ -105,11 +118,21 @@ mod tests {
 
     #[test]
     fn retriable_classification() {
+        // Transient: a retry against the cluster could succeed.
         assert!(PinotError::Timeout(String::new()).is_retriable());
+        assert!(PinotError::Io(String::new()).is_retriable());
         assert!(PinotError::NotLeader(String::new()).is_retriable());
-        assert!(PinotError::QuotaExceeded(String::new()).is_retriable());
+        assert!(PinotError::Cluster(String::new()).is_retriable());
+        // Permanent: the input or the stored state is wrong; retrying
+        // re-runs the same failure.
+        assert!(!PinotError::InvalidQuery(String::new()).is_retriable());
         assert!(!PinotError::Schema(String::new()).is_retriable());
+        assert!(!PinotError::Segment(String::new()).is_retriable());
+        assert!(!PinotError::Metadata(String::new()).is_retriable());
         assert!(!PinotError::Internal(String::new()).is_retriable());
+        // Load shedding: retries amplify the very load being shed.
+        assert!(!PinotError::QuotaExceeded(String::new()).is_retriable());
+        assert!(!PinotError::StorageQuota(String::new()).is_retriable());
     }
 
     #[test]

@@ -17,11 +17,13 @@ pub mod partition;
 pub mod protocol;
 pub mod query;
 pub mod record;
+pub mod retry;
 pub mod schema;
 pub mod time;
 pub mod value;
 
 pub use error::{PinotError, Result};
 pub use record::Record;
+pub use retry::RetryPolicy;
 pub use schema::{DataType, FieldRole, FieldSpec, Schema, TimeUnit};
 pub use value::Value;

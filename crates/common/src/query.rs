@@ -92,12 +92,17 @@ impl QueryResult {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServerContribution {
     pub server: String,
-    /// False when this server timed out or errored and its results are
-    /// missing from the merged response.
+    /// False when this server timed out or errored. If `covered_by` is
+    /// non-empty its segments were still answered (by other replicas), so
+    /// the response is complete despite `responded: false`.
     pub responded: bool,
     pub segments_processed: u64,
     pub docs_scanned: u64,
     pub time_ms: u64,
+    /// Replicas that took over this server's segment list after it failed.
+    /// Empty for servers that answered themselves or whose segments were
+    /// genuinely lost.
+    pub covered_by: Vec<String>,
 }
 
 /// Execution statistics accumulated across all servers touched by a query.

@@ -1,0 +1,226 @@
+//! Deterministic retry policy with jittered exponential backoff.
+//!
+//! Shared by every component that retries transient failures: the broker's
+//! replica-failover path, the servers' realtime stream fetches, and the
+//! controller's metastore compare-and-set writes. Retries only fire for
+//! errors whose [`PinotError::is_retriable`] classification says a second
+//! attempt could plausibly succeed; permanent errors (bad query, schema
+//! violation) propagate immediately.
+//!
+//! The jitter is *deterministic*: a SplitMix64 hash of `(seed, attempt)`
+//! scales each delay into `[delay/2, delay]`. Two policies with the same
+//! seed produce identical delay sequences, which keeps chaos tests and
+//! simulations reproducible while still de-synchronizing real replicas
+//! that are configured with distinct seeds.
+
+use crate::error::{PinotError, Result};
+use std::time::{Duration, Instant};
+
+/// Backoff schedule for retrying a transient failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Growth factor between consecutive retries.
+    pub multiplier: f64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 2,
+            multiplier: 2.0,
+            max_delay_ms: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64: the jitter hash. Deterministic, well-distributed, no state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// A policy with no delays, for tests that only care about attempt
+    /// counts.
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay_ms: 0,
+            multiplier: 1.0,
+            max_delay_ms: 0,
+            seed: 0,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the delay taken
+    /// after the `attempt`-th failure). Exponential growth capped at
+    /// `max_delay_ms`, then jittered deterministically into
+    /// `[delay/2, delay]`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        if attempt == 0 || self.base_delay_ms == 0 {
+            return 0;
+        }
+        let exp = self.base_delay_ms as f64 * self.multiplier.powi(attempt as i32 - 1);
+        let capped = exp.min(self.max_delay_ms as f64).max(0.0) as u64;
+        if capped == 0 {
+            return 0;
+        }
+        // Jitter into [capped/2, capped]; half-width keeps the bound tight
+        // enough to budget against while spreading concurrent retries.
+        let h = splitmix64(self.seed ^ (attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let span = capped - capped / 2;
+        capped / 2 + if span == 0 { 0 } else { h % (span + 1) }
+    }
+
+    /// Upper bound on the total time this policy can spend sleeping: every
+    /// retry at the per-delay cap. Useful for sizing deadline budgets.
+    pub fn max_total_delay_ms(&self) -> u64 {
+        (1..self.max_attempts)
+            .map(|_| self.max_delay_ms)
+            .sum::<u64>()
+    }
+
+    /// Run `op` with retries. `op` receives the 1-based attempt number.
+    /// Retries only on [`PinotError::is_retriable`] errors, sleeping the
+    /// jittered backoff between attempts; the last error propagates.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        self.run_with_deadline(None, &mut op)
+    }
+
+    /// Like [`RetryPolicy::run`], but stops retrying once the next backoff
+    /// would cross `deadline` — the remaining budget belongs to the caller
+    /// (a query's scatter timeout), not to the retry loop.
+    pub fn run_with_deadline<T>(
+        &self,
+        deadline: Option<Instant>,
+        op: &mut impl FnMut(u32) -> Result<T>,
+    ) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retriable() && attempt < attempts => {
+                    let delay = Duration::from_millis(self.delay_ms(attempt));
+                    if let Some(d) = deadline {
+                        let now = Instant::now();
+                        if now + delay >= d {
+                            return Err(PinotError::Timeout(format!(
+                                "retry budget exhausted after attempt {attempt}: {e}"
+                            )));
+                        }
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy::default().with_seed(7);
+        let q = RetryPolicy::default().with_seed(7);
+        for a in 1..10 {
+            assert_eq!(p.delay_ms(a), q.delay_ms(a));
+            assert!(p.delay_ms(a) <= p.max_delay_ms);
+        }
+        // A different seed gives a different schedule somewhere.
+        let r = RetryPolicy::default().with_seed(8);
+        assert!((1..10).any(|a| p.delay_ms(a) != r.delay_ms(a)));
+    }
+
+    #[test]
+    fn retries_transient_then_succeeds() {
+        let p = RetryPolicy::immediate(3);
+        let mut calls = 0;
+        let out = p.run(|_| {
+            calls += 1;
+            if calls < 3 {
+                Err(PinotError::Io("flaky".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let p = RetryPolicy::immediate(5);
+        let mut calls = 0;
+        let out: Result<()> = p.run(|_| {
+            calls += 1;
+            Err(PinotError::InvalidQuery("bad".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_capped() {
+        let p = RetryPolicy::immediate(4);
+        let mut calls = 0;
+        let out: Result<()> = p.run(|_| {
+            calls += 1;
+            Err(PinotError::Timeout("slow".into()))
+        });
+        assert_eq!(out.unwrap_err().kind(), "timeout");
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn deadline_stops_retries() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 50,
+            multiplier: 2.0,
+            max_delay_ms: 1_000,
+            seed: 1,
+        };
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let mut calls = 0;
+        let out: Result<()> = p.run_with_deadline(Some(deadline), &mut |_| {
+            calls += 1;
+            Err(PinotError::Io("down".into()))
+        });
+        assert_eq!(out.unwrap_err().kind(), "timeout");
+        assert_eq!(calls, 1); // first backoff would already cross the deadline
+    }
+
+    #[test]
+    fn total_delay_bound() {
+        let p = RetryPolicy::default();
+        assert_eq!(
+            p.max_total_delay_ms(),
+            (p.max_attempts as u64 - 1) * p.max_delay_ms
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Properties of the broker/server retry policy: backoff never exceeds its
+//! cap, total sleep is bounded by the policy's advertised budget, and the
+//! jitter is a pure function of (seed, attempt) — same policy, same
+//! schedule, every run.
+
+use pinot_common::RetryPolicy;
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..8, 0u64..200, 1.0f64..4.0, 0u64..500, 0u64..u64::MAX).prop_map(
+        |(max_attempts, base_delay_ms, multiplier, max_delay_ms, seed)| RetryPolicy {
+            max_attempts,
+            base_delay_ms,
+            multiplier,
+            max_delay_ms,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn each_delay_is_capped(policy in policy_strategy(), attempt in 0u32..12) {
+        prop_assert!(policy.delay_ms(attempt) <= policy.max_delay_ms);
+    }
+
+    #[test]
+    fn total_delay_is_bounded_by_the_budget(policy in policy_strategy()) {
+        let total: u64 = (1..policy.max_attempts).map(|a| policy.delay_ms(a)).sum();
+        prop_assert!(
+            total <= policy.max_total_delay_ms(),
+            "total {} exceeds budget {}",
+            total,
+            policy.max_total_delay_ms()
+        );
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed(policy in policy_strategy()) {
+        let twin = policy.clone();
+        for attempt in 0..policy.max_attempts + 3 {
+            prop_assert_eq!(policy.delay_ms(attempt), twin.delay_ms(attempt));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_above_half_the_raw_backoff(policy in policy_strategy(), attempt in 1u32..8) {
+        let raw = (policy.base_delay_ms as f64 * policy.multiplier.powi(attempt as i32 - 1))
+            .min(policy.max_delay_ms as f64) as u64;
+        let jittered = policy.delay_ms(attempt);
+        prop_assert!(
+            jittered >= raw / 2,
+            "jittered {} fell below half the raw backoff {}",
+            jittered,
+            raw
+        );
+    }
+}

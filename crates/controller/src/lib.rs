@@ -15,13 +15,14 @@ pub mod completion;
 use bytes::Bytes;
 use completion::{CompletionConfig, CompletionFsm};
 use parking_lot::Mutex;
+use pinot_chaos::{sites, FaultAction, FaultContext, FaultInjector};
 use pinot_cluster::{ClusterManager, IdealState, SegmentState};
 use pinot_common::config::TableConfig;
 use pinot_common::ids::{InstanceId, SegmentName, TableName, TableType};
 use pinot_common::json::Json;
 use pinot_common::protocol::{CompletionInstruction, CompletionPoll, Offset};
 use pinot_common::time::Clock;
-use pinot_common::{PinotError, Result, Schema};
+use pinot_common::{PinotError, Result, RetryPolicy, Schema};
 use pinot_metastore::{MetaStore, SessionId};
 use pinot_objstore::ObjectStoreRef;
 use pinot_obs::Obs;
@@ -46,6 +47,10 @@ pub struct Controller {
     /// Gathering/commit timeouts handed to each new completion FSM.
     completion_config: CompletionConfig,
     obs: Arc<Obs>,
+    /// Fault-injection hook; a default (empty) injector in production.
+    chaos: Mutex<Arc<FaultInjector>>,
+    /// Backoff for transient metastore write failures (CAS contention).
+    retry: RetryPolicy,
 }
 
 impl Controller {
@@ -90,6 +95,51 @@ impl Controller {
             completions: Mutex::new(HashMap::new()),
             completion_config: CompletionConfig::default(),
             obs,
+            chaos: Mutex::new(Arc::new(FaultInjector::new())),
+            retry: RetryPolicy::default().with_seed(0x5EED ^ n as u64),
+        })
+    }
+
+    /// Install a shared fault injector (chaos tests); the default injector
+    /// has nothing armed and injects nothing.
+    pub fn set_fault_injector(&self, chaos: Arc<FaultInjector>) {
+        *self.chaos.lock() = chaos;
+    }
+
+    fn chaos(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.chaos.lock())
+    }
+
+    /// Write to the metastore with chaos interception and bounded retry:
+    /// transient failures (injected CAS contention, I/O blips) back off and
+    /// re-issue the same write; genuine version conflicts are `Metadata`
+    /// errors, which are *not* retriable — re-sending a stale CAS can only
+    /// fail again, so those propagate for the caller to re-read.
+    fn meta_set_retried(
+        &self,
+        path: &str,
+        value: String,
+        expected_version: Option<u64>,
+    ) -> Result<u64> {
+        let chaos = self.chaos();
+        let ctx = FaultContext::new().instance(self.id.to_string());
+        self.retry.run(|attempt| {
+            if attempt > 1 {
+                self.obs.metrics.counter_add("controller.meta.cas_retry", 1);
+            }
+            if let Some(action) = chaos.intercept(sites::METASTORE_CAS, &ctx) {
+                match action {
+                    FaultAction::Fail(e) => return Err(e),
+                    FaultAction::Delay(ms) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms))
+                    }
+                    FaultAction::Crash => {
+                        self.crash();
+                        return Err(PinotError::Io(format!("{} crashed (injected)", self.id)));
+                    }
+                }
+            }
+            self.metastore.set(path, value.clone(), expected_version)
         })
     }
 
@@ -158,7 +208,7 @@ impl Controller {
                 table.qualified()
             )));
         }
-        self.metastore.set(
+        self.meta_set_retried(
             &format!("/schemas/{}", config.name),
             schema.to_json().emit(),
             None,
@@ -219,7 +269,7 @@ impl Controller {
         self.require_leader()?;
         let schema = self.table_schema(raw_name)?;
         let evolved = schema.with_added_column(field)?;
-        self.metastore.set(
+        self.meta_set_retried(
             &format!("/schemas/{raw_name}"),
             evolved.to_json().emit(),
             None,
@@ -239,7 +289,7 @@ impl Controller {
                 table.qualified()
             )));
         }
-        self.metastore.set(&path, config.to_json().emit(), None)?;
+        self.meta_set_retried(&path, config.to_json().emit(), None)?;
         Ok(())
     }
 
@@ -313,7 +363,7 @@ impl Controller {
             pairs.push(("partitionId", (p.partition_id as u64).into()));
             pairs.push(("numPartitions", (p.num_partitions as u64).into()));
         }
-        self.metastore.set(
+        self.meta_set_retried(
             &format!("/segments/{qualified}/{}", m.segment_name),
             Json::obj(pairs).emit(),
             None,
@@ -403,7 +453,7 @@ impl Controller {
             let start = topic.latest_offset(partition)?;
             let segment = SegmentName::realtime(&qualified, partition, 0);
             let servers = self.assign_servers(&qualified, config.replication)?;
-            self.metastore.set(
+            self.meta_set_retried(
                 &format!("/segments/{qualified}/{segment}"),
                 Json::obj(vec![
                     ("consuming", true.into()),
@@ -522,7 +572,7 @@ impl Controller {
             ideal.assign(segment.as_str(), r.clone(), SegmentState::Online);
         }
         let next = SegmentName::realtime(qualified_table, partition, sequence + 1);
-        self.metastore.set(
+        self.meta_set_retried(
             &format!("/segments/{qualified_table}/{next}"),
             Json::obj(vec![
                 ("consuming", true.into()),

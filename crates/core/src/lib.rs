@@ -28,6 +28,7 @@ pub mod pump;
 
 use bytes::Bytes;
 use pinot_broker::{Broker, RoutedRequest, SegmentQueryService};
+use pinot_chaos::FaultInjector;
 use pinot_cluster::ClusterManager;
 use pinot_common::config::TableConfig;
 use pinot_common::ids::{InstanceId, SegmentName, TableType};
@@ -49,6 +50,7 @@ use std::sync::Arc;
 
 // Re-exports so downstream users need only this crate for common flows.
 pub use pinot_broker as broker;
+pub use pinot_chaos as chaos;
 pub use pinot_cluster as cluster;
 pub use pinot_common as common;
 pub use pinot_controller as controller;
@@ -72,6 +74,10 @@ pub struct ClusterConfig {
     pub clock: Clock,
     /// Object store; defaults to in-memory.
     pub objstore: Option<ObjectStoreRef>,
+    /// Fault injector shared by every component (chaos tests). `None`
+    /// installs a fresh, empty injector — still reachable via
+    /// [`PinotCluster::chaos`] so tests can arm faults after boot.
+    pub chaos: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ClusterConfig {
@@ -83,6 +89,7 @@ impl Default for ClusterConfig {
             num_minions: 1,
             clock: Clock::system(),
             objstore: None,
+            chaos: None,
         }
     }
 }
@@ -102,6 +109,11 @@ impl ClusterConfig {
         self.clock = clock;
         self
     }
+
+    pub fn with_chaos(mut self, chaos: Arc<FaultInjector>) -> ClusterConfig {
+        self.chaos = Some(chaos);
+        self
+    }
 }
 
 /// Adapter exposing a [`Server`] as the broker-facing query service (the
@@ -115,6 +127,7 @@ impl SegmentQueryService for ServerAdapter {
             query: Arc::clone(&req.query),
             segments: req.segments.clone(),
             tenant: req.tenant.clone(),
+            deadline: req.deadline,
         })
     }
 }
@@ -133,6 +146,7 @@ pub struct PinotCluster {
     next_broker: AtomicUsize,
     upload_sequence: AtomicUsize,
     obs: Arc<Obs>,
+    chaos: Arc<FaultInjector>,
 }
 
 impl PinotCluster {
@@ -152,10 +166,16 @@ impl PinotCluster {
         // `metrics_snapshot()` sees broker, server, and controller metrics
         // side by side.
         let obs = Obs::shared();
+        // One fault injector shared by every component; empty (and thus
+        // inert) unless a chaos test arms faults on it.
+        let chaos = config
+            .chaos
+            .unwrap_or_else(|| Arc::new(FaultInjector::new()));
+        chaos.set_obs(Arc::clone(&obs));
 
         let controllers = ControllerGroup::with_obs(metastore.clone(), Arc::clone(&obs));
         for n in 1..=config.num_controllers {
-            controllers.add(Controller::with_obs(
+            let controller = Controller::with_obs(
                 n,
                 metastore.clone(),
                 cluster.clone(),
@@ -163,7 +183,9 @@ impl PinotCluster {
                 streams.clone(),
                 config.clock.clone(),
                 Arc::clone(&obs),
-            ));
+            );
+            controller.set_fault_injector(Arc::clone(&chaos));
+            controllers.add(controller);
         }
         controllers
             .leader()
@@ -179,6 +201,7 @@ impl PinotCluster {
                 config.clock.clone(),
                 Arc::clone(&obs),
             );
+            server.set_fault_injector(Arc::clone(&chaos));
             cluster.register_participant(server.clone());
             servers.push(server);
         }
@@ -212,6 +235,7 @@ impl PinotCluster {
             next_broker: AtomicUsize::new(0),
             upload_sequence: AtomicUsize::new(0),
             obs,
+            chaos,
         })
     }
 
@@ -448,6 +472,12 @@ impl PinotCluster {
     /// The observability sink shared by every component of this cluster.
     pub fn obs(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// The fault injector shared by every component of this cluster; arm
+    /// faults on it to exercise failure paths deterministically.
+    pub fn chaos(&self) -> &Arc<FaultInjector> {
+        &self.chaos
     }
 
     /// Point-in-time snapshot of all metrics recorded by the cluster's

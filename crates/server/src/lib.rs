@@ -15,12 +15,13 @@ pub mod tenancy;
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use pinot_chaos::{sites, FaultAction, FaultContext, FaultInjector};
 use pinot_cluster::{ClusterManager, Participant, SegmentState};
 use pinot_common::config::TableConfig;
 use pinot_common::ids::{InstanceId, SegmentName};
 use pinot_common::protocol::{CompletionInstruction, CompletionPoll};
 use pinot_common::time::Clock;
-use pinot_common::{PinotError, Result, Schema};
+use pinot_common::{PinotError, Result, RetryPolicy, Schema};
 use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment, IntermediateResult, SegmentHandle};
 use pinot_exec::{merge_intermediate, plan_segment, PlanKind};
@@ -63,6 +64,10 @@ pub struct Server {
     throttle: TenantThrottle,
     tables: RwLock<HashMap<String, TableState>>,
     obs: Arc<Obs>,
+    /// Fault-injection hook; a default (empty) injector in production.
+    chaos: RwLock<Arc<FaultInjector>>,
+    /// Backoff for transient stream-fetch failures.
+    retry: RetryPolicy,
 }
 
 /// A broker's request to one server: run `query` over this server's share
@@ -73,6 +78,9 @@ pub struct ServerRequest {
     pub query: Arc<Query>,
     pub segments: Vec<String>,
     pub tenant: String,
+    /// The broker's scatter deadline; segment execution stops once it has
+    /// elapsed — nobody is waiting for the rest.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Server {
@@ -105,7 +113,27 @@ impl Server {
             throttle,
             tables: RwLock::new(HashMap::new()),
             obs,
+            chaos: RwLock::new(Arc::new(FaultInjector::new())),
+            retry: RetryPolicy::default().with_seed(n as u64),
         })
+    }
+
+    /// Install a shared fault injector (chaos tests); the default injector
+    /// has nothing armed and injects nothing.
+    pub fn set_fault_injector(&self, chaos: Arc<FaultInjector>) {
+        *self.chaos.write() = chaos;
+    }
+
+    fn chaos(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.chaos.read())
+    }
+
+    /// Simulate this server crashing: unregister from cluster management so
+    /// the rest of the cluster sees it gone. The struct stays alive (this
+    /// is a simulation) but it no longer participates.
+    fn crash(&self) {
+        self.obs.metrics.counter_add("server.chaos.crashed", 1);
+        self.cluster.unregister_participant(&self.id);
     }
 
     pub fn id(&self) -> &InstanceId {
@@ -317,9 +345,40 @@ impl Server {
 
         let mut ingested = 0usize;
         if !consuming.reached_end.load(Ordering::SeqCst) {
-            let batch = {
+            // Stream fetch with injected-fault awareness and bounded retry:
+            // transient failures back off and re-poll; a persistently
+            // failing (stalled) partition skips this tick, letting the lag
+            // gauge below record how far behind it is falling.
+            let chaos = self.chaos();
+            let ctx = FaultContext::new()
+                .instance(self.id.to_string())
+                .table(qualified)
+                .partition(consuming.partition);
+            let fetched = self.retry.run(|_| {
+                if let Some(action) = chaos.intercept(sites::STREAM_FETCH, &ctx) {
+                    match action {
+                        FaultAction::Fail(e) => return Err(e),
+                        FaultAction::Delay(ms) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms))
+                        }
+                        FaultAction::Crash => {
+                            self.crash();
+                            return Err(PinotError::Io(format!("{} crashed (injected)", self.id)));
+                        }
+                    }
+                }
                 let mut consumer = consuming.consumer.lock();
-                consumer.poll(CONSUME_BATCH)?
+                consumer.poll(CONSUME_BATCH)
+            });
+            let batch = match fetched {
+                Ok(batch) => batch,
+                Err(e) if e.is_retriable() => {
+                    self.obs
+                        .metrics
+                        .counter_add("server.consume.fetch_failed", 1);
+                    Vec::new()
+                }
+                Err(e) => return Err(e),
             };
             for event in batch {
                 consuming.mutable.append(event.record, event.offset)?;
@@ -398,6 +457,32 @@ impl Server {
                 Ok(())
             }
             CompletionInstruction::Commit => {
+                // This replica won the committer election. A crash here —
+                // after winning, before committing — is the §3.3.6 failure
+                // the protocol's commit timeout exists for: the controller
+                // must eventually promote a caught-up replica instead.
+                if let Some(action) = self.chaos().intercept(
+                    sites::COMPLETION_COMMIT,
+                    &FaultContext::new()
+                        .instance(self.id.to_string())
+                        .table(qualified),
+                ) {
+                    match action {
+                        FaultAction::Fail(e) => {
+                            self.obs
+                                .metrics
+                                .counter_add("server.completion.commit_failed", 1);
+                            return Err(e);
+                        }
+                        FaultAction::Delay(ms) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms))
+                        }
+                        FaultAction::Crash => {
+                            self.crash();
+                            return Ok(()); // died without committing
+                        }
+                    }
+                }
                 let sealed = self.seal(qualified, consuming)?;
                 let blob = Bytes::from(pinot_segment::persist::serialize(&sealed));
                 let end = consuming.mutable.current_offset();
@@ -467,6 +552,21 @@ impl Server {
     /// server's `server.exec.{queue,execute}_ms` histograms.
     pub fn execute(&self, req: &ServerRequest) -> Result<IntermediateResult> {
         let entered = std::time::Instant::now();
+        if let Some(action) = self.chaos().intercept(
+            sites::SERVER_EXECUTE,
+            &FaultContext::new()
+                .instance(self.id.to_string())
+                .table(req.table.clone()),
+        ) {
+            match action {
+                FaultAction::Fail(e) => return Err(e),
+                FaultAction::Delay(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                FaultAction::Crash => {
+                    self.crash();
+                    return Err(PinotError::Io(format!("{} crashed (injected)", self.id)));
+                }
+            }
+        }
         if let Err(e) = self.throttle.admit(&req.tenant) {
             self.obs.metrics.counter_add("server.throttle.rejected", 1);
             self.obs
@@ -490,6 +590,19 @@ impl Server {
         );
 
         for seg_name in &req.segments {
+            // The broker's scatter deadline has passed: nobody is waiting
+            // for the rest of this segment list; stop burning CPU on it.
+            if let Some(d) = req.deadline {
+                if std::time::Instant::now() >= d {
+                    self.obs
+                        .metrics
+                        .counter_add("server.exec.deadline_abandoned", 1);
+                    return Err(PinotError::Timeout(format!(
+                        "{}: query deadline elapsed before segment {seg_name}",
+                        self.id
+                    )));
+                }
+            }
             let handle = self.with_table(&req.table, |state| {
                 if let Some(h) = state.online.get(seg_name) {
                     return Ok(Some(h.clone()));

@@ -143,7 +143,10 @@ mod tests {
         t.debit("ads", 600); // now -200
         let err = t.admit("ads").unwrap_err();
         assert_eq!(err.kind(), "quota_exceeded");
-        assert!(err.is_retriable());
+        // Quota exhaustion must NOT be auto-retried: the bucket is shedding
+        // load, and an immediate retry adds exactly the load being shed.
+        // Callers back off on their own schedule (the bucket refills).
+        assert!(!err.is_retriable());
     }
 
     #[test]
