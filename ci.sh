@@ -13,7 +13,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests (root package) =="
 cargo test -q
 
+echo "== tier-1 tests, deterministic single-thread pools =="
+PINOT_TASKPOOL_THREADS=1 cargo test -q
+
+echo "== taskpool suite (work stealing, scoped joins, deadlines) =="
+cargo test -p pinot-taskpool
+
+echo "== differential suite (pinot vs baseline, 1-vs-N-thread) =="
+cargo test -p pinot-core --test differential
+
 echo "== chaos suite (fault injection + failover) =="
 cargo test -p pinot-core --test chaos
+
+echo "== scatter regressions (panicking/late server endpoints) =="
+cargo test -p pinot-core --test scatter
 
 echo "CI OK"

@@ -5,6 +5,7 @@
 //! | target  | paper content |
 //! |---------|---------------|
 //! | `table1`| qualitative technique comparison, with measured proxies |
+//! | `fig7`  | 1-thread vs N-thread per-segment execution (WVMP) |
 //! | `fig11` | latency vs QPS by indexing technique (anomaly detection) |
 //! | `fig12` | sequential-latency distribution (anomaly detection) |
 //! | `fig13` | star-tree preaggregated/raw scan-ratio distribution |

@@ -27,6 +27,7 @@ use pinot_exec::segment_exec::IntermediateResult;
 use pinot_exec::{finalize, merge_intermediate};
 use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
 use pinot_pql::{CmpOp, Predicate, Query};
+use pinot_taskpool::TaskPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routing::{RoutingTable, SegmentReplicas};
@@ -85,6 +86,11 @@ pub struct Broker {
     /// Backoff schedule for replica-failover retries; seeded per broker so
     /// delays are deterministic in tests yet de-synchronized across brokers.
     retry: RetryPolicy,
+    /// Scatter workers run as detached pool tasks instead of raw threads:
+    /// a worker outliving the scatter deadline sends into a disconnected
+    /// channel, and a panicking server surfaces as a retriable error
+    /// instead of a forever-pending slot.
+    pool: RwLock<Arc<TaskPool>>,
 }
 
 impl Broker {
@@ -107,9 +113,19 @@ impl Broker {
             config_cache: Mutex::new(HashMap::new()),
             dirty,
             rng: Mutex::new(StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ n as u64)),
+            pool: RwLock::new(Arc::new(TaskPool::from_env(Some(Arc::clone(&obs))))),
             obs,
             retry: RetryPolicy::default().with_seed(n as u64),
         })
+    }
+
+    /// Replace the scatter pool (tests and benchmarks pin thread counts).
+    pub fn set_task_pool(&self, pool: Arc<TaskPool>) {
+        *self.pool.write() = pool;
+    }
+
+    pub fn task_pool(&self) -> Arc<TaskPool> {
+        Arc::clone(&self.pool.read())
     }
 
     pub fn id(&self) -> &InstanceId {
@@ -344,7 +360,9 @@ impl Broker {
             let mut exceptions = Vec::new();
             let svc = self.executors.read().get(&server).cloned();
             let outcome = match svc {
-                Some(svc) => trace.span(format!("server:{server}"), |_| svc.execute(&req)),
+                Some(svc) => {
+                    trace.span(format!("server:{server}"), |_| guarded_execute(&*svc, &req))
+                }
                 None => Err(PinotError::Cluster(format!("no endpoint for {server}"))),
             };
             let mut responded = 0u64;
@@ -422,10 +440,15 @@ impl Broker {
                 };
                 let tx = tx.clone();
                 let server_id = server.clone();
-                std::thread::spawn(move || {
-                    let result = svc.execute(&req);
-                    let _ = tx.send((server_id, segments, result));
-                });
+                let task_deadline = pinot_taskpool::Deadline::at(Some(deadline));
+                self.task_pool()
+                    .spawn_detached_with_deadline(&task_deadline, move || {
+                        let result = guarded_execute(&*svc, &req);
+                        // Past the scatter deadline the receiver is gone and
+                        // this send is a harmless no-op; the late partial is
+                        // dropped rather than written into freed state.
+                        let _ = tx.send((server_id, segments, result));
+                    });
                 outstanding += 1;
             }
         });
@@ -478,7 +501,11 @@ impl Broker {
                             &mut exceptions,
                         )?;
                     }
-                    Err(RecvTimeoutError::Timeout) => {
+                    // Disconnected with replies still outstanding means the
+                    // remaining scatter workers were abandoned past the
+                    // deadline (their queued tasks dropped the sender), so
+                    // both arms are the same scatter timeout.
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                         self.obs.metrics.counter_add("broker.scatter.timeout", 1);
                         exceptions.push(format!(
                             "timeout waiting for {} server response(s)",
@@ -486,7 +513,6 @@ impl Broker {
                         ));
                         break;
                     }
-                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
             Ok(())
@@ -629,7 +655,7 @@ impl Broker {
                     tenant: tenant.to_string(),
                     deadline: Some(deadline),
                 };
-                match svc.execute(&req) {
+                match guarded_execute(&*svc, &req) {
                     Ok(partial) => {
                         acc.stats.per_server.push(ServerContribution {
                             server: replica.to_string(),
@@ -886,6 +912,27 @@ impl Broker {
 }
 
 /// Result of one failover attempt for a failed server's segment list.
+/// Run a server call with panic capture. A panicking server maps to a
+/// retriable I/O error so the normal failover path covers it, rather than
+/// poisoning the scatter worker (or, pre-pool, silently killing the
+/// scatter thread and leaving its slot forever pending).
+fn guarded_execute(
+    svc: &dyn SegmentQueryService,
+    req: &RoutedRequest,
+) -> Result<IntermediateResult> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.execute(req))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(PinotError::Io(format!("server task panicked: {msg}")))
+        }
+    }
+}
+
 struct FailoverOutcome {
     /// Replicas that successfully served part of the failed server's share.
     covered_by: Vec<String>,

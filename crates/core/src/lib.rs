@@ -62,6 +62,7 @@ pub use pinot_segment as segment;
 pub use pinot_server as server;
 pub use pinot_startree as startree;
 pub use pinot_stream as stream;
+pub use pinot_taskpool as taskpool;
 
 /// Topology and environment for a cluster.
 #[derive(Clone)]
@@ -78,6 +79,10 @@ pub struct ClusterConfig {
     /// installs a fresh, empty injector — still reachable via
     /// [`PinotCluster::chaos`] so tests can arm faults after boot.
     pub chaos: Option<Arc<FaultInjector>>,
+    /// Pin every server and broker task pool to this many worker threads.
+    /// `None` keeps the `PINOT_TASKPOOL_THREADS` / `available_parallelism`
+    /// default. `Some(1)` gives deterministic sequential execution.
+    pub taskpool_threads: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -90,6 +95,7 @@ impl Default for ClusterConfig {
             clock: Clock::system(),
             objstore: None,
             chaos: None,
+            taskpool_threads: None,
         }
     }
 }
@@ -112,6 +118,11 @@ impl ClusterConfig {
 
     pub fn with_chaos(mut self, chaos: Arc<FaultInjector>) -> ClusterConfig {
         self.chaos = Some(chaos);
+        self
+    }
+
+    pub fn with_taskpool_threads(mut self, n: usize) -> ClusterConfig {
+        self.taskpool_threads = Some(n);
         self
     }
 }
@@ -202,6 +213,12 @@ impl PinotCluster {
                 Arc::clone(&obs),
             );
             server.set_fault_injector(Arc::clone(&chaos));
+            if let Some(threads) = config.taskpool_threads {
+                server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
+                    threads,
+                    Some(Arc::clone(&obs)),
+                )));
+            }
             cluster.register_participant(server.clone());
             servers.push(server);
         }
@@ -209,6 +226,12 @@ impl PinotCluster {
         let mut brokers = Vec::with_capacity(config.num_brokers);
         for n in 1..=config.num_brokers {
             let broker = Broker::with_obs(n, cluster.clone(), Arc::clone(&obs));
+            if let Some(threads) = config.taskpool_threads {
+                broker.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
+                    threads,
+                    Some(Arc::clone(&obs)),
+                )));
+            }
             for server in &servers {
                 broker.register_server(
                     server.id().clone(),

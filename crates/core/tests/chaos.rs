@@ -6,7 +6,7 @@
 //! the target offset wins), so `Server_1` is always the first committer.
 
 use pinot_common::config::{StreamConfig, TableConfig};
-use pinot_common::query::QueryResult;
+use pinot_common::query::{QueryRequest, QueryResult};
 use pinot_common::time::Clock;
 use pinot_common::{DataType, FieldSpec, PinotError, Record, Schema, TimeUnit, Value};
 use pinot_core::chaos::{sites, Fault, FaultScope};
@@ -334,4 +334,120 @@ fn delay_fault_slows_but_does_not_fail() {
         cluster.metrics_snapshot().counter("chaos.fault.injected"),
         1
     );
+}
+
+// ---- chaos under parallel execution (ISSUE 3) ----
+//
+// The taskpool changed *how* a server runs a request (per-segment pool
+// tasks) but must not change *what* chaos faults mean: injection stays
+// request-level, and the PR 2 failover/partial-response semantics hold
+// verbatim with a multi-thread pool active.
+
+/// Flaky replica with the pool active: Server_1 fails every execute with a
+/// retriable error, and failover still recovers a complete response.
+#[test]
+fn flaky_fault_under_parallel_pool_still_fails_over() {
+    let cluster = PinotCluster::start(
+        ClusterConfig::default()
+            .with_servers(2)
+            .with_taskpool_threads(4),
+    )
+    .unwrap();
+    cluster
+        .create_table(TableConfig::offline("views").with_replication(2), schema())
+        .unwrap();
+    for base in [0i64, 100, 200] {
+        let rows: Vec<Record> = (0..50).map(|i| row(base + i, "us", 1, 10)).collect();
+        cluster.upload_rows("views", rows).unwrap();
+    }
+    assert_eq!(count_of(&cluster.query("SELECT COUNT(*) FROM views")), 150);
+
+    cluster.chaos().arm(
+        sites::SERVER_EXECUTE,
+        Fault::flaky(1.0, 7, PinotError::Io("flaky nic".into()))
+            .with_scope(FaultScope::any().instance("Server_1")),
+    );
+    let resp = cluster.query("SELECT COUNT(*) FROM views");
+    let snap = cluster.metrics_snapshot();
+    assert!(snap.counter("chaos.fault.injected") >= 1);
+    assert!(
+        !resp.partial,
+        "failover should recover: {:?}",
+        resp.exceptions
+    );
+    assert_eq!(count_of(&resp), 150);
+    assert!(snap.counter("broker.scatter.failover_success") >= 1);
+    // The recovered query really ran its segment plans as pool tasks.
+    assert!(snap.counter("taskpool.tasks_run") > 0);
+}
+
+/// Delay with the pool active: a one-shot latency spike on a replicated
+/// table is absorbed without going partial.
+#[test]
+fn delay_fault_under_parallel_pool_does_not_fail() {
+    let cluster = PinotCluster::start(
+        ClusterConfig::default()
+            .with_servers(2)
+            .with_taskpool_threads(4),
+    )
+    .unwrap();
+    cluster
+        .create_table(TableConfig::offline("views").with_replication(2), schema())
+        .unwrap();
+    for base in [0i64, 100] {
+        let rows: Vec<Record> = (0..50).map(|i| row(base + i, "us", 1, 10)).collect();
+        cluster.upload_rows("views", rows).unwrap();
+    }
+
+    cluster
+        .chaos()
+        .arm(sites::SERVER_EXECUTE, Fault::delay_ms(5).first_n(1));
+    let resp = cluster.query("SELECT COUNT(*) FROM views");
+    assert!(!resp.partial, "{:?}", resp.exceptions);
+    assert_eq!(count_of(&resp), 100);
+    assert!(cluster.metrics_snapshot().counter("chaos.fault.injected") >= 1);
+}
+
+/// A delay that eats the whole query deadline: by the time the server fans
+/// out, the deadline has passed, so its queued per-segment tasks are
+/// *cancelled* — never run — and the cancellations show up in the new
+/// taskpool counters alongside the server's deadline-abandonment counter.
+#[test]
+fn deadline_expiry_cancels_queued_segment_tasks() {
+    let cluster = PinotCluster::start(
+        ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(2),
+    )
+    .unwrap();
+    cluster
+        .create_table(TableConfig::offline("views"), schema())
+        .unwrap();
+    for base in [0i64, 100, 200] {
+        let rows: Vec<Record> = (0..30).map(|i| row(base + i, "us", 1, 10)).collect();
+        cluster.upload_rows("views", rows).unwrap();
+    }
+
+    // The delay fires at request admission (request-level chaos site),
+    // after which the 10ms deadline has long passed.
+    cluster
+        .chaos()
+        .arm(sites::SERVER_EXECUTE, Fault::delay_ms(50).first_n(1));
+    let req = QueryRequest::new("SELECT COUNT(*) FROM views").with_timeout_ms(10);
+    let resp = cluster.execute(&req);
+    assert!(resp.partial, "deadline expiry must surface as partial");
+    assert!(!resp.exceptions.is_empty());
+
+    let snap = cluster.metrics_snapshot();
+    assert!(
+        snap.counter("taskpool.tasks_cancelled") >= 3,
+        "all three queued segment tasks should be abandoned, got {}",
+        snap.counter("taskpool.tasks_cancelled")
+    );
+    assert!(snap.counter("server.exec.deadline_abandoned") >= 1);
+
+    // The cluster is healthy again once the fault budget is spent.
+    let resp = cluster.query("SELECT COUNT(*) FROM views");
+    assert!(!resp.partial, "{:?}", resp.exceptions);
+    assert_eq!(count_of(&resp), 90);
 }

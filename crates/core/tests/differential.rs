@@ -1,0 +1,418 @@
+//! Differential testing of the Pinot execution stack (ISSUE 3 satellite).
+//!
+//! A seeded generator builds one synthetic table and a few hundred PQL
+//! queries covering selections, filters over dimensions/metrics/time,
+//! group-bys, top-n, and multi-value columns. Every query runs against
+//! both
+//!
+//! * the full Pinot cluster (broker parse → route → scatter → server
+//!   taskpool fan-out → merge → finalize), and
+//! * the baseline engine (`pinot-baseline`'s Druid-style historicals),
+//!
+//! and the results must agree. Metrics are integer-valued so f64
+//! aggregation is exact regardless of merge order, making exact
+//! cross-engine equality meaningful.
+//!
+//! A second suite re-runs the same queries on 1-thread vs N-thread task
+//! pools and demands *byte-identical* results — the taskpool's
+//! slot-ordered merge guarantee. A proptest checks the underlying
+//! algebra: merging aggregation states is associative/commutative versus
+//! a sequential fold oracle.
+
+use pinot_baseline::DruidEngine;
+use pinot_common::config::TableConfig;
+use pinot_common::query::{QueryRequest, QueryResponse, QueryResult};
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot_core::{ClusterConfig, PinotCluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TABLE: &str = "diffevents";
+const NUM_ROWS: usize = 600;
+const ROWS_PER_SEGMENT: usize = 97;
+/// Large enough that no generated selection is truncated, so row-set
+/// comparison is not sensitive to which rows an engine keeps.
+const SELECTION_LIMIT: usize = 5000;
+
+const COUNTRIES: &[&str] = &["us", "de", "in", "br", "jp", "fr", "cn", "gb"];
+const DEVICES: &[&str] = &["ios", "android", "web", "tv"];
+const TAGS: &[&str] = &["a", "b", "c", "d", "e", "f"];
+const DAY_LO: i64 = 100;
+const DAY_HI: i64 = 129;
+
+fn schema() -> Schema {
+    Schema::new(
+        TABLE,
+        vec![
+            FieldSpec::dimension("country", DataType::String),
+            FieldSpec::dimension("device", DataType::String),
+            FieldSpec::multi_value_dimension("tags", DataType::String),
+            FieldSpec::metric("clicks", DataType::Long),
+            FieldSpec::metric("cost", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+fn gen_rows(seed: u64) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..NUM_ROWS)
+        .map(|_| {
+            let ntags = rng.gen_range(1..=3usize);
+            let mut tags: Vec<String> = Vec::with_capacity(ntags);
+            while tags.len() < ntags {
+                let t = TAGS[rng.gen_range(0..TAGS.len())].to_string();
+                if !tags.contains(&t) {
+                    tags.push(t);
+                }
+            }
+            Record::new(vec![
+                Value::from(COUNTRIES[rng.gen_range(0..COUNTRIES.len())]),
+                Value::from(DEVICES[rng.gen_range(0..DEVICES.len())]),
+                Value::StringArray(tags),
+                Value::Long(rng.gen_range(0..50i64)),
+                Value::Long(rng.gen_range(1..1000i64)),
+                Value::Long(rng.gen_range(DAY_LO..=DAY_HI)),
+            ])
+        })
+        .collect()
+}
+
+// ---- seeded PQL generator ----
+
+fn str_list(rng: &mut StdRng, pool: &[&str], max: usize) -> String {
+    let n = rng.gen_range(1..=max.min(pool.len()));
+    let mut picked: Vec<&str> = Vec::new();
+    while picked.len() < n {
+        let c = pool[rng.gen_range(0..pool.len())];
+        if !picked.contains(&c) {
+            picked.push(c);
+        }
+    }
+    picked
+        .iter()
+        .map(|c| format!("'{c}'"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_predicate(rng: &mut StdRng, depth: usize) -> String {
+    if depth > 0 && rng.gen_range(0..100) < 40 {
+        let a = gen_predicate(rng, depth - 1);
+        let b = gen_predicate(rng, depth - 1);
+        let op = if rng.gen_range(0..2) == 0 {
+            "AND"
+        } else {
+            "OR"
+        };
+        return format!("({a} {op} {b})");
+    }
+    if depth > 0 && rng.gen_range(0..100) < 10 {
+        return format!("NOT {}", gen_predicate(rng, depth - 1));
+    }
+    match rng.gen_range(0..7) {
+        0 => {
+            let op = ["=", "!="][rng.gen_range(0..2usize)];
+            format!(
+                "country {op} '{}'",
+                COUNTRIES[rng.gen_range(0..COUNTRIES.len())]
+            )
+        }
+        1 => format!("country IN ({})", str_list(rng, COUNTRIES, 4)),
+        2 => format!("device NOT IN ({})", str_list(rng, DEVICES, 2)),
+        // Multi-value semantics: matches if any element matches.
+        3 => format!("tags = '{}'", TAGS[rng.gen_range(0..TAGS.len())]),
+        4 => {
+            let op = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
+            format!("clicks {op} {}", rng.gen_range(0..50i64))
+        }
+        5 => {
+            let lo = rng.gen_range(DAY_LO..=DAY_HI);
+            let hi = rng.gen_range(lo..=DAY_HI);
+            format!("day BETWEEN {lo} AND {hi}")
+        }
+        _ => {
+            let op = ["<", ">=", "="][rng.gen_range(0..3usize)];
+            format!("day {op} {}", rng.gen_range(DAY_LO..=DAY_HI + 1))
+        }
+    }
+}
+
+fn gen_aggs(rng: &mut StdRng) -> String {
+    const AGGS: &[&str] = &[
+        "COUNT(*)",
+        "SUM(clicks)",
+        "SUM(cost)",
+        "MIN(cost)",
+        "MAX(clicks)",
+        "AVG(cost)",
+        "DISTINCTCOUNT(country)",
+        "DISTINCTCOUNT(device)",
+    ];
+    let n = rng.gen_range(1..=3usize);
+    let mut picked: Vec<&str> = Vec::new();
+    while picked.len() < n {
+        let a = AGGS[rng.gen_range(0..AGGS.len())];
+        if !picked.contains(&a) {
+            picked.push(a);
+        }
+    }
+    picked.join(", ")
+}
+
+fn gen_query(rng: &mut StdRng) -> String {
+    let where_clause = if rng.gen_range(0..100) < 75 {
+        format!(" WHERE {}", gen_predicate(rng, 2))
+    } else {
+        String::new()
+    };
+    match rng.gen_range(0..10) {
+        // Selections with a limit past the table size (see SELECTION_LIMIT).
+        0 | 1 => {
+            const COLS: &[&str] = &["country", "device", "tags", "clicks", "cost", "day"];
+            let n = rng.gen_range(1..=3usize);
+            let mut cols: Vec<&str> = Vec::new();
+            while cols.len() < n {
+                let c = COLS[rng.gen_range(0..COLS.len())];
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            format!(
+                "SELECT {} FROM {TABLE}{where_clause} LIMIT {SELECTION_LIMIT}",
+                cols.join(", ")
+            )
+        }
+        // Group-bys, sometimes truncated by a small TOP (both engines share
+        // finalize's deterministic value-then-key ordering, so equal data
+        // means equal truncation).
+        2..=5 => {
+            const GROUPS: &[&str] = &["country", "device", "tags", "day"];
+            let n = rng.gen_range(1..=2usize);
+            let mut cols: Vec<&str> = Vec::new();
+            while cols.len() < n {
+                let c = GROUPS[rng.gen_range(0..GROUPS.len())];
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            let top = match rng.gen_range(0..3) {
+                0 => format!(" TOP {}", rng.gen_range(1..=5)),
+                1 => " TOP 1000".to_string(),
+                _ => String::new(),
+            };
+            format!(
+                "SELECT {} FROM {TABLE}{where_clause} GROUP BY {}{top}",
+                gen_aggs(rng),
+                cols.join(", ")
+            )
+        }
+        // Plain aggregations.
+        _ => format!("SELECT {} FROM {TABLE}{where_clause}", gen_aggs(rng)),
+    }
+}
+
+// ---- comparison ----
+
+/// Selection rows are compared as unordered multisets: engines visit
+/// segments in different orders and neither order is part of the contract.
+/// Aggregations and group-bys come out of the shared `finalize` in a
+/// deterministic order and are compared verbatim.
+fn normalize(result: &QueryResult) -> QueryResult {
+    match result {
+        QueryResult::Selection { columns, rows } => {
+            let mut rows = rows.clone();
+            rows.sort_by_key(|r| format!("{r:?}"));
+            QueryResult::Selection {
+                columns: columns.clone(),
+                rows,
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+fn assert_same(pql: &str, pinot: &QueryResponse, baseline: &QueryResponse) {
+    assert!(
+        !pinot.partial && pinot.exceptions.is_empty(),
+        "pinot returned partial/failed for {pql}: {:?}",
+        pinot.exceptions
+    );
+    assert_eq!(
+        normalize(&pinot.result),
+        normalize(&baseline.result),
+        "engines disagree on {pql}"
+    );
+}
+
+fn start_cluster(rows: &[Record], threads: Option<usize>) -> PinotCluster {
+    let mut config = ClusterConfig::default().with_servers(3);
+    if let Some(t) = threads {
+        config = config.with_taskpool_threads(t);
+    }
+    let cluster = PinotCluster::start(config).unwrap();
+    cluster
+        .create_table(TableConfig::offline(TABLE).with_replication(2), schema())
+        .unwrap();
+    for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+        cluster.upload_rows(TABLE, chunk.to_vec()).unwrap();
+    }
+    cluster
+}
+
+/// ≥200 seeded cases: the full Pinot stack vs the baseline engine on the
+/// same generated table.
+#[test]
+fn pinot_matches_baseline_on_generated_queries() {
+    const SEEDS: &[u64] = &[11, 23, 57, 91];
+    const QUERIES_PER_SEED: usize = 60;
+
+    for &seed in SEEDS {
+        let rows = gen_rows(seed);
+        let cluster = start_cluster(&rows, None);
+        let mut baseline = DruidEngine::new(3);
+        baseline
+            .load_table(TABLE, schema(), rows, ROWS_PER_SEGMENT)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1f);
+        for case in 0..QUERIES_PER_SEED {
+            let pql = gen_query(&mut rng);
+            let req = QueryRequest::new(&pql);
+            let pinot = cluster.execute(&req);
+            let druid = baseline
+                .execute(&req)
+                .unwrap_or_else(|e| panic!("baseline failed seed {seed} case {case} {pql}: {e}"));
+            assert_same(&pql, &pinot, &druid);
+        }
+    }
+}
+
+/// Determinism: the same query on the same single-server cluster must give
+/// byte-identical results (including row and group order) on a 1-thread
+/// pool and an N-thread pool — the taskpool's slot-ordered merge makes
+/// thread count unobservable.
+#[test]
+fn parallel_results_are_byte_identical_to_single_thread() {
+    const SEED: u64 = 42;
+    const CASES: usize = 80;
+
+    let rows = gen_rows(SEED);
+    let sequential = {
+        let mut config = ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(1);
+        config.num_controllers = 1;
+        let c = PinotCluster::start(config).unwrap();
+        c.create_table(TableConfig::offline(TABLE), schema())
+            .unwrap();
+        for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+            c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+        }
+        c
+    };
+    let parallel = {
+        let mut config = ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(4);
+        config.num_controllers = 1;
+        let c = PinotCluster::start(config).unwrap();
+        c.create_table(TableConfig::offline(TABLE), schema())
+            .unwrap();
+        for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+            c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+        }
+        c
+    };
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xbeef);
+    for _ in 0..CASES {
+        let pql = gen_query(&mut rng);
+        let req = QueryRequest::new(&pql);
+        let seq = sequential.execute(&req);
+        let par = parallel.execute(&req);
+        assert!(!seq.partial && !par.partial, "partial response for {pql}");
+        // Verbatim equality — not normalized — is the whole point.
+        assert_eq!(seq.result, par.result, "thread count observable via {pql}");
+    }
+
+    // The parallel cluster really did run segment plans on pool workers.
+    let snap = parallel.metrics_snapshot();
+    assert!(snap.counter("taskpool.tasks_run") > 0);
+    assert!(snap.histogram("server.exec.segment_ms").is_some());
+}
+
+// ---- merge algebra: pooled pairwise merges vs a sequential fold ----
+
+mod merge_algebra {
+    use pinot_core::exec::AggState;
+    use pinot_pql::AggFunction;
+    use proptest::prelude::*;
+
+    const FUNCTIONS: &[AggFunction] = &[
+        AggFunction::Count,
+        AggFunction::Sum,
+        AggFunction::Min,
+        AggFunction::Max,
+        AggFunction::Avg,
+    ];
+
+    fn state_of(f: AggFunction, values: &[i64]) -> AggState {
+        let mut s = AggState::new(f);
+        for &v in values {
+            s.accept_numeric(v as f64);
+        }
+        s
+    }
+
+    fn merged(f: AggFunction, parts: &[&[i64]]) -> f64 {
+        let mut acc = AggState::new(f);
+        for p in parts {
+            acc.merge(state_of(f, p)).unwrap();
+        }
+        acc.finalize_f64()
+    }
+
+    proptest! {
+        /// merge(fold(a), fold(b)) == fold(a ++ b): any split of the rows
+        /// into partials gives the fold oracle's answer.
+        #[test]
+        fn merge_agrees_with_fold_oracle(
+            a in prop::collection::vec(0i64..1000, 0..30),
+            b in prop::collection::vec(0i64..1000, 0..30),
+            c in prop::collection::vec(0i64..1000, 0..30),
+        ) {
+            for &f in FUNCTIONS {
+                let mut all = a.clone();
+                all.extend_from_slice(&b);
+                all.extend_from_slice(&c);
+                // Skip empty MIN/MAX/AVG: finalize of "no rows" is a
+                // sentinel the oracle can't fold to.
+                if all.is_empty() {
+                    continue;
+                }
+                let oracle = state_of(f, &all).finalize_f64();
+                prop_assert_eq!(merged(f, &[&a, &b, &c]), oracle);
+            }
+        }
+
+        /// Commutativity and associativity of the pairwise merge, which is
+        /// what lets the pool combine partials in slot order rather than
+        /// completion order without changing the answer.
+        #[test]
+        fn merge_is_commutative_and_associative(
+            a in prop::collection::vec(0i64..1000, 1..30),
+            b in prop::collection::vec(1i64..1000, 1..30),
+            c in prop::collection::vec(0i64..1000, 1..30),
+        ) {
+            for &f in FUNCTIONS {
+                let ab_c = merged(f, &[&a, &b, &c]);
+                let c_ba = merged(f, &[&c, &b, &a]);
+                let b_ac = merged(f, &[&b, &a, &c]);
+                prop_assert_eq!(ab_c, c_ba);
+                prop_assert_eq!(ab_c, b_ac);
+            }
+        }
+    }
+}

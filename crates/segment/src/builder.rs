@@ -8,7 +8,7 @@ use crate::metadata::{PartitionInfo, SegmentMetadata};
 use crate::segment::ImmutableSegment;
 use crate::sorted_index::SortedIndex;
 use crate::DictId;
-use pinot_common::{PinotError, Record, Result, Schema, Value};
+use pinot_common::{FieldSpec, PinotError, Record, Result, Schema, Value};
 
 /// Options controlling segment construction.
 #[derive(Debug, Clone)]
@@ -106,6 +106,16 @@ impl SegmentBuilder {
 
     /// Build the immutable segment. Consumes the builder.
     pub fn build(self) -> Result<ImmutableSegment> {
+        self.build_with_pool(None)
+    }
+
+    /// Like [`build`](SegmentBuilder::build), but fans per-column
+    /// dictionary/index construction out as tasks on `pool`. Column order in
+    /// the finished segment is schema order regardless of completion order.
+    pub fn build_with_pool(
+        self,
+        pool: Option<&pinot_taskpool::TaskPool>,
+    ) -> Result<ImmutableSegment> {
         let SegmentBuilder {
             schema,
             config,
@@ -130,70 +140,33 @@ impl SegmentBuilder {
             });
         }
 
-        // 2. Per-column dictionaries and forward indexes.
+        // 2. Per-column dictionaries and indexes, one pool task per column
+        //    when a pool is supplied.
         let num_docs = rows.len();
-        let mut columns = Vec::with_capacity(schema.num_columns());
-        for (ci, spec) in schema.fields().iter().enumerate() {
-            let dictionary =
-                Dictionary::build(spec.data_type, rows.iter().flat_map(|r| r[ci].elements()));
-            let forward = if spec.single_value {
-                let ids: Vec<DictId> = rows
-                    .iter()
-                    .map(|r| {
-                        dictionary.id_of(&r[ci]).ok_or_else(|| {
-                            PinotError::Internal(format!(
-                                "value missing from own dictionary in column {}",
-                                spec.name
-                            ))
-                        })
-                    })
-                    .collect::<Result<_>>()?;
-                ForwardIndex::single(&ids)
-            } else {
-                let per_doc: Vec<Vec<DictId>> = rows
-                    .iter()
-                    .map(|r| {
-                        r[ci]
-                            .elements()
-                            .iter()
-                            .map(|e| {
-                                dictionary.id_of(e).ok_or_else(|| {
-                                    PinotError::Internal(format!(
-                                        "element missing from dictionary in column {}",
-                                        spec.name
-                                    ))
-                                })
-                            })
-                            .collect::<Result<_>>()
-                    })
-                    .collect::<Result<_>>()?;
-                ForwardIndex::multi(&per_doc)
-            };
-
-            // 3. Sorted index for the primary sort column.
-            let sorted = if config.sort_columns.first() == Some(&spec.name) {
-                let ids: Vec<DictId> = (0..num_docs as u32).map(|d| forward.get(d)).collect();
-                SortedIndex::build(&ids, dictionary.cardinality())
-            } else {
-                None
-            };
-
-            // 4. Inverted indexes where configured (skip if sorted: the
-            //    sorted index strictly dominates, §4.2).
-            let inverted = if sorted.is_none() && config.inverted_columns.contains(&spec.name) {
-                Some(InvertedIndex::build(&forward, dictionary.cardinality()))
-            } else {
-                None
-            };
-
-            columns.push(ColumnData {
-                spec: spec.clone(),
-                dictionary,
-                forward,
-                inverted,
-                sorted,
-            });
-        }
+        let columns: Vec<ColumnData> = match pool {
+            Some(pool) => {
+                let slots: Vec<parking_lot::Mutex<Option<Result<ColumnData>>>> =
+                    schema.fields().iter().map(|_| Default::default()).collect();
+                pool.scope(|scope| {
+                    for (ci, spec) in schema.fields().iter().enumerate() {
+                        let (slot, rows, config) = (&slots[ci], &rows, &config);
+                        scope.spawn(move || {
+                            *slot.lock() = Some(build_column(rows, ci, spec, config, num_docs));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("scope joined every column task"))
+                    .collect::<Result<_>>()?
+            }
+            None => schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(ci, spec)| build_column(&rows, ci, spec, &config, num_docs))
+                .collect::<Result<_>>()?,
+        };
 
         // 5. Metadata.
         let time_column = schema.time_column().map(|f| f.name.clone());
@@ -226,6 +199,75 @@ impl SegmentBuilder {
         };
         Ok(ImmutableSegment::new(metadata, schema, columns))
     }
+}
+
+/// Dictionary, forward, sorted, and inverted structures for one column.
+/// Independent per column, which is what makes pooled builds safe.
+fn build_column(
+    rows: &[Vec<Value>],
+    ci: usize,
+    spec: &FieldSpec,
+    config: &BuilderConfig,
+    num_docs: usize,
+) -> Result<ColumnData> {
+    let dictionary = Dictionary::build(spec.data_type, rows.iter().flat_map(|r| r[ci].elements()));
+    let forward = if spec.single_value {
+        let ids: Vec<DictId> = rows
+            .iter()
+            .map(|r| {
+                dictionary.id_of(&r[ci]).ok_or_else(|| {
+                    PinotError::Internal(format!(
+                        "value missing from own dictionary in column {}",
+                        spec.name
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        ForwardIndex::single(&ids)
+    } else {
+        let per_doc: Vec<Vec<DictId>> = rows
+            .iter()
+            .map(|r| {
+                r[ci]
+                    .elements()
+                    .iter()
+                    .map(|e| {
+                        dictionary.id_of(e).ok_or_else(|| {
+                            PinotError::Internal(format!(
+                                "element missing from dictionary in column {}",
+                                spec.name
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()
+            })
+            .collect::<Result<_>>()?;
+        ForwardIndex::multi(&per_doc)
+    };
+
+    // Sorted index for the primary sort column.
+    let sorted = if config.sort_columns.first() == Some(&spec.name) {
+        let ids: Vec<DictId> = (0..num_docs as u32).map(|d| forward.get(d)).collect();
+        SortedIndex::build(&ids, dictionary.cardinality())
+    } else {
+        None
+    };
+
+    // Inverted indexes where configured (skip if sorted: the sorted index
+    // strictly dominates, §4.2).
+    let inverted = if sorted.is_none() && config.inverted_columns.contains(&spec.name) {
+        Some(InvertedIndex::build(&forward, dictionary.cardinality()))
+    } else {
+        None
+    };
+
+    Ok(ColumnData {
+        spec: spec.clone(),
+        dictionary,
+        forward,
+        inverted,
+        sorted,
+    })
 }
 
 #[cfg(test)]

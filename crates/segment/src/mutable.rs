@@ -120,7 +120,17 @@ impl MutableSegment {
 
     /// Seal into the final immutable segment with the table's full index
     /// configuration (sort columns, inverted indexes, partition info).
-    pub fn seal(&self, mut config: BuilderConfig) -> Result<ImmutableSegment> {
+    pub fn seal(&self, config: BuilderConfig) -> Result<ImmutableSegment> {
+        self.seal_with_pool(config, None)
+    }
+
+    /// [`seal`](MutableSegment::seal) with column/index builds fanned out on
+    /// a task pool (the server passes its execution pool here).
+    pub fn seal_with_pool(
+        &self,
+        mut config: BuilderConfig,
+        pool: Option<&pinot_taskpool::TaskPool>,
+    ) -> Result<ImmutableSegment> {
         config.segment_name = self.segment_name.clone();
         config.table = self.table.clone();
         config.offset_range = Some((self.start_offset, self.current_offset()));
@@ -130,7 +140,7 @@ impl MutableSegment {
         for r in rows {
             builder.add(r)?;
         }
-        builder.build()
+        builder.build_with_pool(pool)
     }
 
     /// Drop rows past `offset` (completion-protocol CATCHUP/DISCARD repair

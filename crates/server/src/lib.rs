@@ -32,6 +32,7 @@ use pinot_segment::metadata::PartitionInfo;
 use pinot_segment::MutableSegment;
 use pinot_startree::build_star_tree;
 use pinot_stream::{PartitionConsumer, StreamRegistry};
+use pinot_taskpool::{Deadline, TaskPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -68,6 +69,10 @@ pub struct Server {
     chaos: RwLock<Arc<FaultInjector>>,
     /// Backoff for transient stream-fetch failures.
     retry: RetryPolicy,
+    /// Work-stealing pool for per-segment query execution and segment
+    /// sealing (§3.3.4); sized from `PINOT_TASKPOOL_THREADS` or the
+    /// machine's core count.
+    pool: RwLock<Arc<TaskPool>>,
 }
 
 /// A broker's request to one server: run `query` over this server's share
@@ -104,6 +109,7 @@ impl Server {
         obs: Arc<Obs>,
     ) -> Arc<Server> {
         let throttle = TenantThrottle::new(clock.clone(), TokenBucketConfig::default());
+        let pool = Arc::new(TaskPool::from_env(Some(Arc::clone(&obs))));
         Arc::new(Server {
             id: InstanceId::server(n),
             controllers,
@@ -115,7 +121,19 @@ impl Server {
             obs,
             chaos: RwLock::new(Arc::new(FaultInjector::new())),
             retry: RetryPolicy::default().with_seed(n as u64),
+            pool: RwLock::new(pool),
         })
+    }
+
+    /// Replace the execution pool (tests and benchmarks pin the worker
+    /// count this way; see `ClusterConfig::with_taskpool_threads`).
+    pub fn set_task_pool(&self, pool: Arc<TaskPool>) {
+        *self.pool.write() = pool;
+    }
+
+    /// The pool executing this server's segment tasks.
+    pub fn task_pool(&self) -> Arc<TaskPool> {
+        Arc::clone(&self.pool.read())
     }
 
     /// Install a shared fault injector (chaos tests); the default injector
@@ -520,6 +538,7 @@ impl Server {
         qualified: &str,
         consuming: &Arc<ConsumingSegment>,
     ) -> Result<pinot_segment::ImmutableSegment> {
+        let pool = self.task_pool();
         self.with_table(qualified, |state| {
             let mut cfg = BuilderConfig::new("", "");
             if let Some(sorted) = &state.config.indexing.sorted_column {
@@ -537,7 +556,9 @@ impl Server {
                     num_partitions: *num_partitions,
                 });
             }
-            consuming.mutable.seal(cfg)
+            // Column/index builds for the completing segment run as pool
+            // tasks (the stream path's share of the execution pool).
+            consuming.mutable.seal_with_pool(cfg, Some(&pool))
         })
     }
 
@@ -589,49 +610,42 @@ impl Server {
             exec_started.duration_since(entered).as_secs_f64() * 1e3,
         );
 
-        for seg_name in &req.segments {
-            // The broker's scatter deadline has passed: nobody is waiting
-            // for the rest of this segment list; stop burning CPU on it.
-            if let Some(d) = req.deadline {
-                if std::time::Instant::now() >= d {
+        // Fan every segment's physical plan out as a pool task (§3.3.4,
+        // Figure 7): the pool runs them across cores, each task writing its
+        // partial into a per-segment slot. Merging happens afterwards in
+        // segment order, so the merged result is byte-identical no matter
+        // how many workers the pool has or which of them ran which task.
+        let pool = self.task_pool();
+        let deadline = Deadline::at(req.deadline);
+        let slots: Vec<Mutex<Option<Result<IntermediateResult>>>> =
+            req.segments.iter().map(|_| Mutex::new(None)).collect();
+        pool.scope(|scope| {
+            for (i, seg_name) in req.segments.iter().enumerate() {
+                let slot = &slots[i];
+                let time_bounds = &time_bounds;
+                // Tasks queued past the broker's scatter deadline are
+                // abandoned by the pool: nobody is waiting for them.
+                scope.spawn_with_deadline(&deadline, move || {
+                    *slot.lock() = Some(self.execute_segment(req, seg_name, time_bounds));
+                });
+            }
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(Ok(partial)) => merge_intermediate(&mut acc, partial)?,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    // The pool abandoned this task: the scatter deadline
+                    // passed while it was still queued.
                     self.obs
                         .metrics
                         .counter_add("server.exec.deadline_abandoned", 1);
                     return Err(PinotError::Timeout(format!(
-                        "{}: query deadline elapsed before segment {seg_name}",
-                        self.id
+                        "{}: query deadline elapsed before segment {}",
+                        self.id, req.segments[i]
                     )));
                 }
             }
-            let handle = self.with_table(&req.table, |state| {
-                if let Some(h) = state.online.get(seg_name) {
-                    return Ok(Some(h.clone()));
-                }
-                if let Some(c) = state.consuming.get(seg_name) {
-                    // Query the consuming segment's snapshot — this is the
-                    // near-realtime visibility path.
-                    return Ok(Some(SegmentHandle::new(c.mutable.snapshot()?)));
-                }
-                Ok(None)
-            })?;
-            let Some(handle) = handle else {
-                return Err(PinotError::Segment(format!(
-                    "{}: segment {seg_name} not hosted here",
-                    self.id
-                )));
-            };
-
-            // Metadata time pruning before planning.
-            if let Some((lo, hi)) = &time_bounds {
-                if handle.segment.metadata().time_disjoint(*lo, *hi) {
-                    acc.stats.num_segments_queried += 1;
-                    acc.stats.num_segments_pruned += 1;
-                    acc.stats.total_docs += handle.segment.num_docs() as u64;
-                    continue;
-                }
-            }
-            let partial = execute_on_segment(&handle, &req.query)?;
-            merge_intermediate(&mut acc, partial)?;
         }
 
         self.obs.metrics.observe_ms(
@@ -642,6 +656,53 @@ impl Server {
         acc.stats.time_used_ms = (micros / 1000).max(acc.stats.time_used_ms);
         self.throttle.debit(&req.tenant, micros);
         Ok(acc)
+    }
+
+    /// One segment's share of a request: resolve the handle, apply
+    /// metadata time pruning, and run the physical plan. Runs as a pool
+    /// task; the per-segment latency feeds `server.exec.segment_ms`.
+    fn execute_segment(
+        &self,
+        req: &ServerRequest,
+        seg_name: &str,
+        time_bounds: &Option<(Option<i64>, Option<i64>)>,
+    ) -> Result<IntermediateResult> {
+        let handle = self.with_table(&req.table, |state| {
+            if let Some(h) = state.online.get(seg_name) {
+                return Ok(Some(h.clone()));
+            }
+            if let Some(c) = state.consuming.get(seg_name) {
+                // Query the consuming segment's snapshot — this is the
+                // near-realtime visibility path.
+                return Ok(Some(SegmentHandle::new(c.mutable.snapshot()?)));
+            }
+            Ok(None)
+        })?;
+        let Some(handle) = handle else {
+            return Err(PinotError::Segment(format!(
+                "{}: segment {seg_name} not hosted here",
+                self.id
+            )));
+        };
+
+        // Metadata time pruning before planning. The pruned partial is an
+        // identity under merge, so it only contributes its stats.
+        if let Some((lo, hi)) = time_bounds {
+            if handle.segment.metadata().time_disjoint(*lo, *hi) {
+                let mut pruned = IntermediateResult::empty_for(&req.query);
+                pruned.stats.num_segments_queried += 1;
+                pruned.stats.num_segments_pruned += 1;
+                pruned.stats.total_docs += handle.segment.num_docs() as u64;
+                return Ok(pruned);
+            }
+        }
+        let seg_started = std::time::Instant::now();
+        let partial = execute_on_segment(&handle, &req.query)?;
+        self.obs.metrics.observe_ms(
+            "server.exec.segment_ms",
+            seg_started.elapsed().as_secs_f64() * 1e3,
+        );
+        Ok(partial)
     }
 
     /// Which plan kind this server would use for a query on one segment
