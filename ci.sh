@@ -19,8 +19,18 @@ PINOT_TASKPOOL_THREADS=1 cargo test -q
 echo "== taskpool suite (work stealing, scoped joins, deadlines) =="
 cargo test -p pinot-taskpool
 
-echo "== differential suite (pinot vs baseline, 1-vs-N-thread) =="
+echo "== differential suite (pinot vs baseline, 1-vs-N-thread, batch-vs-row) =="
 cargo test -p pinot-core --test differential
+
+echo "== differential suite under forced row path (PINOT_EXEC_BATCH=0) =="
+PINOT_EXEC_BATCH=0 cargo test -p pinot-core --test differential
+
+echo "== differential suite under forced batch path (PINOT_EXEC_BATCH=1) =="
+PINOT_EXEC_BATCH=1 cargo test -p pinot-core --test differential
+
+echo "== kernel proptests (unpack_block/read_block/bitmap bulk extraction) =="
+cargo test -p pinot-segment --test proptest_segment
+cargo test -p pinot-bitmap --test proptest_bitmap
 
 echo "== chaos suite (fault injection + failover) =="
 cargo test -p pinot-core --test chaos

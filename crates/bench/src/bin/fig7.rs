@@ -77,6 +77,7 @@ fn main() {
     println!("# rows={num_rows} segments={SEGMENTS} queries={num_queries} servers=1");
     println!("engine\tavg_ms\tp50_ms\tp90_ms\tp99_ms\tmax_ms");
 
+    let mut json_rows = Vec::new();
     for (label, n) in [
         ("pinot-1-thread", 1),
         (&*format!("pinot-{threads}-thread"), threads),
@@ -100,5 +101,23 @@ fn main() {
             hist.max(),
         );
         println!("  pool metrics:\n{}", pool_metrics(&cluster));
+        json_rows.push(format!(
+            "    \"{}\": {{\"threads\": {n}, \"avg_ms\": {:.4}, \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
+            engine.name(),
+            hist.mean(),
+            hist.p50(),
+            hist.quantile(0.90),
+            hist.p99(),
+            hist.max(),
+        ));
     }
+
+    // Machine-readable trajectory artifact at the repo root (ISSUE 4).
+    let body = format!(
+        "{{\n  \"rows\": {num_rows},\n  \"segments\": {SEGMENTS},\n  \"queries\": {num_queries},\n  \"engines\": {{\n{}\n  }}\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig7.json");
+    std::fs::write(path, body).expect("write BENCH_fig7.json");
+    println!("# wrote {path}");
 }

@@ -110,6 +110,44 @@ impl Container {
         }
     }
 
+    /// Bulk append of strictly-ascending low bits, every one greater than
+    /// the current max (the `push_back` contract, amortized): arrays
+    /// extend in place (converting once if they'd exceed [`ARRAY_MAX`]),
+    /// bitmaps just set bits — no per-element search or length check.
+    pub(crate) fn append_ascending(&mut self, values: &[u32]) {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(self
+            .max()
+            .is_none_or(|m| values.first().is_none_or(|&v| m < (v & 0xFFFF) as u16)));
+        match self {
+            Container::Array(a) => {
+                if a.len() + values.len() > ARRAY_MAX {
+                    let mut bm = self.to_bitmap();
+                    if let Container::Bitmap { words, len } = &mut bm {
+                        for &v in values {
+                            words[(v >> 6) as usize & 0x3FF] |= 1u64 << (v & 63);
+                        }
+                        *len += values.len() as u32;
+                    }
+                    *self = bm;
+                } else {
+                    a.extend(values.iter().map(|&v| (v & 0xFFFF) as u16));
+                }
+            }
+            Container::Bitmap { words, len } => {
+                for &v in values {
+                    words[(v >> 6) as usize & 0x3FF] |= 1u64 << (v & 63);
+                }
+                *len += values.len() as u32;
+            }
+            Container::Run(_) => {
+                for &v in values {
+                    self.insert((v & 0xFFFF) as u16);
+                }
+            }
+        }
+    }
+
     /// Remove; returns true if present. Bitmap containers demote to array
     /// when they shrink to the array threshold.
     pub fn remove(&mut self, v: u16) -> bool {
@@ -189,6 +227,32 @@ impl Container {
                 runs.iter()
                     .flat_map(|(s, l)| (*s as u32..=*l as u32).map(|v| v as u16)),
             ),
+        }
+    }
+
+    /// Append every value, offset by `high` (the chunk's high bits), onto
+    /// `out` in ascending order — the container-at-a-time extraction the
+    /// batched execution path drains selections with, avoiding the
+    /// per-element virtual dispatch of the boxed `iter()`.
+    pub(crate) fn append_into(&self, high: u32, out: &mut Vec<u32>) {
+        match self {
+            Container::Array(a) => out.extend(a.iter().map(|&v| high | v as u32)),
+            Container::Bitmap { words, len } => {
+                out.reserve(*len as usize);
+                for (i, &word) in words.iter().enumerate() {
+                    let mut w = word;
+                    let base = high | ((i as u32) << 6);
+                    while w != 0 {
+                        out.push(base | w.trailing_zeros());
+                        w &= w - 1;
+                    }
+                }
+            }
+            Container::Run(runs) => {
+                for &(s, l) in runs {
+                    out.extend((s as u32..=l as u32).map(|v| high | v));
+                }
+            }
         }
     }
 

@@ -80,6 +80,45 @@ impl RoaringBitmap {
         }
     }
 
+    /// Bulk [`push_back`](Self::push_back): append a strictly-ascending
+    /// slice whose first id exceeds the current max. One container lookup
+    /// per 64Ki key range instead of one per id — the batched filter
+    /// scan's append path. Ids at or below the current max fall back to
+    /// `insert` for correctness.
+    pub fn append_sorted(&mut self, values: &[u32]) {
+        let mut i = 0;
+        while i < values.len() {
+            let key = (values[i] >> 16) as u16;
+            let hi = values[i] | 0xFFFF;
+            let end = i + values[i..].partition_point(|&v| v <= hi);
+            match self.keys.last() {
+                Some(&k) if k > key => {
+                    // Out of order; fall back to insert for correctness.
+                    for &v in &values[i..end] {
+                        self.insert(v);
+                    }
+                }
+                Some(&k) if k == key => {
+                    let c = self.containers.last_mut().expect("parallel vectors");
+                    if c.max().is_some_and(|m| m >= (values[i] & 0xFFFF) as u16) {
+                        for &v in &values[i..end] {
+                            self.insert(v);
+                        }
+                    } else {
+                        c.append_ascending(&values[i..end]);
+                    }
+                }
+                _ => {
+                    self.keys.push(key);
+                    self.containers.push(Container::new_array());
+                    let c = self.containers.last_mut().expect("parallel vectors");
+                    c.append_ascending(&values[i..end]);
+                }
+            }
+            i = end;
+        }
+    }
+
     pub fn insert(&mut self, value: u32) -> bool {
         let key = (value >> 16) as u16;
         let low = (value & 0xFFFF) as u16;
@@ -273,6 +312,29 @@ impl RoaringBitmap {
         self.iter().collect()
     }
 
+    /// Append every set id onto `out` in ascending order, container at a
+    /// time — the bulk extraction used by batched execution (`out` is
+    /// not cleared, so runs can be accumulated).
+    pub fn iter_into(&self, out: &mut Vec<u32>) {
+        out.reserve(self.len() as usize);
+        for (key, c) in self.keys.iter().zip(&self.containers) {
+            c.append_into((*key as u32) << 16, out);
+        }
+    }
+
+    /// Visit set ids in ascending order one container-sized batch at a
+    /// time (each batch holds at most 65 536 ids). `scratch` is reused
+    /// between batches, so the full id list is never materialized.
+    pub fn for_each_batch(&self, scratch: &mut Vec<u32>, mut f: impl FnMut(&[u32])) {
+        for (key, c) in self.keys.iter().zip(&self.containers) {
+            scratch.clear();
+            c.append_into((*key as u32) << 16, scratch);
+            if !scratch.is_empty() {
+                f(scratch);
+            }
+        }
+    }
+
     /// Cardinality of the intersection without materializing it.
     pub fn and_len(&self, other: &RoaringBitmap) -> u64 {
         let (mut i, mut j) = (0usize, 0usize);
@@ -441,6 +503,34 @@ mod tests {
         let a = RoaringBitmap::from_sorted(vals.iter().copied());
         let b = RoaringBitmap::from_iter(vals.iter().copied());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_into_and_batches_match_iter() {
+        // One array container, one run container (after optimize), and
+        // one bitmap container.
+        let mut bm = RoaringBitmap::from_iter([3u32, 900, 70_000]);
+        for v in (1 << 17)..((1 << 17) + 5000) {
+            bm.insert(v);
+        }
+        let mut run = RoaringBitmap::from_range(1 << 18, (1 << 18) + 300);
+        run.optimize();
+        let bm = bm.or(&run);
+
+        let mut bulk = Vec::new();
+        bm.iter_into(&mut bulk);
+        assert_eq!(bulk, bm.to_vec());
+
+        let mut scratch = Vec::new();
+        let mut batched = Vec::new();
+        let mut batches = 0usize;
+        bm.for_each_batch(&mut scratch, |ids| {
+            assert!(!ids.is_empty());
+            batched.extend_from_slice(ids);
+            batches += 1;
+        });
+        assert_eq!(batched, bm.to_vec());
+        assert_eq!(batches, bm.container_kinds().len());
     }
 
     #[test]

@@ -100,3 +100,31 @@ proptest! {
         prop_assert_eq!(restored.to_vec(), expected);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bulk extraction (ISSUE 4): `iter_into` and `for_each_batch` must
+    /// produce exactly the ascending id sequence of `iter`, across
+    /// array/bitmap/run container mixes.
+    #[test]
+    fn bulk_extraction_matches_iter(values in prop::collection::vec(value_strategy(), 0..2000)) {
+        let mut bm = RoaringBitmap::from_iter(values.iter().copied());
+        bm.optimize();
+        let expect: Vec<u32> = bm.iter().collect();
+
+        let mut bulk = Vec::new();
+        bm.iter_into(&mut bulk);
+        prop_assert_eq!(&bulk, &expect);
+
+        let mut batched = Vec::new();
+        let mut scratch = Vec::new();
+        let mut saw_empty_batch = false;
+        bm.for_each_batch(&mut scratch, |ids| {
+            saw_empty_batch |= ids.is_empty();
+            batched.extend_from_slice(ids);
+        });
+        prop_assert!(!saw_empty_batch);
+        prop_assert_eq!(&batched, &expect);
+    }
+}

@@ -83,6 +83,10 @@ pub struct ClusterConfig {
     /// `None` keeps the `PINOT_TASKPOOL_THREADS` / `available_parallelism`
     /// default. `Some(1)` gives deterministic sequential execution.
     pub taskpool_threads: Option<usize>,
+    /// Force the batched (`Some(true)`) or row-at-a-time (`Some(false)`)
+    /// execution kernels on every server; `None` keeps the
+    /// `PINOT_EXEC_BATCH` env default (batched unless set to `0`).
+    pub exec_batch: Option<bool>,
 }
 
 impl Default for ClusterConfig {
@@ -96,6 +100,7 @@ impl Default for ClusterConfig {
             objstore: None,
             chaos: None,
             taskpool_threads: None,
+            exec_batch: None,
         }
     }
 }
@@ -123,6 +128,11 @@ impl ClusterConfig {
 
     pub fn with_taskpool_threads(mut self, n: usize) -> ClusterConfig {
         self.taskpool_threads = Some(n);
+        self
+    }
+
+    pub fn with_exec_batch(mut self, batch: bool) -> ClusterConfig {
+        self.exec_batch = Some(batch);
         self
     }
 }
@@ -213,6 +223,7 @@ impl PinotCluster {
                 Arc::clone(&obs),
             );
             server.set_fault_injector(Arc::clone(&chaos));
+            server.set_exec_batch(config.exec_batch);
             if let Some(threads) = config.taskpool_threads {
                 server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,

@@ -343,6 +343,79 @@ fn parallel_results_are_byte_identical_to_single_thread() {
     assert!(snap.histogram("server.exec.segment_ms").is_some());
 }
 
+/// Batched vs row-at-a-time execution (ISSUE 4): the dict-id block
+/// kernels must be *byte-identical* to the legacy row path — same rows,
+/// same group order, same float accumulation order — across ≥240
+/// generated queries, on both a sequential and a multi-thread pool.
+#[test]
+fn batch_results_are_byte_identical_to_row_path() {
+    const SEEDS: &[u64] = &[11, 23, 57, 91];
+    const QUERIES_PER_SEED: usize = 60;
+
+    for &threads in &[1usize, 4] {
+        for &seed in SEEDS {
+            let rows = gen_rows(seed);
+            let build = |batch: bool| {
+                let mut config = ClusterConfig::default()
+                    .with_servers(1)
+                    .with_taskpool_threads(threads)
+                    .with_exec_batch(batch);
+                config.num_controllers = 1;
+                let c = PinotCluster::start(config).unwrap();
+                c.create_table(TableConfig::offline(TABLE), schema())
+                    .unwrap();
+                for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+                    c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+                }
+                c
+            };
+            let batched = build(true);
+            let row = build(false);
+
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c);
+            for case in 0..QUERIES_PER_SEED {
+                let pql = gen_query(&mut rng);
+                let req = QueryRequest::new(&pql);
+                let b = batched.execute(&req);
+                let r = row.execute(&req);
+                assert!(
+                    !b.partial && b.exceptions.is_empty(),
+                    "batched partial/failed seed {seed} case {case} {pql}: {:?}",
+                    b.exceptions
+                );
+                // Verbatim equality, stats included below: the batch
+                // kernels must be unobservable except in speed.
+                assert_eq!(
+                    b.result, r.result,
+                    "batch path observable via seed {seed} case {case} {pql}"
+                );
+                assert_eq!(
+                    b.stats.num_docs_scanned, r.stats.num_docs_scanned,
+                    "docs-scanned drift on {pql}"
+                );
+                assert_eq!(
+                    b.stats.num_entries_scanned_in_filter, r.stats.num_entries_scanned_in_filter,
+                    "filter-entries drift on {pql}"
+                );
+                assert_eq!(
+                    b.stats.num_entries_scanned_post_filter,
+                    r.stats.num_entries_scanned_post_filter,
+                    "post-filter-entries drift on {pql}"
+                );
+            }
+
+            // The clusters really did run different engines, and the
+            // batch kernels emitted their obs counters.
+            let bsnap = batched.metrics_snapshot();
+            assert!(bsnap.counter("exec.batch_segments") > 0);
+            assert!(bsnap.counter("exec.blocks_decoded") > 0);
+            let rsnap = row.metrics_snapshot();
+            assert!(rsnap.counter("exec.row_segments") > 0);
+            assert_eq!(rsnap.counter("exec.blocks_decoded"), 0);
+        }
+    }
+}
+
 // ---- merge algebra: pooled pairwise merges vs a sequential fold ----
 
 mod merge_algebra {

@@ -20,6 +20,7 @@
 //! [`pinot_common::query::QueryResult`].
 
 pub mod aggstate;
+pub mod batch;
 pub mod key;
 pub mod merge;
 pub mod planner;
@@ -27,8 +28,11 @@ pub mod segment_exec;
 pub mod selection;
 
 pub use aggstate::AggState;
+pub use batch::{batch_default, ExecOptions};
 pub use key::GroupKey;
 pub use merge::{finalize, merge_intermediate};
-pub use planner::{plan_segment, PlanKind};
-pub use segment_exec::{execute_on_segment, IntermediateResult, SegmentHandle};
-pub use selection::{DocSelection, IdMatcher};
+pub use planner::{evaluate_filter_mode, plan_segment, PlanKind};
+pub use segment_exec::{
+    execute_on_segment, execute_on_segment_with, IntermediateResult, SegmentHandle,
+};
+pub use selection::{DocBlock, DocSelection, IdMatcher};

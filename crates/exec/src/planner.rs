@@ -256,13 +256,26 @@ fn intersect_filter(f: &mut DimFilter, ids: Vec<DictId>) {
 }
 
 /// Evaluate a filter to a document selection, using the best index per leaf
-/// and ordering conjuncts cheapest-first (§4.2).
+/// and ordering conjuncts cheapest-first (§4.2). Scan-fallback leaves use
+/// the batched or row path per the `PINOT_EXEC_BATCH` default.
 pub fn evaluate_filter(
     segment: &ImmutableSegment,
     pred: Option<&Predicate>,
     stats: &mut ExecutionStats,
 ) -> Result<DocSelection> {
-    evaluate_filter_with_ordering(segment, pred, stats, true)
+    evaluate_filter_mode(segment, pred, stats, crate::batch::batch_default())
+}
+
+/// Like [`evaluate_filter`] with the scan-leaf path pinned: `batch`
+/// decodes dict-id blocks and matches in id space, `!batch` tests doc by
+/// doc through the forward index.
+pub fn evaluate_filter_mode(
+    segment: &ImmutableSegment,
+    pred: Option<&Predicate>,
+    stats: &mut ExecutionStats,
+    batch: bool,
+) -> Result<DocSelection> {
+    evaluate_filter_inner(segment, pred, stats, true, batch)
 }
 
 /// Like [`evaluate_filter`] but with cost-based conjunct reordering
@@ -276,15 +289,31 @@ pub fn evaluate_filter_with_ordering(
     stats: &mut ExecutionStats,
     cost_ordered: bool,
 ) -> Result<DocSelection> {
+    evaluate_filter_inner(
+        segment,
+        pred,
+        stats,
+        cost_ordered,
+        crate::batch::batch_default(),
+    )
+}
+
+fn evaluate_filter_inner(
+    segment: &ImmutableSegment,
+    pred: Option<&Predicate>,
+    stats: &mut ExecutionStats,
+    cost_ordered: bool,
+    batch: bool,
+) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
         None => Ok(DocSelection::All(num_docs)),
         Some(p) => {
             let normalized = normalize_predicate(p);
             if cost_ordered {
-                eval(segment, &normalized, stats)
+                eval(segment, &normalized, stats, batch)
             } else {
-                eval_unordered(segment, &normalized, stats)
+                eval_unordered(segment, &normalized, stats, batch)
             }
         }
     }
@@ -295,13 +324,14 @@ fn eval_unordered(
     segment: &ImmutableSegment,
     pred: &Predicate,
     stats: &mut ExecutionStats,
+    batch: bool,
 ) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
         Predicate::And(ps) => {
             let mut acc = DocSelection::All(num_docs);
             for p in ps {
-                let s = eval_unordered(segment, p, stats)?;
+                let s = eval_unordered(segment, p, stats, batch)?;
                 acc = acc.and(&s);
             }
             Ok(acc)
@@ -309,12 +339,12 @@ fn eval_unordered(
         Predicate::Or(ps) => {
             let mut acc = DocSelection::Empty;
             for p in ps {
-                acc = acc.or(&eval_unordered(segment, p, stats)?);
+                acc = acc.or(&eval_unordered(segment, p, stats, batch)?);
             }
             Ok(acc)
         }
-        Predicate::Not(inner) => Ok(eval_unordered(segment, inner, stats)?.not(num_docs)),
-        leaf => eval_leaf(segment, leaf, stats, None),
+        Predicate::Not(inner) => Ok(eval_unordered(segment, inner, stats, batch)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None, batch),
     }
 }
 
@@ -322,19 +352,20 @@ fn eval(
     segment: &ImmutableSegment,
     pred: &Predicate,
     stats: &mut ExecutionStats,
+    batch: bool,
 ) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
-        Predicate::And(ps) => eval_and(segment, ps, stats),
+        Predicate::And(ps) => eval_and(segment, ps, stats, batch),
         Predicate::Or(ps) => {
             let mut acc = DocSelection::Empty;
             for p in ps {
-                acc = acc.or(&eval(segment, p, stats)?);
+                acc = acc.or(&eval(segment, p, stats, batch)?);
             }
             Ok(acc)
         }
-        Predicate::Not(inner) => Ok(eval(segment, inner, stats)?.not(num_docs)),
-        leaf => eval_leaf(segment, leaf, stats, None),
+        Predicate::Not(inner) => Ok(eval(segment, inner, stats, batch)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None, batch),
     }
 }
 
@@ -356,6 +387,7 @@ fn eval_and(
     segment: &ImmutableSegment,
     conjuncts: &[Predicate],
     stats: &mut ExecutionStats,
+    batch: bool,
 ) -> Result<DocSelection> {
     let mut ordered: Vec<&Predicate> = conjuncts.iter().collect();
     ordered.sort_by_key(|p| cost_class(segment, p));
@@ -369,9 +401,9 @@ fn eval_and(
         if class == 3 {
             // Scan leaf: evaluate only within the current selection — the
             // "subsequent operators only evaluate part of the column" rule.
-            sel = eval_leaf(segment, p, stats, Some(&sel))?;
+            sel = eval_leaf(segment, p, stats, Some(&sel), batch)?;
         } else {
-            let s = eval(segment, p, stats)?;
+            let s = eval(segment, p, stats, batch)?;
             sel = sel.and(&s);
         }
     }
@@ -383,6 +415,7 @@ fn eval_leaf(
     leaf: &Predicate,
     stats: &mut ExecutionStats,
     within: Option<&DocSelection>,
+    batch: bool,
 ) -> Result<DocSelection> {
     let column_name = match leaf {
         Predicate::Cmp { column, .. }
@@ -453,20 +486,72 @@ fn eval_leaf(
 
     // Scan fallback, restricted to `within` when provided.
     let mut bm = pinot_bitmap::RoaringBitmap::new();
-    match within {
-        Some(w) => {
-            stats.num_entries_scanned_in_filter += w.count();
-            w.for_each(|doc| {
-                if matcher.matches_doc(col, doc) {
-                    bm.push_back(doc);
+    stats.num_entries_scanned_in_filter += match within {
+        Some(w) => w.count(),
+        None => segment.num_docs() as u64,
+    };
+    if batch && col.forward.is_single_value() {
+        // Batched scan: decode dict-id blocks off the forward index and
+        // match in id space — no per-doc virtual dispatch or bit math.
+        let all;
+        let sel: &DocSelection = match within {
+            Some(w) => w,
+            None => {
+                all = DocSelection::All(segment.num_docs());
+                &all
+            }
+        };
+        let mut ids: Vec<DictId> = Vec::with_capacity(crate::selection::BLOCK_SIZE);
+        let mut matched: Vec<u32> = vec![0; crate::selection::BLOCK_SIZE];
+        sel.for_each_block(|block| {
+            crate::batch::decode_block(col, &block, &mut ids);
+            // Branchless select: write the doc id unconditionally, bump
+            // the cursor only on match — no mispredicted branch at
+            // mid-selectivity — then bulk-append the matched prefix.
+            let mut m = 0usize;
+            match (&block, &matcher.kind) {
+                (crate::selection::DocBlock::Run(s, _), MatchKind::Range(lo, hi)) => {
+                    for (i, &id) in ids.iter().enumerate() {
+                        matched[m] = s + i as u32;
+                        m += (id >= *lo && id < *hi) as usize;
+                    }
                 }
-            });
-        }
-        None => {
-            stats.num_entries_scanned_in_filter += segment.num_docs() as u64;
-            for doc in 0..segment.num_docs() {
-                if matcher.matches_doc(col, doc) {
-                    bm.push_back(doc);
+                (crate::selection::DocBlock::Run(s, _), MatchKind::Set(set)) => {
+                    for (i, &id) in ids.iter().enumerate() {
+                        matched[m] = s + i as u32;
+                        m += set.binary_search(&id).is_ok() as usize;
+                    }
+                }
+                (crate::selection::DocBlock::Ids(docs), MatchKind::Range(lo, hi)) => {
+                    for (i, &id) in ids.iter().enumerate() {
+                        matched[m] = docs[i];
+                        m += (id >= *lo && id < *hi) as usize;
+                    }
+                }
+                (crate::selection::DocBlock::Ids(docs), MatchKind::Set(set)) => {
+                    for (i, &id) in ids.iter().enumerate() {
+                        matched[m] = docs[i];
+                        m += set.binary_search(&id).is_ok() as usize;
+                    }
+                }
+                (_, MatchKind::Nothing) => {}
+            }
+            bm.append_sorted(&matched[..m]);
+        });
+    } else {
+        match within {
+            Some(w) => {
+                w.for_each(|doc| {
+                    if matcher.matches_doc(col, doc) {
+                        bm.push_back(doc);
+                    }
+                });
+            }
+            None => {
+                for doc in 0..segment.num_docs() {
+                    if matcher.matches_doc(col, doc) {
+                        bm.push_back(doc);
+                    }
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Executing one query against one segment.
 
 use crate::aggstate::AggState;
+use crate::batch::{self, ExecOptions, KernelStats};
 use crate::key::{GroupKey, GroupValue};
 use crate::planner;
 use crate::selection::DocSelection;
@@ -80,8 +81,18 @@ impl IntermediateResult {
     }
 }
 
-/// Execute a query on one segment, producing a partial result.
+/// Execute a query on one segment with default options (the
+/// `PINOT_EXEC_BATCH` env decides between the batched and row paths).
 pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<IntermediateResult> {
+    execute_on_segment_with(handle, query, &ExecOptions::default())
+}
+
+/// Execute a query on one segment, producing a partial result.
+pub fn execute_on_segment_with(
+    handle: &SegmentHandle,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<IntermediateResult> {
     let segment = &handle.segment;
     let mut stats = ExecutionStats {
         num_segments_queried: 1,
@@ -127,66 +138,84 @@ pub fn execute_on_segment(handle: &SegmentHandle, query: &Query) -> Result<Inter
         return execute_star_tree(segment, tree, query, &filters, &group_dims, stats);
     }
 
-    // 3. Raw plan: filter then aggregate / group / select.
+    // 3. Raw plan: filter then aggregate / group / select. The batched
+    // kernels handle what they can; anything else (multi-value columns,
+    // over-wide group keys) falls back to the row path per operator.
     record_plan(&mut stats, segment.name(), planner::PlanKind::Raw);
-    let selection = planner::evaluate_filter(segment, query.filter.as_ref(), &mut stats)?;
+    let batch = opts.batch_enabled();
+    let selection =
+        planner::evaluate_filter_mode(segment, query.filter.as_ref(), &mut stats, batch)?;
     stats.num_docs_scanned = selection.count();
 
-    match &query.select {
+    let mut kstats = KernelStats::default();
+    let scan_start = std::time::Instant::now();
+    let payload = match &query.select {
         SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
-            let states = aggregate_selection(segment, aggs, &selection, &mut stats)?;
-            Ok(IntermediateResult {
-                payload: ResultPayload::Aggregation(states),
-                stats,
-            })
+            let cols: Vec<Option<&ColumnData>> = aggs
+                .iter()
+                .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+                .collect::<Result<_>>()?;
+            let states = if batch && batch::aggregate_eligible(&cols) {
+                batch::aggregate_selection_batch(aggs, &cols, &selection, &mut stats, &mut kstats)
+            } else {
+                aggregate_selection(aggs, &cols, &selection, &mut stats)
+            };
+            ResultPayload::Aggregation(states)
         }
         SelectList::Aggregations(aggs) => {
-            let groups =
-                group_by_selection(segment, aggs, &query.group_by, &selection, &mut stats)?;
-            Ok(IntermediateResult {
-                payload: ResultPayload::GroupBy(groups),
-                stats,
-            })
-        }
-        SelectList::Projections(cols) => {
-            let rows = select_rows(
-                segment,
-                cols,
-                &selection,
-                query.effective_limit(),
-                &mut stats,
-            )?;
-            Ok(IntermediateResult {
-                payload: ResultPayload::Selection {
-                    columns: cols.clone(),
-                    rows,
-                },
-                stats,
-            })
-        }
-        SelectList::Star => {
-            let cols: Vec<String> = segment
-                .schema()
-                .fields()
+            let group_cols: Vec<&ColumnData> = query
+                .group_by
                 .iter()
-                .map(|f| f.name.clone())
-                .collect();
-            let rows = select_rows(
-                segment,
-                &cols,
-                &selection,
-                query.effective_limit(),
-                &mut stats,
-            )?;
-            Ok(IntermediateResult {
-                payload: ResultPayload::Selection {
-                    columns: cols,
-                    rows,
-                },
-                stats,
-            })
+                .map(|c| segment.column(c))
+                .collect::<Result<_>>()?;
+            let agg_cols: Vec<Option<&ColumnData>> = aggs
+                .iter()
+                .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+                .collect::<Result<_>>()?;
+            let layout = batch
+                .then(|| batch::group_by_layout(aggs, &group_cols, &agg_cols))
+                .flatten();
+            let groups = match layout {
+                Some(layout) => batch::group_by_selection_batch(
+                    aggs,
+                    &group_cols,
+                    &agg_cols,
+                    &layout,
+                    &selection,
+                    &mut stats,
+                    &mut kstats,
+                ),
+                None => group_by_selection(aggs, &group_cols, &agg_cols, &selection, &mut stats),
+            };
+            ResultPayload::GroupBy(groups)
         }
+        SelectList::Projections(_) | SelectList::Star => {
+            let columns: Vec<String> = match &query.select {
+                SelectList::Projections(cols) => cols.clone(),
+                _ => segment
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect(),
+            };
+            let cols: Vec<&ColumnData> = columns
+                .iter()
+                .map(|c| segment.column(c))
+                .collect::<Result<_>>()?;
+            let limit = query.effective_limit();
+            let rows = if batch && batch::select_eligible(&cols) {
+                batch::select_rows_batch(&cols, &selection, limit, &mut stats, &mut kstats)
+            } else {
+                select_rows(&cols, &selection, limit, &mut stats)
+            };
+            ResultPayload::Selection { columns, rows }
+        }
+    };
+    if let Some(obs) = &opts.obs {
+        kstats.flush(obs, batch, scan_start.elapsed().as_nanos() as u64);
     }
+    Ok(IntermediateResult { payload, stats })
 }
 
 fn record_plan(stats: &mut ExecutionStats, segment_name: &str, kind: planner::PlanKind) {
@@ -275,19 +304,15 @@ fn execute_star_tree(
 }
 
 fn aggregate_selection(
-    segment: &ImmutableSegment,
     aggs: &[AggregateExpr],
+    cols: &[Option<&ColumnData>],
     selection: &DocSelection,
     stats: &mut ExecutionStats,
-) -> Result<Vec<AggState>> {
+) -> Vec<AggState> {
     let mut states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.function)).collect();
-    let cols: Vec<Option<&ColumnData>> = aggs
-        .iter()
-        .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
-        .collect::<Result<_>>()?;
     let mut entries = 0u64;
     selection.for_each(|doc| {
-        for (state, col) in states.iter_mut().zip(&cols) {
+        for (state, col) in states.iter_mut().zip(cols) {
             match col {
                 Some(col) => {
                     entries += 1;
@@ -302,34 +327,36 @@ fn aggregate_selection(
         }
     });
     stats.num_entries_scanned_post_filter += entries;
-    Ok(states)
+    states
 }
 
 fn group_by_selection(
-    segment: &ImmutableSegment,
     aggs: &[AggregateExpr],
-    group_by: &[String],
+    group_cols: &[&ColumnData],
+    agg_cols: &[Option<&ColumnData>],
     selection: &DocSelection,
     stats: &mut ExecutionStats,
-) -> Result<HashMap<GroupKey, Vec<AggState>>> {
-    let group_cols: Vec<&ColumnData> = group_by
-        .iter()
-        .map(|c| segment.column(c))
-        .collect::<Result<_>>()?;
-    let agg_cols: Vec<Option<&ColumnData>> = aggs
-        .iter()
-        .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
-        .collect::<Result<_>>()?;
-
+) -> HashMap<GroupKey, Vec<AggState>> {
+    // Each (doc, column) read counts once into the scan stat — key
+    // expansion re-uses the same read, so multi-value cartesian blowup
+    // must not inflate it.
+    let entries_per_doc =
+        (group_cols.len() + agg_cols.iter().filter(|c| c.is_some()).count()) as u64;
     let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
     let mut entries = 0u64;
-    let mut scratch_ids = Vec::new();
+    let mut scratch_ids: Vec<pinot_segment::DictId> = Vec::new();
+    // Scratch reused across docs: candidate keys, the expansion buffer,
+    // and the per-element group values of the current MV column.
+    let mut keys: Vec<GroupKey> = Vec::new();
+    let mut expanded: Vec<GroupKey> = Vec::new();
+    let mut elem_values: Vec<GroupValue> = Vec::new();
     selection.for_each(|doc| {
+        entries += entries_per_doc;
         // Multi-value group columns contribute one key per element
         // (cartesian across multiple MV columns).
-        let mut keys: Vec<GroupKey> = vec![GroupKey::new()];
-        for col in &group_cols {
-            entries += 1;
+        keys.clear();
+        keys.push(GroupKey::new());
+        for col in group_cols {
             if col.forward.is_single_value() {
                 let v = col.dictionary.value_of(col.dict_id(doc));
                 let gv = GroupValue::from_value(&v);
@@ -338,25 +365,37 @@ fn group_by_selection(
                 }
             } else {
                 col.forward.get_multi(doc, &mut scratch_ids);
-                let mut expanded = Vec::with_capacity(keys.len() * scratch_ids.len().max(1));
-                for k in &keys {
-                    for &id in &scratch_ids {
-                        let mut nk = k.clone();
-                        nk.push(GroupValue::from_value(&col.dictionary.value_of(id)));
+                elem_values.clear();
+                elem_values.extend(
+                    scratch_ids
+                        .iter()
+                        .map(|&id| GroupValue::from_value(&col.dictionary.value_of(id))),
+                );
+                expanded.clear();
+                expanded.reserve(keys.len() * elem_values.len());
+                for k in keys.drain(..) {
+                    if let Some((last, rest)) = elem_values.split_last() {
+                        for gv in rest {
+                            let mut nk = k.clone();
+                            nk.push(gv.clone());
+                            expanded.push(nk);
+                        }
+                        // The final element takes ownership of the key.
+                        let mut nk = k;
+                        nk.push(last.clone());
                         expanded.push(nk);
                     }
                 }
-                keys = expanded;
+                std::mem::swap(&mut keys, &mut expanded);
             }
         }
-        for key in keys {
+        for key in keys.drain(..) {
             let states = groups
                 .entry(key)
                 .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.function)).collect());
-            for (state, col) in states.iter_mut().zip(&agg_cols) {
+            for (state, col) in states.iter_mut().zip(agg_cols) {
                 match col {
                     Some(col) => {
-                        entries += 1;
                         if matches!(state, AggState::Distinct(_)) {
                             state.accept_value(&col.dictionary.value_of(col.dict_id(doc)));
                         } else if let Some(x) = col.numeric(doc) {
@@ -369,20 +408,15 @@ fn group_by_selection(
         }
     });
     stats.num_entries_scanned_post_filter += entries;
-    Ok(groups)
+    groups
 }
 
 fn select_rows(
-    segment: &ImmutableSegment,
-    columns: &[String],
+    cols: &[&ColumnData],
     selection: &DocSelection,
     limit: usize,
     stats: &mut ExecutionStats,
-) -> Result<Vec<Vec<Value>>> {
-    let cols: Vec<&ColumnData> = columns
-        .iter()
-        .map(|c| segment.column(c))
-        .collect::<Result<_>>()?;
+) -> Vec<Vec<Value>> {
     let mut rows = Vec::new();
     selection.for_each(|doc| {
         if rows.len() >= limit {
@@ -390,6 +424,97 @@ fn select_rows(
         }
         rows.push(cols.iter().map(|c| c.value(doc)).collect());
     });
-    stats.num_entries_scanned_post_filter += (rows.len() * columns.len()) as u64;
-    Ok(rows)
+    stats.num_entries_scanned_post_filter += (rows.len() * cols.len()) as u64;
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinot_common::{DataType, FieldSpec, Record, Schema, Value};
+    use pinot_pql::parse;
+    use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+    use std::sync::Arc;
+
+    fn mv_handle() -> SegmentHandle {
+        let schema = Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("country", DataType::String),
+                FieldSpec::multi_value_dimension("tags", DataType::String),
+                FieldSpec::metric("m", DataType::Long),
+            ],
+        )
+        .unwrap();
+        let mut b = SegmentBuilder::new(schema, BuilderConfig::new("s", "t")).unwrap();
+        let tag_sets: &[&[&str]] = &[&["a", "b", "c"], &["a"], &["b", "c"], &["a", "c"], &["b"]];
+        for (i, tags) in tag_sets.iter().enumerate() {
+            b.add(Record::new(vec![
+                Value::from(if i % 2 == 0 { "us" } else { "de" }),
+                Value::StringArray(tags.iter().map(|t| t.to_string()).collect()),
+                Value::Long(i as i64),
+            ]))
+            .unwrap();
+        }
+        SegmentHandle::new(Arc::new(b.build().unwrap()))
+    }
+
+    fn run(handle: &SegmentHandle, pql: &str, batch: bool) -> IntermediateResult {
+        let opts = ExecOptions {
+            batch: Some(batch),
+            obs: None,
+        };
+        execute_on_segment_with(handle, &parse(pql).unwrap(), &opts).unwrap()
+    }
+
+    /// Regression (ISSUE 4 satellite): `num_entries_scanned_post_filter`
+    /// counts each (doc, column) read once. The old row path counted an
+    /// entry per *expanded group key*, inflating MV group-bys by the
+    /// per-doc key fan-out.
+    #[test]
+    fn mv_group_by_counts_entries_per_doc_not_per_expanded_key() {
+        let handle = mv_handle();
+        // 5 docs × (1 group column + 1 agg column) = 10 entries; the key
+        // expansion (3+1+2+2+1 = 9 keys) must not leak into the count.
+        for batch in [false, true] {
+            let r = run(&handle, "SELECT SUM(m) FROM t GROUP BY tags", batch);
+            assert_eq!(r.stats.num_entries_scanned_post_filter, 10, "batch={batch}");
+        }
+        // Two MV group columns fan out multiplicatively in keys but still
+        // count one entry per (doc, column): 5 × (2 + 1) = 15.
+        for batch in [false, true] {
+            let r = run(
+                &handle,
+                "SELECT SUM(m) FROM t GROUP BY tags, country",
+                batch,
+            );
+            assert_eq!(r.stats.num_entries_scanned_post_filter, 15, "batch={batch}");
+        }
+    }
+
+    /// The packed-key batch kernel and the row path agree on results and
+    /// stats for an SV group-by (where the batch layout actually engages).
+    #[test]
+    fn sv_group_by_batch_matches_row_path() {
+        let handle = mv_handle();
+        let pql = "SELECT SUM(m), COUNT(*) FROM t GROUP BY country";
+        let b = run(&handle, pql, true);
+        let r = run(&handle, pql, false);
+        match (&b.payload, &r.payload) {
+            (ResultPayload::GroupBy(bg), ResultPayload::GroupBy(rg)) => {
+                assert_eq!(bg.len(), rg.len());
+                for (k, states) in bg {
+                    let other = rg.get(k).expect("group missing from row path");
+                    for (s, o) in states.iter().zip(other) {
+                        assert_eq!(s.finalize_f64(), o.finalize_f64());
+                    }
+                }
+            }
+            other => panic!("unexpected payloads: {other:?}"),
+        }
+        assert_eq!(
+            b.stats.num_entries_scanned_post_filter,
+            r.stats.num_entries_scanned_post_filter
+        );
+    }
 }

@@ -141,6 +141,43 @@ fn range_or_nothing(lo: DictId, hi: DictId) -> MatchKind {
     }
 }
 
+/// Max docs per [`DocBlock`] — matches `pinot_segment::bitpack::BLOCK`
+/// so one block decodes into one scratch buffer.
+pub const BLOCK_SIZE: usize = pinot_segment::bitpack::BLOCK;
+
+/// Documents handed to a block kernel in one call: a contiguous run
+/// (decoded straight off the forward index) or an explicit ascending id
+/// list (bitmap selections). At most [`BLOCK_SIZE`] docs either way.
+#[derive(Debug, Clone, Copy)]
+pub enum DocBlock<'a> {
+    /// Contiguous docs `[start, end)`.
+    Run(DocId, DocId),
+    /// Ascending doc ids.
+    Ids(&'a [DocId]),
+}
+
+impl DocBlock<'_> {
+    pub fn len(&self) -> usize {
+        match self {
+            DocBlock::Run(s, e) => (*e - *s) as usize,
+            DocBlock::Ids(ids) => ids.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn each_run_block(start: DocId, end: DocId, f: &mut impl FnMut(DocBlock<'_>)) {
+    let mut s = start;
+    while s < end {
+        let e = s.saturating_add(BLOCK_SIZE as DocId).min(end);
+        f(DocBlock::Run(s, e));
+        s = e;
+    }
+}
+
 /// The matched document set of a (sub-)filter.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DocSelection {
@@ -278,6 +315,26 @@ impl DocSelection {
             DocSelection::Empty => {}
         }
     }
+
+    /// Iterate matching docs as blocks of at most [`BLOCK_SIZE`], in the
+    /// same ascending doc order as [`DocSelection::for_each`]: ranges
+    /// yield contiguous runs, bitmap selections drain their containers
+    /// in bulk and yield sorted id slices.
+    pub fn for_each_block(&self, mut f: impl FnMut(DocBlock<'_>)) {
+        match self {
+            DocSelection::All(n) => each_run_block(0, *n, &mut f),
+            DocSelection::Range(s, e) => each_run_block(*s, *e, &mut f),
+            DocSelection::Bitmap(bm) => {
+                let mut scratch = Vec::new();
+                bm.for_each_batch(&mut scratch, |ids| {
+                    for chunk in ids.chunks(BLOCK_SIZE) {
+                        f(DocBlock::Ids(chunk));
+                    }
+                });
+            }
+            DocSelection::Empty => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +453,32 @@ mod tests {
         match Range(3, 5).not(10) {
             Bitmap(bm) => assert_eq!(bm.to_vec(), vec![0, 1, 2, 5, 6, 7, 8, 9]),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_each_block_matches_for_each() {
+        let selections = [
+            DocSelection::All(2600),
+            DocSelection::Range(3, 6),
+            DocSelection::Range(100, 100 + 3 * BLOCK_SIZE as DocId + 7),
+            DocSelection::Bitmap(RoaringBitmap::from_iter([9u32, 1, 4, 70_000])),
+            DocSelection::Bitmap(RoaringBitmap::from_sorted(0..9000u32)),
+            DocSelection::Empty,
+        ];
+        for sel in selections {
+            let mut rows = Vec::new();
+            sel.for_each(|d| rows.push(d));
+            let mut blocks = Vec::new();
+            sel.for_each_block(|b| {
+                assert!(b.len() <= BLOCK_SIZE);
+                assert!(!b.is_empty());
+                match b {
+                    DocBlock::Run(s, e) => blocks.extend(s..e),
+                    DocBlock::Ids(ids) => blocks.extend_from_slice(ids),
+                }
+            });
+            assert_eq!(blocks, rows, "{sel:?}");
         }
     }
 

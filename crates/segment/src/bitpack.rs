@@ -5,6 +5,10 @@
 //! u32 values at that width inside a `Vec<u64>`, giving the "bit packing of
 //! values" the paper lists among its encoding strategies.
 
+/// Documents decoded per batch by the vectorized execution path: one
+/// block fills one scratch buffer, small enough to stay cache-resident.
+pub const BLOCK: usize = 1024;
+
 /// Bits needed to represent values in `[0, max_value]`.
 pub fn bits_needed(max_value: u32) -> u8 {
     if max_value == 0 {
@@ -121,9 +125,78 @@ impl PackedIntVec {
     pub fn read_range(&self, start: usize, end: usize, out: &mut Vec<u32>) {
         assert!(start <= end && end <= self.len);
         out.clear();
-        out.reserve(end - start);
-        for i in start..end {
-            out.push(self.get(i));
+        out.resize(end - start, 0);
+        self.unpack_block(start, out);
+    }
+
+    /// Bulk-decode `out.len()` consecutive values starting at `start`,
+    /// word at a time. Widths that divide 64 (1, 2, 4, 8, 16, 32 bits)
+    /// never straddle a word, so their inner loop is a shift-and-mask
+    /// over one loaded word; other widths advance a bit cursor and
+    /// splice the straddling high part from the next word.
+    pub fn unpack_block(&self, start: usize, out: &mut [u32]) {
+        let n = out.len();
+        assert!(
+            start + n <= self.len,
+            "unpack_block [{start}, {}) out of bounds (len {})",
+            start + n,
+            self.len
+        );
+        if n == 0 {
+            return;
+        }
+        let bits = self.bits as usize;
+        let mask = if bits == 32 {
+            u64::from(u32::MAX)
+        } else {
+            (1u64 << bits) - 1
+        };
+        if 64 % bits == 0 {
+            // Whole-word widths: no value straddles a word, so decode a
+            // word at a time. The word index advances incrementally —
+            // one division up front, none in the loop.
+            let per = 64 / bits;
+            let mut word_idx = start / per;
+            let lane = start % per;
+            let mut i = 0;
+            if lane != 0 {
+                let take = (per - lane).min(n);
+                let mut word = self.words[word_idx] >> (lane * bits);
+                for slot in &mut out[..take] {
+                    *slot = (word & mask) as u32;
+                    word >>= bits;
+                }
+                i = take;
+                word_idx += 1;
+            }
+            while i + per <= n {
+                let mut word = self.words[word_idx];
+                for slot in &mut out[i..i + per] {
+                    *slot = (word & mask) as u32;
+                    word >>= bits;
+                }
+                i += per;
+                word_idx += 1;
+            }
+            if i < n {
+                let mut word = self.words[word_idx];
+                for slot in &mut out[i..n] {
+                    *slot = (word & mask) as u32;
+                    word >>= bits;
+                }
+            }
+        } else {
+            let mut bit_pos = start * bits;
+            for slot in out.iter_mut() {
+                let word = bit_pos >> 6;
+                let offset = bit_pos & 63;
+                let mut v = self.words[word] >> offset;
+                if offset + bits > 64 {
+                    v |= self.words[word + 1] << (64 - offset);
+                }
+                *slot = (v & mask) as u32;
+                bit_pos += bits;
+            }
         }
     }
 
@@ -217,6 +290,54 @@ mod tests {
         assert_eq!(out, (10..20u32).collect::<Vec<_>>());
         v.read_range(0, 0, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unpack_block_matches_get() {
+        for bits in [1u8, 2, 3, 4, 7, 8, 11, 13, 16, 17, 24, 31, 32] {
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
+            let values: Vec<u32> = (0..2500u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) & max)
+                .collect();
+            let v = {
+                let mut v = PackedIntVec::new(bits);
+                for &x in &values {
+                    v.push(x);
+                }
+                v
+            };
+            // Offsets/lengths chosen to hit word-aligned and straddling
+            // starts, partial first/last words, and block boundaries.
+            for (start, len) in [
+                (0, 0),
+                (0, 1),
+                (0, BLOCK),
+                (1, BLOCK),
+                (63, 130),
+                (values.len() - 1, 1),
+                (500, values.len() - 500),
+            ] {
+                let mut out = vec![0u32; len];
+                v.unpack_block(start, &mut out);
+                assert_eq!(
+                    out,
+                    values[start..start + len],
+                    "bits={bits} start={start} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unpack_block_out_of_bounds_panics() {
+        let v = PackedIntVec::from_slice(&[1, 2, 3]);
+        let mut out = [0u32; 2];
+        v.unpack_block(2, &mut out);
     }
 
     #[test]

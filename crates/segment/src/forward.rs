@@ -67,6 +67,20 @@ impl ForwardIndex {
         }
     }
 
+    /// Bulk-read the dict ids of docs `[start, start + out.len())` into
+    /// `out` — the block-decode entry point of the batched execution
+    /// path. Panics on multi-value columns (block kernels fall back to
+    /// the row path for those).
+    #[inline]
+    pub fn read_block(&self, start: DocId, out: &mut [DictId]) {
+        match self {
+            ForwardIndex::SingleValue(v) => v.unpack_block(start as usize, out),
+            ForwardIndex::MultiValue { .. } => {
+                panic!("read_block() on multi-value forward index; use get_multi()")
+            }
+        }
+    }
+
     /// Dict ids of a document (one element for single-value columns).
     pub fn get_multi(&self, doc: DocId, out: &mut Vec<DictId>) {
         out.clear();
@@ -164,6 +178,25 @@ mod tests {
         assert!(s.doc_contains(1, 9));
         assert!(s.doc_in_range(0, 0, 5));
         assert!(!s.doc_in_range(0, 5, 9));
+    }
+
+    #[test]
+    fn read_block_matches_get() {
+        let ids: Vec<u32> = (0..300u32).map(|i| (i * 31) % 97).collect();
+        let f = ForwardIndex::single(&ids);
+        for (start, len) in [(0usize, 300usize), (13, 100), (299, 1), (50, 0)] {
+            let mut out = vec![0u32; len];
+            f.read_block(start as DocId, &mut out);
+            assert_eq!(out, ids[start..start + len]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-value")]
+    fn read_block_on_multi_value_panics() {
+        let f = ForwardIndex::multi(&[vec![1]]);
+        let mut out = [0u32; 1];
+        f.read_block(0, &mut out);
     }
 
     #[test]

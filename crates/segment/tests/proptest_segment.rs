@@ -148,3 +148,65 @@ proptest! {
         prop_assert_eq!(seg.metadata().max_time, Some(max));
     }
 }
+
+mod block_decode {
+    use pinot_segment::bitpack::{bits_needed, PackedIntVec, BLOCK};
+    use pinot_segment::forward::ForwardIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `unpack_block` ≡ repeated `get` for every width 1..=32,
+        /// including runs that straddle word boundaries and full
+        /// BLOCK-sized reads (ISSUE 4 kernel contract).
+        #[test]
+        fn unpack_block_matches_repeated_get(
+            bits in 1u32..=32,
+            len in 1usize..(2 * BLOCK),
+            seed in any::<u64>(),
+            start_frac in 0.0f64..1.0,
+            n_frac in 0.0f64..1.0,
+        ) {
+            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let mut x = seed | 1;
+            let values: Vec<u32> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) as u32) & max
+                })
+                .collect();
+            let mut pv = PackedIntVec::with_capacity(bits_needed(max.min(values.iter().copied().max().unwrap_or(0)).max(1)), len);
+            for &v in &values {
+                pv.push(v);
+            }
+            let start = ((len - 1) as f64 * start_frac) as usize;
+            let n = 1 + ((len - start - 1) as f64 * n_frac) as usize;
+            let mut out = vec![0u32; n];
+            pv.unpack_block(start, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                prop_assert_eq!(got, pv.get(start + i));
+                prop_assert_eq!(got, values[start + i]);
+            }
+        }
+
+        /// `read_block` ≡ per-doc `get` on the forward index at arbitrary
+        /// offsets and lengths, including block-straddling reads.
+        #[test]
+        fn read_block_matches_per_doc_get(
+            ids in prop::collection::vec(0u32..500, 1..(BLOCK + 300)),
+            start_frac in 0.0f64..1.0,
+            n_frac in 0.0f64..1.0,
+        ) {
+            let fwd = ForwardIndex::single(&ids);
+            let len = ids.len();
+            let start = ((len - 1) as f64 * start_frac) as usize;
+            let n = 1 + ((len - start - 1) as f64 * n_frac) as usize;
+            let mut out = vec![0u32; n];
+            fwd.read_block(start as u32, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                prop_assert_eq!(got, fwd.get((start + i) as u32));
+            }
+        }
+    }
+}

@@ -23,8 +23,8 @@ use pinot_common::protocol::{CompletionInstruction, CompletionPoll};
 use pinot_common::time::Clock;
 use pinot_common::{PinotError, Result, RetryPolicy, Schema};
 use pinot_controller::ControllerGroup;
-use pinot_exec::segment_exec::{execute_on_segment, IntermediateResult, SegmentHandle};
-use pinot_exec::{merge_intermediate, plan_segment, PlanKind};
+use pinot_exec::segment_exec::{execute_on_segment_with, IntermediateResult, SegmentHandle};
+use pinot_exec::{merge_intermediate, plan_segment, ExecOptions, PlanKind};
 use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
 use pinot_segment::builder::BuilderConfig;
@@ -73,6 +73,9 @@ pub struct Server {
     /// sealing (§3.3.4); sized from `PINOT_TASKPOOL_THREADS` or the
     /// machine's core count.
     pool: RwLock<Arc<TaskPool>>,
+    /// Per-server override for the batched execution kernels; `None`
+    /// falls back to the `PINOT_EXEC_BATCH` env default.
+    exec_batch: RwLock<Option<bool>>,
 }
 
 /// A broker's request to one server: run `query` over this server's share
@@ -122,7 +125,15 @@ impl Server {
             chaos: RwLock::new(Arc::new(FaultInjector::new())),
             retry: RetryPolicy::default().with_seed(n as u64),
             pool: RwLock::new(pool),
+            exec_batch: RwLock::new(None),
         })
+    }
+
+    /// Force the batched (`Some(true)`) or row (`Some(false)`) execution
+    /// path for this server; `None` restores the `PINOT_EXEC_BATCH`
+    /// env default. See `ClusterConfig::with_exec_batch`.
+    pub fn set_exec_batch(&self, batch: Option<bool>) {
+        *self.exec_batch.write() = batch;
     }
 
     /// Replace the execution pool (tests and benchmarks pin the worker
@@ -697,7 +708,11 @@ impl Server {
             }
         }
         let seg_started = std::time::Instant::now();
-        let partial = execute_on_segment(&handle, &req.query)?;
+        let opts = ExecOptions {
+            batch: *self.exec_batch.read(),
+            obs: Some(Arc::clone(&self.obs)),
+        };
+        let partial = execute_on_segment_with(&handle, &req.query, &opts)?;
         self.obs.metrics.observe_ms(
             "server.exec.segment_ms",
             seg_started.elapsed().as_secs_f64() * 1e3,
