@@ -28,9 +28,21 @@ PINOT_EXEC_BATCH=0 cargo test -p pinot-core --test differential
 echo "== differential suite under forced batch path (PINOT_EXEC_BATCH=1) =="
 PINOT_EXEC_BATCH=1 cargo test -p pinot-core --test differential
 
+echo "== differential suite under forced pruning off (PINOT_EXEC_PRUNE=0) =="
+PINOT_EXEC_PRUNE=0 cargo test -p pinot-core --test differential
+
+echo "== differential suite under forced pruning on (PINOT_EXEC_PRUNE=1) =="
+PINOT_EXEC_PRUNE=1 cargo test -p pinot-core --test differential
+
 echo "== kernel proptests (unpack_block/read_block/bitmap bulk extraction) =="
 cargo test -p pinot-segment --test proptest_segment
 cargo test -p pinot-bitmap --test proptest_bitmap
+
+echo "== pruning proptests (bloom fp/fn bounds, evaluator soundness) =="
+cargo test -p pinot-exec --test proptest_prune
+
+echo "== prune bench acceptance (≥5x fewer segments, ≥2x p50) =="
+cargo run --release -q -p pinot-bench --bin prune
 
 echo "== chaos suite (fault injection + failover) =="
 cargo test -p pinot-core --test chaos

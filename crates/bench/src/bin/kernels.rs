@@ -135,7 +135,7 @@ fn bench_query(
     let run = |batch: bool| {
         let opts = ExecOptions {
             batch: Some(batch),
-            obs: None,
+            ..ExecOptions::default()
         };
         best_ns(5, || {
             std::hint::black_box(execute_on_segment_with(handle, &query, &opts).unwrap());

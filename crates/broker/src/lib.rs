@@ -22,9 +22,12 @@ use pinot_common::ids::{InstanceId, SegmentName};
 use pinot_common::json::Json;
 use pinot_common::query::ServerContribution;
 use pinot_common::query::{ExecutionStats, QueryRequest, QueryResponse};
-use pinot_common::{PinotError, Result, RetryPolicy, Value};
+use pinot_common::{DataType, PinotError, Result, RetryPolicy, Value};
 use pinot_exec::segment_exec::IntermediateResult;
-use pinot_exec::{finalize, merge_intermediate};
+use pinot_exec::{
+    finalize, merge_intermediate, prune_default, ColumnRange, Prunable, PruneEvaluator,
+    ZoneMapStats,
+};
 use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
 use pinot_pql::{CmpOp, Predicate, Query};
 use pinot_taskpool::TaskPool;
@@ -91,6 +94,42 @@ pub struct Broker {
     /// channel, and a panicking server surfaces as a retriable error
     /// instead of a forever-pending slot.
     pool: RwLock<Arc<TaskPool>>,
+    /// Broker-side zone-map pruning override; `None` defers to
+    /// `PINOT_EXEC_PRUNE` (default on).
+    exec_prune: RwLock<Option<bool>>,
+    /// Segment zone maps parsed from metastore metadata, keyed by path and
+    /// invalidated by metastore version (segment metadata is written once
+    /// but re-uploads bump the version).
+    zonemap_cache: Mutex<HashMap<String, CachedZoneMaps>>,
+    /// Time column per physical table, so the hot path doesn't re-parse the
+    /// schema JSON just to classify time-level prunes.
+    time_column_cache: Mutex<HashMap<String, Option<String>>>,
+}
+
+/// One segment's published zone maps, pinned to the metastore version of
+/// the metadata they were parsed from, plus its doc count.
+struct CachedZoneMaps {
+    version: u64,
+    zone_maps: Arc<ZoneMapStats>,
+    num_docs: u64,
+}
+
+/// Segments the broker excluded before scatter — partition routing plus
+/// zone-map pruning — folded into the response stats so
+/// `num_segments_queried == num_segments_processed + num_segments_pruned`
+/// holds end to end.
+#[derive(Default)]
+struct BrokerSkips {
+    segments: u64,
+    docs: u64,
+}
+
+impl BrokerSkips {
+    fn apply(&self, stats: &mut ExecutionStats) {
+        stats.num_segments_queried += self.segments;
+        stats.num_segments_pruned += self.segments;
+        stats.total_docs += self.docs;
+    }
 }
 
 impl Broker {
@@ -116,7 +155,15 @@ impl Broker {
             pool: RwLock::new(Arc::new(TaskPool::from_env(Some(Arc::clone(&obs))))),
             obs,
             retry: RetryPolicy::default().with_seed(n as u64),
+            exec_prune: RwLock::new(None),
+            zonemap_cache: Mutex::new(HashMap::new()),
+            time_column_cache: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Override broker-side zone-map pruning (`None` = `PINOT_EXEC_PRUNE`).
+    pub fn set_exec_prune(&self, prune: Option<bool>) {
+        *self.exec_prune.write() = prune;
     }
 
     /// Replace the scatter pool (tests and benchmarks pin thread counts).
@@ -333,8 +380,33 @@ impl Broker {
         finalize_as: Option<&Arc<Query>>,
         trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
-        let plan = trace.span("route", |_| self.route(table, query))?;
+        let (plan, partition_skipped) = trace.span("route", |_| self.route(table, query))?;
         let replicas = self.segment_replicas(table);
+
+        // Broker-level pruning: partition-routing exclusions become visible
+        // in the stats, and table-level zone maps (from segment metadata in
+        // the metastore) drop segments — and whole servers — that cannot
+        // match the filter before any RPC is issued.
+        let mut skips = BrokerSkips::default();
+        if !partition_skipped.is_empty() {
+            self.obs
+                .metrics
+                .counter_add("prune.partition_segments", partition_skipped.len() as u64);
+            for seg in &partition_skipped {
+                skips.segments += 1;
+                skips.docs += self
+                    .segment_zone_maps(table, seg)
+                    .map(|(_, docs)| docs)
+                    .unwrap_or(0);
+            }
+        }
+        let prune_on = (*self.exec_prune.read()).unwrap_or_else(prune_default);
+        let plan = if prune_on {
+            self.prune_plan(table, query, plan, &mut skips)
+        } else {
+            plan
+        };
+
         let num_servers = plan.len() as u64;
         self.obs
             .metrics
@@ -399,6 +471,7 @@ impl Broker {
             }
             acc.stats.num_servers_queried = 1;
             acc.stats.num_servers_responded = responded;
+            skips.apply(&mut acc.stats);
             coalesce_per_server(&mut acc.stats.per_server);
             let partial = !exceptions.is_empty();
             let stats = acc.stats.clone();
@@ -528,6 +601,7 @@ impl Broker {
 
         acc.stats.num_servers_queried = num_servers;
         acc.stats.num_servers_responded = responded;
+        skips.apply(&mut acc.stats);
         coalesce_per_server(&mut acc.stats.per_server);
         let partial = !exceptions.is_empty();
         let stats = acc.stats.clone();
@@ -692,7 +766,11 @@ impl Broker {
     // ---- routing ----
 
     /// Build the per-server segment assignment for one query.
-    fn route(&self, table: &str, query: &Query) -> Result<RoutingTable> {
+    /// Pick a routing table for the query. The second element names the
+    /// segments partition-aware routing excluded, so the caller can fold
+    /// them into the response stats as pruned rather than dropping them
+    /// invisibly.
+    fn route(&self, table: &str, query: &Query) -> Result<(RoutingTable, Vec<String>)> {
         let config = self.table_config_physical(table)?;
         self.refresh_routing_if_dirty(table, &config)?;
 
@@ -717,15 +795,21 @@ impl Broker {
                         }
                     }
                 }
-                return Ok(routing::generate_balanced(&replicas));
+                let skipped: Vec<String> = cached
+                    .replicas
+                    .keys()
+                    .filter(|seg| !replicas.contains_key(*seg))
+                    .cloned()
+                    .collect();
+                return Ok((routing::generate_balanced(&replicas), skipped));
             }
         }
 
         if cached.tables.is_empty() {
-            return Ok(RoutingTable::new());
+            return Ok((RoutingTable::new(), Vec::new()));
         }
         let idx = self.rng.lock().gen_range(0..cached.tables.len());
-        Ok(cached.tables[idx].clone())
+        Ok((cached.tables[idx].clone(), Vec::new()))
     }
 
     fn refresh_routing_if_dirty(&self, table: &str, config: &TableConfig) -> Result<()> {
@@ -842,6 +926,109 @@ impl Broker {
             .map(|v| v as u32)
     }
 
+    // ---- broker-level zone-map pruning ----
+
+    /// Drop segments whose metastore zone maps prove the filter cannot
+    /// match, and with them any server whose entire share pruned away —
+    /// fewer RPCs and a smaller gather. Segments without published zone
+    /// maps (consuming, or written by an older controller) pass through
+    /// untouched.
+    fn prune_plan(
+        &self,
+        table: &str,
+        query: &Query,
+        plan: RoutingTable,
+        skips: &mut BrokerSkips,
+    ) -> RoutingTable {
+        if query.filter.is_none() {
+            return plan;
+        }
+        let time_column = self.time_column_cached(table);
+        let evaluator = PruneEvaluator::new(time_column);
+        let mut out = RoutingTable::new();
+        let mut servers_skipped = 0u64;
+        for (server, segments) in plan {
+            let mut kept = Vec::with_capacity(segments.len());
+            for seg in segments {
+                let Some((zone_maps, docs)) = self.segment_zone_maps(table, &seg) else {
+                    kept.push(seg);
+                    continue;
+                };
+                let outcome = evaluator.evaluate(query.filter.as_ref(), zone_maps.as_ref());
+                if outcome.prunable == Prunable::CannotMatch {
+                    skips.segments += 1;
+                    skips.docs += docs;
+                    self.obs.metrics.counter_add("prune.broker_segments", 1);
+                    if let Some(level) = outcome.level {
+                        self.obs
+                            .metrics
+                            .counter_add(&format!("prune.{}_segments", level.as_str()), 1);
+                    }
+                } else {
+                    kept.push(seg);
+                }
+            }
+            if kept.is_empty() {
+                servers_skipped += 1;
+            } else {
+                out.insert(server, kept);
+            }
+        }
+        if servers_skipped > 0 {
+            self.obs
+                .metrics
+                .counter_add("prune.broker_servers_skipped", servers_skipped);
+        }
+        out
+    }
+
+    /// Zone maps and doc count a segment's metastore metadata publishes
+    /// (written by the controller at upload/commit). Cached by metastore
+    /// version so the query hot path doesn't re-parse JSON.
+    fn segment_zone_maps(&self, table: &str, segment: &str) -> Option<(Arc<ZoneMapStats>, u64)> {
+        let path = format!("/segments/{table}/{segment}");
+        let (text, version) = self.cluster.metastore().get(&path)?;
+        {
+            let cache = self.zonemap_cache.lock();
+            if let Some(cached) = cache.get(&path) {
+                if cached.version == version {
+                    return Some((Arc::clone(&cached.zone_maps), cached.num_docs));
+                }
+            }
+        }
+        let json = Json::parse(&text).ok()?;
+        let docs = json.get("numDocs").and_then(Json::as_i64).unwrap_or(0) as u64;
+        let mut zone_maps = ZoneMapStats::default();
+        if let Some(Json::Obj(columns)) = json.get("columns") {
+            for (name, col) in columns {
+                if let Some(range) = parse_zone_map(col) {
+                    zone_maps.columns.insert(name.clone(), range);
+                }
+            }
+        }
+        let zone_maps = Arc::new(zone_maps);
+        self.zonemap_cache.lock().insert(
+            path,
+            CachedZoneMaps {
+                version,
+                zone_maps: Arc::clone(&zone_maps),
+                num_docs: docs,
+            },
+        );
+        Some((zone_maps, docs))
+    }
+
+    fn time_column_cached(&self, table: &str) -> Option<String> {
+        if let Some(cached) = self.time_column_cache.lock().get(table) {
+            return cached.clone();
+        }
+        let time_column = self.table_time_column(table).ok().flatten();
+        self.time_column_cache
+            .lock()
+            .insert(table.to_string(), time_column.clone());
+        time_column
+    }
+
     // ---- table metadata helpers ----
 
     fn table_config_physical(&self, qualified: &str) -> Result<TableConfig> {
@@ -916,6 +1103,33 @@ impl Broker {
 /// retriable I/O error so the normal failover path covers it, rather than
 /// poisoning the scatter worker (or, pre-pool, silently killing the
 /// scatter thread and leaving its slot forever pending).
+/// Decode one column's zone map from segment metadata JSON — the inverse of
+/// the controller's string encoding (bounds are strings because JSON
+/// numbers are f64 and would corrupt i64 bounds past 2^53).
+fn parse_zone_map(col: &Json) -> Option<ColumnRange> {
+    let data_type = DataType::parse(col.get("type")?.as_str()?).ok()?;
+    let single_value = col.get("sv")?.as_bool()?;
+    let min = parse_zone_bound(col.get("min")?.as_str()?, data_type)?;
+    let max = parse_zone_bound(col.get("max")?.as_str()?, data_type)?;
+    Some(ColumnRange {
+        data_type,
+        min,
+        max,
+        single_value,
+    })
+}
+
+fn parse_zone_bound(s: &str, data_type: DataType) -> Option<Value> {
+    match data_type {
+        DataType::Int => s.parse().ok().map(Value::Int),
+        DataType::Long => s.parse().ok().map(Value::Long),
+        DataType::Float => s.parse().ok().map(Value::Float),
+        DataType::Double => s.parse().ok().map(Value::Double),
+        DataType::String => Some(Value::String(s.to_string())),
+        DataType::Boolean => s.parse().ok().map(Value::Boolean),
+    }
+}
+
 fn guarded_execute(
     svc: &dyn SegmentQueryService,
     req: &RoutedRequest,

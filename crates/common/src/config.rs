@@ -111,6 +111,9 @@ pub struct IndexingConfig {
     /// Physical sort column; segments store records ordered by it and keep
     /// a (start, end) range per value instead of a bitmap.
     pub sorted_column: Option<String>,
+    /// Columns with blocked bloom filters built at seal time, enabling
+    /// exact-match segment pruning beyond min/max zone maps.
+    pub bloom_filter_columns: Vec<String>,
     /// Optional star-tree for iceberg/aggregation queries.
     pub star_tree: Option<StarTreeConfig>,
 }
@@ -204,6 +207,11 @@ impl TableConfig {
         self
     }
 
+    pub fn with_bloom_filters(mut self, cols: &[&str]) -> TableConfig {
+        self.indexing.bloom_filter_columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
     pub fn with_star_tree(mut self, cfg: StarTreeConfig) -> TableConfig {
         self.indexing.star_tree = Some(cfg);
         self
@@ -278,6 +286,18 @@ impl TableConfig {
         ];
         if let Some(c) = &self.indexing.sorted_column {
             pairs.push(("sortedColumn", c.as_str().into()));
+        }
+        if !self.indexing.bloom_filter_columns.is_empty() {
+            pairs.push((
+                "bloomFilterColumns",
+                Json::Arr(
+                    self.indexing
+                        .bloom_filter_columns
+                        .iter()
+                        .map(|c| c.as_str().into())
+                        .collect(),
+                ),
+            ));
         }
         if let Some(st) = &self.indexing.star_tree {
             pairs.push((
@@ -389,6 +409,7 @@ impl TableConfig {
             indexing: IndexingConfig {
                 inverted_index_columns,
                 sorted_column,
+                bloom_filter_columns: str_arr(j, "bloomFilterColumns"),
                 star_tree,
             },
             routing,
@@ -445,6 +466,7 @@ mod tests {
         .with_tenant("feedTenant")
         .with_inverted_indexes(&["country", "browser"])
         .with_sorted_column("viewee_id")
+        .with_bloom_filters(&["country"])
         .with_star_tree(StarTreeConfig {
             dimensions: vec!["country".into()],
             metrics: vec!["clicks".into()],

@@ -363,6 +363,31 @@ impl Controller {
             pairs.push(("partitionId", (p.partition_id as u64).into()));
             pairs.push(("numPartitions", (p.num_partitions as u64).into()));
         }
+        // Per-column zone maps for broker-side pruning. Bounds are encoded
+        // as strings so integer values survive the f64-typed JSON numbers
+        // exactly; non-finite float bounds are skipped (the broker then
+        // treats the column as statless and never prunes on it).
+        let mut columns = std::collections::BTreeMap::new();
+        for c in &m.columns {
+            let (Some(min), Some(max)) = (&c.min, &c.max) else {
+                continue;
+            };
+            let (Some(min_s), Some(max_s)) = (zone_bound_str(min), zone_bound_str(max)) else {
+                continue;
+            };
+            columns.insert(
+                c.name.clone(),
+                Json::obj(vec![
+                    ("type", c.data_type.name().into()),
+                    ("sv", Json::Bool(c.single_value)),
+                    ("min", Json::Str(min_s)),
+                    ("max", Json::Str(max_s)),
+                ]),
+            );
+        }
+        if !columns.is_empty() {
+            pairs.push(("columns", Json::Obj(columns)));
+        }
         self.meta_set_retried(
             &format!("/segments/{qualified}/{}", m.segment_name),
             Json::obj(pairs).emit(),
@@ -672,5 +697,22 @@ impl ControllerGroup {
             }
         }
         None
+    }
+}
+
+/// Exact string encoding of one zone-map bound for segment metadata JSON
+/// (the broker's zone-map parser in `pinot-broker` is the inverse).
+/// Strings carry integers without the f64 precision loss of JSON numbers;
+/// non-finite float bounds yield `None` — JSON cannot carry them.
+fn zone_bound_str(v: &pinot_common::Value) -> Option<String> {
+    use pinot_common::Value;
+    match v {
+        Value::Int(x) => Some(x.to_string()),
+        Value::Long(x) => Some(x.to_string()),
+        Value::Float(x) => x.is_finite().then(|| format!("{x}")),
+        Value::Double(x) => x.is_finite().then(|| format!("{x}")),
+        Value::String(s) => Some(s.clone()),
+        Value::Boolean(b) => Some(b.to_string()),
+        _ => None,
     }
 }

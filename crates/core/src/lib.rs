@@ -87,6 +87,10 @@ pub struct ClusterConfig {
     /// execution kernels on every server; `None` keeps the
     /// `PINOT_EXEC_BATCH` env default (batched unless set to `0`).
     pub exec_batch: Option<bool>,
+    /// Force zone-map/bloom pruning on (`Some(true)`) or off
+    /// (`Some(false)`) on every broker and server; `None` keeps the
+    /// `PINOT_EXEC_PRUNE` env default (on unless set to `0`).
+    pub exec_prune: Option<bool>,
 }
 
 impl Default for ClusterConfig {
@@ -101,6 +105,7 @@ impl Default for ClusterConfig {
             chaos: None,
             taskpool_threads: None,
             exec_batch: None,
+            exec_prune: None,
         }
     }
 }
@@ -133,6 +138,11 @@ impl ClusterConfig {
 
     pub fn with_exec_batch(mut self, batch: bool) -> ClusterConfig {
         self.exec_batch = Some(batch);
+        self
+    }
+
+    pub fn with_exec_prune(mut self, prune: bool) -> ClusterConfig {
+        self.exec_prune = Some(prune);
         self
     }
 }
@@ -224,6 +234,7 @@ impl PinotCluster {
             );
             server.set_fault_injector(Arc::clone(&chaos));
             server.set_exec_batch(config.exec_batch);
+            server.set_exec_prune(config.exec_prune);
             if let Some(threads) = config.taskpool_threads {
                 server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,
@@ -237,6 +248,7 @@ impl PinotCluster {
         let mut brokers = Vec::with_capacity(config.num_brokers);
         for n in 1..=config.num_brokers {
             let broker = Broker::with_obs(n, cluster.clone(), Arc::clone(&obs));
+            broker.set_exec_prune(config.exec_prune);
             if let Some(threads) = config.taskpool_threads {
                 broker.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,
@@ -350,6 +362,7 @@ impl PinotCluster {
             builder_cfg.sort_columns = vec![sorted.clone()];
         }
         builder_cfg.inverted_columns = config.indexing.inverted_index_columns.clone();
+        builder_cfg.bloom_columns = config.indexing.bloom_filter_columns.clone();
         builder_cfg.created_at_millis = self.clock.now_millis();
         // Offline pushes of partitioned tables must partition the same way
         // as the realtime side (§4.4); single-partition-pure segments only

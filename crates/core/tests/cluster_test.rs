@@ -397,17 +397,28 @@ fn partitioned_routing_through_cluster() {
     assert_eq!(names.len(), 4);
 
     // Point query on the partition column touches a single partition's
-    // segments — and returns the right answer.
+    // segments — and returns the right answer. The three partitions the
+    // broker skipped are visible in the stats as pruned, so
+    // queried == processed + pruned holds end to end.
     let resp = cluster.query("SELECT COUNT(*) FROM views WHERE viewer = 42");
     assert!(!resp.partial, "{:?}", resp.exceptions);
     assert_eq!(count_of(&resp), 1);
-    assert_eq!(resp.stats.num_segments_queried, 1);
+    assert_eq!(resp.stats.num_segments_queried, 4);
+    assert_eq!(resp.stats.num_segments_processed, 1);
+    assert_eq!(resp.stats.num_segments_pruned, 3);
+    assert_eq!(
+        resp.stats.num_segments_queried,
+        resp.stats.num_segments_processed + resp.stats.num_segments_pruned
+    );
+    assert_eq!(resp.stats.total_docs, 400);
     assert_eq!(resp.stats.num_servers_queried, 1);
 
     // Unpartitionable query fans out to everything and still answers.
     let resp = cluster.query("SELECT COUNT(*) FROM views");
     assert_eq!(count_of(&resp), 400);
     assert_eq!(resp.stats.num_segments_queried, 4);
+    assert_eq!(resp.stats.num_segments_processed, 4);
+    assert_eq!(resp.stats.num_segments_pruned, 0);
 }
 
 #[test]

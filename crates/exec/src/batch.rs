@@ -44,6 +44,10 @@ pub struct ExecOptions {
     /// Use the batched kernels where they apply. `None` defers to the
     /// `PINOT_EXEC_BATCH` env default (on unless set to `0`).
     pub batch: Option<bool>,
+    /// Evaluate segment statistics (zone maps + blooms) before planning.
+    /// `None` defers to the `PINOT_EXEC_PRUNE` env default (on unless
+    /// set to `0`).
+    pub prune: Option<bool>,
     /// Metrics sink for kernel counters; optional so tests and the
     /// baseline engine can run without one.
     pub obs: Option<Arc<Obs>>,
@@ -52,6 +56,10 @@ pub struct ExecOptions {
 impl ExecOptions {
     pub fn batch_enabled(&self) -> bool {
         self.batch.unwrap_or_else(batch_default)
+    }
+
+    pub fn prune_enabled(&self) -> bool {
+        self.prune.unwrap_or_else(crate::prune::prune_default)
     }
 }
 

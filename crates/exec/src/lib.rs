@@ -24,6 +24,7 @@ pub mod batch;
 pub mod key;
 pub mod merge;
 pub mod planner;
+pub mod prune;
 pub mod segment_exec;
 pub mod selection;
 
@@ -32,6 +33,10 @@ pub use batch::{batch_default, ExecOptions};
 pub use key::GroupKey;
 pub use merge::{finalize, merge_intermediate};
 pub use planner::{evaluate_filter_mode, plan_segment, PlanKind};
+pub use prune::{
+    prune_default, ColumnRange, Prunable, PruneEvaluator, PruneLevel, PruneOutcome,
+    PruneStatsSource, ZoneMapStats,
+};
 pub use segment_exec::{
     execute_on_segment, execute_on_segment_with, IntermediateResult, SegmentHandle,
 };

@@ -99,24 +99,41 @@ pub fn metadata_only_plan(segment: &ImmutableSegment, query: &Query) -> Option<V
             (AggFunction::Count, None) => {
                 out.push(Value::Long(segment.num_docs() as i64));
             }
-            (AggFunction::Min, Some(c)) => {
+            // COUNT(col) counts docs whose value is numeric; columns are
+            // null-free, so for a numeric single-value column that is
+            // every doc. (Multi-value and string columns contribute
+            // nothing in the scan paths, so they must not answer here.)
+            (AggFunction::Count, Some(c)) => {
                 let stats = segment.metadata().column(c)?;
-                if !stats.data_type.is_numeric() {
+                if !stats.data_type.is_numeric() || !stats.single_value {
                     return None;
                 }
-                out.push(Value::Double(stats.min.as_ref()?.as_f64()?));
+                out.push(Value::Long(segment.num_docs() as i64));
+            }
+            (AggFunction::Min, Some(c)) => {
+                out.push(Value::Double(numeric_bound(segment, c, false)?));
             }
             (AggFunction::Max, Some(c)) => {
-                let stats = segment.metadata().column(c)?;
-                if !stats.data_type.is_numeric() {
-                    return None;
-                }
-                out.push(Value::Double(stats.max.as_ref()?.as_f64()?));
+                out.push(Value::Double(numeric_bound(segment, c, true)?));
             }
             _ => return None,
         }
     }
     Some(out)
+}
+
+/// Zone-map bound usable as a MIN/MAX answer: numeric single-value
+/// columns only (scan-path MIN/MAX ignores multi-value columns), and
+/// only finite bounds — the scan path folds NaN/infinite extremes to
+/// `Null`, so those segments must keep scanning to stay byte-identical.
+fn numeric_bound(segment: &ImmutableSegment, column: &str, max: bool) -> Option<f64> {
+    let stats = segment.metadata().column(column)?;
+    if !stats.data_type.is_numeric() || !stats.single_value {
+        return None;
+    }
+    let bound = if max { &stats.max } else { &stats.min };
+    let v = bound.as_ref()?.as_f64()?;
+    v.is_finite().then_some(v)
 }
 
 /// Try to convert the query into a star-tree execution: per-dimension
@@ -708,6 +725,11 @@ mod tests {
         assert_eq!(vals[0], Value::Long(100));
         assert_eq!(vals[1], Value::Double(0.0));
         assert_eq!(vals[2], Value::Double(99.0));
+        // COUNT(col) on a numeric column is num_docs (columns are
+        // null-free); on a string column it must keep scanning.
+        let vals = metadata_only_plan(&seg, &parse("SELECT COUNT(m) FROM t").unwrap()).unwrap();
+        assert_eq!(vals[0], Value::Long(100));
+        assert!(metadata_only_plan(&seg, &parse("SELECT COUNT(c) FROM t").unwrap()).is_none());
         // Filter or grouping disables it.
         assert!(
             metadata_only_plan(&seg, &parse("SELECT COUNT(*) FROM t WHERE k = 1").unwrap())

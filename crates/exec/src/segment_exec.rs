@@ -462,7 +462,7 @@ mod tests {
     fn run(handle: &SegmentHandle, pql: &str, batch: bool) -> IntermediateResult {
         let opts = ExecOptions {
             batch: Some(batch),
-            obs: None,
+            ..ExecOptions::default()
         };
         execute_on_segment_with(handle, &parse(pql).unwrap(), &opts).unwrap()
     }

@@ -1,0 +1,158 @@
+//! Pruning soundness properties (ISSUE 5): the `PruneEvaluator` may only
+//! say `CannotMatch` when the engine would find zero matching rows, and
+//! may only say `MatchAll` when the filter keeps every row. The oracle is
+//! the real execution path — a `COUNT(*)` with the same filter — so the
+//! evaluator is held to exactly the engine's coercion and comparison
+//! semantics, not an idealized model of them.
+
+use pinot_common::{DataType, FieldSpec, Record, Schema, Value};
+use pinot_exec::segment_exec::{execute_on_segment, ResultPayload, SegmentHandle};
+use pinot_exec::{Prunable, PruneEvaluator};
+use pinot_pql::parse;
+use pinot_segment::builder::{BuilderConfig, SegmentBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Row {
+    k: i64,
+    c: &'static str,
+    m: i64,
+    ts: i64,
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (
+            0i64..8,
+            prop::sample::select(vec!["us", "de", "fr", "jp"]),
+            -50i64..50,
+            100i64..130,
+        )
+            .prop_map(|(k, c, m, ts)| Row { k, c, m, ts }),
+        1..120,
+    )
+}
+
+fn build(rows: &[Row]) -> SegmentHandle {
+    let schema = Schema::new(
+        "t",
+        vec![
+            FieldSpec::dimension("k", DataType::Long),
+            FieldSpec::dimension("c", DataType::String),
+            FieldSpec::metric("m", DataType::Long),
+            FieldSpec::time("ts", DataType::Long, pinot_common::TimeUnit::Days),
+        ],
+    )
+    .unwrap();
+    let cfg = BuilderConfig::new("s", "t").with_bloom_columns(&["k", "c"]);
+    let mut b = SegmentBuilder::new(schema, cfg).unwrap();
+    for r in rows {
+        b.add(Record::new(vec![
+            Value::Long(r.k),
+            Value::from(r.c),
+            Value::Long(r.m),
+            Value::Long(r.ts),
+        ]))
+        .unwrap();
+    }
+    SegmentHandle::new(Arc::new(b.build().unwrap()))
+}
+
+/// Filters deliberately spanning in-range, out-of-range, absent-value, and
+/// type-incompatible probes, composed with AND/OR/NOT/IN/BETWEEN.
+fn filter_strategy() -> impl Strategy<Value = String> {
+    let country = prop::sample::select(vec!["us", "de", "fr", "jp", "br", "zz"]);
+    let leaf = prop_oneof![
+        (-4i64..12).prop_map(|k| format!("k = {k}")),
+        (-4i64..12).prop_map(|k| format!("k >= {k}")),
+        (-4i64..12).prop_map(|k| format!("k < {k}")),
+        (-200i64..200).prop_map(|m| format!("m <= {m}")),
+        (90i64..140).prop_map(|t| format!("ts = {t}")),
+        (90i64..140, 0i64..20).prop_map(|(lo, w)| format!("ts BETWEEN {lo} AND {}", lo + w)),
+        country.clone().prop_map(|c| format!("c = '{c}'")),
+        (country.clone(), country.clone()).prop_map(|(a, b)| format!("c IN ('{a}', '{b}')")),
+        // Type-incompatible probes: match nothing in the engine, so
+        // CannotMatch must be an acceptable answer, never a wrong one.
+        Just("k = 'ten'".to_string()),
+        Just("m = 10.5".to_string()),
+    ];
+    let pair = (leaf.clone(), leaf.clone());
+    prop_oneof![
+        leaf.clone(),
+        pair.clone().prop_map(|(a, b)| format!("{a} AND {b}")),
+        pair.clone().prop_map(|(a, b)| format!("{a} OR {b}")),
+        leaf.clone().prop_map(|a| format!("NOT {a}")),
+        (leaf.clone(), pair).prop_map(|(a, (b, c))| format!("{a} AND ({b} OR {c})")),
+    ]
+}
+
+fn engine_count(handle: &SegmentHandle, filter: &str) -> u64 {
+    let q = parse(&format!("SELECT COUNT(*) FROM t WHERE {filter}")).unwrap();
+    let r = execute_on_segment(handle, &q).unwrap();
+    match r.payload {
+        ResultPayload::Aggregation(states) => match &states[0] {
+            pinot_exec::AggState::Count(n) => *n,
+            other => panic!("unexpected state {other:?}"),
+        },
+        other => panic!("unexpected payload {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The metadata-only plan answers MIN/MAX/COUNT on zone-mapped columns
+    /// (ISSUE 5 satellite): for arbitrary data it must return exactly what
+    /// the full-scan path computes. A tautological filter forces the scan
+    /// plan for the oracle side.
+    #[test]
+    fn metadata_min_max_matches_full_scan(rows in rows_strategy()) {
+        let handle = build(&rows);
+        let aggs = "MIN(m), MAX(m), MIN(k), MAX(ts), COUNT(m), COUNT(*)";
+        let meta_q = parse(&format!("SELECT {aggs} FROM t")).unwrap();
+        let scan_q = parse(&format!("SELECT {aggs} FROM t WHERE k >= -100")).unwrap();
+        prop_assert_eq!(
+            pinot_exec::plan_segment(&handle, &meta_q),
+            pinot_exec::PlanKind::MetadataOnly
+        );
+        prop_assert_eq!(
+            pinot_exec::plan_segment(&handle, &scan_q),
+            pinot_exec::PlanKind::Raw
+        );
+        let meta = execute_on_segment(&handle, &meta_q).unwrap();
+        let scan = execute_on_segment(&handle, &scan_q).unwrap();
+        match (&meta.payload, &scan.payload) {
+            (ResultPayload::Aggregation(m), ResultPayload::Aggregation(s)) => {
+                let m: Vec<f64> = m.iter().map(|a| a.finalize_f64()).collect();
+                let s: Vec<f64> = s.iter().map(|a| a.finalize_f64()).collect();
+                prop_assert_eq!(m, s);
+            }
+            other => prop_assert!(false, "unexpected payloads {:?}", other),
+        }
+    }
+
+    /// `CannotMatch` implies zero engine matches, and `MatchAll` implies
+    /// every row matches — across arbitrary data and filter shapes.
+    #[test]
+    fn prune_verdicts_are_sound(rows in rows_strategy(), filter in filter_strategy()) {
+        let handle = build(&rows);
+        let segment = &handle.segment;
+        let q = parse(&format!("SELECT COUNT(*) FROM t WHERE {filter}")).unwrap();
+        let evaluator = PruneEvaluator::new(Some("ts".to_string()));
+        let outcome = evaluator.evaluate(q.filter.as_ref(), segment.as_ref());
+        let matched = engine_count(&handle, &filter);
+        match outcome.prunable {
+            Prunable::CannotMatch => prop_assert_eq!(
+                matched, 0,
+                "pruned a segment with {} matching rows (filter {})", matched, &filter
+            ),
+            Prunable::MatchAll => prop_assert_eq!(
+                matched, segment.num_docs() as u64,
+                "claimed MatchAll but only {}/{} rows match (filter {})",
+                matched, segment.num_docs(), &filter
+            ),
+            Prunable::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Blocked bloom filters for dimension columns.
+//!
+//! Built at seal time over a column's *distinct* values (the dictionary),
+//! so membership answers "might this exact value appear anywhere in the
+//! segment". The filter is blocked: keys hash to one 512-bit (cache-line)
+//! block and all probe bits land inside it, so a negative membership test
+//! costs one cache line regardless of the number of hash functions.
+//!
+//! Guarantees: no false negatives by construction (every inserted key sets
+//! exactly the bits a later probe reads); the false-positive rate tracks
+//! the classic `0.6185^bits_per_key` bound, slightly degraded by blocking
+//! (the proptests pin it under 2× the target).
+
+use pinot_common::{DataType, Value};
+
+/// Bits per block: one cache line, fixed by the format.
+const BLOCK_BITS: u64 = 512;
+const BLOCK_WORDS: usize = (BLOCK_BITS / 64) as usize;
+
+/// Default sizing for configured bloom columns.
+pub const DEFAULT_BITS_PER_KEY: u32 = 10;
+/// Default hash seed (mixed into every key hash; segments could vary it).
+pub const DEFAULT_SEED: u64 = 0x5165_7a6f_6e65_4d61; // "QeZoneMa"
+
+/// A blocked bloom filter over canonical key bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    seed: u64,
+    bits_per_key: u32,
+    num_hashes: u32,
+    num_keys: u64,
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected_keys` at `bits_per_key` bits each.
+    pub fn new(expected_keys: usize, bits_per_key: u32, seed: u64) -> BloomFilter {
+        let bits_per_key = bits_per_key.clamp(1, 64);
+        let total_bits = (expected_keys as u64).saturating_mul(bits_per_key as u64);
+        let num_blocks = total_bits.div_ceil(BLOCK_BITS).max(1);
+        // k ≈ bits_per_key · ln 2, the classic optimum.
+        let num_hashes = ((bits_per_key as f64 * 0.69).round() as u32).clamp(1, 16);
+        BloomFilter {
+            seed,
+            bits_per_key,
+            num_hashes,
+            num_keys: 0,
+            words: vec![0u64; num_blocks as usize * BLOCK_WORDS],
+        }
+    }
+
+    /// Rebuild from persisted parts (see `persist`).
+    pub fn from_parts(
+        seed: u64,
+        bits_per_key: u32,
+        num_hashes: u32,
+        num_keys: u64,
+        words: Vec<u64>,
+    ) -> BloomFilter {
+        BloomFilter {
+            seed,
+            bits_per_key,
+            num_hashes,
+            num_keys,
+            words,
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn bits_per_key(&self) -> u32 {
+        self.bits_per_key
+    }
+
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Configured false-positive target: the classic optimum for this
+    /// `bits_per_key` (blocking degrades it a little; tests allow 2×).
+    pub fn target_fp_rate(&self) -> f64 {
+        0.6185f64.powi(self.bits_per_key as i32)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        (self.words.len() / BLOCK_WORDS) as u64
+    }
+
+    /// Block index plus the two in-block probe hashes for a key.
+    fn probe(&self, key: &[u8]) -> (usize, u64, u64) {
+        let h = mix64(fnv64(key) ^ self.seed);
+        let g = mix64(h ^ 0x9e37_79b9_7f4a_7c15);
+        // Multiply-shift maps the high half uniformly onto blocks.
+        let block = (((h >> 32) * self.num_blocks()) >> 32) as usize;
+        (block * BLOCK_WORDS, g, (g >> 32) | 1)
+    }
+
+    /// Insert a canonical key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (base, mut bit, delta) = self.probe(key);
+        for _ in 0..self.num_hashes {
+            let b = bit % BLOCK_BITS;
+            self.words[base + (b / 64) as usize] |= 1u64 << (b % 64);
+            bit = bit.wrapping_add(delta);
+        }
+        self.num_keys += 1;
+    }
+
+    /// Membership test: false means the key is definitely absent.
+    pub fn might_contain(&self, key: &[u8]) -> bool {
+        let (base, mut bit, delta) = self.probe(key);
+        for _ in 0..self.num_hashes {
+            let b = bit % BLOCK_BITS;
+            if self.words[base + (b / 64) as usize] & (1u64 << (b % 64)) == 0 {
+                return false;
+            }
+            bit = bit.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Membership test for a typed value against a column of `data_type`.
+    /// `None` when the value cannot coerce into the column's type (the
+    /// dictionary would match nothing either, but callers stay
+    /// conservative and treat it as unknown).
+    pub fn might_contain_value(&self, value: &Value, data_type: DataType) -> Option<bool> {
+        bloom_key(value, data_type).map(|k| self.might_contain(&k))
+    }
+
+    /// Approximate heap bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * 8
+    }
+}
+
+/// Canonical key bytes for a value probed against a column of
+/// `data_type`. Mirrors `Dictionary::id_of`'s coercion rules exactly so a
+/// bloom negative can never contradict a dictionary hit: integer columns
+/// key on `as_i64` (floats rejected), float columns key through the
+/// column's own width, strings and booleans key on their exact type.
+pub fn bloom_key(value: &Value, data_type: DataType) -> Option<Vec<u8>> {
+    match data_type {
+        DataType::Int => {
+            let x = value.as_i64()?;
+            if x < i32::MIN as i64 || x > i32::MAX as i64 {
+                return None;
+            }
+            Some(x.to_le_bytes().to_vec())
+        }
+        DataType::Long => Some(value.as_i64()?.to_le_bytes().to_vec()),
+        DataType::Float => {
+            let x = value.as_f64()? as f32;
+            Some(((x as f64).to_bits()).to_le_bytes().to_vec())
+        }
+        DataType::Double => Some(value.as_f64()?.to_bits().to_le_bytes().to_vec()),
+        DataType::String => Some(value.as_str()?.as_bytes().to_vec()),
+        DataType::Boolean => match value {
+            Value::Boolean(b) => Some(vec![*b as u8]),
+            _ => None,
+        },
+    }
+}
+
+/// FNV-1a over the key bytes (seeded separately in `probe`).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: avalanches the raw FNV state.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<String> = (0..1000).map(|i| format!("key-{i}")).collect();
+        let mut f = BloomFilter::new(keys.len(), DEFAULT_BITS_PER_KEY, DEFAULT_SEED);
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(f.might_contain(k.as_bytes()), "{k}");
+        }
+        assert_eq!(f.num_keys(), 1000);
+    }
+
+    #[test]
+    fn fp_rate_near_target() {
+        let n = 4000;
+        let mut f = BloomFilter::new(n, DEFAULT_BITS_PER_KEY, DEFAULT_SEED);
+        for i in 0..n {
+            f.insert(format!("present-{i}").as_bytes());
+        }
+        let probes = 20_000;
+        let fps = (0..probes)
+            .filter(|i| f.might_contain(format!("absent-{i}").as_bytes()))
+            .count();
+        let rate = fps as f64 / probes as f64;
+        assert!(
+            rate < 2.0 * f.target_fp_rate(),
+            "fp rate {rate} vs target {}",
+            f.target_fp_rate()
+        );
+    }
+
+    #[test]
+    fn typed_keys_follow_dictionary_coercion() {
+        let mut f = BloomFilter::new(16, 10, 7);
+        f.insert(&bloom_key(&Value::Long(42), DataType::Long).unwrap());
+        // Int probes coerce into long columns, like `Dictionary::id_of`.
+        assert_eq!(
+            f.might_contain_value(&Value::Int(42), DataType::Long),
+            Some(true)
+        );
+        // Floats never coerce into integer columns.
+        assert_eq!(
+            f.might_contain_value(&Value::Double(42.0), DataType::Long),
+            None
+        );
+        // Float columns hash through f32, so a wider double that rounds to
+        // the same f32 still hits.
+        let mut g = BloomFilter::new(16, 10, 7);
+        g.insert(&bloom_key(&Value::Float(0.25), DataType::Float).unwrap());
+        assert_eq!(
+            g.might_contain_value(&Value::Double(0.25), DataType::Float),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn tiny_and_empty_filters_work() {
+        let f = BloomFilter::new(0, 10, 1);
+        assert!(!f.might_contain(b"anything"));
+        let mut g = BloomFilter::new(1, 1, 1);
+        g.insert(b"x");
+        assert!(g.might_contain(b"x"));
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut f = BloomFilter::new(100, 12, 99);
+        for i in 0..100 {
+            f.insert(format!("v{i}").as_bytes());
+        }
+        let g = BloomFilter::from_parts(
+            f.seed(),
+            f.bits_per_key(),
+            f.num_hashes(),
+            f.num_keys(),
+            f.words().to_vec(),
+        );
+        assert_eq!(f, g);
+    }
+}

@@ -20,6 +20,10 @@ pub struct BuilderConfig {
     pub sort_columns: Vec<String>,
     /// Columns to build bitmap inverted indexes for.
     pub inverted_columns: Vec<String>,
+    /// Columns to build blocked bloom filters for (dimension pruning).
+    pub bloom_columns: Vec<String>,
+    /// Bits per distinct key for bloom filters.
+    pub bloom_bits_per_key: u32,
     pub partition: Option<PartitionInfo>,
     /// Stream offsets `[start, end)` for realtime-committed segments.
     pub offset_range: Option<(u64, u64)>,
@@ -33,6 +37,8 @@ impl BuilderConfig {
             table: table.into(),
             sort_columns: Vec::new(),
             inverted_columns: Vec::new(),
+            bloom_columns: Vec::new(),
+            bloom_bits_per_key: crate::bloom::DEFAULT_BITS_PER_KEY,
             partition: None,
             offset_range: None,
             created_at_millis: 0,
@@ -46,6 +52,11 @@ impl BuilderConfig {
 
     pub fn with_inverted_columns(mut self, cols: &[&str]) -> BuilderConfig {
         self.inverted_columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_bloom_columns(mut self, cols: &[&str]) -> BuilderConfig {
+        self.bloom_columns = cols.iter().map(|s| s.to_string()).collect();
         self
     }
 
@@ -83,6 +94,13 @@ impl SegmentBuilder {
             if schema.field(col).is_none() {
                 return Err(PinotError::Schema(format!(
                     "inverted-index column {col:?} not in schema"
+                )));
+            }
+        }
+        for col in &config.bloom_columns {
+            if schema.field(col).is_none() {
+                return Err(PinotError::Schema(format!(
+                    "bloom-filter column {col:?} not in schema"
                 )));
             }
         }
@@ -261,12 +279,30 @@ fn build_column(
         None
     };
 
+    // Bloom filter over the distinct values of configured columns.
+    let bloom = if config.bloom_columns.contains(&spec.name) {
+        let mut f = crate::bloom::BloomFilter::new(
+            dictionary.cardinality(),
+            config.bloom_bits_per_key,
+            crate::bloom::DEFAULT_SEED,
+        );
+        for id in 0..dictionary.cardinality() as DictId {
+            if let Some(key) = crate::bloom::bloom_key(&dictionary.value_of(id), spec.data_type) {
+                f.insert(&key);
+            }
+        }
+        Some(f)
+    } else {
+        None
+    };
+
     Ok(ColumnData {
         spec: spec.clone(),
         dictionary,
         forward,
         inverted,
         sorted,
+        bloom,
     })
 }
 
@@ -380,6 +416,32 @@ mod tests {
         assert!(SegmentBuilder::new(
             s,
             BuilderConfig::new("x", "t").with_inverted_columns(&["nope"])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bloom_columns_build_and_answer_membership() {
+        let s = schema();
+        let cfg = BuilderConfig::new("seg", "t").with_bloom_columns(&["country"]);
+        let mut b = SegmentBuilder::new(s.clone(), cfg).unwrap();
+        for c in ["us", "de", "fr"] {
+            b.add(record(&s, 1, c, 1, 1)).unwrap();
+        }
+        let seg = b.build().unwrap();
+        let country = seg.column("country").unwrap();
+        assert!(country.bloom.is_some());
+        assert_eq!(country.bloom_contains(&Value::from("de")), Some(true));
+        // Columns without a configured bloom answer None.
+        assert_eq!(
+            seg.column("views").unwrap().bloom_contains(&Value::Long(1)),
+            None
+        );
+        assert!(seg.metadata().column("country").unwrap().has_bloom_filter);
+        // Unknown bloom column is a config error.
+        assert!(SegmentBuilder::new(
+            s,
+            BuilderConfig::new("x", "t").with_bloom_columns(&["nope"])
         )
         .is_err());
     }

@@ -1,6 +1,7 @@
 //! One column of an immutable segment: dictionary + forward index +
 //! optional inverted / sorted indexes.
 
+use crate::bloom::BloomFilter;
 use crate::dictionary::Dictionary;
 use crate::forward::ForwardIndex;
 use crate::inverted::InvertedIndex;
@@ -17,6 +18,9 @@ pub struct ColumnData {
     pub forward: ForwardIndex,
     pub inverted: Option<InvertedIndex>,
     pub sorted: Option<SortedIndex>,
+    /// Membership filter over the column's distinct values (configured
+    /// dimension columns only; absent on segments persisted before v2).
+    pub bloom: Option<BloomFilter>,
 }
 
 impl ColumnData {
@@ -80,6 +84,15 @@ impl ColumnData {
         }
     }
 
+    /// Bloom membership for an exact value: `Some(false)` proves the value
+    /// appears nowhere in the column. `None` when the column has no bloom
+    /// filter or the value cannot coerce into the column's type.
+    pub fn bloom_contains(&self, value: &Value) -> Option<bool> {
+        self.bloom
+            .as_ref()?
+            .might_contain_value(value, self.spec.data_type)
+    }
+
     pub fn stats(&self) -> ColumnStats {
         ColumnStats {
             name: self.spec.name.clone(),
@@ -91,6 +104,7 @@ impl ColumnData {
             total_entries: self.forward.num_entries(),
             has_inverted_index: self.inverted.is_some(),
             is_sorted: self.sorted.is_some(),
+            has_bloom_filter: self.bloom.is_some(),
         }
     }
 
@@ -99,6 +113,7 @@ impl ColumnData {
             + self.forward.size_bytes()
             + self.inverted.as_ref().map_or(0, InvertedIndex::size_bytes)
             + self.sorted.as_ref().map_or(0, SortedIndex::size_bytes)
+            + self.bloom.as_ref().map_or(0, BloomFilter::size_bytes)
     }
 }
 
@@ -119,6 +134,7 @@ mod tests {
             forward: ForwardIndex::single(&ids),
             inverted: None,
             sorted: None,
+            bloom: None,
         }
     }
 
@@ -162,6 +178,7 @@ mod tests {
             forward: ForwardIndex::multi(&ids),
             inverted: None,
             sorted: None,
+            bloom: None,
         };
         assert_eq!(col.value(0), Value::IntArray(vec![1, 3]));
         assert_eq!(col.value(1), Value::IntArray(vec![2]));

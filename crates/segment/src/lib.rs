@@ -21,6 +21,7 @@
 //! [`persist`] provides the on-disk/object-store binary format.
 
 pub mod bitpack;
+pub mod bloom;
 pub mod builder;
 pub mod column;
 pub mod dictionary;
@@ -32,6 +33,7 @@ pub mod persist;
 pub mod segment;
 pub mod sorted_index;
 
+pub use bloom::BloomFilter;
 pub use builder::SegmentBuilder;
 pub use column::ColumnData;
 pub use dictionary::Dictionary;

@@ -19,6 +19,7 @@ pub struct ColumnStats {
     pub total_entries: usize,
     pub has_inverted_index: bool,
     pub is_sorted: bool,
+    pub has_bloom_filter: bool,
 }
 
 /// Partitioning info for partition-aware routing (§4.4).
@@ -95,6 +96,7 @@ mod tests {
                 total_entries: 10,
                 has_inverted_index: false,
                 is_sorted: false,
+                has_bloom_filter: false,
             }],
             time_column: Some("day".into()),
             min_time: Some(min_time),

@@ -7,11 +7,17 @@
 //!
 //! Layout: `magic "PSEG" | version u16 | fnv64 checksum of payload | payload`.
 //! The payload serializes the schema, metadata, and every column
-//! (dictionary, forward index, optional inverted/sorted indexes). All
-//! integers are little-endian. Deserialization re-validates structure and
-//! the checksum so corrupted blobs are rejected at load time.
+//! (dictionary, forward index, optional inverted/sorted indexes, and —
+//! since version 2 — an optional blocked bloom filter). All integers are
+//! little-endian. Deserialization re-validates structure and the checksum
+//! so corrupted blobs are rejected at load time.
+//!
+//! Version history: v1 has no per-column bloom section; v1 blobs still
+//! load (blooms come back absent and pruning degrades to zone maps only).
+//! Writers always emit the current version.
 
 use crate::bitpack::PackedIntVec;
+use crate::bloom::BloomFilter;
 use crate::column::ColumnData;
 use crate::dictionary::Dictionary;
 use crate::forward::ForwardIndex;
@@ -24,7 +30,10 @@ use pinot_bitmap::RoaringBitmap;
 use pinot_common::{DataType, FieldRole, FieldSpec, PinotError, Result, Schema, TimeUnit, Value};
 
 const MAGIC: &[u8; 4] = b"PSEG";
-const VERSION: u16 = 1;
+/// Current format version. v2 added the per-column bloom section.
+const VERSION: u16 = 2;
+/// Oldest version this build still reads.
+const MIN_VERSION: u16 = 1;
 
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
@@ -35,18 +44,22 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialize a segment to a self-validating blob.
+/// Serialize a segment to a self-validating blob (current version).
 pub fn serialize(seg: &ImmutableSegment) -> Vec<u8> {
+    serialize_with_version(seg, VERSION)
+}
+
+fn serialize_with_version(seg: &ImmutableSegment, version: u16) -> Vec<u8> {
     let mut payload = BytesMut::with_capacity(seg.size_bytes() as usize / 2 + 1024);
     write_schema(&mut payload, seg.schema());
     write_metadata(&mut payload, seg.metadata());
     payload.put_u32_le(seg.columns().len() as u32);
     for col in seg.columns() {
-        write_column(&mut payload, col);
+        write_column(&mut payload, col, version);
     }
     let mut out = Vec::with_capacity(payload.len() + 14);
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&fnv64(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
@@ -58,7 +71,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<ImmutableSegment> {
         return Err(err("bad magic"));
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(err(&format!("unsupported segment version {version}")));
     }
     let checksum = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
@@ -75,7 +88,7 @@ pub fn deserialize(bytes: &[u8]) -> Result<ImmutableSegment> {
     }
     let mut columns = Vec::with_capacity(ncols);
     for spec in schema.fields() {
-        columns.push(read_column(&mut buf, spec.clone())?);
+        columns.push(read_column(&mut buf, spec.clone(), version)?);
     }
     if buf.has_remaining() {
         return Err(err("trailing bytes"));
@@ -541,7 +554,7 @@ fn read_packed(buf: &mut Bytes) -> Result<PackedIntVec> {
     PackedIntVec::from_raw_parts(bits, len, words).ok_or_else(|| err("bad packed vector"))
 }
 
-fn write_column(buf: &mut BytesMut, col: &ColumnData) {
+fn write_column(buf: &mut BytesMut, col: &ColumnData, version: u16) {
     write_dictionary(buf, &col.dictionary);
     match &col.forward {
         ForwardIndex::SingleValue(p) => {
@@ -581,9 +594,55 @@ fn write_column(buf: &mut BytesMut, col: &ColumnData) {
         }
         None => buf.put_u8(0),
     }
+    // v2: optional bloom filter.
+    if version < 2 {
+        return;
+    }
+    match &col.bloom {
+        Some(f) => {
+            buf.put_u8(1);
+            buf.put_u64_le(f.seed());
+            buf.put_u32_le(f.bits_per_key());
+            buf.put_u32_le(f.num_hashes());
+            buf.put_u64_le(f.num_keys());
+            buf.put_u32_le(f.words().len() as u32);
+            for w in f.words() {
+                buf.put_u64_le(*w);
+            }
+        }
+        None => buf.put_u8(0),
+    }
 }
 
-fn read_column(buf: &mut Bytes, spec: FieldSpec) -> Result<ColumnData> {
+fn read_bloom(buf: &mut Bytes) -> Result<Option<BloomFilter>> {
+    match read_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let seed = read_u64(buf)?;
+            let bits_per_key = read_u32(buf)?;
+            let num_hashes = read_u32(buf)?;
+            let num_keys = read_u64(buf)?;
+            let nwords = read_u32(buf)? as usize;
+            if nwords == 0 || !nwords.is_multiple_of(8) {
+                return Err(err("bad bloom word count"));
+            }
+            let mut words = Vec::with_capacity(nwords.min(1 << 24));
+            for _ in 0..nwords {
+                words.push(read_u64(buf)?);
+            }
+            Ok(Some(BloomFilter::from_parts(
+                seed,
+                bits_per_key,
+                num_hashes,
+                num_keys,
+                words,
+            )))
+        }
+        _ => Err(err("bad bloom tag")),
+    }
+}
+
+fn read_column(buf: &mut Bytes, spec: FieldSpec, version: u16) -> Result<ColumnData> {
     let dictionary = read_dictionary(buf)?;
     let forward = match read_u8(buf)? {
         0 => ForwardIndex::SingleValue(read_packed(buf)?),
@@ -638,6 +697,8 @@ fn read_column(buf: &mut Bytes, spec: FieldSpec) -> Result<ColumnData> {
         }
         _ => return Err(err("bad sorted tag")),
     };
+    // v1 blobs predate bloom filters: load with the section absent.
+    let bloom = if version >= 2 { read_bloom(buf)? } else { None };
     // Cross-checks against the dictionary.
     for doc in 0..forward.num_docs() as u32 {
         // Spot-check only the first and last documents to keep load cheap;
@@ -658,6 +719,7 @@ fn read_column(buf: &mut Bytes, spec: FieldSpec) -> Result<ColumnData> {
         forward,
         inverted,
         sorted,
+        bloom,
     })
 }
 
@@ -688,6 +750,7 @@ mod tests {
         let cfg = BuilderConfig::new("seg_0", "t_OFFLINE")
             .with_sort_columns(&["id"])
             .with_inverted_columns(&["country", "tags"])
+            .with_bloom_columns(&["country"])
             .with_partition(PartitionInfo {
                 column: "id".into(),
                 partition_id: 2,
@@ -734,6 +797,35 @@ mod tests {
         for i in 0..inv.cardinality() as u32 {
             assert_eq!(inv.postings(i).to_vec(), orig.postings(i).to_vec());
         }
+        // Bloom filter survived bit for bit, and stats reflect it.
+        assert_eq!(
+            back.column("country").unwrap().bloom,
+            seg.column("country").unwrap().bloom
+        );
+        assert!(back.metadata().column("country").unwrap().has_bloom_filter);
+        assert_eq!(
+            back.column("country")
+                .unwrap()
+                .bloom_contains(&Value::from("c3")),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn v1_blobs_load_with_blooms_absent() {
+        let seg = build_segment();
+        let v1 = serialize_with_version(&seg, 1);
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), 1);
+        let back = deserialize(&v1).unwrap();
+        // Data and indexes intact; bloom stats degrade to absent.
+        assert_eq!(back.num_docs(), seg.num_docs());
+        for doc in (0..seg.num_docs()).step_by(97) {
+            assert_eq!(back.record(doc), seg.record(doc));
+        }
+        assert!(back.column("country").unwrap().bloom.is_none());
+        assert!(!back.metadata().column("country").unwrap().has_bloom_filter);
+        // Min/max zone maps still restore from the dictionaries.
+        assert!(back.metadata().column("clicks").unwrap().min.is_some());
     }
 
     #[test]

@@ -149,6 +149,71 @@ proptest! {
     }
 }
 
+mod bloom {
+    use pinot_segment::BloomFilter;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The defining bloom-filter guarantee: every inserted key answers
+        /// "maybe present" — no false negatives, for any key set, bits/key
+        /// setting, or seed.
+        #[test]
+        fn no_false_negatives(
+            keys in prop::collection::vec(any::<u64>(), 0..500),
+            bits_per_key in 6u32..16,
+            seed in any::<u64>(),
+        ) {
+            let mut bloom = BloomFilter::new(keys.len(), bits_per_key, seed);
+            for k in &keys {
+                bloom.insert(&k.to_le_bytes());
+            }
+            for k in &keys {
+                prop_assert!(bloom.might_contain(&k.to_le_bytes()));
+            }
+        }
+    }
+
+    proptest! {
+        // Statistical property — fewer, bigger cases.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Measured false-positive rate stays within 2× of the configured
+        /// target (the blocked layout costs a little accuracy vs the
+        /// classic filter; 2× is the contract the sizing math promises).
+        #[test]
+        fn fp_rate_within_twice_target(seed in any::<u64>(), bits_per_key in 8u32..14) {
+            let num_keys = 4000usize;
+            let mut bloom = BloomFilter::new(num_keys, bits_per_key, seed);
+            let inserted: HashSet<u64> = (0..num_keys as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed)
+                .collect();
+            for k in &inserted {
+                bloom.insert(&k.to_le_bytes());
+            }
+            let probes = 20_000u64;
+            let mut false_positives = 0u64;
+            for i in 0..probes {
+                let k = (i.wrapping_add(1) << 32).wrapping_mul(0x2545_f491_4f6c_dd1d) ^ !seed;
+                if inserted.contains(&k) {
+                    continue;
+                }
+                if bloom.might_contain(&k.to_le_bytes()) {
+                    false_positives += 1;
+                }
+            }
+            let measured = false_positives as f64 / probes as f64;
+            let target = bloom.target_fp_rate();
+            prop_assert!(
+                measured < target * 2.0,
+                "measured fp {measured:.5} vs target {target:.5} (bits/key {bits_per_key})"
+            );
+        }
+    }
+}
+
 mod block_decode {
     use pinot_segment::bitpack::{bits_needed, PackedIntVec, BLOCK};
     use pinot_segment::forward::ForwardIndex;

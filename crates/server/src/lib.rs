@@ -24,7 +24,10 @@ use pinot_common::time::Clock;
 use pinot_common::{PinotError, Result, RetryPolicy, Schema};
 use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment_with, IntermediateResult, SegmentHandle};
-use pinot_exec::{merge_intermediate, plan_segment, ExecOptions, PlanKind};
+use pinot_exec::{
+    merge_intermediate, plan_segment, prune_default, ExecOptions, PlanKind, Prunable,
+    PruneEvaluator, PruneOutcome,
+};
 use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
 use pinot_segment::builder::BuilderConfig;
@@ -76,6 +79,9 @@ pub struct Server {
     /// Per-server override for the batched execution kernels; `None`
     /// falls back to the `PINOT_EXEC_BATCH` env default.
     exec_batch: RwLock<Option<bool>>,
+    /// Per-server override for the statistics-based pruning pipeline;
+    /// `None` falls back to the `PINOT_EXEC_PRUNE` env default.
+    exec_prune: RwLock<Option<bool>>,
 }
 
 /// A broker's request to one server: run `query` over this server's share
@@ -126,6 +132,7 @@ impl Server {
             retry: RetryPolicy::default().with_seed(n as u64),
             pool: RwLock::new(pool),
             exec_batch: RwLock::new(None),
+            exec_prune: RwLock::new(None),
         })
     }
 
@@ -134,6 +141,13 @@ impl Server {
     /// env default. See `ClusterConfig::with_exec_batch`.
     pub fn set_exec_batch(&self, batch: Option<bool>) {
         *self.exec_batch.write() = batch;
+    }
+
+    /// Force the pruning pipeline on (`Some(true)`) or off
+    /// (`Some(false)`) for this server; `None` restores the
+    /// `PINOT_EXEC_PRUNE` env default. See `ClusterConfig::with_exec_prune`.
+    pub fn set_exec_prune(&self, prune: Option<bool>) {
+        *self.exec_prune.write() = prune;
     }
 
     /// Replace the execution pool (tests and benchmarks pin the worker
@@ -556,6 +570,7 @@ impl Server {
                 cfg.sort_columns = vec![sorted.clone()];
             }
             cfg.inverted_columns = state.config.indexing.inverted_index_columns.clone();
+            cfg.bloom_columns = state.config.indexing.bloom_filter_columns.clone();
             if let pinot_common::config::RoutingStrategy::Partitioned {
                 column,
                 num_partitions,
@@ -609,52 +624,57 @@ impl Server {
         let started = std::time::Instant::now();
 
         let mut acc = IntermediateResult::empty_for(&req.query);
-        let time_bounds = self.with_table(&req.table, |state| {
-            Ok(state
-                .schema
-                .time_column()
-                .map(|tc| filter_time_bounds(req.query.filter.as_ref(), &tc.name)))
+        let time_column = self.with_table(&req.table, |state| {
+            Ok(state.schema.time_column().map(|tc| tc.name.clone()))
         })?;
+        let evaluator = PruneEvaluator::new(time_column);
+        let prune_on = (*self.exec_prune.read()).unwrap_or_else(prune_default);
         let exec_started = std::time::Instant::now();
         self.obs.metrics.observe_ms(
             "server.exec.queue_ms",
             exec_started.duration_since(entered).as_secs_f64() * 1e3,
         );
 
-        // Fan every segment's physical plan out as a pool task (§3.3.4,
-        // Figure 7): the pool runs them across cores, each task writing its
-        // partial into a per-segment slot. Merging happens afterwards in
-        // segment order, so the merged result is byte-identical no matter
-        // how many workers the pool has or which of them ran which task.
-        let pool = self.task_pool();
-        let deadline = Deadline::at(req.deadline);
-        let slots: Vec<Mutex<Option<Result<IntermediateResult>>>> =
-            req.segments.iter().map(|_| Mutex::new(None)).collect();
-        pool.scope(|scope| {
-            for (i, seg_name) in req.segments.iter().enumerate() {
-                let slot = &slots[i];
-                let time_bounds = &time_bounds;
-                // Tasks queued past the broker's scatter deadline are
-                // abandoned by the pool: nobody is waiting for them.
-                scope.spawn_with_deadline(&deadline, move || {
-                    *slot.lock() = Some(self.execute_segment(req, seg_name, time_bounds));
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot.into_inner() {
-                Some(Ok(partial)) => merge_intermediate(&mut acc, partial)?,
-                Some(Err(e)) => return Err(e),
-                None => {
-                    // The pool abandoned this task: the scatter deadline
-                    // passed while it was still queued.
-                    self.obs
-                        .metrics
-                        .counter_add("server.exec.deadline_abandoned", 1);
-                    return Err(PinotError::Timeout(format!(
-                        "{}: query deadline elapsed before segment {}",
-                        self.id, req.segments[i]
-                    )));
+        // Whole-query short-circuit: when statistics prove no routed
+        // segment can match, answer without touching the pool at all.
+        let short_circuited = prune_on && self.try_short_circuit(req, &evaluator, &mut acc)?;
+        if !short_circuited {
+            // Fan every segment's physical plan out as a pool task (§3.3.4,
+            // Figure 7): the pool runs them across cores, each task writing its
+            // partial into a per-segment slot. Merging happens afterwards in
+            // segment order, so the merged result is byte-identical no matter
+            // how many workers the pool has or which of them ran which task.
+            let pool = self.task_pool();
+            let deadline = Deadline::at(req.deadline);
+            let slots: Vec<Mutex<Option<Result<IntermediateResult>>>> =
+                req.segments.iter().map(|_| Mutex::new(None)).collect();
+            pool.scope(|scope| {
+                for (i, seg_name) in req.segments.iter().enumerate() {
+                    let slot = &slots[i];
+                    let evaluator = &evaluator;
+                    // Tasks queued past the broker's scatter deadline are
+                    // abandoned by the pool: nobody is waiting for them.
+                    scope.spawn_with_deadline(&deadline, move || {
+                        *slot.lock() =
+                            Some(self.execute_segment(req, seg_name, evaluator, prune_on));
+                    });
+                }
+            });
+            for (i, slot) in slots.into_iter().enumerate() {
+                match slot.into_inner() {
+                    Some(Ok(partial)) => merge_intermediate(&mut acc, partial)?,
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        // The pool abandoned this task: the scatter deadline
+                        // passed while it was still queued.
+                        self.obs
+                            .metrics
+                            .counter_add("server.exec.deadline_abandoned", 1);
+                        return Err(PinotError::Timeout(format!(
+                            "{}: query deadline elapsed before segment {}",
+                            self.id, req.segments[i]
+                        )));
+                    }
                 }
             }
         }
@@ -669,14 +689,78 @@ impl Server {
         Ok(acc)
     }
 
-    /// One segment's share of a request: resolve the handle, apply
-    /// metadata time pruning, and run the physical plan. Runs as a pool
+    /// Pre-pass over the routed segments: when every one is ONLINE and the
+    /// statistics prove none can match, fold the pruned stats into `acc`
+    /// and skip the execution pool entirely. Consuming segments disable
+    /// the short-circuit (their snapshots are taken, and pruned, inside
+    /// their pool task). Emits no metrics unless it fires, so the
+    /// per-segment path stays the single counting site otherwise.
+    fn try_short_circuit(
+        &self,
+        req: &ServerRequest,
+        evaluator: &PruneEvaluator,
+        acc: &mut IntermediateResult,
+    ) -> Result<bool> {
+        if req.segments.is_empty() {
+            return Ok(false);
+        }
+        let decisions = self.with_table(&req.table, |state| {
+            let mut per_seg = Vec::with_capacity(req.segments.len());
+            for seg_name in &req.segments {
+                let Some(h) = state.online.get(seg_name) else {
+                    return Ok(None); // consuming or unknown segment
+                };
+                let outcome = evaluator.evaluate(req.query.filter.as_ref(), h.segment.as_ref());
+                if outcome.prunable != Prunable::CannotMatch {
+                    return Ok(None);
+                }
+                per_seg.push((outcome, h.segment.num_docs() as u64));
+            }
+            Ok(Some(per_seg))
+        })?;
+        let Some(per_seg) = decisions else {
+            return Ok(false);
+        };
+        for (outcome, docs) in &per_seg {
+            self.record_prune(outcome);
+            acc.stats.num_segments_queried += 1;
+            acc.stats.num_segments_pruned += 1;
+            acc.stats.total_docs += docs;
+        }
+        self.obs
+            .metrics
+            .counter_add("prune.server_short_circuit", 1);
+        Ok(true)
+    }
+
+    /// Flush one prune evaluation's counters to obs.
+    fn record_prune(&self, outcome: &PruneOutcome) {
+        if outcome.bloom_probes > 0 {
+            self.obs
+                .metrics
+                .counter_add("prune.bloom_probes", outcome.bloom_probes);
+        }
+        if outcome.bloom_negatives > 0 {
+            self.obs
+                .metrics
+                .counter_add("prune.bloom_probe_negatives", outcome.bloom_negatives);
+        }
+        if let Some(level) = outcome.level {
+            self.obs
+                .metrics
+                .counter_add(&format!("prune.{}_segments", level.as_str()), 1);
+        }
+    }
+
+    /// One segment's share of a request: resolve the handle, evaluate the
+    /// pruning statistics, and run the physical plan. Runs as a pool
     /// task; the per-segment latency feeds `server.exec.segment_ms`.
     fn execute_segment(
         &self,
         req: &ServerRequest,
         seg_name: &str,
-        time_bounds: &Option<(Option<i64>, Option<i64>)>,
+        evaluator: &PruneEvaluator,
+        prune_on: bool,
     ) -> Result<IntermediateResult> {
         let handle = self.with_table(&req.table, |state| {
             if let Some(h) = state.online.get(seg_name) {
@@ -696,23 +780,40 @@ impl Server {
             )));
         };
 
-        // Metadata time pruning before planning. The pruned partial is an
-        // identity under merge, so it only contributes its stats.
-        if let Some((lo, hi)) = time_bounds {
-            if handle.segment.metadata().time_disjoint(*lo, *hi) {
-                let mut pruned = IntermediateResult::empty_for(&req.query);
-                pruned.stats.num_segments_queried += 1;
-                pruned.stats.num_segments_pruned += 1;
-                pruned.stats.total_docs += handle.segment.num_docs() as u64;
-                return Ok(pruned);
+        // Statistics-based pruning before planning (zone maps, bloom
+        // filters, time bounds — all through one evaluator). A CannotMatch
+        // partial is an identity under merge, so it only contributes its
+        // stats; MatchAll strips the predicate, which upgrades
+        // COUNT/MIN/MAX-only queries to the metadata-only plan.
+        let mut stripped = None;
+        if prune_on {
+            let outcome = evaluator.evaluate(req.query.filter.as_ref(), handle.segment.as_ref());
+            self.record_prune(&outcome);
+            match outcome.prunable {
+                Prunable::CannotMatch => {
+                    let mut pruned = IntermediateResult::empty_for(&req.query);
+                    pruned.stats.num_segments_queried += 1;
+                    pruned.stats.num_segments_pruned += 1;
+                    pruned.stats.total_docs += handle.segment.num_docs() as u64;
+                    return Ok(pruned);
+                }
+                Prunable::MatchAll if req.query.filter.is_some() => {
+                    self.obs.metrics.counter_add("prune.filters_stripped", 1);
+                    let mut q = (*req.query).clone();
+                    q.filter = None;
+                    stripped = Some(q);
+                }
+                _ => {}
             }
         }
+        let query: &Query = stripped.as_ref().unwrap_or(&req.query);
         let seg_started = std::time::Instant::now();
         let opts = ExecOptions {
             batch: *self.exec_batch.read(),
+            prune: Some(prune_on),
             obs: Some(Arc::clone(&self.obs)),
         };
-        let partial = execute_on_segment_with(&handle, &req.query, &opts)?;
+        let partial = execute_on_segment_with(&handle, query, &opts)?;
         self.obs.metrics.observe_ms(
             "server.exec.segment_ms",
             seg_started.elapsed().as_secs_f64() * 1e3,
