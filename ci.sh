@@ -41,8 +41,23 @@ cargo test -p pinot-bitmap --test proptest_bitmap
 echo "== pruning proptests (bloom fp/fn bounds, evaluator soundness) =="
 cargo test -p pinot-exec --test proptest_prune
 
+echo "== profile-merge proptests (fold algebra, aggregation losslessness) =="
+cargo test -p pinot-exec --test profile_prop
+
+echo "== profiling plane (stats reconciliation, query ids, slow-query log) =="
+cargo test -p pinot-core --test profiling
+
+echo "== EXPLAIN PLAN golden stability =="
+cargo test -p pinot-core --test explain_golden
+
+echo "== metric-name registry vs DESIGN.md catalogue =="
+cargo test -p pinot-core --test metrics_registry
+
 echo "== prune bench acceptance (≥5x fewer segments, ≥2x p50) =="
 cargo run --release -q -p pinot-bench --bin prune
+
+echo "== profiling overhead acceptance (execute_profiled ≤5% vs execute) =="
+cargo run --release -q -p pinot-bench --bin profile
 
 echo "== chaos suite (fault injection + failover) =="
 cargo test -p pinot-core --test chaos

@@ -153,6 +153,7 @@ impl DruidEngine {
             stats,
             partial,
             exceptions,
+            profile: None,
         })
     }
 }

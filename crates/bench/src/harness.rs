@@ -51,6 +51,7 @@ impl QueryEngine for DruidAdapter {
                 stats: Default::default(),
                 partial: true,
                 exceptions: vec![e.to_string()],
+                profile: None,
             },
         }
     }
@@ -232,6 +233,7 @@ mod tests {
                 stats: Default::default(),
                 partial: pql.contains("fail"),
                 exceptions: Vec::new(),
+                profile: None,
             }
         }
     }

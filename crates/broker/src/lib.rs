@@ -20,13 +20,14 @@ use pinot_cluster::ClusterManager;
 use pinot_common::config::{RoutingStrategy, TableConfig};
 use pinot_common::ids::{InstanceId, SegmentName};
 use pinot_common::json::Json;
+use pinot_common::profile::{ProfileNode, QueryProfile};
 use pinot_common::query::ServerContribution;
 use pinot_common::query::{ExecutionStats, QueryRequest, QueryResponse};
 use pinot_common::{DataType, PinotError, Result, RetryPolicy, Value};
 use pinot_exec::segment_exec::IntermediateResult;
 use pinot_exec::{
-    finalize, merge_intermediate, prune_default, ColumnRange, Prunable, PruneEvaluator,
-    ZoneMapStats,
+    collected_profiles, finalize, merge_intermediate, prune_default, ColumnRange, Prunable,
+    PruneEvaluator, ZoneMapStats,
 };
 use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
 use pinot_pql::{CmpOp, Predicate, Query};
@@ -49,6 +50,21 @@ pub struct RoutedRequest {
     /// abandon work nobody will wait for; failover retries budget their
     /// backoff against it.
     pub deadline: Option<Instant>,
+    /// Broker-assigned query id (seeded, deterministic per broker); the
+    /// server echoes it in its partial's stats so spans, logs, and
+    /// profiles from every server join on one key.
+    pub query_id: u64,
+    /// Ask the server to collect a per-operator profile tree alongside the
+    /// partial result. Never changes the result payload or stats.
+    pub profile: bool,
+}
+
+/// Per-query context threaded from the client request through scatter,
+/// failover, and merge.
+#[derive(Clone, Copy)]
+struct QueryCtx {
+    query_id: u64,
+    profile: bool,
 }
 
 /// What brokers need from a server. Implemented by an adapter around
@@ -104,6 +120,12 @@ pub struct Broker {
     /// Time column per physical table, so the hot path doesn't re-parse the
     /// schema JSON just to classify time-level prunes.
     time_column_cache: Mutex<HashMap<String, Option<String>>>,
+    /// Monotonic per-broker query sequence; mixed with `query_seed` into
+    /// the deterministic query ids (separate from `rng` so id assignment
+    /// never perturbs routing-table selection).
+    query_seq: std::sync::atomic::AtomicU64,
+    /// Per-broker seed for query-id generation.
+    query_seed: u64,
 }
 
 /// One segment's published zone maps, pinned to the metastore version of
@@ -120,15 +142,38 @@ struct CachedZoneMaps {
 /// holds end to end.
 #[derive(Default)]
 struct BrokerSkips {
+    /// Broker zone-map exclusions (`prune_plan`).
     segments: u64,
     docs: u64,
+    /// Partition-routing exclusions.
+    partition_segments: u64,
+    partition_docs: u64,
 }
 
 impl BrokerSkips {
     fn apply(&self, stats: &mut ExecutionStats) {
-        stats.num_segments_queried += self.segments;
-        stats.num_segments_pruned += self.segments;
-        stats.total_docs += self.docs;
+        stats.num_segments_queried += self.segments + self.partition_segments;
+        stats.num_segments_pruned += self.segments + self.partition_segments;
+        stats.total_docs += self.docs + self.partition_docs;
+    }
+
+    /// Summary profile nodes attributing the broker-level skips, one per
+    /// prune level so the attribution survives into the merged profile.
+    fn profile_nodes(&self) -> Vec<ProfileNode> {
+        let mut out = Vec::new();
+        for (prune, segments, docs) in [
+            ("partition", self.partition_segments, self.partition_docs),
+            ("broker", self.segments, self.docs),
+        ] {
+            if segments > 0 {
+                let mut n = ProfileNode::summary("segments_summary");
+                n.prune = Some(prune);
+                n.segments = segments;
+                n.docs_in = docs;
+                out.push(n);
+            }
+        }
+        out
     }
 }
 
@@ -158,7 +203,24 @@ impl Broker {
             exec_prune: RwLock::new(None),
             zonemap_cache: Mutex::new(HashMap::new()),
             time_column_cache: Mutex::new(HashMap::new()),
+            query_seq: std::sync::atomic::AtomicU64::new(0),
+            query_seed: 0x9e3779b97f4a7c15 ^ (n as u64).rotate_left(32),
         })
+    }
+
+    /// Next deterministic query id: splitmix64 over (per-broker seed,
+    /// sequence number). Never 0 — stats reserve 0 for "no id".
+    fn next_query_id(&self) -> u64 {
+        let n = self
+            .query_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        let mut z = self
+            .query_seed
+            .wrapping_add(n.wrapping_mul(0x9e3779b97f4a7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)).max(1)
     }
 
     /// Override broker-side zone-map pruning (`None` = `PINOT_EXEC_PRUNE`).
@@ -203,8 +265,12 @@ impl Broker {
     pub fn execute_traced(&self, request: &QueryRequest) -> (QueryResponse, QueryTrace) {
         let started = Instant::now();
         let deadline = started + Duration::from_millis(request.timeout_ms);
+        let ctx = QueryCtx {
+            query_id: self.next_query_id(),
+            profile: request.profile,
+        };
         let mut trace = QueryTrace::new(&request.pql);
-        let mut response = match self.execute_inner(request, deadline, &mut trace) {
+        let mut response = match self.execute_inner(request, ctx, deadline, &mut trace) {
             Ok(resp) => resp,
             Err(e) => {
                 self.obs.metrics.counter_add("broker.query.failed", 1);
@@ -213,9 +279,11 @@ impl Broker {
                     stats: ExecutionStats::default(),
                     partial: true,
                     exceptions: vec![e.to_string()],
+                    profile: None,
                 }
             }
         };
+        response.stats.query_id = ctx.query_id;
         response.stats.time_used_ms = started.elapsed().as_millis() as u64;
 
         // Fold the merged execution stats into the trace.
@@ -255,19 +323,28 @@ impl Broker {
             m.counter_add("broker.query.partial", 1);
         }
 
-        self.obs.query_log.observe(QueryLogEntry {
-            query: request.pql.clone(),
-            time_used_ms: response.stats.time_used_ms,
-            partial: response.partial,
-            exception_count: response.exceptions.len(),
-            trace: Some(trace.clone()),
-        });
+        if self.obs.query_log.would_keep(
+            response.stats.time_used_ms,
+            response.partial,
+            response.exceptions.len(),
+        ) {
+            self.obs.query_log.observe(QueryLogEntry {
+                query: request.pql.clone(),
+                query_id: ctx.query_id,
+                time_used_ms: response.stats.time_used_ms,
+                partial: response.partial,
+                exception_count: response.exceptions.len(),
+                trace: Some(trace.clone()),
+                profile: response.profile.clone(),
+            });
+        }
         (response, trace)
     }
 
     fn execute_inner(
         &self,
         request: &QueryRequest,
+        ctx: QueryCtx,
         deadline: Instant,
         trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
@@ -285,20 +362,20 @@ impl Broker {
         // A fully qualified name targets that one physical table.
         if tables.contains(&query.table) {
             return trace.span(format!("physical:{}", query.table), |t| {
-                self.execute_physical(&query.table, &query, &tenant, deadline, None, t)
+                self.execute_physical(&query.table, &query, &tenant, ctx, deadline, None, t)
             });
         }
         let has_offline = tables.contains(&offline);
         let has_realtime = tables.contains(&realtime);
         match (has_offline, has_realtime) {
             (true, false) => trace.span(format!("physical:{offline}"), |t| {
-                self.execute_physical(&offline, &query, &tenant, deadline, None, t)
+                self.execute_physical(&offline, &query, &tenant, ctx, deadline, None, t)
             }),
             (false, true) => trace.span(format!("physical:{realtime}"), |t| {
-                self.execute_physical(&realtime, &query, &tenant, deadline, None, t)
+                self.execute_physical(&realtime, &query, &tenant, ctx, deadline, None, t)
             }),
             (true, true) => {
-                self.execute_hybrid(&offline, &realtime, &query, &tenant, deadline, trace)
+                self.execute_hybrid(&offline, &realtime, &query, &tenant, ctx, deadline, trace)
             }
             (false, false) => Err(PinotError::Metadata(format!(
                 "unknown table {:?}",
@@ -309,12 +386,14 @@ impl Broker {
 
     /// Hybrid rewrite (Figure 6): offline serves `time < boundary`,
     /// realtime serves `time >= boundary`.
+    #[allow(clippy::too_many_arguments)]
     fn execute_hybrid(
         &self,
         offline: &str,
         realtime: &str,
         query: &Arc<Query>,
         tenant: &str,
+        ctx: QueryCtx,
         deadline: Instant,
         trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
@@ -349,12 +428,12 @@ impl Broker {
         let mut responses = Vec::new();
         if let Some(q) = offline_query {
             responses.push(trace.span(format!("physical:{offline}"), |t| {
-                self.execute_physical(offline, &q, tenant, deadline, Some(query), t)
+                self.execute_physical(offline, &q, tenant, ctx, deadline, Some(query), t)
             })?);
         }
         if let Some(q) = realtime_query {
             responses.push(trace.span(format!("physical:{realtime}"), |t| {
-                self.execute_physical(realtime, &q, tenant, deadline, Some(query), t)
+                self.execute_physical(realtime, &q, tenant, ctx, deadline, Some(query), t)
             })?);
         }
         // Merge the per-side responses.
@@ -364,6 +443,15 @@ impl Broker {
             first.partial |= other.partial;
             first.exceptions.extend(other.exceptions);
             first.stats.merge(&other.stats);
+            // Fold the realtime side's broker tree into the offline side's:
+            // one cluster-wide profile per logical query.
+            first.profile = match (first.profile.take(), other.profile) {
+                (Some(mut a), Some(b)) => {
+                    a.root.fold(&b.root);
+                    Some(a)
+                }
+                (a, b) => a.or(b),
+            };
             first.result = merge_results(first.result, other.result, query)?;
         }
         Ok(first)
@@ -371,15 +459,18 @@ impl Broker {
 
     /// Scatter a query over one physical table and gather (§3.3.3).
     /// `finalize_as` lets hybrid execution finalize with the original query.
+    #[allow(clippy::too_many_arguments)]
     fn execute_physical(
         &self,
         table: &str,
         query: &Arc<Query>,
         tenant: &str,
+        ctx: QueryCtx,
         deadline: Instant,
         finalize_as: Option<&Arc<Query>>,
         trace: &mut QueryTrace,
     ) -> Result<QueryResponse> {
+        let phys_started = Instant::now();
         let (plan, partition_skipped) = trace.span("route", |_| self.route(table, query))?;
         let replicas = self.segment_replicas(table);
 
@@ -393,8 +484,8 @@ impl Broker {
                 .metrics
                 .counter_add("prune.partition_segments", partition_skipped.len() as u64);
             for seg in &partition_skipped {
-                skips.segments += 1;
-                skips.docs += self
+                skips.partition_segments += 1;
+                skips.partition_docs += self
                     .segment_zone_maps(table, seg)
                     .map(|(_, docs)| docs)
                     .unwrap_or(0);
@@ -426,17 +517,22 @@ impl Broker {
                 segments: segments.clone(),
                 tenant: tenant.to_string(),
                 deadline: Some(deadline),
+                query_id: ctx.query_id,
+                profile: ctx.profile,
             };
             let final_query = finalize_as.unwrap_or(query);
             let mut acc = IntermediateResult::empty_for(final_query);
             let mut exceptions = Vec::new();
+            let mut server_wall_ns: HashMap<String, u64> = HashMap::new();
             let svc = self.executors.read().get(&server).cloned();
+            let call_started = Instant::now();
             let outcome = match svc {
                 Some(svc) => {
                     trace.span(format!("server:{server}"), |_| guarded_execute(&*svc, &req))
                 }
                 None => Err(PinotError::Cluster(format!("no endpoint for {server}"))),
             };
+            server_wall_ns.insert(server.to_string(), call_started.elapsed().as_nanos() as u64);
             let mut responded = 0u64;
             match outcome {
                 Ok(partial) => {
@@ -458,6 +554,7 @@ impl Broker {
                         table,
                         query,
                         tenant,
+                        ctx,
                         deadline,
                         &server,
                         e,
@@ -474,13 +571,26 @@ impl Broker {
             skips.apply(&mut acc.stats);
             coalesce_per_server(&mut acc.stats.per_server);
             let partial = !exceptions.is_empty();
+            let profile_nodes = acc.profile.take();
             let stats = acc.stats.clone();
             let result = trace.span("merge", |_| finalize(acc, final_query))?;
+            let profile = ctx.profile.then(|| {
+                self.broker_profile(
+                    ctx,
+                    profile_nodes,
+                    &skips,
+                    &stats,
+                    &server_wall_ns,
+                    phys_started.elapsed().as_nanos() as u64,
+                    trace,
+                )
+            });
             return Ok(QueryResponse {
                 result,
                 stats,
                 partial,
                 exceptions,
+                profile,
             });
         }
 
@@ -491,6 +601,7 @@ impl Broker {
         let (tx, rx) = bounded::<ScatterMsg>(plan.len().max(1));
         let mut outstanding = 0usize;
         let mut pending: HashSet<InstanceId> = HashSet::new();
+        let scatter_started = Instant::now();
         trace.span("scatter", |_| {
             for (server, segments) in plan {
                 pending.insert(server.clone());
@@ -510,6 +621,8 @@ impl Broker {
                     segments: segments.clone(),
                     tenant: tenant.to_string(),
                     deadline: Some(deadline),
+                    query_id: ctx.query_id,
+                    profile: ctx.profile,
                 };
                 let tx = tx.clone();
                 let server_id = server.clone();
@@ -534,6 +647,7 @@ impl Broker {
         let mut exceptions = Vec::new();
         let mut responded = 0u64;
         let mut failed: HashSet<InstanceId> = HashSet::new();
+        let mut server_wall_ns: HashMap<String, u64> = HashMap::new();
         trace.span("gather", |trace| -> Result<()> {
             let mut failures = 0u64;
             for _ in 0..outstanding {
@@ -542,10 +656,28 @@ impl Broker {
                     Ok((server, _segments, Ok(partial))) => {
                         responded += 1;
                         pending.remove(&server);
-                        trace.record_span_ms(
+                        server_wall_ns.insert(
+                            server.to_string(),
+                            scatter_started.elapsed().as_nanos() as u64,
+                        );
+                        let server_span = trace.record_span_ms(
                             format!("server:{server}"),
                             partial.stats.time_used_ms as f64,
                         );
+                        // Nest the server's slowest segments under its span,
+                        // via the explicit parent token so depths stay right
+                        // however the gather interleaves.
+                        if let Some(root) = &partial.profile {
+                            for seg in root.children.iter().filter(|c| c.operator == "segment") {
+                                if let Some(name) = &seg.name {
+                                    trace.record_span_under(
+                                        Some(server_span),
+                                        format!("segment:{name}"),
+                                        seg.elapsed_ns as f64 / 1e6,
+                                    );
+                                }
+                            }
+                        }
                         acc.stats.per_server.push(ServerContribution {
                             server: server.to_string(),
                             responded: true,
@@ -564,6 +696,7 @@ impl Broker {
                             table,
                             query,
                             tenant,
+                            ctx,
                             deadline,
                             &server,
                             e,
@@ -604,14 +737,70 @@ impl Broker {
         skips.apply(&mut acc.stats);
         coalesce_per_server(&mut acc.stats.per_server);
         let partial = !exceptions.is_empty();
+        let profile_nodes = acc.profile.take();
         let stats = acc.stats.clone();
         let result = trace.span("merge", |_| finalize(acc, final_query))?;
+        let profile = ctx.profile.then(|| {
+            self.broker_profile(
+                ctx,
+                profile_nodes,
+                &skips,
+                &stats,
+                &server_wall_ns,
+                phys_started.elapsed().as_nanos() as u64,
+                trace,
+            )
+        });
         Ok(QueryResponse {
             result,
             stats,
             partial,
             exceptions,
+            profile,
         })
+    }
+
+    /// Assemble the cluster-wide profile root for one physical-table
+    /// scatter: phase timings lifted from the trace, a per-server
+    /// network+queue breakdown (broker-observed wall clock minus the
+    /// server's own reported time), broker-level prune summaries, and the
+    /// servers' trees underneath.
+    #[allow(clippy::too_many_arguments)]
+    fn broker_profile(
+        &self,
+        ctx: QueryCtx,
+        profile: Option<ProfileNode>,
+        skips: &BrokerSkips,
+        stats: &ExecutionStats,
+        server_wall_ns: &HashMap<String, u64>,
+        elapsed_ns: u64,
+        trace: &QueryTrace,
+    ) -> QueryProfile {
+        let mut root = ProfileNode::named("broker", self.id.to_string());
+        root.docs_in = stats.total_docs;
+        root.docs_out = stats.num_docs_scanned;
+        root.elapsed_ns = elapsed_ns;
+        for phase in ["scatter", "gather", "merge"] {
+            if let Some(span) = trace.spans.iter().rev().find(|s| s.name == phase) {
+                let mut p = ProfileNode::new(phase);
+                p.elapsed_ns = (span.duration_ms * 1e6) as u64;
+                root.children.push(p);
+            }
+        }
+        root.children.extend(skips.profile_nodes());
+        for server in collected_profiles(profile) {
+            if let Some(wall) = server.name.as_deref().and_then(|n| server_wall_ns.get(n)) {
+                let mut net =
+                    ProfileNode::named("network", server.name.clone().unwrap_or_default());
+                net.elapsed_ns = wall.saturating_sub(server.elapsed_ns);
+                root.children.push(net);
+            }
+            root.children.push(server);
+        }
+        QueryProfile {
+            query_id: ctx.query_id,
+            root,
+        }
     }
 
     /// One routed server failed. If the error is transient, re-route its
@@ -625,6 +814,7 @@ impl Broker {
         table: &str,
         query: &Arc<Query>,
         tenant: &str,
+        ctx: QueryCtx,
         deadline: Instant,
         server: &InstanceId,
         error: PinotError,
@@ -636,7 +826,7 @@ impl Broker {
     ) -> Result<()> {
         let outcome = if error.is_retriable() && !segments.is_empty() {
             self.failover_recover(
-                table, query, tenant, deadline, segments, replicas, failed, acc,
+                table, query, tenant, ctx, deadline, segments, replicas, failed, acc,
             )?
         } else {
             FailoverOutcome {
@@ -675,6 +865,7 @@ impl Broker {
         table: &str,
         query: &Arc<Query>,
         tenant: &str,
+        ctx: QueryCtx,
         deadline: Instant,
         segments: &[String],
         replicas: &SegmentReplicas,
@@ -728,6 +919,8 @@ impl Broker {
                     segments: segs.clone(),
                     tenant: tenant.to_string(),
                     deadline: Some(deadline),
+                    query_id: ctx.query_id,
+                    profile: ctx.profile,
                 };
                 match guarded_execute(&*svc, &req) {
                     Ok(partial) => {

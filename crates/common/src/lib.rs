@@ -14,6 +14,7 @@ pub mod error;
 pub mod ids;
 pub mod json;
 pub mod partition;
+pub mod profile;
 pub mod protocol;
 pub mod query;
 pub mod record;

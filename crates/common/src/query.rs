@@ -16,6 +16,10 @@ pub struct QueryRequest {
     pub timeout_ms: u64,
     /// Tenant on whose token-bucket budget this query runs (§4.5).
     pub tenant: Option<String>,
+    /// Collect a per-operator [`crate::profile::QueryProfile`] during
+    /// execution. Off by default: unprofiled execution stays the zero-cost
+    /// path and its results are byte-identical either way.
+    pub profile: bool,
 }
 
 impl QueryRequest {
@@ -24,6 +28,7 @@ impl QueryRequest {
             pql: pql.into(),
             timeout_ms: 10_000,
             tenant: None,
+            profile: false,
         }
     }
 
@@ -34,6 +39,11 @@ impl QueryRequest {
 
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> QueryRequest {
         self.tenant = Some(tenant.into());
+        self
+    }
+
+    pub fn with_profile(mut self) -> QueryRequest {
+        self.profile = true;
         self
     }
 }
@@ -108,6 +118,11 @@ pub struct ServerContribution {
 /// Execution statistics accumulated across all servers touched by a query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionStats {
+    /// Broker-assigned query id, propagated to every server so spans,
+    /// per-server stats, and slow-query-log entries can be joined on it.
+    /// Deterministic under test: derived from the broker's seeded RNG and
+    /// a per-broker sequence number. Zero means "not yet assigned".
+    pub query_id: u64,
     /// Segments the routing table asked servers to consider.
     pub num_segments_queried: u64,
     /// Segments actually processed (not pruned by metadata).
@@ -146,6 +161,9 @@ pub struct ExecutionStats {
 impl ExecutionStats {
     /// Merge per-server stats into broker-level totals.
     pub fn merge(&mut self, other: &ExecutionStats) {
+        if self.query_id == 0 {
+            self.query_id = other.query_id;
+        }
         self.num_segments_queried += other.num_segments_queried;
         self.num_segments_processed += other.num_segments_processed;
         self.num_segments_pruned += other.num_segments_pruned;
@@ -186,6 +204,9 @@ pub struct QueryResponse {
     pub partial: bool,
     /// Human-readable per-server errors that caused `partial`.
     pub exceptions: Vec<String>,
+    /// Merged broker → server → segment operator profile; `None` unless
+    /// the request set [`QueryRequest::profile`].
+    pub profile: Option<crate::profile::QueryProfile>,
 }
 
 impl QueryResponse {
@@ -195,6 +216,7 @@ impl QueryResponse {
             stats: ExecutionStats::default(),
             partial: false,
             exceptions: Vec::new(),
+            profile: None,
         }
     }
 }

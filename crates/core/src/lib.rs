@@ -147,6 +147,25 @@ impl ClusterConfig {
     }
 }
 
+/// The query text behind an `EXPLAIN` prefix (already validated by
+/// `parse_statement`), so the inner query can be handed to the broker.
+fn strip_explain_prefix(pql: &str) -> &str {
+    fn eat<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+        let t = s.trim_start();
+        (t.len() >= kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw)).then(|| &t[kw.len()..])
+    }
+    let Some(rest) = eat(pql, "EXPLAIN") else {
+        return pql;
+    };
+    if let Some(r) = eat(rest, "ANALYZE") {
+        return r.trim_start();
+    }
+    if let Some(r) = eat(rest, "PLAN").and_then(|r| eat(r, "FOR")) {
+        return r.trim_start();
+    }
+    rest.trim_start()
+}
+
 /// Adapter exposing a [`Server`] as the broker-facing query service (the
 /// in-process stand-in for the broker→server RPC).
 struct ServerAdapter(Arc<Server>);
@@ -159,6 +178,8 @@ impl SegmentQueryService for ServerAdapter {
             segments: req.segments.clone(),
             tenant: req.tenant.clone(),
             deadline: req.deadline,
+            query_id: req.query_id,
+            profile: req.profile,
         })
     }
 }
@@ -512,6 +533,100 @@ impl PinotCluster {
     /// Convenience: run a PQL string with default settings.
     pub fn query(&self, pql: &str) -> QueryResponse {
         self.execute(&QueryRequest::new(pql))
+    }
+
+    /// Execute a query with profiling enabled: the response carries the
+    /// merged broker → server → segment operator tree in
+    /// [`QueryResponse::profile`](pinot_common::query::QueryResponse). The
+    /// result payload and stats are identical to an unprofiled run.
+    pub fn execute_profiled(&self, request: &QueryRequest) -> QueryResponse {
+        let mut req = request.clone();
+        req.profile = true;
+        self.broker().execute(&req)
+    }
+
+    /// Run an `EXPLAIN` statement and render its report.
+    ///
+    /// `EXPLAIN PLAN FOR <query>` renders every hosted segment's plan
+    /// decisions — prune verdict with level attribution, chosen plan kind,
+    /// predicate evaluation order, batch-vs-row kernel — without executing
+    /// anything. `EXPLAIN ANALYZE <query>` executes with profiling and
+    /// renders the measured per-operator tree plus the execution stats.
+    /// Hybrid tables produce one section per physical table, each on the
+    /// unrewritten query (the time-boundary rewrite happens only when the
+    /// query actually executes).
+    pub fn explain(&self, pql: &str) -> Result<String> {
+        match pinot_pql::parse_statement(pql)? {
+            pinot_pql::Statement::Select(_) => Err(PinotError::InvalidQuery(
+                "not an EXPLAIN statement; use query() to execute".into(),
+            )),
+            pinot_pql::Statement::ExplainPlan(query) => self.explain_plan(&query),
+            pinot_pql::Statement::ExplainAnalyze(_) => {
+                let resp = self.execute_profiled(&QueryRequest::new(strip_explain_prefix(pql)));
+                let mut out = String::from("EXPLAIN ANALYZE\n");
+                if let Some(profile) = &resp.profile {
+                    out.push_str(&profile.render_text());
+                }
+                out.push_str(&format!(
+                    "stats: docs_scanned={} segments_processed={} segments_pruned={} time_ms={}\n",
+                    resp.stats.num_docs_scanned,
+                    resp.stats.num_segments_processed,
+                    resp.stats.num_segments_pruned,
+                    resp.stats.time_used_ms,
+                ));
+                for e in &resp.exceptions {
+                    out.push_str(&format!("exception: {e}\n"));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn explain_plan(&self, query: &pinot_pql::Query) -> Result<String> {
+        let tables = self.cluster.tables();
+        let offline = format!("{}_OFFLINE", query.table);
+        let realtime = format!("{}_REALTIME", query.table);
+        let mut physical = Vec::new();
+        if tables.contains(&query.table) {
+            physical.push(query.table.clone());
+        } else {
+            if tables.contains(&offline) {
+                physical.push(offline);
+            }
+            if tables.contains(&realtime) {
+                physical.push(realtime);
+            }
+        }
+        if physical.is_empty() {
+            return Err(PinotError::Metadata(format!(
+                "unknown table {:?}",
+                query.table
+            )));
+        }
+        let sections = physical.len();
+        let mut out = String::new();
+        for table in physical {
+            // Replication hosts the same segment on several servers with
+            // identical physical layout; keep the first explanation per
+            // segment name for a deterministic, deduplicated plan.
+            let mut by_name = std::collections::BTreeMap::new();
+            for server in &self.servers {
+                if server.hosted_segments(&table).is_empty() {
+                    continue;
+                }
+                for e in server.explain_segments(&table, query)? {
+                    by_name.entry(e.segment.clone()).or_insert(e);
+                }
+            }
+            if sections > 1 {
+                out.push_str(&format!("-- {table}\n"));
+            }
+            out.push_str(&pinot_exec::render_plan(
+                query,
+                by_name.into_values().collect(),
+            ));
+        }
+        Ok(out)
     }
 
     // ---- observability ----

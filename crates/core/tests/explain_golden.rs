@@ -1,0 +1,76 @@
+//! EXPLAIN stability golden (ISSUE 6 satellite): `EXPLAIN PLAN FOR`
+//! output on a fixed cluster is part of the observable surface — tools
+//! and humans diff it across runs — so its exact rendering is pinned to
+//! a committed golden file. `UPDATE_GOLDEN=1 cargo test -p pinot-core
+//! --test explain_golden` rewrites the golden after an intentional
+//! change.
+
+use pinot_common::config::TableConfig;
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot_core::{ClusterConfig, PinotCluster};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/explain_plan.txt");
+
+const STATEMENTS: &[&str] = &[
+    "EXPLAIN PLAN FOR SELECT COUNT(*) FROM events",
+    "EXPLAIN PLAN FOR SELECT SUM(clicks) FROM events WHERE country = 'us' AND day > 101",
+    "EXPLAIN PLAN FOR SELECT country, clicks FROM events WHERE day = 99 LIMIT 10",
+    "EXPLAIN PLAN FOR SELECT COUNT(*) FROM events WHERE country = 'zz'",
+    "EXPLAIN PLAN FOR SELECT COUNT(*), MAX(clicks) FROM events GROUP BY country TOP 5",
+];
+
+fn cluster() -> PinotCluster {
+    let schema = Schema::new(
+        "events",
+        vec![
+            FieldSpec::dimension("country", DataType::String),
+            FieldSpec::metric("clicks", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap();
+    let cluster = PinotCluster::start(ClusterConfig::default().with_servers(2)).unwrap();
+    cluster
+        .create_table(
+            TableConfig::offline("events").with_bloom_filters(&["country"]),
+            schema,
+        )
+        .unwrap();
+    // Three fixed segments; segment 2 owns the later time range so the
+    // goldens show both time pruning and a surviving raw plan.
+    for base in [0i64, 40, 80] {
+        let rows: Vec<Record> = (0..40)
+            .map(|i| {
+                Record::new(vec![
+                    Value::from(["us", "de", "jp"][((base + i) % 3) as usize]),
+                    Value::Long(base + i),
+                    Value::Long(100 + base / 40),
+                ])
+            })
+            .collect();
+        cluster.upload_rows("events", rows).unwrap();
+    }
+    cluster
+}
+
+#[test]
+fn explain_plan_output_matches_golden() {
+    let cluster = cluster();
+    let mut actual = String::new();
+    for pql in STATEMENTS {
+        actual.push_str(&format!("==== {pql}\n"));
+        actual.push_str(&cluster.explain(pql).unwrap());
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "EXPLAIN output drifted from {GOLDEN_PATH}; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}

@@ -82,6 +82,8 @@ impl SegmentQueryService for SlowOnceService {
             segments: req.segments.clone(),
             tenant: req.tenant.clone(),
             deadline: req.deadline,
+            query_id: req.query_id,
+            profile: req.profile,
         })
     }
 }

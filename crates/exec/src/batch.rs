@@ -51,6 +51,10 @@ pub struct ExecOptions {
     /// Metrics sink for kernel counters; optional so tests and the
     /// baseline engine can run without one.
     pub obs: Option<Arc<Obs>>,
+    /// Collect a per-operator [`pinot_common::profile::ProfileNode`] tree
+    /// alongside the result. Off by default so the unprofiled path stays
+    /// untimed; profiling never changes the result payload or stats.
+    pub profile: bool,
 }
 
 impl ExecOptions {

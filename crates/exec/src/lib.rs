@@ -21,6 +21,7 @@
 
 pub mod aggstate;
 pub mod batch;
+pub mod explain;
 pub mod key;
 pub mod merge;
 pub mod planner;
@@ -30,9 +31,10 @@ pub mod selection;
 
 pub use aggstate::AggState;
 pub use batch::{batch_default, ExecOptions};
+pub use explain::{explain_segment, render_plan, SegmentExplain};
 pub use key::GroupKey;
-pub use merge::{finalize, merge_intermediate};
-pub use planner::{evaluate_filter_mode, plan_segment, PlanKind};
+pub use merge::{collected_profiles, finalize, merge_intermediate};
+pub use planner::{conjunct_order, evaluate_filter_mode, plan_segment, PlanKind};
 pub use prune::{
     prune_default, ColumnRange, Prunable, PruneEvaluator, PruneLevel, PruneOutcome,
     PruneStatsSource, ZoneMapStats,

@@ -5,6 +5,7 @@
 //! calls [`finalize`] to apply top-n ordering and produce the client shape.
 
 use crate::segment_exec::{IntermediateResult, ResultPayload};
+use pinot_common::profile::ProfileNode;
 use pinot_common::query::{AggregationRow, GroupByRows, QueryResult};
 use pinot_common::{PinotError, Result};
 use pinot_pql::Query;
@@ -12,6 +13,7 @@ use pinot_pql::Query;
 /// Fold `other` into `acc`. Both must come from the same query.
 pub fn merge_intermediate(acc: &mut IntermediateResult, other: IntermediateResult) -> Result<()> {
     acc.stats.merge(&other.stats);
+    merge_profiles(&mut acc.profile, other.profile);
     match (&mut acc.payload, other.payload) {
         (ResultPayload::Aggregation(a), ResultPayload::Aggregation(b)) => {
             if a.len() != b.len() {
@@ -55,6 +57,39 @@ pub fn merge_intermediate(acc: &mut IntermediateResult, other: IntermediateResul
         _ => Err(PinotError::Internal(
             "mismatched result payloads in merge".into(),
         )),
+    }
+}
+
+/// Accumulate profile trees as siblings under a transparent `collect`
+/// container. Servers and brokers later replace the container with their
+/// own aggregation node ([`collected_profiles`] flattens it back out).
+fn merge_profiles(acc: &mut Option<ProfileNode>, other: Option<ProfileNode>) {
+    let Some(other) = other else { return };
+    let Some(node) = acc else {
+        *acc = Some(other);
+        return;
+    };
+    if node.operator != "collect" {
+        let first = std::mem::replace(node, ProfileNode::new("collect"));
+        // One allocation up front instead of a doubling chain as the
+        // per-segment trees accumulate.
+        node.children.reserve(16);
+        node.children.push(first);
+    }
+    if other.operator == "collect" {
+        node.children.extend(other.children);
+    } else {
+        node.children.push(other);
+    }
+}
+
+/// Flatten a merged profile back into the accumulated per-unit trees:
+/// a `collect` container yields its children, a single tree yields itself.
+pub fn collected_profiles(profile: Option<ProfileNode>) -> Vec<ProfileNode> {
+    match profile {
+        None => Vec::new(),
+        Some(node) if node.operator == "collect" => node.children,
+        Some(node) => vec![node],
     }
 }
 
@@ -131,6 +166,7 @@ mod tests {
         IntermediateResult {
             payload: ResultPayload::Aggregation(states),
             stats: ExecutionStats::default(),
+            profile: None,
         }
     }
 
@@ -154,6 +190,7 @@ mod tests {
         let b = IntermediateResult {
             payload: ResultPayload::GroupBy(HashMap::new()),
             stats: ExecutionStats::default(),
+            profile: None,
         };
         assert!(merge_intermediate(&mut a, b).is_err());
         let mut c = agg_result(vec![AggState::Count(1)]);
@@ -172,12 +209,14 @@ mod tests {
         let mut a = IntermediateResult {
             payload: ResultPayload::GroupBy(g1),
             stats: ExecutionStats::default(),
+            profile: None,
         };
         merge_intermediate(
             &mut a,
             IntermediateResult {
                 payload: ResultPayload::GroupBy(g2),
                 stats: ExecutionStats::default(),
+                profile: None,
             },
         )
         .unwrap();
@@ -201,6 +240,7 @@ mod tests {
             IntermediateResult {
                 payload: ResultPayload::GroupBy(groups),
                 stats: ExecutionStats::default(),
+                profile: None,
             },
             &q,
         )
@@ -232,6 +272,7 @@ mod tests {
                     ],
                 },
                 stats: ExecutionStats::default(),
+                profile: None,
             },
             &q,
         )

@@ -400,6 +400,80 @@ fn cost_class(segment: &ImmutableSegment, pred: &Predicate) -> u8 {
     }
 }
 
+/// EXPLAIN label for a cost class.
+fn class_label(class: u8) -> &'static str {
+    match class {
+        0 => "sorted",
+        1 => "inverted",
+        2 => "subtree",
+        _ => "scan",
+    }
+}
+
+/// The filter's top-level conjuncts in the order [`eval_and`] will run
+/// them on this segment, each with the index class that decided its
+/// position. Mirrors the planner exactly: the filter is normalized first
+/// and the sort is stable, so ties keep query order.
+pub fn conjunct_order(
+    segment: &ImmutableSegment,
+    filter: Option<&Predicate>,
+) -> Vec<(String, &'static str)> {
+    let Some(filter) = filter else {
+        return Vec::new();
+    };
+    let normalized = normalize_predicate(filter);
+    let conjuncts = match normalized {
+        Predicate::And(ps) => ps,
+        p => vec![p],
+    };
+    let mut ordered: Vec<&Predicate> = conjuncts.iter().collect();
+    ordered.sort_by_key(|p| cost_class(segment, p));
+    ordered
+        .into_iter()
+        .map(|p| (describe_predicate(p), class_label(cost_class(segment, p))))
+        .collect()
+}
+
+/// Compact one-line rendering of a predicate for EXPLAIN output.
+fn describe_predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(ps) => format!(
+            "({})",
+            ps.iter()
+                .map(describe_predicate)
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        ),
+        Predicate::Or(ps) => format!(
+            "({})",
+            ps.iter()
+                .map(describe_predicate)
+                .collect::<Vec<_>>()
+                .join(" OR ")
+        ),
+        Predicate::Not(inner) => format!("NOT {}", describe_predicate(inner)),
+        Predicate::Cmp { column, op, value } => {
+            format!("{column} {} {value}", op.symbol())
+        }
+        Predicate::In {
+            column,
+            values,
+            negated,
+        } => format!(
+            "{column} {}IN ({})",
+            if *negated { "NOT " } else { "" },
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Predicate::Between { column, low, high } => {
+            format!("{column} BETWEEN {low} AND {high}")
+        }
+    }
+}
+
 fn eval_and(
     segment: &ImmutableSegment,
     conjuncts: &[Predicate],
@@ -753,10 +827,7 @@ mod tests {
             },
         )
         .unwrap();
-        let handle = SegmentHandle {
-            segment: Arc::clone(&seg),
-            star_tree: Some(Arc::new(tree)),
-        };
+        let handle = SegmentHandle::new(Arc::clone(&seg)).with_star_tree(Arc::new(tree));
         // Convertible: equality + OR on one dim + group by tree dim.
         let q = parse("SELECT SUM(m) FROM t WHERE k = 1 OR k = 2 GROUP BY c").unwrap();
         let (filters, group) = try_star_tree(&handle, &q).unwrap();

@@ -5,6 +5,7 @@ use crate::batch::{self, ExecOptions, KernelStats};
 use crate::key::{GroupKey, GroupValue};
 use crate::planner;
 use crate::selection::DocSelection;
+use pinot_common::profile::ProfileNode;
 use pinot_common::query::ExecutionStats;
 use pinot_common::{PinotError, Result, Value};
 use pinot_pql::{AggregateExpr, Query, SelectList};
@@ -19,11 +20,15 @@ use std::sync::Arc;
 pub struct SegmentHandle {
     pub segment: Arc<ImmutableSegment>,
     pub star_tree: Option<Arc<StarTree>>,
+    /// Segment name shared as `Arc<str>` so profiled executions label
+    /// their nodes without allocating per query.
+    pub name: Arc<str>,
 }
 
 impl SegmentHandle {
     pub fn new(segment: Arc<ImmutableSegment>) -> SegmentHandle {
         SegmentHandle {
+            name: segment.name().into(),
             segment,
             star_tree: None,
         }
@@ -55,6 +60,9 @@ pub enum ResultPayload {
 pub struct IntermediateResult {
     pub payload: ResultPayload,
     pub stats: ExecutionStats,
+    /// Per-operator profile tree, present only when
+    /// [`ExecOptions::profile`] was set. Never affects `payload`/`stats`.
+    pub profile: Option<ProfileNode>,
 }
 
 impl IntermediateResult {
@@ -77,6 +85,7 @@ impl IntermediateResult {
         IntermediateResult {
             payload,
             stats: ExecutionStats::default(),
+            profile: None,
         }
     }
 }
@@ -100,6 +109,10 @@ pub fn execute_on_segment_with(
         total_docs: segment.num_docs() as u64,
         ..Default::default()
     };
+
+    // Profiling clock: `None` on the unprofiled path, which therefore
+    // takes no extra timestamps and returns byte-identical results.
+    let seg_start = opts.profile.then(std::time::Instant::now);
 
     // Validate referenced columns up front for a clean error.
     for c in query.referenced_columns() {
@@ -125,9 +138,21 @@ pub fn execute_on_segment_with(
             }
             states.push(s);
         }
+        let profile = seg_start.map(|t| {
+            let ns = t.elapsed().as_nanos() as u64;
+            let mut child = ProfileNode::new("metadata_only");
+            child.elapsed_ns = ns;
+            let mut seg =
+                segment_profile_node(Arc::clone(&handle.name), planner::PlanKind::MetadataOnly);
+            seg.docs_in = stats.total_docs;
+            seg.elapsed_ns = ns;
+            seg.children.push(child);
+            seg
+        });
         return Ok(IntermediateResult {
             payload: ResultPayload::Aggregation(states),
             stats,
+            profile,
         });
     }
 
@@ -135,7 +160,24 @@ pub fn execute_on_segment_with(
     if let Some((filters, group_dims)) = planner::try_star_tree(handle, query) {
         let tree = handle.star_tree.as_ref().expect("checked by try_star_tree");
         record_plan(&mut stats, segment.name(), planner::PlanKind::StarTree);
-        return execute_star_tree(segment, tree, query, &filters, &group_dims, stats);
+        let mut result = execute_star_tree(segment, tree, query, &filters, &group_dims, stats)?;
+        result.profile = seg_start.map(|t| {
+            let ns = t.elapsed().as_nanos() as u64;
+            let mut child = ProfileNode::new("star_tree");
+            // The star-tree scans preaggregated records standing in for
+            // `raw_docs_equivalent` raw documents.
+            child.docs_in = result.stats.raw_docs_equivalent;
+            child.docs_out = result.stats.num_docs_scanned;
+            child.elapsed_ns = ns;
+            let mut seg =
+                segment_profile_node(Arc::clone(&handle.name), planner::PlanKind::StarTree);
+            seg.docs_in = result.stats.total_docs;
+            seg.docs_out = result.stats.num_docs_scanned;
+            seg.elapsed_ns = ns;
+            seg.children.push(child);
+            seg
+        });
+        return Ok(result);
     }
 
     // 3. Raw plan: filter then aggregate / group / select. The batched
@@ -143,19 +185,25 @@ pub fn execute_on_segment_with(
     // over-wide group keys) falls back to the row path per operator.
     record_plan(&mut stats, segment.name(), planner::PlanKind::Raw);
     let batch = opts.batch_enabled();
+    let filter_start = opts.profile.then(std::time::Instant::now);
     let selection =
         planner::evaluate_filter_mode(segment, query.filter.as_ref(), &mut stats, batch)?;
     stats.num_docs_scanned = selection.count();
 
     let mut kstats = KernelStats::default();
+    let batch_kernel;
+    // `scan_start` doubles as the filter phase's end boundary, so the
+    // profiled path takes no extra timestamp between filter and scan.
     let scan_start = std::time::Instant::now();
+    let filter_ns = filter_start.map(|t| scan_start.duration_since(t).as_nanos() as u64);
     let payload = match &query.select {
         SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
             let cols: Vec<Option<&ColumnData>> = aggs
                 .iter()
                 .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
                 .collect::<Result<_>>()?;
-            let states = if batch && batch::aggregate_eligible(&cols) {
+            batch_kernel = batch && batch::aggregate_eligible(&cols);
+            let states = if batch_kernel {
                 batch::aggregate_selection_batch(aggs, &cols, &selection, &mut stats, &mut kstats)
             } else {
                 aggregate_selection(aggs, &cols, &selection, &mut stats)
@@ -175,6 +223,7 @@ pub fn execute_on_segment_with(
             let layout = batch
                 .then(|| batch::group_by_layout(aggs, &group_cols, &agg_cols))
                 .flatten();
+            batch_kernel = layout.is_some();
             let groups = match layout {
                 Some(layout) => batch::group_by_selection_batch(
                     aggs,
@@ -204,7 +253,8 @@ pub fn execute_on_segment_with(
                 .map(|c| segment.column(c))
                 .collect::<Result<_>>()?;
             let limit = query.effective_limit();
-            let rows = if batch && batch::select_eligible(&cols) {
+            batch_kernel = batch && batch::select_eligible(&cols);
+            let rows = if batch_kernel {
                 batch::select_rows_batch(&cols, &selection, limit, &mut stats, &mut kstats)
             } else {
                 select_rows(&cols, &selection, limit, &mut stats)
@@ -212,10 +262,46 @@ pub fn execute_on_segment_with(
             ResultPayload::Selection { columns, rows }
         }
     };
+    let scan_ns = scan_start.elapsed().as_nanos() as u64;
     if let Some(obs) = &opts.obs {
-        kstats.flush(obs, batch, scan_start.elapsed().as_nanos() as u64);
+        kstats.flush(obs, batch, scan_ns);
     }
-    Ok(IntermediateResult { payload, stats })
+    let profile = seg_start.map(|t| {
+        let (scan_op, docs_produced) = match &payload {
+            ResultPayload::Aggregation(states) => ("aggregate", states.len() as u64),
+            ResultPayload::GroupBy(groups) => ("group_by", groups.len() as u64),
+            ResultPayload::Selection { rows, .. } => ("select", rows.len() as u64),
+        };
+        let mut filter = ProfileNode::new("filter");
+        filter.docs_in = stats.total_docs;
+        filter.docs_out = stats.num_docs_scanned;
+        filter.elapsed_ns = filter_ns.unwrap_or(0);
+        let mut scan = ProfileNode::new(scan_op);
+        scan.kernel = Some(if batch_kernel { "batch" } else { "row" });
+        scan.docs_in = stats.num_docs_scanned;
+        scan.docs_out = docs_produced;
+        scan.blocks_decoded = kstats.blocks;
+        scan.elapsed_ns = scan_ns;
+        let mut seg = segment_profile_node(Arc::clone(&handle.name), planner::PlanKind::Raw);
+        seg.docs_in = stats.total_docs;
+        seg.docs_out = stats.num_docs_scanned;
+        seg.elapsed_ns = t.elapsed().as_nanos() as u64;
+        seg.children = vec![filter, scan];
+        seg
+    });
+    Ok(IntermediateResult {
+        payload,
+        stats,
+        profile,
+    })
+}
+
+/// Root profile node for one segment execution.
+fn segment_profile_node(name: Arc<str>, kind: planner::PlanKind) -> ProfileNode {
+    let mut seg = ProfileNode::named("segment", name);
+    seg.plan_kind = Some(kind.as_str());
+    seg.segments = 1;
+    seg
 }
 
 fn record_plan(stats: &mut ExecutionStats, segment_name: &str, kind: planner::PlanKind) {
@@ -277,6 +363,7 @@ fn execute_star_tree(
         return Ok(IntermediateResult {
             payload: ResultPayload::Aggregation(states),
             stats,
+            profile: None,
         });
     }
 
@@ -300,6 +387,7 @@ fn execute_star_tree(
     Ok(IntermediateResult {
         payload: ResultPayload::GroupBy(out),
         stats,
+        profile: None,
     })
 }
 

@@ -18,7 +18,7 @@ pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_MS_BOUNDARIES};
 pub use querylog::{QueryLog, QueryLogEntry};
-pub use trace::{QueryTrace, Span, SpanHandle};
+pub use trace::{ParentId, QueryTrace, Span, SpanHandle};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,6 +55,13 @@ impl Obs {
 
     pub fn shared() -> Arc<Obs> {
         Arc::new(Obs::new())
+    }
+
+    /// Prometheus text exposition of a point-in-time snapshot of the
+    /// metrics registry — counters, gauges, and cumulative histogram
+    /// buckets. See [`MetricsSnapshot::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.snapshot().render_prometheus()
     }
 }
 

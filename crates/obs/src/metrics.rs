@@ -171,6 +171,26 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Cumulative `(upper_bound, count)` pairs in Prometheus `le`
+    /// presentation: the final bound is `+inf` and the final count equals
+    /// `count()`. Internal buckets are half-open (`[lo, hi)`), so an
+    /// observation exactly on a boundary counts toward the next bound —
+    /// indistinguishable in practice for continuous latency samples.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut running = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            running += c;
+            let bound = if i < self.boundaries.len() {
+                self.boundaries[i]
+            } else {
+                f64::INFINITY
+            };
+            out.push((bound, running));
+        }
+        out
+    }
+
     /// The half-open value range of the bucket `value` falls into —
     /// the resolution limit of quantile estimates near `value`.
     pub fn bucket_bounds(&self, value: f64) -> (f64, f64) {
@@ -312,6 +332,56 @@ impl MetricsSnapshot {
         self.histograms.get(name)
     }
 
+    /// Prometheus text exposition (version 0.0.4) of every metric, sorted
+    /// by name. Dotted registry names map to underscore-separated
+    /// Prometheus names under a `pinot_` prefix; histograms emit
+    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("pinot_");
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_alphanumeric() || (c == '_' && i > 0) {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn fmt_bound(b: f64) -> String {
+            if b.is_infinite() {
+                "+Inf".to_string()
+            } else if b.fract() == 0.0 {
+                format!("{b:.1}")
+            } else {
+                format!("{b}")
+            }
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (bound, cumulative) in h.cumulative_buckets() {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    fmt_bound(bound)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+
     /// Human-readable rendering, sorted by metric name.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -407,6 +477,47 @@ mod tests {
         h.record(42.0);
         assert_eq!(h.p50(), 42.0);
         assert_eq!(h.max(), 42.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_all_three_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("broker.query.total", 4);
+        reg.counter_add("server.throttle.rejected.adsTenant", 1);
+        reg.gauge_set("server.consume.lag.events.p0", 12);
+        reg.observe_ms("broker.phase.parse_ms", 0.07);
+        reg.observe_ms("broker.phase.parse_ms", 120.0);
+        let text = reg.snapshot().render_prometheus();
+
+        assert!(text.contains("# TYPE pinot_broker_query_total counter"));
+        assert!(text.contains("pinot_broker_query_total 4"));
+        assert!(text.contains("pinot_server_throttle_rejected_adsTenant 1"));
+        assert!(text.contains("# TYPE pinot_server_consume_lag_events_p0 gauge"));
+        assert!(text.contains("pinot_server_consume_lag_events_p0 12"));
+        assert!(text.contains("# TYPE pinot_broker_phase_parse_ms histogram"));
+        // Buckets are cumulative and terminate in +Inf == count.
+        assert!(text.contains("pinot_broker_phase_parse_ms_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("pinot_broker_phase_parse_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pinot_broker_phase_parse_ms_count 2"));
+        assert!(text.contains("pinot_broker_phase_parse_ms_sum 120.07"));
+        // No raw dots survive sanitization in metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name {name}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic() {
+        let mut h = Histogram::default();
+        for i in 0..50 {
+            h.record(i as f64);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        let last = buckets.last().unwrap();
+        assert!(last.0.is_infinite());
+        assert_eq!(last.1, 50);
     }
 
     #[test]

@@ -4,16 +4,24 @@
 
 use crate::trace::QueryTrace;
 use parking_lot::Mutex;
+use pinot_common::profile::QueryProfile;
 use std::collections::VecDeque;
 
 /// One logged query.
 #[derive(Debug, Clone)]
 pub struct QueryLogEntry {
     pub query: String,
+    /// Broker-assigned query id; joins this entry with trace spans and
+    /// per-server execution stats.
+    pub query_id: u64,
     pub time_used_ms: u64,
     pub partial: bool,
     pub exception_count: usize,
     pub trace: Option<QueryTrace>,
+    /// Merged broker → server → segment operator profile, when the query
+    /// ran with profiling enabled — every logged slow query carries the
+    /// tree that names its dominant operator.
+    pub profile: Option<QueryProfile>,
 }
 
 /// Fixed-capacity ring of recent slow/partial queries.
@@ -33,13 +41,18 @@ impl QueryLog {
         }
     }
 
+    /// Whether a query with these outcomes would qualify for the log —
+    /// callers on the hot path check this *before* building an entry, so
+    /// fast clean queries never pay for cloning the pql, trace, and
+    /// profile tree into an entry that would be dropped anyway.
+    pub fn would_keep(&self, time_used_ms: u64, partial: bool, exceptions: usize) -> bool {
+        partial || exceptions > 0 || time_used_ms >= self.slow_threshold_ms
+    }
+
     /// Record a finished query. Returns whether it qualified for the log
     /// (slow, partial, or errored); fast clean queries are dropped.
     pub fn observe(&self, entry: QueryLogEntry) -> bool {
-        let interesting = entry.partial
-            || entry.exception_count > 0
-            || entry.time_used_ms >= self.slow_threshold_ms;
-        if !interesting {
+        if !self.would_keep(entry.time_used_ms, entry.partial, entry.exception_count) {
             return false;
         }
         let mut ring = self.ring.lock();
@@ -71,10 +84,12 @@ mod tests {
     fn entry(q: &str, ms: u64, partial: bool) -> QueryLogEntry {
         QueryLogEntry {
             query: q.to_string(),
+            query_id: 0,
             time_used_ms: ms,
             partial,
             exception_count: 0,
             trace: None,
+            profile: None,
         }
     }
 

@@ -4,24 +4,41 @@
 //! A trace is single-threaded and owned by the broker driving the query;
 //! work done on other threads (per-server execution) is folded in after
 //! the fact with [`QueryTrace::record_span_ms`].
+//!
+//! Work executed on pool workers cannot append to the trace live, but it
+//! *can* carry a [`ParentId`] (Copy + Send) across the thread boundary:
+//! take a token for the currently-open span with [`QueryTrace::token`],
+//! hand it to the worker, and when the measurement comes back record it
+//! with [`QueryTrace::record_span_under`] — the span then nests under the
+//! span that was open when the work was spawned, not under whatever
+//! happens to be open at record time.
 
+use pinot_common::json::Json;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// One timed region. `depth` is its nesting level (0 = query phase),
-/// `start_ms` its offset from the start of the trace.
+/// `start_ms` its offset from the start of the trace. `parent` is the
+/// index of the enclosing span in [`QueryTrace::spans`], if any.
 #[derive(Debug, Clone)]
 pub struct Span {
     pub name: String,
     pub depth: u32,
     pub start_ms: f64,
     pub duration_ms: f64,
+    pub parent: Option<usize>,
 }
 
 /// Handle returned by [`QueryTrace::begin`]; spans close in LIFO order.
 #[derive(Debug)]
 #[must_use = "end the span with QueryTrace::end"]
 pub struct SpanHandle(usize);
+
+/// A copyable, sendable reference to a recorded span, used to parent
+/// later spans under it explicitly — including spans measured on other
+/// threads (taskpool workers) and recorded after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParentId(usize);
 
 /// The record of one query's execution.
 #[derive(Debug, Clone)]
@@ -60,10 +77,23 @@ impl QueryTrace {
             depth: self.open.len() as u32,
             start_ms: self.now_ms(),
             duration_ms: 0.0,
+            parent: self.open.last().copied(),
         };
         self.spans.push(span);
         self.open.push(idx);
         SpanHandle(idx)
+    }
+
+    /// A sendable token for the span behind `handle`, to parent
+    /// later-recorded spans under it (possibly from measurements taken on
+    /// other threads).
+    pub fn token(&self, handle: &SpanHandle) -> ParentId {
+        ParentId(handle.0)
+    }
+
+    /// Token for the innermost currently-open span, if any.
+    pub fn current(&self) -> Option<ParentId> {
+        self.open.last().copied().map(ParentId)
     }
 
     /// Close a span opened by [`begin`](Self::begin). Spans must close in
@@ -86,14 +116,48 @@ impl QueryTrace {
 
     /// Record an externally-timed span (e.g. a remote server's reported
     /// execution time) nested under whatever span is currently open.
-    pub fn record_span_ms(&mut self, name: impl Into<String>, duration_ms: f64) {
+    /// Returns a token so further externally-timed spans can nest under
+    /// this one via [`record_span_under`](Self::record_span_under).
+    pub fn record_span_ms(&mut self, name: impl Into<String>, duration_ms: f64) -> ParentId {
+        self.record_span_at(name, duration_ms, self.open.last().copied())
+    }
+
+    /// Record an externally-timed span under an explicit parent — the
+    /// handoff for work that ran on a pool worker: the spawner captures a
+    /// [`ParentId`] before handing work off, the worker measures, and the
+    /// trace owner records the measurement here. Unlike
+    /// [`record_span_ms`](Self::record_span_ms) this does not consult the
+    /// open-span stack, so nesting is correct regardless of which spans
+    /// are open when the measurement arrives.
+    pub fn record_span_under(
+        &mut self,
+        parent: Option<ParentId>,
+        name: impl Into<String>,
+        duration_ms: f64,
+    ) -> ParentId {
+        self.record_span_at(name, duration_ms, parent.map(|p| p.0))
+    }
+
+    fn record_span_at(
+        &mut self,
+        name: impl Into<String>,
+        duration_ms: f64,
+        parent: Option<usize>,
+    ) -> ParentId {
+        let idx = self.spans.len();
+        let depth = match parent {
+            Some(p) => self.spans[p].depth + 1,
+            None => 0,
+        };
         let start_ms = self.now_ms() - duration_ms;
         self.spans.push(Span {
             name: name.into(),
-            depth: self.open.len() as u32,
+            depth,
             start_ms: start_ms.max(0.0),
             duration_ms,
+            parent,
         });
+        ParentId(idx)
     }
 
     pub fn add_counter(&mut self, name: impl Into<String>, delta: u64) {
@@ -112,6 +176,50 @@ impl QueryTrace {
             .filter(|s| s.depth == 0)
             .map(|s| s.duration_ms)
             .sum()
+    }
+
+    /// JSON with stable field names (`query`, `spans[]` with
+    /// `name`/`depth`/`start_ms`/`duration_ms`/`parent`, `segment_plans`,
+    /// `counters`) so external tools can diff traces across runs.
+    pub fn to_json(&self) -> Json {
+        let spans: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut pairs: Vec<(&str, Json)> = vec![
+                    ("name", s.name.as_str().into()),
+                    ("depth", u64::from(s.depth).into()),
+                    ("start_ms", s.start_ms.into()),
+                    ("duration_ms", s.duration_ms.into()),
+                ];
+                if let Some(p) = s.parent {
+                    pairs.push(("parent", p.into()));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let plans: Vec<Json> = self
+            .segment_plans
+            .iter()
+            .map(|(seg, kind)| {
+                Json::obj(vec![
+                    ("segment", seg.as_str().into()),
+                    ("plan_kind", kind.as_str().into()),
+                ])
+            })
+            .collect();
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("query", self.query.as_str().into()),
+            ("spans", Json::Arr(spans)),
+            ("segment_plans", Json::Arr(plans)),
+            ("counters", counters),
+        ])
     }
 
     /// Indented rendering of spans plus segment plans and counters.
@@ -176,5 +284,64 @@ mod tests {
         let a = t.begin("a");
         let _b = t.begin("b");
         t.end(a);
+    }
+
+    /// The explicit parent-id handoff: four worker threads measure spans
+    /// while the trace owner has moved on to other spans; recording the
+    /// measurements with the captured token still nests them under the
+    /// span that was open at spawn time.
+    #[test]
+    fn parent_token_nests_cross_thread_spans() {
+        let mut t = QueryTrace::new("q");
+        let execute = t.begin("execute");
+        let parent = t.token(&execute);
+
+        let (tx, rx) = std::sync::mpsc::channel::<(String, f64, ParentId)>();
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let start = Instant::now();
+                    std::thread::sleep(std::time::Duration::from_millis(1 + i));
+                    let ms = start.elapsed().as_secs_f64() * 1e3;
+                    tx.send((format!("segment:s{i}"), ms, parent)).unwrap();
+                })
+            })
+            .collect();
+        drop(tx);
+        t.end(execute);
+        // The trace owner is now inside an unrelated span; the workers'
+        // measurements must still parent under `execute`.
+        t.span("merge", |t| {
+            for (name, ms, parent) in rx.iter() {
+                t.record_span_under(Some(parent), name, ms);
+            }
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        let seg_spans: Vec<&Span> = t
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("segment:"))
+            .collect();
+        assert_eq!(seg_spans.len(), 4);
+        for s in seg_spans {
+            assert_eq!(s.depth, 1, "{} must nest under execute", s.name);
+            assert_eq!(s.parent, Some(0));
+            assert!(s.duration_ms >= 1.0);
+        }
+        // The naive current-depth recording would have put them under
+        // `merge` (parent index of merge, not execute).
+        let merge_idx = t.spans.iter().position(|s| s.name == "merge").unwrap();
+        assert!(t
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("segment:"))
+            .all(|s| s.parent != Some(merge_idx)));
+        // JSON serialization carries the parent links.
+        let json = t.to_json().emit();
+        assert!(json.contains("\"parent\""));
+        assert!(json.contains("\"segment:s0\""));
     }
 }

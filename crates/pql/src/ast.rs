@@ -190,6 +190,33 @@ impl Query {
     }
 }
 
+/// A top-level PQL statement: a plain query, or one of the EXPLAIN forms
+/// wrapping a query for the profiling plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(Query),
+    /// `EXPLAIN PLAN FOR SELECT ...` — render the per-segment plan
+    /// decision tree without executing.
+    ExplainPlan(Query),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute with profiling and attach
+    /// measured per-operator stats to the rendered plan.
+    ExplainAnalyze(Query),
+}
+
+impl Statement {
+    /// The query underneath, whichever form the statement takes.
+    pub fn query(&self) -> &Query {
+        match self {
+            Statement::Select(q) | Statement::ExplainPlan(q) | Statement::ExplainAnalyze(q) => q,
+        }
+    }
+
+    pub fn is_explain(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

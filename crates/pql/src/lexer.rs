@@ -12,7 +12,7 @@ pub enum Token {
     Int(i64),
     Float(f64),
     /// Uppercased keyword: SELECT, FROM, WHERE, AND, OR, NOT, IN, BETWEEN,
-    /// GROUP, BY, TOP, LIMIT, TRUE, FALSE.
+    /// GROUP, BY, TOP, LIMIT, TRUE, FALSE, EXPLAIN, PLAN, FOR, ANALYZE.
     Kw(&'static str),
     LParen,
     RParen,
@@ -28,7 +28,7 @@ pub enum Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "BY", "TOP", "LIMIT",
-    "TRUE", "FALSE",
+    "TRUE", "FALSE", "EXPLAIN", "PLAN", "FOR", "ANALYZE",
 ];
 
 /// Tokenize PQL text.

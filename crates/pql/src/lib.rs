@@ -7,6 +7,9 @@
 //! Grammar (informal):
 //!
 //! ```text
+//! statement  := query
+//!             | EXPLAIN PLAN FOR query
+//!             | EXPLAIN ANALYZE query
 //! query      := SELECT select_list FROM ident [WHERE predicate]
 //!               [GROUP BY ident (, ident)*] [TOP number] [LIMIT number]
 //! select_list:= '*' | projection (, projection)* | agg (, agg)*
@@ -28,5 +31,5 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AggFunction, AggregateExpr, CmpOp, Predicate, Query, SelectList};
-pub use parser::parse;
+pub use ast::{AggFunction, AggregateExpr, CmpOp, Predicate, Query, SelectList, Statement};
+pub use parser::{parse, parse_statement};

@@ -1,6 +1,6 @@
 //! Recursive-descent PQL parser.
 
-use crate::ast::{AggFunction, AggregateExpr, CmpOp, Predicate, Query, SelectList};
+use crate::ast::{AggFunction, AggregateExpr, CmpOp, Predicate, Query, SelectList, Statement};
 use crate::lexer::{tokenize, Token};
 use pinot_common::{PinotError, Result, Value};
 
@@ -13,6 +13,28 @@ pub fn parse(text: &str) -> Result<Query> {
         return Err(p.err("unexpected trailing tokens"));
     }
     Ok(q)
+}
+
+/// Parse a top-level statement: a plain query, `EXPLAIN PLAN FOR <query>`,
+/// or `EXPLAIN ANALYZE <query>`.
+pub fn parse_statement(text: &str) -> Result<Statement> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.eat_kw("EXPLAIN") {
+        if p.eat_kw("ANALYZE") {
+            Statement::ExplainAnalyze(p.query()?)
+        } else {
+            p.expect_kw("PLAN")?;
+            p.expect_kw("FOR")?;
+            Statement::ExplainPlan(p.query()?)
+        }
+    } else {
+        Statement::Select(p.query()?)
+    };
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(stmt)
 }
 
 struct Parser {
@@ -494,5 +516,34 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse("SELECT COUNT(*) FROM t LIMIT 5 garbage").is_err());
+    }
+
+    #[test]
+    fn explain_statements() {
+        let s = parse_statement("EXPLAIN PLAN FOR SELECT COUNT(*) FROM t WHERE a = 1").unwrap();
+        assert!(matches!(&s, Statement::ExplainPlan(q) if q.table == "t"));
+        assert!(s.is_explain());
+
+        let s = parse_statement("explain analyze SELECT SUM(m) FROM t GROUP BY g TOP 5").unwrap();
+        assert!(matches!(&s, Statement::ExplainAnalyze(q) if q.top == Some(5)));
+
+        let s = parse_statement("SELECT a FROM t").unwrap();
+        assert!(matches!(&s, Statement::Select(_)));
+        assert!(!s.is_explain());
+        assert_eq!(s.query().table, "t");
+    }
+
+    #[test]
+    fn malformed_explain_rejected() {
+        // Missing PLAN FOR / wrong order / no inner query.
+        assert!(parse_statement("EXPLAIN SELECT a FROM t").is_err());
+        assert!(parse_statement("EXPLAIN PLAN SELECT a FROM t").is_err());
+        assert!(parse_statement("EXPLAIN FOR SELECT a FROM t").is_err());
+        assert!(parse_statement("EXPLAIN PLAN FOR").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+        // The inner query still gets full validation.
+        assert!(parse_statement("EXPLAIN ANALYZE SELECT a FROM t TOP 5").is_err());
+        // EXPLAIN is not valid inside `parse` (plain-query entry point).
+        assert!(parse("EXPLAIN PLAN FOR SELECT a FROM t").is_err());
     }
 }

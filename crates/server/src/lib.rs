@@ -19,14 +19,15 @@ use pinot_chaos::{sites, FaultAction, FaultContext, FaultInjector};
 use pinot_cluster::{ClusterManager, Participant, SegmentState};
 use pinot_common::config::TableConfig;
 use pinot_common::ids::{InstanceId, SegmentName};
+use pinot_common::profile::{aggregate_segment_profiles, ProfileNode};
 use pinot_common::protocol::{CompletionInstruction, CompletionPoll};
 use pinot_common::time::Clock;
 use pinot_common::{PinotError, Result, RetryPolicy, Schema};
 use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment_with, IntermediateResult, SegmentHandle};
 use pinot_exec::{
-    merge_intermediate, plan_segment, prune_default, ExecOptions, PlanKind, Prunable,
-    PruneEvaluator, PruneOutcome,
+    collected_profiles, explain_segment, merge_intermediate, plan_segment, prune_default,
+    ExecOptions, PlanKind, Prunable, PruneEvaluator, PruneOutcome, SegmentExplain,
 };
 use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
@@ -56,6 +57,25 @@ struct TableState {
     schema: Schema,
     online: HashMap<String, SegmentHandle>,
     consuming: HashMap<String, Arc<ConsumingSegment>>,
+}
+
+/// How many of the slowest segments a profiled server response keeps as
+/// exact per-segment nodes; the rest fold into per-shape summary nodes.
+const PROFILE_KEEP_EXACT: usize = 4;
+
+/// Profile node for a segment skipped by statistics-based pruning: no
+/// operators ran, so the node only carries the prune attribution and the
+/// document count the skip avoided scanning.
+fn pruned_segment_profile(
+    seg_name: impl Into<std::sync::Arc<str>>,
+    outcome: &PruneOutcome,
+    docs: u64,
+) -> ProfileNode {
+    let mut seg = ProfileNode::named("segment", seg_name);
+    seg.prune = Some(outcome.level.map(|l| l.as_str()).unwrap_or("stats"));
+    seg.docs_in = docs;
+    seg.segments = 1;
+    seg
 }
 
 /// One Pinot server instance.
@@ -95,6 +115,12 @@ pub struct ServerRequest {
     /// The broker's scatter deadline; segment execution stops once it has
     /// elapsed — nobody is waiting for the rest.
     pub deadline: Option<std::time::Instant>,
+    /// Broker-assigned query id, echoed back in the partial's stats so
+    /// spans, logs, and profiles from every server join on one key.
+    pub query_id: u64,
+    /// Collect a per-operator profile tree alongside the partial result.
+    /// Never changes the result payload or stats.
+    pub profile: bool,
 }
 
 impl Server {
@@ -624,16 +650,17 @@ impl Server {
         let started = std::time::Instant::now();
 
         let mut acc = IntermediateResult::empty_for(&req.query);
+        acc.stats.query_id = req.query_id;
         let time_column = self.with_table(&req.table, |state| {
             Ok(state.schema.time_column().map(|tc| tc.name.clone()))
         })?;
         let evaluator = PruneEvaluator::new(time_column);
         let prune_on = (*self.exec_prune.read()).unwrap_or_else(prune_default);
         let exec_started = std::time::Instant::now();
-        self.obs.metrics.observe_ms(
-            "server.exec.queue_ms",
-            exec_started.duration_since(entered).as_secs_f64() * 1e3,
-        );
+        let queue_ns = exec_started.duration_since(entered).as_nanos() as u64;
+        self.obs
+            .metrics
+            .observe_ms("server.exec.queue_ms", queue_ns as f64 / 1e6);
 
         // Whole-query short-circuit: when statistics prove no routed
         // segment can match, answer without touching the pool at all.
@@ -683,6 +710,23 @@ impl Server {
             "server.exec.execute_ms",
             exec_started.elapsed().as_secs_f64() * 1e3,
         );
+        if req.profile {
+            // Keep the slowest segments exact; fold the rest into summary
+            // nodes so the server→broker profile stays bounded no matter
+            // how many segments were routed here.
+            let segments = collected_profiles(acc.profile.take());
+            let mut server = ProfileNode::named("server", self.id.to_string());
+            let mut queue = ProfileNode::new("queue");
+            queue.elapsed_ns = queue_ns;
+            server.children.push(queue);
+            server
+                .children
+                .extend(aggregate_segment_profiles(segments, PROFILE_KEEP_EXACT));
+            server.docs_in = acc.stats.total_docs;
+            server.docs_out = acc.stats.num_docs_scanned;
+            server.elapsed_ns = entered.elapsed().as_nanos() as u64;
+            acc.profile = Some(server);
+        }
         let micros = started.elapsed().as_micros() as u64;
         acc.stats.time_used_ms = (micros / 1000).max(acc.stats.time_used_ms);
         self.throttle.debit(&req.tenant, micros);
@@ -714,18 +758,27 @@ impl Server {
                 if outcome.prunable != Prunable::CannotMatch {
                     return Ok(None);
                 }
-                per_seg.push((outcome, h.segment.num_docs() as u64));
+                per_seg.push((seg_name.clone(), outcome, h.segment.num_docs() as u64));
             }
             Ok(Some(per_seg))
         })?;
         let Some(per_seg) = decisions else {
             return Ok(false);
         };
-        for (outcome, docs) in &per_seg {
+        let mut pruned_nodes = Vec::new();
+        for (seg_name, outcome, docs) in &per_seg {
             self.record_prune(outcome);
             acc.stats.num_segments_queried += 1;
             acc.stats.num_segments_pruned += 1;
             acc.stats.total_docs += docs;
+            if req.profile {
+                pruned_nodes.push(pruned_segment_profile(seg_name.as_str(), outcome, *docs));
+            }
+        }
+        if req.profile {
+            let mut collect = ProfileNode::new("collect");
+            collect.children = pruned_nodes;
+            acc.profile = Some(collect);
         }
         self.obs
             .metrics
@@ -791,10 +844,18 @@ impl Server {
             self.record_prune(&outcome);
             match outcome.prunable {
                 Prunable::CannotMatch => {
+                    let docs = handle.segment.num_docs() as u64;
                     let mut pruned = IntermediateResult::empty_for(&req.query);
                     pruned.stats.num_segments_queried += 1;
                     pruned.stats.num_segments_pruned += 1;
-                    pruned.stats.total_docs += handle.segment.num_docs() as u64;
+                    pruned.stats.total_docs += docs;
+                    if req.profile {
+                        pruned.profile = Some(pruned_segment_profile(
+                            std::sync::Arc::clone(&handle.name),
+                            &outcome,
+                            docs,
+                        ));
+                    }
                     return Ok(pruned);
                 }
                 Prunable::MatchAll if req.query.filter.is_some() => {
@@ -812,6 +873,7 @@ impl Server {
             batch: *self.exec_batch.read(),
             prune: Some(prune_on),
             obs: Some(Arc::clone(&self.obs)),
+            profile: req.profile,
         };
         let partial = execute_on_segment_with(&handle, query, &opts)?;
         self.obs.metrics.observe_ms(
@@ -819,6 +881,45 @@ impl Server {
             seg_started.elapsed().as_secs_f64() * 1e3,
         );
         Ok(partial)
+    }
+
+    /// Per-segment EXPLAIN decisions for every segment this server hosts
+    /// for `table` (online handles plus consuming snapshots), mirroring
+    /// what [`Server::execute`] would do — prune verdict, plan choice,
+    /// predicate order, kernel — without executing anything.
+    pub fn explain_segments(&self, table: &str, query: &Query) -> Result<Vec<SegmentExplain>> {
+        let opts = ExecOptions {
+            batch: *self.exec_batch.read(),
+            prune: Some((*self.exec_prune.read()).unwrap_or_else(prune_default)),
+            obs: None,
+            profile: false,
+        };
+        self.with_table(table, |state| {
+            let time_column = state.schema.time_column().map(|tc| tc.name.clone());
+            let mut out = Vec::new();
+            let mut names: Vec<&String> = state.online.keys().collect();
+            names.sort();
+            for name in names {
+                out.push(explain_segment(
+                    &state.online[name],
+                    query,
+                    time_column.as_deref(),
+                    &opts,
+                )?);
+            }
+            let mut consuming: Vec<&String> = state.consuming.keys().collect();
+            consuming.sort();
+            for name in consuming {
+                let handle = SegmentHandle::new(state.consuming[name].mutable.snapshot()?);
+                out.push(explain_segment(
+                    &handle,
+                    query,
+                    time_column.as_deref(),
+                    &opts,
+                )?);
+            }
+            Ok(out)
+        })
     }
 
     /// Which plan kind this server would use for a query on one segment
