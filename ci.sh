@@ -34,6 +34,12 @@ PINOT_EXEC_PRUNE=0 cargo test -p pinot-core --test differential
 echo "== differential suite under forced pruning on (PINOT_EXEC_PRUNE=1) =="
 PINOT_EXEC_PRUNE=1 cargo test -p pinot-core --test differential
 
+echo "== differential suite with hedging off (PINOT_EXEC_HEDGE=0) =="
+PINOT_EXEC_HEDGE=0 cargo test -p pinot-core --test differential
+
+echo "== differential suite with the result cache on (PINOT_EXEC_RESULT_CACHE=1) =="
+PINOT_EXEC_RESULT_CACHE=1 cargo test -p pinot-core --test differential
+
 echo "== kernel proptests (unpack_block/read_block/bitmap bulk extraction) =="
 cargo test -p pinot-segment --test proptest_segment
 cargo test -p pinot-bitmap --test proptest_bitmap
@@ -64,5 +70,11 @@ cargo test -p pinot-core --test chaos
 
 echo "== scatter regressions (panicking/late server endpoints) =="
 cargo test -p pinot-core --test scatter
+
+echo "== survival suite (hedging, admission control, result cache) =="
+cargo test -p pinot-core --test survival
+
+echo "== broker bench acceptance (≥2x faulted p99 via hedging, ≥50% cache hits) =="
+cargo run --release -q -p pinot-bench --bin broker
 
 echo "CI OK"

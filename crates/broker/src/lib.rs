@@ -13,6 +13,7 @@
 //! after it (Figure 6) — then merges both results.
 
 pub mod routing;
+pub mod survival;
 
 use crossbeam::channel::{bounded, RecvTimeoutError};
 use parking_lot::{Mutex, RwLock};
@@ -29,15 +30,25 @@ use pinot_exec::{
     collected_profiles, finalize, merge_intermediate, prune_default, ColumnRange, Prunable,
     PruneEvaluator, ZoneMapStats,
 };
-use pinot_obs::{Obs, QueryLogEntry, QueryTrace};
+use pinot_obs::{LatencyDigest, Obs, QueryLogEntry, QueryTrace};
 use pinot_pql::{CmpOp, Predicate, Query};
 use pinot_taskpool::TaskPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use routing::{RoutingTable, SegmentReplicas};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+pub use survival::AdmissionLimits;
+use survival::{AdmissionController, Lookup, ResultCache};
+
+/// Samples of per-server scatter latency retained for hedge-delay
+/// estimation, and how many a server needs before its estimate counts.
+const HEDGE_LATENCY_WINDOW: usize = 64;
+const HEDGE_MIN_SAMPLES: usize = 8;
+/// Hedge delay = max(floor, `HEDGE_DELAY_FACTOR` × healthy p99).
+const HEDGE_DELAY_FACTOR: f64 = 1.5;
+const HEDGE_FLOOR_MS_DEFAULT: u64 = 5;
 
 /// One server's share of a scattered query.
 #[derive(Clone)]
@@ -65,6 +76,23 @@ pub struct RoutedRequest {
 struct QueryCtx {
     query_id: u64,
     profile: bool,
+}
+
+/// One message on the gather channel. `origin` names the slice (the server
+/// the routing table assigned it to); `actual` names whoever executed —
+/// different from `origin` only for hedge replies, letting the gather
+/// dedupe by slice so the losing contender never double-counts.
+struct ScatterReply {
+    origin: InstanceId,
+    actual: InstanceId,
+    segments: Vec<String>,
+    result: Result<IntermediateResult>,
+}
+
+/// Gather-side state for one unanswered slice.
+struct PendingSlice {
+    segments: Vec<String>,
+    hedged: bool,
 }
 
 /// What brokers need from a server. Implemented by an adapter around
@@ -126,6 +154,28 @@ pub struct Broker {
     query_seq: std::sync::atomic::AtomicU64,
     /// Per-broker seed for query-id generation.
     query_seed: u64,
+    /// Per-server streaming latency estimates (observed scatter-reply wall
+    /// clock) feeding the hedged-scatter delay.
+    latency: LatencyDigest,
+    /// Hedged-scatter override; `None` defers to `PINOT_EXEC_HEDGE`
+    /// (default on).
+    exec_hedge: RwLock<Option<bool>>,
+    /// Minimum hedge delay in ms — hedging never fires earlier than this
+    /// even when the healthy p99 estimate is tiny.
+    hedge_floor_ms: std::sync::atomic::AtomicU64,
+    /// Admission-control override; `None` defers to `PINOT_EXEC_ADMISSION`
+    /// (default on, with limits generous enough to never shed untuned).
+    exec_admission: RwLock<Option<bool>>,
+    admission: Arc<AdmissionController>,
+    /// Result-cache override; `None` defers to `PINOT_EXEC_RESULT_CACHE`
+    /// (default off).
+    exec_cache: RwLock<Option<bool>>,
+    cache: Arc<ResultCache>,
+    /// Per-physical-table generation counters bumped on every external
+    /// view change (segment commit/upload, server death) by the same
+    /// subscription that feeds `dirty`. Folded into cache keys, so a
+    /// commit implicitly invalidates every cached result for that table.
+    cache_gens: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 /// One segment's published zone maps, pinned to the metastore version of
@@ -185,9 +235,12 @@ impl Broker {
     /// Like [`Broker::new`] but sharing a cluster-wide observability sink.
     pub fn with_obs(n: usize, cluster: ClusterManager, obs: Arc<Obs>) -> Arc<Broker> {
         let dirty: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+        let cache_gens: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
         let dirty_sub = Arc::clone(&dirty);
+        let gens_sub = Arc::clone(&cache_gens);
         cluster.subscribe_view(move |change| {
             dirty_sub.lock().insert(change.table.clone());
+            *gens_sub.lock().entry(change.table.clone()).or_insert(0) += 1;
         });
         Arc::new(Broker {
             id: InstanceId::broker(n),
@@ -205,6 +258,14 @@ impl Broker {
             time_column_cache: Mutex::new(HashMap::new()),
             query_seq: std::sync::atomic::AtomicU64::new(0),
             query_seed: 0x9e3779b97f4a7c15 ^ (n as u64).rotate_left(32),
+            latency: LatencyDigest::new(HEDGE_LATENCY_WINDOW, HEDGE_MIN_SAMPLES),
+            exec_hedge: RwLock::new(None),
+            hedge_floor_ms: std::sync::atomic::AtomicU64::new(HEDGE_FLOOR_MS_DEFAULT),
+            exec_admission: RwLock::new(None),
+            admission: Arc::new(AdmissionController::default()),
+            exec_cache: RwLock::new(None),
+            cache: Arc::new(ResultCache::new()),
+            cache_gens,
         })
     }
 
@@ -226,6 +287,40 @@ impl Broker {
     /// Override broker-side zone-map pruning (`None` = `PINOT_EXEC_PRUNE`).
     pub fn set_exec_prune(&self, prune: Option<bool>) {
         *self.exec_prune.write() = prune;
+    }
+
+    /// Override hedged scatter (`None` = `PINOT_EXEC_HEDGE`, default on).
+    pub fn set_exec_hedge(&self, hedge: Option<bool>) {
+        *self.exec_hedge.write() = hedge;
+    }
+
+    /// Floor on the hedge delay in milliseconds (default 5). Tests lower
+    /// it to make hedging fire fast under the seeded clock.
+    pub fn set_hedge_floor_ms(&self, ms: u64) {
+        self.hedge_floor_ms
+            .store(ms.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Override admission control (`None` = `PINOT_EXEC_ADMISSION`,
+    /// default on).
+    pub fn set_admission(&self, admission: Option<bool>) {
+        *self.exec_admission.write() = admission;
+    }
+
+    /// Tighten or relax the per-tenant concurrency / wait-queue limits.
+    pub fn set_admission_limits(&self, limits: AdmissionLimits) {
+        self.admission.set_limits(limits);
+    }
+
+    /// Weight multiplier for one tenant's concurrency slots (default 1).
+    pub fn set_tenant_weight(&self, tenant: &str, weight: u32) {
+        self.admission.set_weight(tenant, weight);
+    }
+
+    /// Override the result cache (`None` = `PINOT_EXEC_RESULT_CACHE`,
+    /// default off).
+    pub fn set_result_cache(&self, cache: Option<bool>) {
+        *self.exec_cache.write() = cache;
     }
 
     /// Replace the scatter pool (tests and benchmarks pin thread counts).
@@ -355,31 +450,144 @@ impl Broker {
                 .unwrap_or_else(|_| "DefaultTenant".to_string())
         });
 
-        // Resolve the physical tables behind the logical name.
+        // Resolve the physical tables behind the logical name. A fully
+        // qualified name targets that one physical table; otherwise the
+        // logical name maps to OFFLINE, REALTIME, or both (hybrid).
         let tables = self.cluster.tables();
-        let offline = format!("{}_OFFLINE", query.table);
-        let realtime = format!("{}_REALTIME", query.table);
-        // A fully qualified name targets that one physical table.
-        if tables.contains(&query.table) {
-            return trace.span(format!("physical:{}", query.table), |t| {
-                self.execute_physical(&query.table, &query, &tenant, ctx, deadline, None, t)
-            });
-        }
-        let has_offline = tables.contains(&offline);
-        let has_realtime = tables.contains(&realtime);
-        match (has_offline, has_realtime) {
-            (true, false) => trace.span(format!("physical:{offline}"), |t| {
-                self.execute_physical(&offline, &query, &tenant, ctx, deadline, None, t)
-            }),
-            (false, true) => trace.span(format!("physical:{realtime}"), |t| {
-                self.execute_physical(&realtime, &query, &tenant, ctx, deadline, None, t)
-            }),
-            (true, true) => {
-                self.execute_hybrid(&offline, &realtime, &query, &tenant, ctx, deadline, trace)
+        let physical: Vec<String> = if tables.contains(&query.table) {
+            vec![query.table.clone()]
+        } else {
+            let mut v = Vec::new();
+            for candidate in [
+                format!("{}_OFFLINE", query.table),
+                format!("{}_REALTIME", query.table),
+            ] {
+                if tables.contains(&candidate) {
+                    v.push(candidate);
+                }
             }
-            (false, false) => Err(PinotError::Metadata(format!(
-                "unknown table {:?}",
-                query.table
+            if v.is_empty() {
+                return Err(PinotError::Metadata(format!(
+                    "unknown table {:?}",
+                    query.table
+                )));
+            }
+            v
+        };
+
+        // Result cache: only pure-offline resolutions are cacheable — a
+        // consuming realtime segment grows without any view change, so a
+        // cached realtime answer would silently go stale between commits.
+        let cache_on = (*self.exec_cache.read()).unwrap_or_else(survival::result_cache_default);
+        let cacheable = cache_on && physical.iter().all(|t| !t.ends_with("_REALTIME"));
+        if !cacheable {
+            return self.execute_admitted(&physical, &query, &tenant, ctx, deadline, trace);
+        }
+        let key = self.cache_key(&physical, &query);
+        match self.cache.lookup(&key) {
+            Lookup::Hit(resp) => {
+                self.obs.metrics.counter_add("broker.cache_hit", 1);
+                Ok(self.cached_response(&resp, ctx))
+            }
+            Lookup::Coalesce(flight) => {
+                // Identical query already executing: ride its answer. This
+                // needs no admission slot — degrading gracefully means
+                // cached-servable queries keep flowing while scatter sheds.
+                self.obs.metrics.counter_add("broker.cache_coalesced", 1);
+                match flight.wait(deadline) {
+                    Some(resp) => Ok(self.cached_response(&resp, ctx)),
+                    // Leader failed or our deadline passed first: execute
+                    // for ourselves without re-registering as leader.
+                    None => self.execute_admitted(&physical, &query, &tenant, ctx, deadline, trace),
+                }
+            }
+            Lookup::Lead(guard) => {
+                self.obs.metrics.counter_add("broker.cache_miss", 1);
+                let outcome =
+                    self.execute_admitted(&physical, &query, &tenant, ctx, deadline, trace);
+                match &outcome {
+                    // Only complete, exception-free, unprofiled responses
+                    // are cached: a partial payload must never be replayed
+                    // as authoritative, and a stored profile would describe
+                    // some other query's execution.
+                    Ok(resp) if !resp.partial && resp.exceptions.is_empty() && !ctx.profile => {
+                        guard.complete(Some(Arc::new(resp.clone())));
+                    }
+                    _ => guard.complete(None),
+                }
+                outcome
+            }
+        }
+    }
+
+    /// Cache key: sorted `table@generation` tokens plus the normalized
+    /// query text. Any view change for a table bumps its generation, so
+    /// results cached before a segment commit can never be served after it.
+    fn cache_key(&self, physical: &[String], query: &Query) -> String {
+        let gens = self.cache_gens.lock();
+        let mut parts: Vec<String> = physical
+            .iter()
+            .map(|t| format!("{t}@{}", gens.get(t).copied().unwrap_or(0)))
+            .collect();
+        drop(gens);
+        parts.sort_unstable();
+        format!("{}|{}", parts.join(","), query.normalized())
+    }
+
+    /// Clone a cached response for one requester: flag it as served from
+    /// cache and, if profiling was requested, attach a synthetic broker
+    /// profile naming the cache hit (cached entries store no profile).
+    fn cached_response(&self, resp: &Arc<QueryResponse>, ctx: QueryCtx) -> QueryResponse {
+        let mut out = QueryResponse::clone(resp);
+        out.stats.served_from_cache = true;
+        out.profile = ctx.profile.then(|| {
+            let mut root = ProfileNode::named("broker", self.id.to_string());
+            root.children
+                .push(ProfileNode::named("result_cache", "hit"));
+            QueryProfile {
+                query_id: ctx.query_id,
+                root,
+            }
+        });
+        out
+    }
+
+    /// Acquire an admission slot (unless admission control is off), then
+    /// dispatch to the physical table(s). The permit is held across both
+    /// sides of a hybrid query — one logical query, one concurrency slot.
+    fn execute_admitted(
+        &self,
+        physical: &[String],
+        query: &Arc<Query>,
+        tenant: &str,
+        ctx: QueryCtx,
+        deadline: Instant,
+        trace: &mut QueryTrace,
+    ) -> Result<QueryResponse> {
+        let admission_on =
+            (*self.exec_admission.read()).unwrap_or_else(survival::admission_default);
+        let _permit = if admission_on {
+            let permit = self
+                .admission
+                .admit(tenant, deadline, || {
+                    self.obs.metrics.counter_add("broker.admission_queued", 1);
+                })
+                .inspect_err(|_| {
+                    self.obs.metrics.counter_add("broker.admission_shed", 1);
+                })?;
+            Some(permit)
+        } else {
+            None
+        };
+        match physical {
+            [table] => trace.span(format!("physical:{table}"), |t| {
+                self.execute_physical(table, query, tenant, ctx, deadline, None, t)
+            }),
+            [offline, realtime] => {
+                self.execute_hybrid(offline, realtime, query, tenant, ctx, deadline, trace)
+            }
+            _ => Err(PinotError::Internal(format!(
+                "unexpected physical resolution {physical:?}"
             ))),
         }
     }
@@ -537,6 +745,10 @@ impl Broker {
             match outcome {
                 Ok(partial) => {
                     responded = 1;
+                    self.latency.observe(
+                        &server.to_string(),
+                        call_started.elapsed().as_secs_f64() * 1e3,
+                    );
                     acc.stats.per_server.push(ServerContribution {
                         server: server.to_string(),
                         responded: true,
@@ -596,23 +808,29 @@ impl Broker {
 
         // Scatter: one worker per server; results stream into a channel
         // along with the segment list each server was responsible for, so
-        // a failure can be re-routed to surviving replicas.
-        type ScatterMsg = (InstanceId, Vec<String>, Result<IntermediateResult>);
-        let (tx, rx) = bounded::<ScatterMsg>(plan.len().max(1));
-        let mut outstanding = 0usize;
-        let mut pending: HashSet<InstanceId> = HashSet::new();
+        // a failure can be re-routed to surviving replicas. Capacity fits
+        // every primary plus a potential hedge per slice, so no worker
+        // ever blocks on send.
+        let (tx, rx) = bounded::<ScatterReply>(plan.len().max(1) * 2);
+        let mut pending: BTreeMap<InstanceId, PendingSlice> = BTreeMap::new();
         let scatter_started = Instant::now();
         trace.span("scatter", |_| {
             for (server, segments) in plan {
-                pending.insert(server.clone());
+                pending.insert(
+                    server.clone(),
+                    PendingSlice {
+                        segments: segments.clone(),
+                        hedged: false,
+                    },
+                );
                 let Some(svc) = self.executors.read().get(&server).cloned() else {
                     // Routing raced with a server death; report it as a failure.
-                    let _ = tx.send((
-                        server.clone(),
+                    let _ = tx.send(ScatterReply {
+                        origin: server.clone(),
+                        actual: server.clone(),
                         segments,
-                        Err(PinotError::Cluster(format!("no endpoint for {server}"))),
-                    ));
-                    outstanding += 1;
+                        result: Err(PinotError::Cluster(format!("no endpoint for {server}"))),
+                    });
                     continue;
                 };
                 let req = RoutedRequest {
@@ -633,89 +851,210 @@ impl Broker {
                         // Past the scatter deadline the receiver is gone and
                         // this send is a harmless no-op; the late partial is
                         // dropped rather than written into freed state.
-                        let _ = tx.send((server_id, segments, result));
+                        let _ = tx.send(ScatterReply {
+                            origin: server_id.clone(),
+                            actual: server_id,
+                            segments,
+                            result,
+                        });
                     });
-                outstanding += 1;
             }
         });
+        // When hedging can fire we keep one sender until hedges are issued
+        // (they need it); without it the channel disconnects as soon as all
+        // primaries finish, exactly as before hedging existed.
+        let hedge_on = (*self.exec_hedge.read()).unwrap_or_else(survival::hedge_default);
+        let hedge_at: Option<Instant> = if hedge_on && !pending.is_empty() {
+            self.latency.healthy_quantile(0.99).map(|p99| {
+                let floor = self
+                    .hedge_floor_ms
+                    .load(std::sync::atomic::Ordering::Relaxed) as f64;
+                scatter_started
+                    + Duration::from_secs_f64((p99 * HEDGE_DELAY_FACTOR).max(floor) / 1e3)
+            })
+        } else {
+            None
+        };
+        let mut hedge_tx = hedge_at.map(|_| tx.clone());
         drop(tx);
 
-        // Gather until deadline. Failed servers are recovered inline via
-        // surviving replicas while the remaining workers keep running.
+        // Gather until every slice is answered or the deadline passes.
+        // Failed servers are recovered inline via surviving replicas while
+        // the remaining workers keep running; slices still outstanding at
+        // their hedge time are speculatively re-issued to a replica, and
+        // the first answer per slice wins.
         let final_query = finalize_as.unwrap_or(query);
         let mut acc = IntermediateResult::empty_for(final_query);
         let mut exceptions = Vec::new();
         let mut responded = 0u64;
+        let mut hedges_issued = 0u64;
+        let mut hedges_won = 0u64;
         let mut failed: HashSet<InstanceId> = HashSet::new();
         let mut server_wall_ns: HashMap<String, u64> = HashMap::new();
         trace.span("gather", |trace| -> Result<()> {
-            let mut failures = 0u64;
-            for _ in 0..outstanding {
-                let timeout = deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(timeout) {
-                    Ok((server, _segments, Ok(partial))) => {
-                        responded += 1;
-                        pending.remove(&server);
-                        server_wall_ns.insert(
-                            server.to_string(),
-                            scatter_started.elapsed().as_nanos() as u64,
-                        );
-                        let server_span = trace.record_span_ms(
-                            format!("server:{server}"),
-                            partial.stats.time_used_ms as f64,
-                        );
-                        // Nest the server's slowest segments under its span,
-                        // via the explicit parent token so depths stay right
-                        // however the gather interleaves.
-                        if let Some(root) = &partial.profile {
-                            for seg in root.children.iter().filter(|c| c.operator == "segment") {
-                                if let Some(name) = &seg.name {
-                                    trace.record_span_under(
-                                        Some(server_span),
-                                        format!("segment:{name}"),
-                                        seg.elapsed_ns as f64 / 1e6,
-                                    );
+            while !pending.is_empty() {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.obs.metrics.counter_add("broker.scatter.timeout", 1);
+                    exceptions.push(format!(
+                        "timeout waiting for {} server response(s)",
+                        pending.len()
+                    ));
+                    break;
+                }
+                // Hedge time: every still-pending slice gets one chance at
+                // a replica re-issue (first answer per slice wins).
+                if let (Some(h), Some(htx)) = (hedge_at, &hedge_tx) {
+                    if now >= h {
+                        let task_deadline = pinot_taskpool::Deadline::at(Some(deadline));
+                        for (origin, slice) in pending.iter_mut() {
+                            slice.hedged = true;
+                            let Some(target) =
+                                self.hedge_target(origin, &slice.segments, &replicas, &failed)
+                            else {
+                                continue;
+                            };
+                            let Some(svc) = self.executors.read().get(&target).cloned() else {
+                                continue;
+                            };
+                            hedges_issued += 1;
+                            self.obs.metrics.counter_add("broker.hedge_issued", 1);
+                            let req = RoutedRequest {
+                                table: table.to_string(),
+                                query: Arc::clone(query),
+                                segments: slice.segments.clone(),
+                                tenant: tenant.to_string(),
+                                deadline: Some(deadline),
+                                query_id: ctx.query_id,
+                                profile: ctx.profile,
+                            };
+                            let tx = htx.clone();
+                            let origin = origin.clone();
+                            let segments = slice.segments.clone();
+                            self.task_pool().spawn_detached_with_deadline(
+                                &task_deadline,
+                                move || {
+                                    let result = guarded_execute(&*svc, &req);
+                                    let _ = tx.send(ScatterReply {
+                                        origin,
+                                        actual: target,
+                                        segments,
+                                        result,
+                                    });
+                                },
+                            );
+                        }
+                        hedge_tx = None;
+                    }
+                }
+                let wake = match (hedge_at, &hedge_tx) {
+                    (Some(h), Some(_)) if h < deadline => h.max(now),
+                    _ => deadline,
+                };
+                match rx.recv_timeout(wake.saturating_duration_since(now)) {
+                    Ok(reply) => {
+                        let is_hedge = reply.actual != reply.origin;
+                        if !pending.contains_key(&reply.origin) {
+                            // The slice was already answered by the other
+                            // contender — this is the discarded loser. It
+                            // must not touch acc/stats (satellite: no
+                            // double-counting at gather).
+                            if reply.result.is_ok() {
+                                self.obs.metrics.counter_add("broker.hedge_wasted", 1);
+                            }
+                            continue;
+                        }
+                        match reply.result {
+                            Ok(partial) => {
+                                pending.remove(&reply.origin);
+                                responded += 1;
+                                let wall = scatter_started.elapsed();
+                                self.latency
+                                    .observe(&reply.actual.to_string(), wall.as_secs_f64() * 1e3);
+                                server_wall_ns
+                                    .insert(reply.actual.to_string(), wall.as_nanos() as u64);
+                                let server_span = trace.record_span_ms(
+                                    format!("server:{}", reply.actual),
+                                    partial.stats.time_used_ms as f64,
+                                );
+                                // Nest the server's slowest segments under
+                                // its span, via the explicit parent token so
+                                // depths stay right however the gather
+                                // interleaves.
+                                if let Some(root) = &partial.profile {
+                                    for seg in
+                                        root.children.iter().filter(|c| c.operator == "segment")
+                                    {
+                                        if let Some(name) = &seg.name {
+                                            trace.record_span_under(
+                                                Some(server_span),
+                                                format!("segment:{name}"),
+                                                seg.elapsed_ns as f64 / 1e6,
+                                            );
+                                        }
+                                    }
                                 }
+                                if is_hedge {
+                                    hedges_won += 1;
+                                    self.obs.metrics.counter_add("broker.hedge_won", 1);
+                                    // The straggler shows up as not having
+                                    // responded, covered by the hedge target
+                                    // — same shape failover uses.
+                                    acc.stats.per_server.push(ServerContribution {
+                                        server: reply.origin.to_string(),
+                                        responded: false,
+                                        covered_by: vec![reply.actual.to_string()],
+                                        ..Default::default()
+                                    });
+                                }
+                                acc.stats.per_server.push(ServerContribution {
+                                    server: reply.actual.to_string(),
+                                    responded: true,
+                                    segments_processed: partial.stats.num_segments_processed,
+                                    docs_scanned: partial.stats.num_docs_scanned,
+                                    time_ms: partial.stats.time_used_ms,
+                                    covered_by: Vec::new(),
+                                });
+                                merge_intermediate(&mut acc, partial)?;
+                            }
+                            Err(e) => {
+                                if is_hedge {
+                                    // A failed hedge never fails the slice:
+                                    // the primary is still running and may
+                                    // yet answer (or time out as before).
+                                    continue;
+                                }
+                                pending.remove(&reply.origin);
+                                failed.insert(reply.origin.clone());
+                                self.handle_server_failure(
+                                    table,
+                                    query,
+                                    tenant,
+                                    ctx,
+                                    deadline,
+                                    &reply.origin,
+                                    e,
+                                    &reply.segments,
+                                    &replicas,
+                                    &mut failed,
+                                    &mut acc,
+                                    &mut exceptions,
+                                )?;
                             }
                         }
-                        acc.stats.per_server.push(ServerContribution {
-                            server: server.to_string(),
-                            responded: true,
-                            segments_processed: partial.stats.num_segments_processed,
-                            docs_scanned: partial.stats.num_docs_scanned,
-                            time_ms: partial.stats.time_used_ms,
-                            covered_by: Vec::new(),
-                        });
-                        merge_intermediate(&mut acc, partial)?;
                     }
-                    Ok((server, segments, Err(e))) => {
-                        failures += 1;
-                        pending.remove(&server);
-                        failed.insert(server.clone());
-                        self.handle_server_failure(
-                            table,
-                            query,
-                            tenant,
-                            ctx,
-                            deadline,
-                            &server,
-                            e,
-                            &segments,
-                            &replicas,
-                            &mut failed,
-                            &mut acc,
-                            &mut exceptions,
-                        )?;
-                    }
+                    // Woke at the hedge time (or a spurious early return):
+                    // loop back to issue hedges / re-check the deadline.
+                    Err(RecvTimeoutError::Timeout) => continue,
                     // Disconnected with replies still outstanding means the
                     // remaining scatter workers were abandoned past the
-                    // deadline (their queued tasks dropped the sender), so
-                    // both arms are the same scatter timeout.
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    // deadline (their queued tasks dropped the sender) —
+                    // the same scatter timeout as the deadline arm.
+                    Err(RecvTimeoutError::Disconnected) => {
                         self.obs.metrics.counter_add("broker.scatter.timeout", 1);
                         exceptions.push(format!(
                             "timeout waiting for {} server response(s)",
-                            outstanding as u64 - responded - failures
+                            pending.len()
                         ));
                         break;
                     }
@@ -725,12 +1064,14 @@ impl Broker {
         })?;
         // Servers that never answered before the deadline: record them so a
         // partial response says exactly which servers' data is missing.
-        for server in pending {
+        for server in pending.keys() {
             acc.stats.per_server.push(ServerContribution {
                 server: server.to_string(),
                 ..Default::default()
             });
         }
+        acc.stats.hedges_issued = hedges_issued;
+        acc.stats.hedges_won = hedges_won;
 
         acc.stats.num_servers_queried = num_servers;
         acc.stats.num_servers_responded = responded;
@@ -788,6 +1129,12 @@ impl Broker {
             }
         }
         root.children.extend(skips.profile_nodes());
+        if stats.hedges_issued > 0 {
+            root.children.push(ProfileNode::named(
+                "hedge",
+                format!("issued={} won={}", stats.hedges_issued, stats.hedges_won),
+            ));
+        }
         for server in collected_profiles(profile) {
             if let Some(wall) = server.name.as_deref().and_then(|n| server_wall_ns.get(n)) {
                 let mut net =
@@ -801,6 +1148,31 @@ impl Broker {
             query_id: ctx.query_id,
             root,
         }
+    }
+
+    /// Deterministic hedge target for a straggling server's slice: the
+    /// first (sorted) live registered replica, other than the origin, that
+    /// holds *every* segment of the slice — a hedge re-issues the exact
+    /// slice, so a partial holder cannot serve it.
+    fn hedge_target(
+        &self,
+        origin: &InstanceId,
+        segments: &[String],
+        replicas: &SegmentReplicas,
+        failed: &HashSet<InstanceId>,
+    ) -> Option<InstanceId> {
+        let mut candidates: Option<BTreeSet<InstanceId>> = None;
+        for seg in segments {
+            let holders: BTreeSet<InstanceId> = replicas.get(seg)?.iter().cloned().collect();
+            candidates = Some(match candidates {
+                None => holders,
+                Some(c) => c.intersection(&holders).cloned().collect(),
+            });
+        }
+        let executors = self.executors.read();
+        candidates?
+            .into_iter()
+            .find(|c| c != origin && !failed.contains(c) && executors.contains_key(c))
     }
 
     /// One routed server failed. If the error is transient, re-route its

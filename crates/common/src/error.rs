@@ -28,6 +28,12 @@ pub enum PinotError {
     Timeout(String),
     /// The tenant's token bucket is exhausted and the queue is full.
     QuotaExceeded(String),
+    /// The broker shed this query before scatter: the tenant's concurrency
+    /// slots are saturated and the admission wait queue is full (or the
+    /// queued query's deadline passed before a slot freed). Distinct from
+    /// [`PinotError::QuotaExceeded`], which is the *server-side* token
+    /// bucket — an overloaded broker never paid the scatter cost.
+    Overloaded(String),
     /// A quota on storage size would be exceeded by an upload.
     StorageQuota(String),
     /// The contacted node is not the leader for this operation.
@@ -48,6 +54,7 @@ impl PinotError {
             PinotError::Io(_) => "io",
             PinotError::Timeout(_) => "timeout",
             PinotError::QuotaExceeded(_) => "quota_exceeded",
+            PinotError::Overloaded(_) => "overloaded",
             PinotError::StorageQuota(_) => "storage_quota",
             PinotError::NotLeader(_) => "not_leader",
             PinotError::Internal(_) => "internal",
@@ -88,6 +95,7 @@ impl fmt::Display for PinotError {
             PinotError::Io(m) => ("io error", m),
             PinotError::Timeout(m) => ("timeout", m),
             PinotError::QuotaExceeded(m) => ("quota exceeded", m),
+            PinotError::Overloaded(m) => ("overloaded", m),
             PinotError::StorageQuota(m) => ("storage quota exceeded", m),
             PinotError::NotLeader(m) => ("not leader", m),
             PinotError::Internal(m) => ("internal error", m),
@@ -114,6 +122,20 @@ mod tests {
         assert_eq!(e.to_string(), "invalid query: bad token");
         let e = PinotError::Timeout("5s elapsed".into());
         assert_eq!(e.to_string(), "timeout: 5s elapsed");
+        let e = PinotError::Overloaded("admission queue full".into());
+        assert_eq!(e.to_string(), "overloaded: admission queue full");
+    }
+
+    /// Broker shedding (`Overloaded`) and server token buckets
+    /// (`QuotaExceeded`) are different signals with different remedies;
+    /// clients must be able to tell them apart.
+    #[test]
+    fn overloaded_is_distinct_from_quota_exceeded() {
+        let o = PinotError::Overloaded(String::new());
+        let q = PinotError::QuotaExceeded(String::new());
+        assert_ne!(o.kind(), q.kind());
+        assert!(!o.is_retriable());
+        assert!(!q.is_retriable());
     }
 
     #[test]
@@ -132,6 +154,7 @@ mod tests {
         assert!(!PinotError::Internal(String::new()).is_retriable());
         // Load shedding: retries amplify the very load being shed.
         assert!(!PinotError::QuotaExceeded(String::new()).is_retriable());
+        assert!(!PinotError::Overloaded(String::new()).is_retriable());
         assert!(!PinotError::StorageQuota(String::new()).is_retriable());
     }
 
@@ -153,6 +176,7 @@ mod tests {
             PinotError::Io(String::new()).kind(),
             PinotError::Timeout(String::new()).kind(),
             PinotError::QuotaExceeded(String::new()).kind(),
+            PinotError::Overloaded(String::new()).kind(),
             PinotError::StorageQuota(String::new()).kind(),
             PinotError::NotLeader(String::new()).kind(),
             PinotError::Internal(String::new()).kind(),

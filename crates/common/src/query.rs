@@ -156,6 +156,16 @@ pub struct ExecutionStats {
     /// partial response the non-responding servers appear with
     /// `responded: false`.
     pub per_server: Vec<ServerContribution>,
+    /// Hedged scatter accounting: speculative re-issues of a straggling
+    /// server's segment slice to a surviving replica, and how many of them
+    /// delivered the accepted (first) answer. Losers are discarded at
+    /// gather and never double-count into `num_docs_scanned`/`per_server`.
+    pub hedges_issued: u64,
+    pub hedges_won: u64,
+    /// True when the broker answered from its result cache without
+    /// scattering. The payload is byte-identical to the execution that
+    /// populated the cache; the scan counters describe that execution.
+    pub served_from_cache: bool,
 }
 
 impl ExecutionStats {
@@ -181,6 +191,9 @@ impl ExecutionStats {
         self.segment_plans
             .extend(other.segment_plans.iter().cloned());
         self.per_server.extend(other.per_server.iter().cloned());
+        self.hedges_issued += other.hedges_issued;
+        self.hedges_won += other.hedges_won;
+        self.served_from_cache |= other.served_from_cache;
     }
 
     /// Figure 13's metric: preaggregated docs scanned / raw docs equivalent.

@@ -91,6 +91,15 @@ pub struct ClusterConfig {
     /// (`Some(false)`) on every broker and server; `None` keeps the
     /// `PINOT_EXEC_PRUNE` env default (on unless set to `0`).
     pub exec_prune: Option<bool>,
+    /// Force hedged scatter on/off on every broker; `None` keeps the
+    /// `PINOT_EXEC_HEDGE` env default (on unless set to `0`).
+    pub exec_hedge: Option<bool>,
+    /// Force broker admission control on/off; `None` keeps the
+    /// `PINOT_EXEC_ADMISSION` env default (on unless set to `0`).
+    pub exec_admission: Option<bool>,
+    /// Force the broker result cache on/off; `None` keeps the
+    /// `PINOT_EXEC_RESULT_CACHE` env default (off unless set to `1`).
+    pub result_cache: Option<bool>,
 }
 
 impl Default for ClusterConfig {
@@ -106,6 +115,9 @@ impl Default for ClusterConfig {
             taskpool_threads: None,
             exec_batch: None,
             exec_prune: None,
+            exec_hedge: None,
+            exec_admission: None,
+            result_cache: None,
         }
     }
 }
@@ -143,6 +155,21 @@ impl ClusterConfig {
 
     pub fn with_exec_prune(mut self, prune: bool) -> ClusterConfig {
         self.exec_prune = Some(prune);
+        self
+    }
+
+    pub fn with_exec_hedge(mut self, hedge: bool) -> ClusterConfig {
+        self.exec_hedge = Some(hedge);
+        self
+    }
+
+    pub fn with_admission(mut self, admission: bool) -> ClusterConfig {
+        self.exec_admission = Some(admission);
+        self
+    }
+
+    pub fn with_result_cache(mut self, cache: bool) -> ClusterConfig {
+        self.result_cache = Some(cache);
         self
     }
 }
@@ -270,6 +297,9 @@ impl PinotCluster {
         for n in 1..=config.num_brokers {
             let broker = Broker::with_obs(n, cluster.clone(), Arc::clone(&obs));
             broker.set_exec_prune(config.exec_prune);
+            broker.set_exec_hedge(config.exec_hedge);
+            broker.set_admission(config.exec_admission);
+            broker.set_result_cache(config.result_cache);
             if let Some(threads) = config.taskpool_threads {
                 broker.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,
@@ -568,12 +598,25 @@ impl PinotCluster {
                     out.push_str(&profile.render_text());
                 }
                 out.push_str(&format!(
-                    "stats: docs_scanned={} segments_processed={} segments_pruned={} time_ms={}\n",
+                    "stats: docs_scanned={} segments_processed={} segments_pruned={} time_ms={}",
                     resp.stats.num_docs_scanned,
                     resp.stats.num_segments_processed,
                     resp.stats.num_segments_pruned,
                     resp.stats.time_used_ms,
                 ));
+                // Survival-layer annotations, only when they fired: a
+                // cache-served answer or hedged servers are visible right
+                // in the ANALYZE output.
+                if resp.stats.served_from_cache {
+                    out.push_str(" cache=hit");
+                }
+                if resp.stats.hedges_issued > 0 {
+                    out.push_str(&format!(
+                        " hedges={}/{}",
+                        resp.stats.hedges_won, resp.stats.hedges_issued
+                    ));
+                }
+                out.push('\n');
                 for e in &resp.exceptions {
                     out.push_str(&format!("exception: {e}\n"));
                 }

@@ -521,6 +521,91 @@ fn prune_results_are_byte_identical_to_unpruned() {
     }
 }
 
+// ---- survival layer (ISSUE 7): all knobs on vs all knobs off ----
+
+/// Hedging, admission control, and the result cache are pure availability
+/// mechanisms: with every knob on, the answer to any query must be
+/// byte-identical to a cluster with every knob off. Cache hits replay the
+/// exact payload the leader computed; hedge winners carry the same segment
+/// slice as the primary they replace; generous untuned admission limits
+/// admit everything. 4 seeds × 60 queries = 240 cases.
+#[test]
+fn survival_knobs_are_byte_invisible() {
+    const SEEDS: &[u64] = &[11, 23, 57, 91];
+    const QUERIES_PER_SEED: usize = 60;
+
+    for &seed in SEEDS {
+        let rows = gen_rows(seed);
+        // One server for the same reason as the prune suite: multi-server
+        // selection gather is completion-ordered, which would make
+        // byte-identity timing-dependent rather than knob-dependent.
+        let build = |on: bool| {
+            let mut config = ClusterConfig::default()
+                .with_servers(1)
+                .with_taskpool_threads(2)
+                .with_exec_hedge(on)
+                .with_admission(on)
+                .with_result_cache(on);
+            config.num_controllers = 1;
+            let c = PinotCluster::start(config).unwrap();
+            c.create_table(TableConfig::offline(TABLE), schema())
+                .unwrap();
+            for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+                c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+            }
+            c
+        };
+        let armored = build(true);
+        let bare = build(false);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51f7);
+        for case in 0..QUERIES_PER_SEED {
+            let pql = gen_query(&mut rng);
+            let req = QueryRequest::new(&pql);
+            let a = armored.execute(&req);
+            let b = bare.execute(&req);
+            assert!(
+                !a.partial && a.exceptions.is_empty(),
+                "armored partial/failed seed {seed} case {case} {pql}: {:?}",
+                a.exceptions
+            );
+            assert!(
+                !b.partial && b.exceptions.is_empty(),
+                "bare partial/failed seed {seed} case {case} {pql}: {:?}",
+                b.exceptions
+            );
+            assert_eq!(
+                a.result, b.result,
+                "survival knobs observable via seed {seed} case {case} {pql}"
+            );
+        }
+
+        // The bare cluster ran with everything off — nothing cached,
+        // nothing hedged, nothing queued or shed.
+        let bsnap = bare.metrics_snapshot();
+        for metric in [
+            "broker.cache_hit",
+            "broker.cache_miss",
+            "broker.cache_coalesced",
+            "broker.hedge_issued",
+            "broker.admission_queued",
+            "broker.admission_shed",
+        ] {
+            assert_eq!(bsnap.counter(metric), 0, "{metric} fired with knobs off");
+        }
+        // The armored cluster's cache really engaged: every query at
+        // least consulted it (the generator repeats some shapes, so both
+        // hits and misses occur across a seed).
+        let asnap = armored.metrics_snapshot();
+        assert_eq!(
+            asnap.counter("broker.cache_hit") + asnap.counter("broker.cache_miss"),
+            QUERIES_PER_SEED as u64,
+            "every query should consult the result cache"
+        );
+        assert_eq!(asnap.counter("broker.admission_shed"), 0);
+    }
+}
+
 // ---- merge algebra: pooled pairwise merges vs a sequential fold ----
 
 mod merge_algebra {

@@ -1,0 +1,137 @@
+//! Streaming per-key latency estimates for hedged-request decisions.
+//!
+//! The broker feeds every scatter reply's broker-observed wall-clock
+//! latency into one [`LatencyDigest`], keyed by server. The digest keeps a
+//! small sliding window per key and answers p99-style quantile queries
+//! over it; the broker's hedge delay is derived from the *healthy*
+//! quantile — the minimum per-server quantile among servers with enough
+//! samples — so one straggling server raising its own tail never talks
+//! the broker out of hedging around it.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Sliding-window latency quantiles per key (one key per server).
+pub struct LatencyDigest {
+    window: usize,
+    min_samples: usize,
+    samples: Mutex<HashMap<String, VecDeque<f64>>>,
+}
+
+impl LatencyDigest {
+    /// `window` recent samples are kept per key; quantile queries answer
+    /// `None` until a key has at least `min_samples` of them, so cold
+    /// starts never produce a garbage estimate.
+    pub fn new(window: usize, min_samples: usize) -> LatencyDigest {
+        LatencyDigest {
+            window: window.max(1),
+            min_samples: min_samples.max(1),
+            samples: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record one observed latency (milliseconds) for `key`.
+    pub fn observe(&self, key: &str, ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        let mut samples = self.samples.lock();
+        let window = samples.entry(key.to_string()).or_default();
+        if window.len() == self.window {
+            window.pop_front();
+        }
+        window.push_back(ms);
+    }
+
+    /// Number of retained samples for `key`.
+    pub fn len(&self, key: &str) -> usize {
+        self.samples.lock().get(key).map_or(0, VecDeque::len)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().values().all(VecDeque::is_empty)
+    }
+
+    /// The `q` quantile (nearest-rank over the retained window) for one
+    /// key, or `None` below the sample floor.
+    pub fn quantile(&self, key: &str, q: f64) -> Option<f64> {
+        let samples = self.samples.lock();
+        let window = samples.get(key)?;
+        quantile_of(window, self.min_samples, q)
+    }
+
+    /// The minimum per-key `q` quantile across keys that have enough
+    /// samples — the latency a *healthy* participant achieves. `None`
+    /// until at least one key crosses the sample floor.
+    pub fn healthy_quantile(&self, q: f64) -> Option<f64> {
+        let samples = self.samples.lock();
+        samples
+            .values()
+            .filter_map(|w| quantile_of(w, self.min_samples, q))
+            .min_by(f64::total_cmp)
+    }
+}
+
+fn quantile_of(window: &VecDeque<f64>, min_samples: usize, q: f64) -> Option<f64> {
+    if window.len() < min_samples {
+        return None;
+    }
+    let mut sorted: Vec<f64> = window.iter().copied().collect();
+    sorted.sort_by(f64::total_cmp);
+    let rank =
+        ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    Some(sorted[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_sample_floor_is_none() {
+        let d = LatencyDigest::new(16, 4);
+        d.observe("s1", 1.0);
+        d.observe("s1", 2.0);
+        d.observe("s1", 3.0);
+        assert_eq!(d.quantile("s1", 0.99), None);
+        assert_eq!(d.healthy_quantile(0.99), None);
+        d.observe("s1", 4.0);
+        assert_eq!(d.quantile("s1", 0.99), Some(4.0));
+        assert_eq!(d.quantile("s1", 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn window_slides() {
+        let d = LatencyDigest::new(4, 2);
+        for ms in [100.0, 100.0, 100.0, 100.0, 1.0, 1.0, 1.0, 1.0] {
+            d.observe("s1", ms);
+        }
+        assert_eq!(d.len("s1"), 4);
+        // The old 100ms samples fell out of the window.
+        assert_eq!(d.quantile("s1", 0.99), Some(1.0));
+    }
+
+    #[test]
+    fn healthy_quantile_ignores_the_straggler() {
+        let d = LatencyDigest::new(16, 4);
+        for _ in 0..8 {
+            d.observe("fast", 2.0);
+            d.observe("slow", 50.0);
+        }
+        // Per-key p99 tracks each server's own tail...
+        assert_eq!(d.quantile("slow", 0.99), Some(50.0));
+        // ...but the healthy estimate is what a good replica achieves,
+        // which is what a hedge delay must be derived from.
+        assert_eq!(d.healthy_quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage_samples() {
+        let d = LatencyDigest::new(8, 1);
+        d.observe("s1", f64::NAN);
+        d.observe("s1", -3.0);
+        assert!(d.is_empty());
+        d.observe("s1", 0.5);
+        assert_eq!(d.quantile("s1", 0.99), Some(0.5));
+    }
+}

@@ -12,10 +12,12 @@
 //! Every cluster component records into the same registry under a flat
 //! dotted namespace; the catalogue of names lives in DESIGN.md.
 
+pub mod latency;
 pub mod metrics;
 pub mod querylog;
 pub mod trace;
 
+pub use latency::LatencyDigest;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, LATENCY_MS_BOUNDARIES};
 pub use querylog::{QueryLog, QueryLogEntry};
 pub use trace::{ParentId, QueryTrace, Span, SpanHandle};
