@@ -47,6 +47,9 @@ cargo test -p pinot-bitmap --test proptest_bitmap
 echo "== pruning proptests (bloom fp/fn bounds, evaluator soundness) =="
 cargo test -p pinot-exec --test proptest_prune
 
+echo "== morsel proptests (partitioning is a lossless exact cover) =="
+cargo test -p pinot-exec --test proptest_morsel
+
 echo "== profile-merge proptests (fold algebra, aggregation losslessness) =="
 cargo test -p pinot-exec --test profile_prop
 
@@ -65,6 +68,9 @@ cargo run --release -q -p pinot-bench --bin prune
 echo "== profiling overhead acceptance (execute_profiled ≤5% vs execute) =="
 cargo run --release -q -p pinot-bench --bin profile
 
+echo "== morsel cost-gate regressions (fig7 shape inline, large scans fan out) =="
+cargo test -p pinot-core --test morsel
+
 echo "== chaos suite (fault injection + failover) =="
 cargo test -p pinot-core --test chaos
 
@@ -76,5 +82,8 @@ cargo test -p pinot-core --test survival
 
 echo "== broker bench acceptance (≥2x faulted p99 via hedging, ≥50% cache hits) =="
 cargo run --release -q -p pinot-bench --bin broker
+
+echo "== morsel scaling acceptance (gate no-overhead on WVMP, ≥2.5x on one big segment) =="
+cargo run --release -q -p pinot-bench --bin scaling
 
 echo "CI OK"

@@ -13,7 +13,7 @@
 //! *why* (work actually spread across workers).
 
 use pinot_bench::setup::{scale, BASE_DAY};
-use pinot_bench::{latency_histogram, run_sequential, QueryEngine};
+use pinot_bench::{latency_histogram, QueryEngine};
 use pinot_common::config::TableConfig;
 use pinot_core::{ClusterConfig, PinotCluster};
 use pinot_workloads::wvmp;
@@ -77,20 +77,38 @@ fn main() {
     println!("# rows={num_rows} segments={SEGMENTS} queries={num_queries} servers=1");
     println!("engine\tavg_ms\tp50_ms\tp90_ms\tp99_ms\tmax_ms");
 
+    // Both clusters are built before any measurement and the passes are
+    // interleaved, best-of per query: measuring one engine entirely after
+    // the other's segment builds skews whichever runs second, which on a
+    // one-core host is bigger than the effect being measured.
+    const PASSES: usize = 5;
+    let configs = [
+        ("pinot-1-thread".to_string(), 1),
+        (format!("pinot-{threads}-thread"), threads),
+    ];
+    let clusters: Vec<_> = configs.iter().map(|(_, n)| build(*n, &rows)).collect();
+    let mut best: Vec<Vec<f64>> = vec![vec![f64::INFINITY; queries.len()]; configs.len()];
+    for _ in 0..PASSES {
+        for (qi, pql) in queries.iter().enumerate() {
+            let req = pinot_common::query::QueryRequest::new(pql);
+            for (i, (label, _)) in configs.iter().enumerate() {
+                let t = std::time::Instant::now();
+                let resp = clusters[i].execute(&req);
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                assert!(!resp.partial, "partial/failed response in {label}");
+                best[i][qi] = best[i][qi].min(ms);
+            }
+        }
+    }
+
     let mut json_rows = Vec::new();
-    for (label, n) in [
-        ("pinot-1-thread", 1),
-        (&*format!("pinot-{threads}-thread"), threads),
-    ] {
-        let cluster = build(n, &rows);
+    for (i, (label, n)) in configs.iter().enumerate() {
+        let (cluster, n) = (&clusters[i], *n);
         let engine = pinot_bench::harness::PinotEngine {
-            cluster: Arc::clone(&cluster),
-            label: label.to_string(),
+            cluster: Arc::clone(cluster),
+            label: label.clone(),
         };
-        let (lat, responses) = run_sequential(&engine, &queries);
-        let errors = responses.iter().filter(|r| r.partial).count();
-        assert_eq!(errors, 0, "partial/failed responses in {label}");
-        let hist = latency_histogram(&lat);
+        let hist = latency_histogram(&best[i]);
         println!(
             "{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
             engine.name(),
@@ -100,7 +118,7 @@ fn main() {
             hist.p99(),
             hist.max(),
         );
-        println!("  pool metrics:\n{}", pool_metrics(&cluster));
+        println!("  pool metrics:\n{}", pool_metrics(cluster));
         json_rows.push(format!(
             "    \"{}\": {{\"threads\": {n}, \"avg_ms\": {:.4}, \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}}}",
             engine.name(),

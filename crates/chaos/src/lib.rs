@@ -38,6 +38,10 @@ pub mod sites {
     pub const METASTORE_CAS: &str = "metastore.cas";
     /// The elected committer building + committing a completed segment.
     pub const COMPLETION_COMMIT: &str = "completion.commit";
+    /// One morsel of a segment scan executing on the pool (ISSUE 8).
+    /// `Crash` is interpreted as `Fail` here: a morsel cannot unregister
+    /// a server, only fail its query.
+    pub const EXEC_MORSEL: &str = "exec.morsel";
 }
 
 /// What kind of failure an armed fault injects.

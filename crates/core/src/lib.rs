@@ -100,6 +100,18 @@ pub struct ClusterConfig {
     /// Force the broker result cache on/off; `None` keeps the
     /// `PINOT_EXEC_RESULT_CACHE` env default (off unless set to `1`).
     pub result_cache: Option<bool>,
+    /// Morsel size (docs) for every server's intra-segment splitting;
+    /// rounded to the 1024-doc decode-block grid. `None` keeps the
+    /// `PINOT_EXEC_MORSEL_DOCS` env default (64 blocks). The split is a
+    /// pure function of data + this knob, so it changes result bytes
+    /// only through the deterministic partition — tests shrink it to
+    /// exercise multi-morsel merging on small corpora.
+    pub morsel_docs: Option<usize>,
+    /// Fan-out threshold (estimated ns of scan work) for every server;
+    /// `None` keeps the `PINOT_EXEC_FANOUT_NS` env default (~2ms).
+    /// `Some(0)` forces every request onto the pool; a huge value forces
+    /// everything inline. Scheduling-only: never changes result bytes.
+    pub fanout_threshold_ns: Option<u64>,
 }
 
 impl Default for ClusterConfig {
@@ -118,6 +130,8 @@ impl Default for ClusterConfig {
             exec_hedge: None,
             exec_admission: None,
             result_cache: None,
+            morsel_docs: None,
+            fanout_threshold_ns: None,
         }
     }
 }
@@ -170,6 +184,16 @@ impl ClusterConfig {
 
     pub fn with_result_cache(mut self, cache: bool) -> ClusterConfig {
         self.result_cache = Some(cache);
+        self
+    }
+
+    pub fn with_morsel_docs(mut self, docs: usize) -> ClusterConfig {
+        self.morsel_docs = Some(docs);
+        self
+    }
+
+    pub fn with_fanout_threshold_ns(mut self, ns: u64) -> ClusterConfig {
+        self.fanout_threshold_ns = Some(ns);
         self
     }
 }
@@ -283,6 +307,8 @@ impl PinotCluster {
             server.set_fault_injector(Arc::clone(&chaos));
             server.set_exec_batch(config.exec_batch);
             server.set_exec_prune(config.exec_prune);
+            server.set_morsel_docs(config.morsel_docs);
+            server.set_fanout_threshold_ns(config.fanout_threshold_ns);
             if let Some(threads) = config.taskpool_threads {
                 server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,

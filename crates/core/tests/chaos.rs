@@ -414,10 +414,14 @@ fn delay_fault_under_parallel_pool_does_not_fail() {
 /// taskpool counters alongside the server's deadline-abandonment counter.
 #[test]
 fn deadline_expiry_cancels_queued_segment_tasks() {
+    // Threshold 0 pins the fan-out gate open: this corpus is far below
+    // the default gate and would otherwise run inline with no pool tasks
+    // to cancel.
     let cluster = PinotCluster::start(
         ClusterConfig::default()
             .with_servers(1)
-            .with_taskpool_threads(2),
+            .with_taskpool_threads(2)
+            .with_fanout_threshold_ns(0),
     )
     .unwrap();
     cluster
@@ -450,4 +454,76 @@ fn deadline_expiry_cancels_queued_segment_tasks() {
     let resp = cluster.query("SELECT COUNT(*) FROM views");
     assert!(!resp.partial, "{:?}", resp.exceptions);
     assert_eq!(count_of(&resp), 90);
+}
+
+/// Morsel-level deadline discipline (ISSUE 8): with fan-out forced and a
+/// single 5000-row segment split into five 1024-doc morsels, a delay
+/// fault at the morsel chaos site stalls every executing worker past the
+/// query deadline. The still-queued morsels must be *abandoned* — never
+/// run — surfacing as taskpool cancellations and the server's
+/// deadline-abandonment counter, and no partially-merged morsel result
+/// may leak into the response.
+#[test]
+fn delayed_morsel_abandons_queued_morsels_at_deadline() {
+    let cluster = PinotCluster::start(
+        ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(2)
+            // Gate open + minimum morsel size: the one segment below must
+            // split into ⌈5000/1024⌉ = 5 morsels and fan out.
+            .with_fanout_threshold_ns(0)
+            .with_morsel_docs(1024),
+    )
+    .unwrap();
+    cluster
+        .create_table(TableConfig::offline("views"), schema())
+        .unwrap();
+    let rows: Vec<Record> = (0..5000).map(|i| row(i, "us", 1, 10)).collect();
+    cluster.upload_rows("views", rows).unwrap();
+
+    // Every morsel sleeps 30ms against a 10ms deadline. At most three
+    // threads can execute morsels concurrently (two workers plus the
+    // scope owner helping), and each blocks well past the deadline on its
+    // first morsel — so at least two of the five morsels are still queued
+    // when the deadline passes and must be cancelled at dequeue.
+    cluster.chaos().arm(sites::EXEC_MORSEL, Fault::delay_ms(30));
+    // SUM forces a raw column scan — a bare COUNT(*) would be answered
+    // from segment metadata without ever reaching the morsel plane.
+    let req = QueryRequest::new("SELECT COUNT(*), SUM(clicks) FROM views").with_timeout_ms(10);
+    let resp = cluster.execute(&req);
+    assert!(
+        resp.partial,
+        "morsel deadline expiry must surface as partial"
+    );
+    assert!(!resp.exceptions.is_empty());
+    // No partial merge may leak: the segment's morsels did scan rows, but
+    // an abandoned morsel poisons the whole segment result, so nothing a
+    // completed morsel counted can reach the response.
+    assert!(
+        count_of(&resp) <= 0,
+        "partially-merged morsel result leaked into the response: {:?}",
+        resp.result
+    );
+
+    let snap = cluster.metrics_snapshot();
+    assert!(
+        snap.counter("taskpool.tasks_cancelled") >= 1,
+        "queued morsels should be cancelled at dequeue, got {}",
+        snap.counter("taskpool.tasks_cancelled")
+    );
+    assert!(
+        snap.counter("server.exec.deadline_abandoned") >= 1,
+        "abandoned morsel must be counted"
+    );
+    assert!(
+        snap.counter("exec.morsels_split") >= 5,
+        "the segment should have fanned out into five morsels"
+    );
+
+    // Disarm and the same query completes exactly — the abandoned morsels
+    // left no residue in any accumulator.
+    cluster.chaos().clear();
+    let resp = cluster.query("SELECT COUNT(*), SUM(clicks) FROM views");
+    assert!(!resp.partial, "{:?}", resp.exceptions);
+    assert_eq!(count_of(&resp), 5000);
 }

@@ -56,8 +56,12 @@ fn schema() -> Schema {
 }
 
 fn gen_rows(seed: u64) -> Vec<Record> {
+    gen_rows_n(seed, NUM_ROWS)
+}
+
+fn gen_rows_n(seed: u64, n: usize) -> Vec<Record> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..NUM_ROWS)
+    (0..n)
         .map(|_| {
             let ntags = rng.gen_range(1..=3usize);
             let mut tags: Vec<String> = Vec::with_capacity(ntags);
@@ -313,10 +317,13 @@ fn parallel_results_are_byte_identical_to_single_thread() {
     const CASES: usize = 80;
 
     let rows = gen_rows(SEED);
-    let sequential = {
+    // Threshold 0 pins the cost gate open so this corpus — far below the
+    // default gate — still exercises the pool fan-out it is meant to test.
+    let build = |threads: usize| {
         let mut config = ClusterConfig::default()
             .with_servers(1)
-            .with_taskpool_threads(1);
+            .with_taskpool_threads(threads)
+            .with_fanout_threshold_ns(0);
         config.num_controllers = 1;
         let c = PinotCluster::start(config).unwrap();
         c.create_table(TableConfig::offline(TABLE), schema())
@@ -326,19 +333,8 @@ fn parallel_results_are_byte_identical_to_single_thread() {
         }
         c
     };
-    let parallel = {
-        let mut config = ClusterConfig::default()
-            .with_servers(1)
-            .with_taskpool_threads(4);
-        config.num_controllers = 1;
-        let c = PinotCluster::start(config).unwrap();
-        c.create_table(TableConfig::offline(TABLE), schema())
-            .unwrap();
-        for chunk in rows.chunks(ROWS_PER_SEGMENT) {
-            c.upload_rows(TABLE, chunk.to_vec()).unwrap();
-        }
-        c
-    };
+    let sequential = build(1);
+    let parallel = build(4);
 
     let mut rng = StdRng::seed_from_u64(SEED ^ 0xbeef);
     for _ in 0..CASES {
@@ -355,6 +351,111 @@ fn parallel_results_are_byte_identical_to_single_thread() {
     let snap = parallel.metrics_snapshot();
     assert!(snap.counter("taskpool.tasks_run") > 0);
     assert!(snap.histogram("server.exec.segment_ms").is_some());
+}
+
+/// Morsel determinism matrix (ISSUE 8): {1, 2, 4, 8} threads ×
+/// {row, batch} kernels, with 1024-doc morsels forced on a corpus big
+/// enough that every broad selection splits into several morsels per
+/// segment. Every cell must agree *byte-for-byte* with the
+/// 1-thread/row-path reference cell — results verbatim, and the
+/// deterministic `ExecutionStats` totals too — so neither thread count,
+/// morsel scheduling, nor the kernel choice is observable.
+#[test]
+fn morsel_thread_matrix_is_byte_identical() {
+    const SEED: u64 = 8;
+    const CASES: usize = 40;
+    // Below SELECTION_LIMIT so no selection is ever truncated, while each
+    // 2400-row segment still splits into three 1024-doc morsels.
+    const ROWS: usize = 4800;
+    const SEG_ROWS: usize = 2400;
+
+    let rows = gen_rows_n(SEED, ROWS);
+    let build = |threads: usize, batch: bool| {
+        let mut config = ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(threads)
+            .with_exec_batch(batch)
+            // Force multi-morsel execution regardless of the calibrated
+            // cost model: gate open, morsels at the minimum block size.
+            .with_fanout_threshold_ns(0)
+            .with_morsel_docs(1024);
+        config.num_controllers = 1;
+        let c = PinotCluster::start(config).unwrap();
+        c.create_table(TableConfig::offline(TABLE), schema())
+            .unwrap();
+        for chunk in rows.chunks(SEG_ROWS) {
+            c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+        }
+        c
+    };
+
+    let queries: Vec<String> = {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0x305e1);
+        (0..CASES).map(|_| gen_query(&mut rng)).collect()
+    };
+
+    let reference = build(1, false);
+    let ref_responses: Vec<QueryResponse> = queries
+        .iter()
+        .map(|pql| reference.execute(&QueryRequest::new(pql)))
+        .collect();
+    for (pql, resp) in queries.iter().zip(&ref_responses) {
+        assert!(
+            !resp.partial && resp.exceptions.is_empty(),
+            "reference cell failed {pql}: {:?}",
+            resp.exceptions
+        );
+    }
+
+    for &threads in &[1usize, 2, 4, 8] {
+        for &batch in &[false, true] {
+            if threads == 1 && !batch {
+                continue; // the reference cell itself
+            }
+            let cell = build(threads, batch);
+            for (pql, reference) in queries.iter().zip(&ref_responses) {
+                let got = cell.execute(&QueryRequest::new(pql));
+                assert!(
+                    !got.partial && got.exceptions.is_empty(),
+                    "cell t={threads} batch={batch} failed {pql}: {:?}",
+                    got.exceptions
+                );
+                // Verbatim equality: same rows, same order, same floats.
+                assert_eq!(
+                    got.result, reference.result,
+                    "t={threads} batch={batch} observable via {pql}"
+                );
+                // The deterministic stats totals must agree across the
+                // whole matrix too — morsels may change *scheduling*, not
+                // what was scanned.
+                assert_eq!(
+                    got.stats.num_docs_scanned, reference.stats.num_docs_scanned,
+                    "docs-scanned drift t={threads} batch={batch} on {pql}"
+                );
+                assert_eq!(
+                    got.stats.num_entries_scanned_in_filter,
+                    reference.stats.num_entries_scanned_in_filter,
+                    "filter-entries drift t={threads} batch={batch} on {pql}"
+                );
+                assert_eq!(
+                    got.stats.num_entries_scanned_post_filter,
+                    reference.stats.num_entries_scanned_post_filter,
+                    "post-filter-entries drift t={threads} batch={batch} on {pql}"
+                );
+                assert_eq!(
+                    got.stats.total_docs, reference.stats.total_docs,
+                    "total-docs drift t={threads} batch={batch} on {pql}"
+                );
+            }
+            // Each cell genuinely split work into morsels — the matrix is
+            // meaningless if everything quietly took the single-morsel path.
+            let snap = cell.metrics_snapshot();
+            assert!(
+                snap.counter("exec.morsels_split") > 0,
+                "cell t={threads} batch={batch} never fanned morsels out"
+            );
+        }
+    }
 }
 
 /// Batched vs row-at-a-time execution (ISSUE 4): the dict-id block
@@ -675,6 +776,40 @@ mod merge_algebra {
                 let b_ac = merged(f, &[&b, &a, &c]);
                 prop_assert_eq!(ab_c, c_ba);
                 prop_assert_eq!(ab_c, b_ac);
+            }
+        }
+
+        /// Worker-slot permutation invariance (ISSUE 8): morsel execution
+        /// accumulates partials into per-worker slots, and which worker
+        /// ends up holding which partial is a scheduling accident. Merging
+        /// the slots under *any* seeded permutation must finalize to the
+        /// same answer as slot order — the integer-valued inputs make the
+        /// f64 accumulation exact, so equality is literal, not approximate.
+        #[test]
+        fn partial_merge_is_invariant_under_slot_permutation(
+            slots in prop::collection::vec(
+                prop::collection::vec(0i64..1000, 0..25), 1..9),
+            perm_seed in 0u64..1_000_000,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{SeedableRng, SliceRandom};
+
+            if slots.iter().all(|s| s.is_empty()) {
+                // finalize of "no rows" is a sentinel; covered elsewhere.
+                return Ok(());
+            }
+            let mut order: Vec<usize> = (0..slots.len()).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+            for &f in FUNCTIONS {
+                let in_slot_order: Vec<&[i64]> =
+                    slots.iter().map(|s| s.as_slice()).collect();
+                let permuted: Vec<&[i64]> =
+                    order.iter().map(|&i| slots[i].as_slice()).collect();
+                prop_assert_eq!(
+                    merged(f, &in_slot_order),
+                    merged(f, &permuted),
+                    "slot permutation observable for {:?}", f
+                );
             }
         }
     }

@@ -55,6 +55,16 @@ pub struct ExecOptions {
     /// alongside the result. Off by default so the unprofiled path stays
     /// untimed; profiling never changes the result payload or stats.
     pub profile: bool,
+    /// Morsel size in documents for intra-segment splitting. `None`
+    /// defers to the `PINOT_EXEC_MORSEL_DOCS` env default. The split is
+    /// a pure function of (selection, morsel size) — see
+    /// [`crate::morsel`] — so this knob changes bytes only through the
+    /// deterministic partition, never through scheduling.
+    pub morsel_docs: Option<usize>,
+    /// Pool + deadline + cost gate for morsel fan-out. `None` (the
+    /// default) executes morsels inline on the caller thread; results
+    /// are byte-identical either way.
+    pub parallel: Option<crate::morsel::ParallelExec>,
 }
 
 impl ExecOptions {
@@ -64,6 +74,12 @@ impl ExecOptions {
 
     pub fn prune_enabled(&self) -> bool {
         self.prune.unwrap_or_else(crate::prune::prune_default)
+    }
+
+    pub fn morsel_docs(&self) -> usize {
+        self.morsel_docs
+            .map(crate::morsel::clamp_morsel_docs)
+            .unwrap_or_else(crate::morsel::morsel_docs_default)
     }
 }
 
@@ -105,10 +121,17 @@ impl KernelStats {
         obs.metrics.counter_add("exec.block_docs", self.docs);
         obs.metrics
             .gauge_set("exec.block_fill_avg", (self.docs / self.blocks) as i64);
-        obs.metrics.observe_ms(
-            "exec.scan_ns_per_doc",
-            elapsed_ns as f64 / self.docs.max(1) as f64,
-        );
+        // Calibration sample for the fan-out cost gate. Tiny scans are
+        // dominated by fixed per-scan setup, so (elapsed / docs) at small
+        // doc counts wildly overstates the *marginal* cost a fan-out
+        // decision cares about; only scans spanning several full blocks
+        // contribute.
+        if self.docs >= 8 * crate::selection::BLOCK_SIZE as u64 {
+            obs.metrics.observe_ms(
+                "exec.scan_ns_per_doc",
+                elapsed_ns as f64 / self.docs.max(1) as f64,
+            );
+        }
     }
 }
 

@@ -24,6 +24,7 @@ pub mod batch;
 pub mod explain;
 pub mod key;
 pub mod merge;
+pub mod morsel;
 pub mod planner;
 pub mod prune;
 pub mod segment_exec;
@@ -34,6 +35,7 @@ pub use batch::{batch_default, ExecOptions};
 pub use explain::{explain_segment, render_plan, SegmentExplain};
 pub use key::GroupKey;
 pub use merge::{collected_profiles, finalize, merge_intermediate};
+pub use morsel::{split_selection, CostModel, ParallelExec};
 pub use planner::{conjunct_order, evaluate_filter_mode, plan_segment, PlanKind};
 pub use prune::{
     prune_default, ColumnRange, Prunable, PruneEvaluator, PruneLevel, PruneOutcome,

@@ -14,7 +14,16 @@ use pinot_pql::Query;
 pub fn merge_intermediate(acc: &mut IntermediateResult, other: IntermediateResult) -> Result<()> {
     acc.stats.merge(&other.stats);
     merge_profiles(&mut acc.profile, other.profile);
-    match (&mut acc.payload, other.payload) {
+    merge_payload(&mut acc.payload, other.payload)
+}
+
+/// The payload half of [`merge_intermediate`]: commutative and
+/// associative (pinned by the PR 6 fold-algebra proptests), which is
+/// what lets morsel partials merge in any fixed order and stay
+/// byte-identical. Selection rows concatenate in call order, so callers
+/// supply partials in ascending doc order.
+pub(crate) fn merge_payload(acc: &mut ResultPayload, other: ResultPayload) -> Result<()> {
+    match (acc, other) {
         (ResultPayload::Aggregation(a), ResultPayload::Aggregation(b)) => {
             if a.len() != b.len() {
                 return Err(PinotError::Internal(

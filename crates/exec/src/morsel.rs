@@ -1,0 +1,479 @@
+//! Morsel-driven intra-segment parallelism with a cost-gated fan-out
+//! (ISSUE 8, after the morsel scheduling of HyPer and the intra-partition
+//! parallel scans of OceanBase).
+//!
+//! A segment's post-prune [`DocSelection`] is split into *morsels* —
+//! contiguous sub-selections of at most `morsel_docs` documents, taken in
+//! ascending doc order. Splitting is a pure function of the selection and
+//! the morsel size: it never looks at thread counts, queue depths, or the
+//! clock, so the partition (and therefore every float accumulation order
+//! downstream) is identical on every run and at every pool width.
+//!
+//! Execution then has two *byte-identical* schedules:
+//!
+//! * **inline** — the caller thread folds the morsels in index order;
+//! * **fan-out** — each morsel becomes a pool task writing into its own
+//!   slot (`slots[i]` for morsel `i`), and the caller merges the slots in
+//!   ascending morsel index with the commutative/associative partial
+//!   merge proven by the PR 6 fold-algebra proptests.
+//!
+//! Because both schedules produce the same per-morsel partials and merge
+//! them in the same fixed order, the cost gate choosing between them is
+//! free to use *non-deterministic* signals: estimated work is
+//! `docs × columns touched × ns_per_doc`, where `ns_per_doc` is
+//! calibrated from the measured `exec.scan_ns_per_doc` histogram. A bad
+//! estimate can only cost time, never change bytes.
+
+use crate::batch::ExecOptions;
+use crate::selection::{DocSelection, BLOCK_SIZE};
+use pinot_bitmap::RoaringBitmap;
+use pinot_chaos::{sites, FaultAction, FaultContext, FaultInjector};
+use pinot_common::{PinotError, Result};
+use pinot_obs::Obs;
+use pinot_segment::DocId;
+use pinot_taskpool::{Deadline, TaskPool, WorkerSlots};
+use std::sync::{Arc, OnceLock};
+
+/// Environment override for the morsel size in documents. Rounded down
+/// to a multiple of the BLOCK=1024 decode unit (and clamped to at least
+/// one block) so a morsel never splits a decode block.
+pub const MORSEL_DOCS_ENV: &str = "PINOT_EXEC_MORSEL_DOCS";
+
+/// Environment override for the fan-out threshold in estimated
+/// nanoseconds of scan work.
+pub const FANOUT_NS_ENV: &str = "PINOT_EXEC_FANOUT_NS";
+
+/// Default morsel size: 64 decode blocks. Small enough that a 4M-doc
+/// segment yields ~61 morsels (good balance even with stealing), large
+/// enough that per-task overhead stays ≪ 1% of a morsel's scan time.
+pub const DEFAULT_MORSEL_DOCS: usize = 64 * BLOCK_SIZE;
+
+/// Default fan-out threshold: ~2ms of estimated scan work. Below it a
+/// query answers faster on the caller thread than the scheduling
+/// round-trip costs.
+pub const DEFAULT_FANOUT_NS: u64 = 2_000_000;
+
+/// Starting per-doc scan cost until calibration has data.
+pub const DEFAULT_NS_PER_DOC: f64 = 4.0;
+
+/// Calibrated `ns_per_doc` is clamped to this range so one wild
+/// measurement (page cache miss, CI noise) cannot wedge the gate fully
+/// open or shut.
+pub const NS_PER_DOC_CLAMP: (f64, f64) = (0.5, 200.0);
+
+/// Round a configured morsel size to the decode-block grid.
+pub fn clamp_morsel_docs(docs: usize) -> usize {
+    (docs / BLOCK_SIZE).max(1) * BLOCK_SIZE
+}
+
+/// Process-wide default morsel size, read once from
+/// [`MORSEL_DOCS_ENV`].
+pub fn morsel_docs_default() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(MORSEL_DOCS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(clamp_morsel_docs)
+            .unwrap_or(DEFAULT_MORSEL_DOCS)
+    })
+}
+
+/// Process-wide default fan-out threshold, read once from
+/// [`FANOUT_NS_ENV`].
+pub fn fanout_ns_default() -> u64 {
+    static DEFAULT: OnceLock<u64> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(FANOUT_NS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_FANOUT_NS)
+    })
+}
+
+/// The fan-out cost model: estimated work for a scan is
+/// `docs × columns × ns_per_doc`, compared against a fixed threshold.
+/// `ns_per_doc` starts at [`DEFAULT_NS_PER_DOC`] and is recalibrated by
+/// the server from the `exec.scan_ns_per_doc` histogram mean.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    pub ns_per_doc: f64,
+    pub fanout_threshold_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            ns_per_doc: DEFAULT_NS_PER_DOC,
+            fanout_threshold_ns: fanout_ns_default(),
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated nanoseconds to scan `docs` documents across `cols`
+    /// columns.
+    pub fn estimate_ns(&self, docs: u64, cols: u64) -> u64 {
+        (docs as f64 * cols.max(1) as f64 * self.ns_per_doc) as u64
+    }
+
+    /// Whether the estimated work clears the fan-out threshold.
+    pub fn should_fan_out(&self, docs: u64, cols: u64) -> bool {
+        self.estimate_ns(docs, cols) >= self.fanout_threshold_ns
+    }
+
+    /// A copy with `ns_per_doc` updated from a measurement, clamped to
+    /// [`NS_PER_DOC_CLAMP`]. Non-finite measurements are ignored.
+    pub fn recalibrated(mut self, measured_ns_per_doc: f64) -> CostModel {
+        if measured_ns_per_doc.is_finite() && measured_ns_per_doc > 0.0 {
+            self.ns_per_doc = measured_ns_per_doc.clamp(NS_PER_DOC_CLAMP.0, NS_PER_DOC_CLAMP.1);
+        }
+        self
+    }
+}
+
+/// Parallel-execution context threaded from the server into
+/// [`crate::execute_on_segment_with`]. Absent (the default) the scan
+/// runs inline; present, multi-morsel scans clearing the cost gate fan
+/// out onto `pool`.
+#[derive(Clone)]
+pub struct ParallelExec {
+    pub pool: Arc<TaskPool>,
+    /// The broker's scatter deadline: morsels still queued when it
+    /// passes are abandoned and the segment fails with a timeout.
+    pub deadline: Deadline,
+    pub cost: CostModel,
+    /// Fault-injection hook for the `exec.morsel` chaos site.
+    pub chaos: Option<(Arc<FaultInjector>, FaultContext)>,
+}
+
+impl ParallelExec {
+    pub fn new(pool: Arc<TaskPool>) -> ParallelExec {
+        ParallelExec {
+            pool,
+            deadline: Deadline::none(),
+            cost: CostModel::default(),
+            chaos: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Deadline) -> ParallelExec {
+        self.deadline = deadline;
+        self
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> ParallelExec {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_chaos(mut self, injector: Arc<FaultInjector>, ctx: FaultContext) -> ParallelExec {
+        self.chaos = Some((injector, ctx));
+        self
+    }
+}
+
+/// Split `selection` into morsels of at most `morsel_docs` documents, in
+/// ascending doc order. The result is an exact cover: concatenating the
+/// morsels' doc sequences reproduces the original selection's
+/// `for_each` order with nothing duplicated or dropped (pinned by the
+/// `proptest_morsel` suite). Selections of `morsel_docs` documents or
+/// fewer come back as a single morsel.
+pub fn split_selection(selection: &DocSelection, morsel_docs: usize) -> Vec<DocSelection> {
+    let morsel_docs = morsel_docs.max(1);
+    match selection {
+        DocSelection::Empty => Vec::new(),
+        DocSelection::All(n) => split_range(0, *n, morsel_docs),
+        DocSelection::Range(s, e) => split_range(*s, *e, morsel_docs),
+        DocSelection::Bitmap(bm) => {
+            let total = bm.len() as usize;
+            if total <= morsel_docs {
+                return vec![selection.clone()];
+            }
+            let mut out = Vec::with_capacity(total.div_ceil(morsel_docs));
+            let mut buf: Vec<DocId> = Vec::with_capacity(morsel_docs.min(total));
+            let mut scratch = Vec::new();
+            bm.for_each_batch(&mut scratch, |ids| {
+                let mut rest = ids;
+                while !rest.is_empty() {
+                    let take = (morsel_docs - buf.len()).min(rest.len());
+                    buf.extend_from_slice(&rest[..take]);
+                    rest = &rest[take..];
+                    if buf.len() == morsel_docs {
+                        let mut part = RoaringBitmap::new();
+                        part.append_sorted(&buf);
+                        buf.clear();
+                        out.push(DocSelection::Bitmap(part));
+                    }
+                }
+            });
+            if !buf.is_empty() {
+                let mut part = RoaringBitmap::new();
+                part.append_sorted(&buf);
+                out.push(DocSelection::Bitmap(part));
+            }
+            out
+        }
+    }
+}
+
+fn split_range(start: DocId, end: DocId, morsel_docs: usize) -> Vec<DocSelection> {
+    if end <= start {
+        return Vec::new();
+    }
+    let total = (end - start) as usize;
+    if total <= morsel_docs {
+        return vec![DocSelection::Range(start, end)];
+    }
+    let mut out = Vec::with_capacity(total.div_ceil(morsel_docs));
+    let mut s = start;
+    while s < end {
+        let e = end.min(s + morsel_docs as DocId);
+        out.push(DocSelection::Range(s, e));
+        s = e;
+    }
+    out
+}
+
+/// One morsel's scan output: the shape-specific partial payload plus the
+/// integer counters the scan produced. Kept payload-agnostic here so the
+/// scheduler below works for every query shape.
+pub(crate) struct MorselPartial<P> {
+    pub payload: P,
+    /// `num_entries_scanned_post_filter` contribution.
+    pub entries: u64,
+    /// Kernel counters (blocks decoded, docs accumulated).
+    pub blocks: u64,
+    pub docs: u64,
+}
+
+/// Integer scan counters accumulated into per-worker slots on the
+/// fan-out path ([`WorkerSlots`]): commutative, so slot order is enough
+/// for determinism.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct ScanCounters {
+    pub entries: u64,
+    pub blocks: u64,
+    pub docs: u64,
+    pub stolen: u64,
+}
+
+/// Execute `morsels` with `run` (one call per morsel, in any order) and
+/// merge the partial payloads **in ascending morsel index** with
+/// `merge`. Chooses inline vs fan-out via the cost gate; both schedules
+/// are byte-identical by construction. Returns the merged payload plus
+/// summed counters.
+pub(crate) fn execute_morsels<P, F, M>(
+    morsels: &[DocSelection],
+    scan_docs: u64,
+    cols_touched: u64,
+    run: F,
+    mut merge: M,
+    opts: &ExecOptions,
+    obs: Option<&Obs>,
+) -> Result<MorselPartial<P>>
+where
+    P: Send,
+    F: Fn(&DocSelection) -> MorselPartial<P> + Sync,
+    M: FnMut(&mut P, P) -> Result<()>,
+{
+    debug_assert!(morsels.len() > 1);
+    let fan_out = opts
+        .parallel
+        .as_ref()
+        .filter(|p| p.cost.should_fan_out(scan_docs, cols_touched));
+
+    let Some(par) = fan_out else {
+        // Below the gate (or no pool): fold on the caller thread, zero
+        // task overhead.
+        if let Some(obs) = obs {
+            obs.metrics.counter_add("exec.morsels_inline", 1);
+        }
+        let mut iter = morsels.iter();
+        let mut acc = run(iter.next().expect("at least two morsels"));
+        for m in iter {
+            let part = run(m);
+            merge(&mut acc.payload, part.payload)?;
+            acc.entries += part.entries;
+            acc.blocks += part.blocks;
+            acc.docs += part.docs;
+        }
+        return Ok(acc);
+    };
+
+    if let Some(obs) = obs {
+        obs.metrics
+            .counter_add("exec.morsels_split", morsels.len() as u64);
+    }
+    let threads = par.pool.threads();
+    let slots: Vec<std::sync::Mutex<Option<Result<P>>>> = morsels
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let counters: WorkerSlots<ScanCounters> = WorkerSlots::new(&par.pool);
+    par.pool.scope(|scope| {
+        let jobs: Vec<_> = morsels
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let slot = &slots[i];
+                let counters = &counters;
+                let par = &par;
+                let run = &run;
+                let home = i % threads;
+                move || {
+                    if let Some((injector, ctx)) = &par.chaos {
+                        if let Some(action) = injector.intercept(sites::EXEC_MORSEL, ctx) {
+                            match action {
+                                FaultAction::Fail(e) => {
+                                    *slot.lock().unwrap() = Some(Err(e));
+                                    return;
+                                }
+                                FaultAction::Crash => {
+                                    // A morsel cannot unregister a server;
+                                    // Crash degrades to a failed scan.
+                                    *slot.lock().unwrap() = Some(Err(PinotError::Io(
+                                        "morsel crashed (injected)".into(),
+                                    )));
+                                    return;
+                                }
+                                FaultAction::Delay(ms) => {
+                                    std::thread::sleep(std::time::Duration::from_millis(ms))
+                                }
+                            }
+                        }
+                    }
+                    let part = run(m);
+                    counters.with(|c| {
+                        c.entries += part.entries;
+                        c.blocks += part.blocks;
+                        c.docs += part.docs;
+                        if TaskPool::current_worker() != Some(home) {
+                            c.stolen += 1;
+                        }
+                    });
+                    *slot.lock().unwrap() = Some(Ok(part.payload));
+                }
+            })
+            .collect();
+        scope.spawn_batch_with_deadline(&par.deadline, jobs);
+    });
+
+    // Merge in fixed morsel order; per-worker counter slots merge in
+    // fixed slot order (both deterministic — the counters are integers
+    // and the payload merge is the proven fold algebra).
+    let mut merged: Option<P> = None;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner().unwrap() {
+            Some(Ok(payload)) => match &mut merged {
+                None => merged = Some(payload),
+                Some(acc) => merge(acc, payload)?,
+            },
+            Some(Err(e)) => return Err(e),
+            None => {
+                // The pool abandoned this morsel: the scatter deadline
+                // passed while it was queued. Nothing half-executed is
+                // merged — the whole segment fails.
+                if let Some(obs) = obs {
+                    obs.metrics.counter_add("server.exec.deadline_abandoned", 1);
+                }
+                return Err(PinotError::Timeout(format!(
+                    "query deadline elapsed before morsel {i} of {}",
+                    morsels.len()
+                )));
+            }
+        }
+    }
+    let mut acc = MorselPartial {
+        payload: merged.expect("non-empty morsel list"),
+        entries: 0,
+        blocks: 0,
+        docs: 0,
+    };
+    let mut stolen = 0;
+    for c in counters.into_slots() {
+        acc.entries += c.entries;
+        acc.blocks += c.blocks;
+        acc.docs += c.docs;
+        stolen += c.stolen;
+    }
+    if let Some(obs) = obs {
+        if stolen > 0 {
+            obs.metrics.counter_add("exec.morsels_stolen", stolen);
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs_of(sel: &DocSelection) -> Vec<DocId> {
+        let mut v = Vec::new();
+        sel.for_each(|d| v.push(d));
+        v
+    }
+
+    #[test]
+    fn range_split_is_exact_cover() {
+        let sel = DocSelection::All(10_000);
+        let morsels = split_selection(&sel, 1024);
+        assert_eq!(morsels.len(), 10);
+        let concat: Vec<DocId> = morsels.iter().flat_map(docs_of).collect();
+        assert_eq!(concat, docs_of(&sel));
+    }
+
+    #[test]
+    fn small_selection_is_one_morsel() {
+        let sel = DocSelection::Range(5, 500);
+        assert_eq!(split_selection(&sel, 1024).len(), 1);
+        assert_eq!(split_selection(&DocSelection::Empty, 1024).len(), 0);
+    }
+
+    #[test]
+    fn bitmap_split_preserves_order() {
+        let ids: Vec<u32> = (0..5000).map(|i| i * 3).collect();
+        let sel = DocSelection::Bitmap(RoaringBitmap::from_sorted(ids.iter().copied()));
+        let morsels = split_selection(&sel, 2048);
+        assert_eq!(morsels.len(), 3);
+        let concat: Vec<DocId> = morsels.iter().flat_map(docs_of).collect();
+        assert_eq!(concat, ids);
+        // All but the last morsel are exactly full.
+        assert!(morsels[..2].iter().all(|m| m.count() == 2048));
+    }
+
+    #[test]
+    fn cost_model_defaults_gate_fig7_inline_and_large_scans_out() {
+        let cost = CostModel {
+            ns_per_doc: DEFAULT_NS_PER_DOC,
+            fanout_threshold_ns: DEFAULT_FANOUT_NS,
+        };
+        // fig7 shape: 12.5k-doc segments, few-column point aggregates. A
+        // per-segment task's slice stays under the gate → inline, even at
+        // the calibration clamp's ceiling of 200ns/doc for one column.
+        assert!(!cost.should_fan_out(12_500, 3));
+        assert!(!cost
+            .recalibrated(NS_PER_DOC_CLAMP.1)
+            .should_fan_out(9_000, 1));
+        // A single 4M-doc segment scan clears it by ~8×.
+        assert!(cost.should_fan_out(4_000_000, 1));
+    }
+
+    #[test]
+    fn recalibration_clamps() {
+        let cost = CostModel::default().recalibrated(10_000.0);
+        assert_eq!(cost.ns_per_doc, NS_PER_DOC_CLAMP.1);
+        let cost = CostModel::default().recalibrated(0.001);
+        assert_eq!(cost.ns_per_doc, NS_PER_DOC_CLAMP.0);
+        let cost = CostModel::default().recalibrated(f64::NAN);
+        assert_eq!(cost.ns_per_doc, DEFAULT_NS_PER_DOC);
+    }
+
+    #[test]
+    fn morsel_docs_clamps_to_block_grid() {
+        assert_eq!(clamp_morsel_docs(1), BLOCK_SIZE);
+        assert_eq!(clamp_morsel_docs(5000), 4 * BLOCK_SIZE);
+        assert_eq!(clamp_morsel_docs(65536), 65536);
+    }
+}

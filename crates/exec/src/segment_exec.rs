@@ -3,6 +3,7 @@
 use crate::aggstate::AggState;
 use crate::batch::{self, ExecOptions, KernelStats};
 use crate::key::{GroupKey, GroupValue};
+use crate::morsel;
 use crate::planner;
 use crate::selection::DocSelection;
 use pinot_common::profile::ProfileNode;
@@ -191,76 +192,53 @@ pub fn execute_on_segment_with(
     stats.num_docs_scanned = selection.count();
 
     let mut kstats = KernelStats::default();
-    let batch_kernel;
     // `scan_start` doubles as the filter phase's end boundary, so the
     // profiled path takes no extra timestamp between filter and scan.
     let scan_start = std::time::Instant::now();
     let filter_ns = filter_start.map(|t| scan_start.duration_since(t).as_nanos() as u64);
-    let payload = match &query.select {
-        SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
-            let cols: Vec<Option<&ColumnData>> = aggs
-                .iter()
-                .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
-                .collect::<Result<_>>()?;
-            batch_kernel = batch && batch::aggregate_eligible(&cols);
-            let states = if batch_kernel {
-                batch::aggregate_selection_batch(aggs, &cols, &selection, &mut stats, &mut kstats)
-            } else {
-                aggregate_selection(aggs, &cols, &selection, &mut stats)
-            };
-            ResultPayload::Aggregation(states)
+    // Resolve columns and choose the kernel once; morsels reuse the plan.
+    let plan = ScanPlan::resolve(segment, query, batch)?;
+    let batch_kernel = plan.batch_kernel();
+    // Morsel-driven scan (ISSUE 8): the partition depends only on the
+    // selection and the morsel size, and partials merge in ascending
+    // morsel order — so whether the morsels run inline or as pool tasks
+    // (the cost gate's call), the bytes are identical. Selections of one
+    // morsel or fewer take the direct path below, unchanged.
+    let morsels = morsel::split_selection(&selection, opts.morsel_docs());
+    let payload = if morsels.len() > 1 {
+        let part = morsel::execute_morsels(
+            &morsels,
+            stats.num_docs_scanned,
+            plan.cols_touched(),
+            |m| {
+                let mut mstats = ExecutionStats::default();
+                let mut mk = KernelStats::default();
+                let payload = plan.run(m, &mut mstats, &mut mk);
+                morsel::MorselPartial {
+                    payload,
+                    entries: mstats.num_entries_scanned_post_filter,
+                    blocks: mk.blocks,
+                    docs: mk.docs,
+                }
+            },
+            crate::merge::merge_payload,
+            opts,
+            opts.obs.as_deref(),
+        )?;
+        stats.num_entries_scanned_post_filter += part.entries;
+        kstats.blocks += part.blocks;
+        kstats.docs += part.docs;
+        let mut payload = part.payload;
+        if let ScanPlan::Select { limit, .. } = &plan {
+            // Each morsel stops at the limit on its own; the ordered
+            // concatenation re-applies it once globally.
+            if let ResultPayload::Selection { rows, .. } = &mut payload {
+                rows.truncate(*limit);
+            }
         }
-        SelectList::Aggregations(aggs) => {
-            let group_cols: Vec<&ColumnData> = query
-                .group_by
-                .iter()
-                .map(|c| segment.column(c))
-                .collect::<Result<_>>()?;
-            let agg_cols: Vec<Option<&ColumnData>> = aggs
-                .iter()
-                .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
-                .collect::<Result<_>>()?;
-            let layout = batch
-                .then(|| batch::group_by_layout(aggs, &group_cols, &agg_cols))
-                .flatten();
-            batch_kernel = layout.is_some();
-            let groups = match layout {
-                Some(layout) => batch::group_by_selection_batch(
-                    aggs,
-                    &group_cols,
-                    &agg_cols,
-                    &layout,
-                    &selection,
-                    &mut stats,
-                    &mut kstats,
-                ),
-                None => group_by_selection(aggs, &group_cols, &agg_cols, &selection, &mut stats),
-            };
-            ResultPayload::GroupBy(groups)
-        }
-        SelectList::Projections(_) | SelectList::Star => {
-            let columns: Vec<String> = match &query.select {
-                SelectList::Projections(cols) => cols.clone(),
-                _ => segment
-                    .schema()
-                    .fields()
-                    .iter()
-                    .map(|f| f.name.clone())
-                    .collect(),
-            };
-            let cols: Vec<&ColumnData> = columns
-                .iter()
-                .map(|c| segment.column(c))
-                .collect::<Result<_>>()?;
-            let limit = query.effective_limit();
-            batch_kernel = batch && batch::select_eligible(&cols);
-            let rows = if batch_kernel {
-                batch::select_rows_batch(&cols, &selection, limit, &mut stats, &mut kstats)
-            } else {
-                select_rows(&cols, &selection, limit, &mut stats)
-            };
-            ResultPayload::Selection { columns, rows }
-        }
+        payload
+    } else {
+        plan.run(&selection, &mut stats, &mut kstats)
     };
     let scan_ns = scan_start.elapsed().as_nanos() as u64;
     if let Some(obs) = &opts.obs {
@@ -294,6 +272,166 @@ pub fn execute_on_segment_with(
         stats,
         profile,
     })
+}
+
+/// A resolved raw-scan plan: columns looked up and the kernel chosen
+/// once per segment, then reused for every morsel of the selection. All
+/// kernels take a `&DocSelection`, which is what lets morsel splitting
+/// happen *above* the kernel choice — batch and row paths morselize
+/// identically.
+enum ScanPlan<'a> {
+    Aggregate {
+        aggs: &'a [AggregateExpr],
+        cols: Vec<Option<&'a ColumnData>>,
+        batch: bool,
+    },
+    GroupBy {
+        aggs: &'a [AggregateExpr],
+        group_cols: Vec<&'a ColumnData>,
+        agg_cols: Vec<Option<&'a ColumnData>>,
+        layout: Option<batch::PackedKeyLayout>,
+    },
+    Select {
+        columns: Vec<String>,
+        cols: Vec<&'a ColumnData>,
+        limit: usize,
+        batch: bool,
+    },
+}
+
+impl<'a> ScanPlan<'a> {
+    fn resolve(
+        segment: &'a ImmutableSegment,
+        query: &'a Query,
+        batch: bool,
+    ) -> Result<ScanPlan<'a>> {
+        Ok(match &query.select {
+            SelectList::Aggregations(aggs) if query.group_by.is_empty() => {
+                let cols: Vec<Option<&ColumnData>> = aggs
+                    .iter()
+                    .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+                    .collect::<Result<_>>()?;
+                let batch = batch && batch::aggregate_eligible(&cols);
+                ScanPlan::Aggregate { aggs, cols, batch }
+            }
+            SelectList::Aggregations(aggs) => {
+                let group_cols: Vec<&ColumnData> = query
+                    .group_by
+                    .iter()
+                    .map(|c| segment.column(c))
+                    .collect::<Result<_>>()?;
+                let agg_cols: Vec<Option<&ColumnData>> = aggs
+                    .iter()
+                    .map(|a| a.column.as_deref().map(|c| segment.column(c)).transpose())
+                    .collect::<Result<_>>()?;
+                let layout = batch
+                    .then(|| batch::group_by_layout(aggs, &group_cols, &agg_cols))
+                    .flatten();
+                ScanPlan::GroupBy {
+                    aggs,
+                    group_cols,
+                    agg_cols,
+                    layout,
+                }
+            }
+            SelectList::Projections(_) | SelectList::Star => {
+                let columns: Vec<String> = match &query.select {
+                    SelectList::Projections(cols) => cols.clone(),
+                    _ => segment
+                        .schema()
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect(),
+                };
+                let cols: Vec<&ColumnData> = columns
+                    .iter()
+                    .map(|c| segment.column(c))
+                    .collect::<Result<_>>()?;
+                let limit = query.effective_limit();
+                let batch = batch && batch::select_eligible(&cols);
+                ScanPlan::Select {
+                    columns,
+                    cols,
+                    limit,
+                    batch,
+                }
+            }
+        })
+    }
+
+    fn batch_kernel(&self) -> bool {
+        match self {
+            ScanPlan::Aggregate { batch, .. } => *batch,
+            ScanPlan::GroupBy { layout, .. } => layout.is_some(),
+            ScanPlan::Select { batch, .. } => *batch,
+        }
+    }
+
+    /// Columns the scan reads per matching doc — the cost model's second
+    /// factor.
+    fn cols_touched(&self) -> u64 {
+        let n = match self {
+            ScanPlan::Aggregate { cols, .. } => cols.iter().flatten().count(),
+            ScanPlan::GroupBy {
+                group_cols,
+                agg_cols,
+                ..
+            } => group_cols.len() + agg_cols.iter().flatten().count(),
+            ScanPlan::Select { cols, .. } => cols.len(),
+        };
+        n.max(1) as u64
+    }
+
+    /// Run the scan over one (sub-)selection. Whole-selection execution
+    /// and per-morsel execution both come through here.
+    fn run(
+        &self,
+        selection: &DocSelection,
+        stats: &mut ExecutionStats,
+        kstats: &mut KernelStats,
+    ) -> ResultPayload {
+        match self {
+            ScanPlan::Aggregate { aggs, cols, batch } => {
+                let states = if *batch {
+                    batch::aggregate_selection_batch(aggs, cols, selection, stats, kstats)
+                } else {
+                    aggregate_selection(aggs, cols, selection, stats)
+                };
+                ResultPayload::Aggregation(states)
+            }
+            ScanPlan::GroupBy {
+                aggs,
+                group_cols,
+                agg_cols,
+                layout,
+            } => {
+                let groups = match layout {
+                    Some(layout) => batch::group_by_selection_batch(
+                        aggs, group_cols, agg_cols, layout, selection, stats, kstats,
+                    ),
+                    None => group_by_selection(aggs, group_cols, agg_cols, selection, stats),
+                };
+                ResultPayload::GroupBy(groups)
+            }
+            ScanPlan::Select {
+                columns,
+                cols,
+                limit,
+                batch,
+            } => {
+                let rows = if *batch {
+                    batch::select_rows_batch(cols, selection, *limit, stats, kstats)
+                } else {
+                    select_rows(cols, selection, *limit, stats)
+                };
+                ResultPayload::Selection {
+                    columns: columns.clone(),
+                    rows,
+                }
+            }
+        }
+    }
 }
 
 /// Root profile node for one segment execution.

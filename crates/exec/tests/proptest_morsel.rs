@@ -1,0 +1,150 @@
+//! Morsel partitioning soundness (ISSUE 8 satellite): `split_selection`
+//! must be a *lossless exact cover* of the input `DocSelection` for any
+//! morsel size — every surviving doc appears in exactly one morsel, in
+//! ascending order, with no duplication and no loss. The oracle is the
+//! unsplit selection's own iteration (`for_each` for docs,
+//! `for_each_block` for block structure): concatenating the morsels'
+//! doc sequences in morsel order must reproduce it verbatim.
+//!
+//! The strategy deliberately covers every `DocSelection` representation
+//! (All / Range / sparse Bitmap / run-heavy Bitmap / Empty) and morsel
+//! sizes that are *not* multiples of the 1024-doc block — the raw split
+//! is count-based and must hold for any size ≥ 1; rounding to block
+//! multiples is config-level policy (`clamp_morsel_docs`), not a
+//! correctness requirement of the partition itself.
+
+use pinot_bitmap::RoaringBitmap;
+use pinot_exec::{split_selection, DocBlock, DocSelection};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const DOC_SPACE: u32 = 40_000;
+
+/// Flatten a selection to its ascending doc-id sequence via `for_each`.
+fn docs_of(sel: &DocSelection) -> Vec<u32> {
+    let mut out = Vec::new();
+    sel.for_each(|d| out.push(d));
+    out
+}
+
+/// Flatten a selection via `for_each_block` — the iteration the batch
+/// kernels actually consume — so the cover is proven on the same code
+/// path execution uses.
+fn block_docs_of(sel: &DocSelection) -> Vec<u32> {
+    let mut out = Vec::new();
+    sel.for_each_block(|b| match b {
+        DocBlock::Run(s, e) => out.extend(s..e),
+        DocBlock::Ids(ids) => out.extend_from_slice(ids),
+    });
+    out
+}
+
+fn arb_selection() -> impl Strategy<Value = DocSelection> {
+    prop_oneof![
+        // No filter: all docs in [0, n).
+        (0u32..DOC_SPACE).prop_map(DocSelection::All),
+        // Sorted-column range [s, e).
+        (0u32..DOC_SPACE, 0u32..DOC_SPACE).prop_map(|(a, b)| {
+            let (s, e) = (a.min(b), a.max(b));
+            if s == e {
+                DocSelection::Empty
+            } else {
+                DocSelection::Range(s, e)
+            }
+        }),
+        // Sparse bitmap: scattered survivors.
+        prop::collection::vec(0u32..DOC_SPACE, 0..2000).prop_map(|ids| {
+            let ids: BTreeSet<u32> = ids.into_iter().collect();
+            if ids.is_empty() {
+                DocSelection::Empty
+            } else {
+                DocSelection::Bitmap(RoaringBitmap::from_sorted(ids))
+            }
+        }),
+        // Run-heavy bitmap: a few dense runs plus sparse noise — the shape
+        // sorted-predicate ∧ bloom-probe intersections produce.
+        (
+            prop::collection::vec((0u32..DOC_SPACE, 1u32..3000), 1..5),
+            prop::collection::vec(0u32..DOC_SPACE, 0..300),
+        )
+            .prop_map(|(runs, noise)| {
+                let mut ids: BTreeSet<u32> = noise.into_iter().collect();
+                for (start, len) in runs {
+                    ids.extend(start..(start.saturating_add(len)).min(DOC_SPACE));
+                }
+                DocSelection::Bitmap(RoaringBitmap::from_sorted(ids))
+            }),
+        Just(DocSelection::Empty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Exact cover: concatenating morsel doc sequences in morsel order
+    /// reproduces the unsplit selection's sequence verbatim — no doc
+    /// dropped, duplicated, or reordered — and the partition is the
+    /// count-based one the merge-order contract depends on: every morsel
+    /// except the last holds exactly `morsel_docs` docs.
+    #[test]
+    fn split_is_lossless_exact_cover(
+        sel in arb_selection(),
+        morsel_docs in 1usize..70_000,
+    ) {
+        let oracle = docs_of(&sel);
+        let morsels = split_selection(&sel, morsel_docs);
+
+        // Morsel count is fully determined by the survivor count.
+        let expected_morsels = oracle.len().div_ceil(morsel_docs);
+        prop_assert_eq!(morsels.len(), expected_morsels, "morsel count");
+
+        let mut covered = Vec::with_capacity(oracle.len());
+        for (i, m) in morsels.iter().enumerate() {
+            let docs = docs_of(m);
+            prop_assert!(!docs.is_empty(), "morsel {i} is empty");
+            if i + 1 < morsels.len() {
+                prop_assert_eq!(docs.len(), morsel_docs, "morsel {} not full", i);
+            } else {
+                prop_assert!(docs.len() <= morsel_docs, "last morsel overflows");
+            }
+            prop_assert_eq!(docs.len() as u64, m.count(), "count() disagrees with for_each");
+            covered.extend(docs);
+        }
+        prop_assert_eq!(covered, oracle, "concatenated morsels != unsplit selection");
+    }
+
+    /// The same cover holds through `for_each_block` — the iteration the
+    /// batch kernels consume — so splitting cannot perturb what a kernel
+    /// actually scans.
+    #[test]
+    fn split_covers_block_iteration(
+        sel in arb_selection(),
+        morsel_docs in 1usize..70_000,
+    ) {
+        let oracle = block_docs_of(&sel);
+        let mut covered = Vec::with_capacity(oracle.len());
+        for m in split_selection(&sel, morsel_docs) {
+            covered.extend(block_docs_of(&m));
+        }
+        prop_assert_eq!(covered, oracle, "block iteration differs after split");
+    }
+
+    /// Representation independence: a Bitmap holding exactly the docs of
+    /// an All/Range selection splits into the same doc partition. The
+    /// cost gate may only change *scheduling*, so the partition must not
+    /// depend on which representation pruning happened to produce.
+    #[test]
+    fn split_ignores_selection_representation(
+        start in 0u32..10_000,
+        len in 1u32..20_000,
+        morsel_docs in 1usize..30_000,
+    ) {
+        let range = DocSelection::Range(start, start + len);
+        let bitmap = DocSelection::Bitmap(RoaringBitmap::from_range(start, start + len));
+        let via_range: Vec<Vec<u32>> =
+            split_selection(&range, morsel_docs).iter().map(docs_of).collect();
+        let via_bitmap: Vec<Vec<u32>> =
+            split_selection(&bitmap, morsel_docs).iter().map(docs_of).collect();
+        prop_assert_eq!(via_range, via_bitmap, "partition depends on representation");
+    }
+}

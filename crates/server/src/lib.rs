@@ -27,7 +27,8 @@ use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment_with, IntermediateResult, SegmentHandle};
 use pinot_exec::{
     collected_profiles, explain_segment, merge_intermediate, plan_segment, prune_default,
-    ExecOptions, PlanKind, Prunable, PruneEvaluator, PruneOutcome, SegmentExplain,
+    CostModel, ExecOptions, ParallelExec, PlanKind, Prunable, PruneEvaluator, PruneOutcome,
+    SegmentExplain,
 };
 use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
@@ -38,7 +39,7 @@ use pinot_startree::build_star_tree;
 use pinot_stream::{PartitionConsumer, StreamRegistry};
 use pinot_taskpool::{Deadline, TaskPool};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tenancy::{TenantThrottle, TokenBucketConfig};
 
@@ -102,7 +103,25 @@ pub struct Server {
     /// Per-server override for the statistics-based pruning pipeline;
     /// `None` falls back to the `PINOT_EXEC_PRUNE` env default.
     exec_prune: RwLock<Option<bool>>,
+    /// Per-server morsel-size override for intra-segment splitting;
+    /// `None` falls back to the `PINOT_EXEC_MORSEL_DOCS` env default.
+    exec_morsel_docs: RwLock<Option<usize>>,
+    /// Per-server fan-out threshold override (estimated ns of scan work
+    /// below which a request runs inline); `None` falls back to the
+    /// `PINOT_EXEC_FANOUT_NS` env default.
+    exec_fanout_ns: RwLock<Option<u64>>,
+    /// Calibrated per-doc scan cost feeding the fan-out gate, refreshed
+    /// from the `exec.scan_ns_per_doc` histogram every
+    /// [`CALIBRATE_EVERY`] requests. Only ever affects *scheduling*
+    /// (inline vs fan-out), never result bytes.
+    exec_ns_per_doc: RwLock<f64>,
+    /// Requests executed, for the calibration cadence.
+    exec_requests: AtomicU64,
 }
+
+/// How often (in requests) the cost model re-reads the measured
+/// `exec.scan_ns_per_doc` histogram mean.
+const CALIBRATE_EVERY: u64 = 64;
 
 /// A broker's request to one server: run `query` over this server's share
 /// of the routing table (§3.3.3 step 3).
@@ -159,6 +178,10 @@ impl Server {
             pool: RwLock::new(pool),
             exec_batch: RwLock::new(None),
             exec_prune: RwLock::new(None),
+            exec_morsel_docs: RwLock::new(None),
+            exec_fanout_ns: RwLock::new(None),
+            exec_ns_per_doc: RwLock::new(pinot_exec::morsel::DEFAULT_NS_PER_DOC),
+            exec_requests: AtomicU64::new(0),
         })
     }
 
@@ -174,6 +197,47 @@ impl Server {
     /// `PINOT_EXEC_PRUNE` env default. See `ClusterConfig::with_exec_prune`.
     pub fn set_exec_prune(&self, prune: Option<bool>) {
         *self.exec_prune.write() = prune;
+    }
+
+    /// Override the morsel size for this server's segment scans
+    /// (documents per morsel, rounded to the 1024-doc decode-block
+    /// grid); `None` restores the `PINOT_EXEC_MORSEL_DOCS` env default.
+    /// See `ClusterConfig::with_morsel_docs`.
+    pub fn set_morsel_docs(&self, docs: Option<usize>) {
+        *self.exec_morsel_docs.write() = docs;
+    }
+
+    /// Override the fan-out threshold (estimated ns of scan work below
+    /// which a request runs inline on the caller thread); `None`
+    /// restores the `PINOT_EXEC_FANOUT_NS` env default. See
+    /// `ClusterConfig::with_fanout_threshold_ns`.
+    pub fn set_fanout_threshold_ns(&self, ns: Option<u64>) {
+        *self.exec_fanout_ns.write() = ns;
+    }
+
+    /// The fan-out cost model as currently calibrated.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            ns_per_doc: *self.exec_ns_per_doc.read(),
+            fanout_threshold_ns: (*self.exec_fanout_ns.read())
+                .unwrap_or_else(pinot_exec::morsel::fanout_ns_default),
+        }
+    }
+
+    /// Periodically refresh the calibrated per-doc scan cost from the
+    /// measured `exec.scan_ns_per_doc` histogram (its recorded values
+    /// *are* ns/doc). Scheduling-only: the gate this feeds picks inline
+    /// vs fan-out, both of which produce identical bytes.
+    fn maybe_recalibrate(&self) {
+        let n = self.exec_requests.fetch_add(1, Ordering::Relaxed);
+        if n % CALIBRATE_EVERY != CALIBRATE_EVERY - 1 {
+            return;
+        }
+        let snap = self.obs.metrics.snapshot();
+        if let Some(h) = snap.histogram("exec.scan_ns_per_doc") {
+            let cost = self.cost_model().recalibrated(h.mean());
+            *self.exec_ns_per_doc.write() = cost.ns_per_doc;
+        }
     }
 
     /// Replace the execution pool (tests and benchmarks pin the worker
@@ -666,41 +730,94 @@ impl Server {
         // segment can match, answer without touching the pool at all.
         let short_circuited = prune_on && self.try_short_circuit(req, &evaluator, &mut acc)?;
         if !short_circuited {
-            // Fan every segment's physical plan out as a pool task (§3.3.4,
-            // Figure 7): the pool runs them across cores, each task writing its
-            // partial into a per-segment slot. Merging happens afterwards in
-            // segment order, so the merged result is byte-identical no matter
-            // how many workers the pool has or which of them ran which task.
-            let pool = self.task_pool();
+            self.maybe_recalibrate();
             let deadline = Deadline::at(req.deadline);
-            let slots: Vec<Mutex<Option<Result<IntermediateResult>>>> =
-                req.segments.iter().map(|_| Mutex::new(None)).collect();
-            pool.scope(|scope| {
-                for (i, seg_name) in req.segments.iter().enumerate() {
-                    let slot = &slots[i];
-                    let evaluator = &evaluator;
-                    // Tasks queued past the broker's scatter deadline are
-                    // abandoned by the pool: nobody is waiting for them.
-                    scope.spawn_with_deadline(&deadline, move || {
-                        *slot.lock() =
-                            Some(self.execute_segment(req, seg_name, evaluator, prune_on));
-                    });
-                }
-            });
-            for (i, slot) in slots.into_iter().enumerate() {
-                match slot.into_inner() {
-                    Some(Ok(partial)) => merge_intermediate(&mut acc, partial)?,
-                    Some(Err(e)) => return Err(e),
-                    None => {
-                        // The pool abandoned this task: the scatter deadline
-                        // passed while it was still queued.
+            let cost = self.cost_model();
+            // Cost-gated fan-out (ISSUE 8): estimate the scan work of one
+            // per-segment task — zone-map doc counts (an upper bound;
+            // per-segment pruning can only shrink it) averaged over the
+            // routed segments, times the columns the query touches. A pool
+            // task is only worth spawning when its own slice clears the
+            // threshold; below that, scheduling overhead dominates and
+            // every segment runs inline on the caller thread with zero
+            // task overhead. Both paths merge partials in segment order,
+            // so the gate's choice never changes result bytes.
+            let est_docs = self.estimate_request_docs(&req.table, &req.segments)?;
+            let per_segment_docs = est_docs / req.segments.len().max(1) as u64;
+            let cols = req.query.referenced_columns().len().max(1) as u64;
+            if !cost.should_fan_out(per_segment_docs, cols) {
+                self.obs
+                    .metrics
+                    .counter_add("exec.morsels_inline", req.segments.len() as u64);
+                for seg_name in &req.segments {
+                    if deadline.expired() {
                         self.obs
                             .metrics
                             .counter_add("server.exec.deadline_abandoned", 1);
                         return Err(PinotError::Timeout(format!(
-                            "{}: query deadline elapsed before segment {}",
-                            self.id, req.segments[i]
+                            "{}: query deadline elapsed before segment {seg_name}",
+                            self.id
                         )));
+                    }
+                    let partial =
+                        self.execute_segment(req, seg_name, &evaluator, prune_on, None)?;
+                    merge_intermediate(&mut acc, partial)?;
+                }
+            } else {
+                // Fan every segment's physical plan out as a pool task
+                // (§3.3.4, Figure 7): the pool runs them across cores, each
+                // task writing its partial into a per-segment slot. Large
+                // segments morselize further inside `execute_segment` via
+                // the same pool (nested scopes help while they wait, so
+                // this cannot deadlock). Merging happens afterwards in
+                // segment order, so the merged result is byte-identical no
+                // matter how many workers the pool has or which of them ran
+                // which task.
+                let pool = self.task_pool();
+                let parallel = ParallelExec::new(Arc::clone(&pool))
+                    .with_deadline(deadline.clone())
+                    .with_cost(cost)
+                    .with_chaos(
+                        self.chaos(),
+                        FaultContext::new()
+                            .instance(self.id.to_string())
+                            .table(req.table.clone()),
+                    );
+                let slots: Vec<Mutex<Option<Result<IntermediateResult>>>> =
+                    req.segments.iter().map(|_| Mutex::new(None)).collect();
+                pool.scope(|scope| {
+                    for (i, seg_name) in req.segments.iter().enumerate() {
+                        let slot = &slots[i];
+                        let evaluator = &evaluator;
+                        let parallel = &parallel;
+                        // Tasks queued past the broker's scatter deadline are
+                        // abandoned by the pool: nobody is waiting for them.
+                        scope.spawn_with_deadline(&deadline, move || {
+                            *slot.lock() = Some(self.execute_segment(
+                                req,
+                                seg_name,
+                                evaluator,
+                                prune_on,
+                                Some(parallel),
+                            ));
+                        });
+                    }
+                });
+                for (i, slot) in slots.into_iter().enumerate() {
+                    match slot.into_inner() {
+                        Some(Ok(partial)) => merge_intermediate(&mut acc, partial)?,
+                        Some(Err(e)) => return Err(e),
+                        None => {
+                            // The pool abandoned this task: the scatter deadline
+                            // passed while it was still queued.
+                            self.obs
+                                .metrics
+                                .counter_add("server.exec.deadline_abandoned", 1);
+                            return Err(PinotError::Timeout(format!(
+                                "{}: query deadline elapsed before segment {}",
+                                self.id, req.segments[i]
+                            )));
+                        }
                     }
                 }
             }
@@ -805,15 +922,35 @@ impl Server {
         }
     }
 
+    /// Total documents the request's routed segments hold, from segment
+    /// metadata alone (zone-map doc counts; consuming segments report
+    /// their appended rows). Feeds the fan-out cost gate — deliberately
+    /// *not* a prune evaluation, which would double-count bloom probes.
+    fn estimate_request_docs(&self, table: &str, segments: &[String]) -> Result<u64> {
+        self.with_table(table, |state| {
+            let mut docs = 0u64;
+            for name in segments {
+                if let Some(h) = state.online.get(name) {
+                    docs += h.segment.num_docs() as u64;
+                } else if let Some(c) = state.consuming.get(name) {
+                    docs += c.mutable.num_rows() as u64;
+                }
+            }
+            Ok(docs)
+        })
+    }
+
     /// One segment's share of a request: resolve the handle, evaluate the
     /// pruning statistics, and run the physical plan. Runs as a pool
-    /// task; the per-segment latency feeds `server.exec.segment_ms`.
+    /// task (or inline below the fan-out gate, with `parallel` absent);
+    /// the per-segment latency feeds `server.exec.segment_ms`.
     fn execute_segment(
         &self,
         req: &ServerRequest,
         seg_name: &str,
         evaluator: &PruneEvaluator,
         prune_on: bool,
+        parallel: Option<&ParallelExec>,
     ) -> Result<IntermediateResult> {
         let handle = self.with_table(&req.table, |state| {
             if let Some(h) = state.online.get(seg_name) {
@@ -874,6 +1011,8 @@ impl Server {
             prune: Some(prune_on),
             obs: Some(Arc::clone(&self.obs)),
             profile: req.profile,
+            morsel_docs: *self.exec_morsel_docs.read(),
+            parallel: parallel.cloned(),
         };
         let partial = execute_on_segment_with(&handle, query, &opts)?;
         self.obs.metrics.observe_ms(
@@ -891,8 +1030,8 @@ impl Server {
         let opts = ExecOptions {
             batch: *self.exec_batch.read(),
             prune: Some((*self.exec_prune.read()).unwrap_or_else(prune_default)),
-            obs: None,
-            profile: false,
+            morsel_docs: *self.exec_morsel_docs.read(),
+            ..ExecOptions::default()
         };
         self.with_table(table, |state| {
             let time_column = state.schema.time_column().map(|tc| tc.name.clone());

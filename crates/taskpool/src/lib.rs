@@ -120,6 +120,28 @@ impl PoolShared {
         self.wakeup.notify_one();
     }
 
+    /// Enqueue a whole batch at once, dealing job `i` onto worker
+    /// `i % threads`'s deque round-robin (the morsel path: one lock per
+    /// worker instead of one injector lock per job) and waking every
+    /// worker with a single notify.
+    fn push_batch(&self, jobs: Vec<Job>) {
+        let n = jobs.len();
+        let workers = self.workers.len();
+        let mut per_worker: Vec<VecDeque<Job>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            per_worker[i % workers].push_back(job);
+        }
+        for (w, batch) in per_worker.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.workers[w].deque.lock().extend(batch);
+            }
+        }
+        self.queued.fetch_add(n as i64, Ordering::Relaxed);
+        self.record_queue_depth();
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.wakeup.notify_all();
+    }
+
     /// Pop work as worker `idx`: own deque first, then an injector refill,
     /// then steal from a sibling's back.
     fn pop_for_worker(&self, idx: usize) -> Option<Job> {
@@ -175,6 +197,13 @@ impl PoolShared {
         self.queued.fetch_sub(1, Ordering::Relaxed);
         self.record_queue_depth();
         job();
+    }
+
+    /// Called by each task closure once its outcome (result, panic, or
+    /// cancellation) is fully recorded, *before* it signals scope
+    /// completion — a scope waiter that wakes on `complete_one` must see
+    /// every counter already settled.
+    fn note_run(&self) {
         self.tasks_run.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.metrics.counter_add("taskpool.tasks_run", 1);
@@ -196,7 +225,16 @@ impl PoolShared {
     }
 }
 
+std::thread_local! {
+    /// Index of the pool worker running on this thread, `None` on
+    /// non-worker threads (including scope owners helping while they
+    /// wait). Lets morsel tasks attribute work migration: a task that
+    /// runs off its home worker was stolen or helped.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
 fn worker_loop(shared: Arc<PoolShared>, idx: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(idx)));
     loop {
         if let Some(job) = shared.pop_for_worker(idx) {
             shared.run_job(job);
@@ -209,10 +247,15 @@ fn worker_loop(shared: Arc<PoolShared>, idx: usize) {
         if shared.queued.load(Ordering::Relaxed) > 0 || shared.shutdown.load(Ordering::SeqCst) {
             continue;
         }
-        // Timeout bounds the window of any push/park race.
+        // Pushes bump `queued` before taking `sleep_lock` to notify, and
+        // the re-check above runs under that lock, so a parked worker
+        // cannot miss a wakeup; the timeout is only a safety net. It is
+        // deliberately long: each expiry is a spurious wakeup, and on a
+        // box with fewer cores than pool workers those preempt whatever
+        // is actually running — idle workers must cost nothing.
         let _ = shared
             .wakeup
-            .wait_timeout(guard, Duration::from_millis(20))
+            .wait_timeout(guard, Duration::from_millis(200))
             .unwrap();
     }
 }
@@ -276,6 +319,12 @@ impl TaskPool {
         self.threads
     }
 
+    /// The pool-worker index of the calling thread, `None` when called
+    /// from outside any pool's workers (e.g. a scope owner helping).
+    pub fn current_worker() -> Option<usize> {
+        WORKER_INDEX.with(|w| w.get())
+    }
+
     // ---- counters (tests assert on these; obs mirrors them) ----
 
     pub fn tasks_run(&self) -> u64 {
@@ -337,6 +386,7 @@ impl TaskPool {
             if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
                 shared.note_panic();
             }
+            shared.note_run();
         }));
     }
 
@@ -357,6 +407,7 @@ impl TaskPool {
             } else if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
                 shared.note_panic();
             }
+            shared.note_run();
         }));
     }
 
@@ -488,6 +539,7 @@ impl<'scope> Scope<'scope> {
             } else if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 state.set_panic(p);
             }
+            shared.note_run();
             state.complete_one();
         };
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
@@ -499,6 +551,89 @@ impl<'scope> Scope<'scope> {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
         };
         self.pool.push_job(job);
+    }
+
+    /// Spawn a homogeneous batch of tasks in one submission: job `i` is
+    /// dealt onto the deque of its *home worker* `i % threads` (one lock
+    /// per worker, one wakeup for the whole batch) instead of paying an
+    /// injector round-trip per job. Used by morsel fan-out, where one
+    /// segment scan turns into dozens of small tasks at once; a job
+    /// executed off its home worker was stolen or helped
+    /// ([`TaskPool::current_worker`] tells the job which happened).
+    /// Deadline semantics match [`Scope::spawn_with_deadline`].
+    pub fn spawn_batch_with_deadline<F>(&self, deadline: &Deadline, fs: Vec<F>)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if fs.is_empty() {
+            return;
+        }
+        self.pool.ensure_workers();
+        let mut jobs: Vec<Job> = Vec::with_capacity(fs.len());
+        for f in fs {
+            self.state.pending.fetch_add(1, Ordering::SeqCst);
+            let state = Arc::clone(&self.state);
+            let shared = Arc::clone(&self.pool.shared);
+            let deadline = deadline.clone();
+            let task = move || {
+                if deadline.expired() {
+                    shared.note_cancelled();
+                } else if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                    state.set_panic(p);
+                }
+                shared.note_run();
+                state.complete_one();
+            };
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+            // SAFETY: as in `spawn_with_deadline` — the scope owner blocks
+            // in `wait_scope` until `pending` reaches zero, so the 'scope
+            // borrows each job captures outlive the job.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                    job,
+                )
+            };
+            jobs.push(job);
+        }
+        self.pool.shared.push_batch(jobs);
+    }
+}
+
+/// Per-worker accumulation slots for order-independent partials (integer
+/// kernel counters, busy-time tallies). Slot `i` belongs to pool worker
+/// `i`; one extra trailing slot collects contributions from non-worker
+/// threads (scope owners helping while they wait). After the scope joins,
+/// [`WorkerSlots::into_slots`] hands the partials back in fixed slot
+/// order, so merging them is deterministic no matter which worker ran
+/// which task — provided the per-slot merge is commutative/associative,
+/// which the morsel proptests pin.
+pub struct WorkerSlots<T> {
+    slots: Vec<Mutex<T>>,
+}
+
+impl<T: Default> WorkerSlots<T> {
+    /// Slots for `pool`: one per worker plus one for outside helpers.
+    pub fn new(pool: &TaskPool) -> WorkerSlots<T> {
+        WorkerSlots {
+            slots: (0..pool.threads() + 1)
+                .map(|_| Mutex::new(T::default()))
+                .collect(),
+        }
+    }
+
+    /// Run `f` on the calling thread's slot (the helper slot when the
+    /// caller is not a pool worker).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let idx = TaskPool::current_worker()
+            .map(|w| w.min(self.slots.len() - 2))
+            .unwrap_or(self.slots.len() - 1);
+        f(&mut self.slots[idx].lock())
+    }
+
+    /// The accumulated partials, in fixed slot order (workers 0..n, then
+    /// the helper slot).
+    pub fn into_slots(self) -> Vec<T> {
+        self.slots.into_iter().map(|m| m.into_inner()).collect()
     }
 }
 
@@ -683,5 +818,74 @@ mod tests {
         assert_eq!(snap.counter("taskpool.tasks_run"), pool.tasks_run());
         assert_eq!(snap.counter("taskpool.tasks_cancelled"), 1);
         assert_eq!(snap.gauge("taskpool.queue_depth"), Some(0));
+    }
+
+    #[test]
+    fn batch_spawn_runs_every_job_and_joins() {
+        let pool = TaskPool::with_threads(3, None);
+        let hits: Vec<Mutex<u64>> = (0..64).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            let jobs: Vec<_> = hits.iter().map(|slot| move || *slot.lock() += 1).collect();
+            s.spawn_batch_with_deadline(&Deadline::none(), jobs);
+        });
+        assert!(hits.iter().all(|h| *h.lock() == 1));
+        assert_eq!(pool.tasks_run(), 64);
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn batch_spawn_respects_expired_deadline() {
+        let pool = TaskPool::with_threads(2, None);
+        let ran = AtomicU32::new(0);
+        let expired = Deadline::at(Some(Instant::now() - Duration::from_millis(1)));
+        pool.scope(|s| {
+            let jobs: Vec<_> = (0..8)
+                .map(|_| {
+                    let ran = &ran;
+                    move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+            s.spawn_batch_with_deadline(&expired, jobs);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.tasks_cancelled(), 8);
+    }
+
+    #[test]
+    fn current_worker_is_set_on_workers_only() {
+        assert_eq!(TaskPool::current_worker(), None);
+        let pool = TaskPool::with_threads(2, None);
+        let seen = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for _ in 0..32 {
+                let seen = &seen;
+                s.spawn(move || seen.lock().push(TaskPool::current_worker()));
+            }
+        });
+        // Every observed index fits the pool; the scope owner helping
+        // reports `None`.
+        for w in seen.lock().iter().flatten() {
+            assert!(*w < 2);
+        }
+    }
+
+    #[test]
+    fn worker_slots_accumulate_in_fixed_order() {
+        let pool = TaskPool::with_threads(4, None);
+        let slots: WorkerSlots<u64> = WorkerSlots::new(&pool);
+        pool.scope(|s| {
+            let jobs: Vec<_> = (0..100u64)
+                .map(|i| {
+                    let slots = &slots;
+                    move || slots.with(|t| *t += i)
+                })
+                .collect();
+            s.spawn_batch_with_deadline(&Deadline::none(), jobs);
+        });
+        let parts = slots.into_slots();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().sum::<u64>(), 4950);
     }
 }
