@@ -34,6 +34,11 @@ PINOT_EXEC_PRUNE=0 cargo test -p pinot-core --test differential
 echo "== differential suite under forced pruning on (PINOT_EXEC_PRUNE=1) =="
 PINOT_EXEC_PRUNE=1 cargo test -p pinot-core --test differential
 
+echo "== differential suite under each forced access path (PINOT_EXEC_PLANNER) =="
+PINOT_EXEC_PLANNER=scan cargo test -p pinot-core --test differential
+PINOT_EXEC_PLANNER=inverted cargo test -p pinot-core --test differential
+PINOT_EXEC_PLANNER=sorted cargo test -p pinot-core --test differential
+
 echo "== differential suite with hedging off (PINOT_EXEC_HEDGE=0) =="
 PINOT_EXEC_HEDGE=0 cargo test -p pinot-core --test differential
 
@@ -52,6 +57,9 @@ cargo test -p pinot-exec --test proptest_morsel
 
 echo "== profile-merge proptests (fold algebra, aggregation losslessness) =="
 cargo test -p pinot-exec --test profile_prop
+
+echo "== planner proptests (estimator bounds, monotonicity, path ≡ scan oracle) =="
+cargo test -p pinot-exec --test proptest_planner
 
 echo "== profiling plane (stats reconciliation, query ids, slow-query log) =="
 cargo test -p pinot-core --test profiling
@@ -85,5 +93,8 @@ cargo run --release -q -p pinot-bench --bin broker
 
 echo "== morsel scaling acceptance (gate no-overhead on WVMP, ≥2.5x on one big segment) =="
 cargo run --release -q -p pinot-bench --bin scaling
+
+echo "== planner bench acceptance (auto ≤ best single strategy, ≥2x vs worst on ≥2 shapes) =="
+cargo run --release -q -p pinot-bench --bin planner
 
 echo "CI OK"

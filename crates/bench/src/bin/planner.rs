@@ -1,0 +1,253 @@
+//! Access-path planner bench (ISSUE 9): a mixed workload — point lookups
+//! on an inverted column, selective ranges on the sorted and on an
+//! unindexed column, a wide IN-list, and a multi-conjunct filter — run
+//! under the auto cost-based planner and under each forced single
+//! strategy (`scan`, `inverted`, `sorted`).
+//!
+//! The auto planner must never be a regression: on every shape its p50
+//! stays within noise tolerance of the best single strategy for that
+//! shape, and on at least two shapes it beats the *worst* strategy by
+//! ≥2× — i.e. picking the access path from real statistics is worth real
+//! latency, not just plan-diagram aesthetics. All four modes must return
+//! identical results on every shape (the differential suite proves this
+//! exhaustively; the bench spot-checks it so a miscounted speedup can
+//! never come from a wrong answer). Persists `BENCH_planner.json` at the
+//! repo root so the trajectory is tracked across PRs.
+
+use pinot_common::config::TableConfig;
+use pinot_common::query::QueryResult;
+use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
+use pinot_core::exec::PlannerMode;
+use pinot_core::{ClusterConfig, PinotCluster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const TABLE: &str = "events";
+const NUM_ROWS: usize = 240_000;
+const ROWS_PER_SEGMENT: usize = 40_000;
+const NUM_COUNTRIES: usize = 64;
+const DAY_LO: i64 = 100;
+const DAY_HI: i64 = 129;
+const MEASURE_ITERS: usize = 17;
+/// Timing-noise allowance on "auto ≥ best single strategy". The planner's
+/// decisions are deterministic; the clock is not.
+const TOLERANCE: f64 = 1.15;
+
+fn schema() -> Schema {
+    Schema::new(
+        TABLE,
+        vec![
+            FieldSpec::dimension("country", DataType::String),
+            FieldSpec::dimension("device", DataType::String),
+            FieldSpec::metric("clicks", DataType::Long),
+            FieldSpec::time("day", DataType::Long, TimeUnit::Days),
+        ],
+    )
+    .unwrap()
+}
+
+fn gen_rows() -> Vec<Record> {
+    const DEVICES: &[&str] = &["ios", "android", "web", "tv"];
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..NUM_ROWS)
+        .map(|_| {
+            Record::new(vec![
+                Value::from(format!("c{:02}", rng.gen_range(0..NUM_COUNTRIES))),
+                Value::from(DEVICES[rng.gen_range(0..DEVICES.len())]),
+                Value::Long(rng.gen_range(0..1000i64)),
+                Value::Long(rng.gen_range(DAY_LO..=DAY_HI)),
+            ])
+        })
+        .collect()
+}
+
+fn start_cluster(rows: &[Record], mode: PlannerMode) -> PinotCluster {
+    let mut config = ClusterConfig::default()
+        .with_servers(1)
+        .with_taskpool_threads(2)
+        .with_exec_planner(mode);
+    config.num_controllers = 1;
+    let cluster = PinotCluster::start(config).unwrap();
+    cluster
+        .create_table(
+            TableConfig::offline(TABLE)
+                .with_sorted_column("day")
+                .with_inverted_indexes(&["country", "device"]),
+            schema(),
+        )
+        .unwrap();
+    for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+        cluster.upload_rows(TABLE, chunk.to_vec()).unwrap();
+    }
+    cluster
+}
+
+/// The mixed workload. The wide IN-list covers 48/64 countries (~75% of
+/// rows): wide enough to stress the bulk `union_many`, still under the
+/// planner's selectivity gate — this is the shape the gate was calibrated
+/// on (Roaring union beats the scan here; only near-total matches don't).
+fn shapes() -> Vec<(&'static str, String)> {
+    let wide_in = (0..48)
+        .map(|i| format!("'c{i:02}'"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    vec![
+        (
+            "point_lookup",
+            format!("SELECT COUNT(*), SUM(clicks) FROM {TABLE} WHERE country = 'c07'"),
+        ),
+        (
+            "sorted_range",
+            format!("SELECT COUNT(*), SUM(clicks) FROM {TABLE} WHERE day BETWEEN 102 AND 103"),
+        ),
+        (
+            "unsorted_range",
+            format!("SELECT COUNT(*), SUM(clicks) FROM {TABLE} WHERE clicks < 10"),
+        ),
+        (
+            "wide_in_list",
+            format!("SELECT COUNT(*), SUM(clicks) FROM {TABLE} WHERE country IN ({wide_in})"),
+        ),
+        (
+            "multi_conjunct",
+            format!(
+                "SELECT COUNT(*), SUM(clicks) FROM {TABLE} \
+                 WHERE country = 'c07' AND device = 'web' AND clicks < 500"
+            ),
+        ),
+    ]
+}
+
+fn p50(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// p50 latency (µs) of one shape on one cluster, plus the result for the
+/// cross-mode sanity check.
+fn measure(cluster: &PinotCluster, pql: &str) -> (f64, QueryResult) {
+    let warm = cluster.query(pql);
+    assert!(
+        !warm.partial && warm.exceptions.is_empty(),
+        "query failed: {pql}: {:?}",
+        warm.exceptions
+    );
+    let mut lat = Vec::with_capacity(MEASURE_ITERS);
+    for _ in 0..MEASURE_ITERS {
+        let t = Instant::now();
+        let resp = cluster.query(pql);
+        lat.push(t.elapsed().as_nanos() as f64 / 1e3);
+        assert!(!resp.partial && resp.exceptions.is_empty());
+    }
+    (p50(&mut lat), warm.result)
+}
+
+fn main() {
+    println!("# Planner bench — auto cost-based planning vs forced single strategies");
+    println!("# rows={NUM_ROWS} rows/segment={ROWS_PER_SEGMENT}");
+
+    const MODES: &[(&str, PlannerMode)] = &[
+        ("auto", PlannerMode::Auto),
+        ("scan", PlannerMode::Scan),
+        ("inverted", PlannerMode::Inverted),
+        ("sorted", PlannerMode::Sorted),
+    ];
+
+    let rows = gen_rows();
+    let clusters: Vec<(&str, PinotCluster)> = MODES
+        .iter()
+        .map(|&(name, mode)| (name, start_cluster(&rows, mode)))
+        .collect();
+
+    // shape -> [(mode, p50_us)]
+    let mut table: Vec<(&str, Vec<(&str, f64)>)> = Vec::new();
+    for (shape, pql) in shapes() {
+        let mut per_mode = Vec::new();
+        let mut expected: Option<QueryResult> = None;
+        for (name, cluster) in &clusters {
+            let (p, result) = measure(cluster, &pql);
+            match &expected {
+                None => expected = Some(result),
+                Some(e) => assert_eq!(
+                    e, &result,
+                    "mode {name} changed the answer on shape {shape}"
+                ),
+            }
+            per_mode.push((*name, p));
+        }
+        table.push((shape, per_mode));
+    }
+
+    // The auto cluster really exercised the planner: every access path and
+    // at least one bulk index operator fired across the workload.
+    let snap = clusters[0].1.metrics_snapshot();
+    for metric in ["exec.plan_inverted", "exec.plan_sorted", "exec.plan_scan"] {
+        assert!(snap.counter(metric) > 0, "{metric} never fired under auto");
+    }
+    assert!(
+        snap.counter("exec.plan_index_and") > 0,
+        "bulk IndexAnd never fired under auto"
+    );
+
+    println!("shape\tauto\tscan\tinverted\tsorted\tbest\tworst/auto");
+    let mut json_shapes = Vec::new();
+    let mut big_wins = 0usize;
+    let mut failures = Vec::new();
+    for (shape, per_mode) in &table {
+        let auto = per_mode[0].1;
+        let singles = &per_mode[1..];
+        let (best_name, best) = singles
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .unwrap();
+        let (_, worst) = singles
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .unwrap();
+        let worst_ratio = worst / auto;
+        if worst_ratio >= 2.0 {
+            big_wins += 1;
+        }
+        if auto > best * TOLERANCE {
+            failures.push(format!(
+                "{shape}: auto {auto:.0}µs slower than best single '{best_name}' {best:.0}µs"
+            ));
+        }
+        println!(
+            "{shape}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{best_name}\t{worst_ratio:.2}x",
+            auto, per_mode[1].1, per_mode[2].1, per_mode[3].1
+        );
+        json_shapes.push(format!(
+            "    {{\"shape\": \"{shape}\", \"auto_us\": {auto:.1}, \"scan_us\": {:.1}, \
+             \"inverted_us\": {:.1}, \"sorted_us\": {:.1}, \"best_single\": \"{best_name}\", \
+             \"worst_over_auto\": {worst_ratio:.2}}}",
+            per_mode[1].1, per_mode[2].1, per_mode[3].1
+        ));
+    }
+
+    let body = format!(
+        "{{\n  \"rows\": {NUM_ROWS},\n  \"rows_per_segment\": {ROWS_PER_SEGMENT},\n  \
+         \"iters\": {MEASURE_ITERS},\n  \"tolerance\": {TOLERANCE},\n  \
+         \"big_wins\": {big_wins},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        json_shapes.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+    std::fs::write(path, body).expect("write BENCH_planner.json");
+    println!("# wrote {path}");
+
+    // Acceptance (ISSUE 9): auto ties-or-beats the best single strategy on
+    // every shape, and beats the worst by ≥2× on at least two shapes.
+    assert!(
+        failures.is_empty(),
+        "acceptance: auto lost to a single strategy:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        big_wins >= 2,
+        "acceptance: expected ≥2 shapes with a ≥2x win over the worst strategy, got {big_wins}"
+    );
+    println!("# acceptance ok: auto ≤ best single on all shapes, {big_wins} shapes with ≥2x wins");
+}

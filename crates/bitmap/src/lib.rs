@@ -353,6 +353,83 @@ impl RoaringBitmap {
         n
     }
 
+    /// Bulk k-way union, container at a time. Each output container is
+    /// folded once from the ≤k input containers sharing its key, so a
+    /// union over k postings lists allocates O(chunks) intermediates
+    /// instead of the O(k·chunks) a pairwise `acc = acc.or(bm)` fold
+    /// pays — the Roaring sweet spot for wide IN-lists and range probes
+    /// over an inverted index.
+    pub fn union_many(inputs: &[&RoaringBitmap]) -> RoaringBitmap {
+        match inputs.len() {
+            0 => return RoaringBitmap::new(),
+            1 => return inputs[0].clone(),
+            _ => {}
+        }
+        let mut cursors = vec![0usize; inputs.len()];
+        let mut out = RoaringBitmap::new();
+        loop {
+            let mut min_key: Option<u16> = None;
+            for (bm, &c) in inputs.iter().zip(&cursors) {
+                if let Some(&k) = bm.keys.get(c) {
+                    min_key = Some(min_key.map_or(k, |m| m.min(k)));
+                }
+            }
+            let Some(key) = min_key else { break };
+            let mut acc: Option<Container> = None;
+            for (bm, c) in inputs.iter().zip(cursors.iter_mut()) {
+                if bm.keys.get(*c) == Some(&key) {
+                    let cont = &bm.containers[*c];
+                    acc = Some(match acc {
+                        None => cont.clone(),
+                        Some(a) => a.or(cont),
+                    });
+                    *c += 1;
+                }
+            }
+            if let Some(c) = acc {
+                if !c.is_empty() {
+                    out.keys.push(key);
+                    out.containers.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bulk k-way intersection, container at a time. Inputs are visited
+    /// smallest-cardinality first so the working container never grows,
+    /// and each chunk short-circuits to nothing the moment any input
+    /// misses its key or the fold empties.
+    pub fn intersect_many(inputs: &[&RoaringBitmap]) -> RoaringBitmap {
+        match inputs.len() {
+            0 => return RoaringBitmap::new(),
+            1 => return inputs[0].clone(),
+            _ => {}
+        }
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_by_key(|&i| inputs[i].len());
+        let first = inputs[order[0]];
+        let mut out = RoaringBitmap::new();
+        'keys: for (i, &key) in first.keys.iter().enumerate() {
+            let mut acc = first.containers[i].clone();
+            for &j in &order[1..] {
+                let bm = inputs[j];
+                match bm.keys.binary_search(&key) {
+                    Ok(pos) => {
+                        acc = acc.and(&bm.containers[pos]);
+                        if acc.is_empty() {
+                            continue 'keys;
+                        }
+                    }
+                    Err(_) => continue 'keys,
+                }
+            }
+            out.keys.push(key);
+            out.containers.push(acc);
+        }
+        out
+    }
+
     /// Approximate heap size in bytes (for storage accounting).
     pub fn size_bytes(&self) -> usize {
         let base = std::mem::size_of::<Self>() + self.keys.len() * 2;
@@ -537,6 +614,38 @@ mod tests {
     fn iter_is_sorted_dedup() {
         let bm = RoaringBitmap::from_iter([5u32, 3, 5, 1, 70_000, 3]);
         assert_eq!(bm.to_vec(), vec![1, 3, 5, 70_000]);
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold() {
+        let inputs: Vec<RoaringBitmap> = (0..7u32)
+            .map(|k| RoaringBitmap::from_iter((0..400).map(|i| i * (k + 3) % 200_000)))
+            .collect();
+        let refs: Vec<&RoaringBitmap> = inputs.iter().collect();
+        let bulk = RoaringBitmap::union_many(&refs);
+        let folded = inputs
+            .iter()
+            .fold(RoaringBitmap::new(), |acc, bm| acc.or(bm));
+        assert_eq!(bulk, folded);
+        assert!(RoaringBitmap::union_many(&[]).is_empty());
+        assert_eq!(RoaringBitmap::union_many(&[&inputs[0]]), inputs[0]);
+    }
+
+    #[test]
+    fn intersect_many_matches_pairwise_fold() {
+        let a = RoaringBitmap::from_iter((0..100_000u32).filter(|v| v % 2 == 0));
+        let b = RoaringBitmap::from_iter((0..100_000u32).filter(|v| v % 3 == 0));
+        let mut c = RoaringBitmap::from_range(30_000, 90_000);
+        c.optimize();
+        let bulk = RoaringBitmap::intersect_many(&[&a, &b, &c]);
+        let folded = a.and(&b).and(&c);
+        assert_eq!(bulk, folded);
+        assert_eq!(bulk.len(), folded.len());
+        // Disjoint input short-circuits to empty.
+        let d = RoaringBitmap::from_range(200_000, 200_100);
+        assert!(RoaringBitmap::intersect_many(&[&a, &d]).is_empty());
+        assert!(RoaringBitmap::intersect_many(&[]).is_empty());
+        assert_eq!(RoaringBitmap::intersect_many(&[&a]), a);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct RoutedRequest {
     /// Ask the server to collect a per-operator profile tree alongside the
     /// partial result. Never changes the result payload or stats.
     pub profile: bool,
+    /// With `profile`, also collect the per-conjunct access-path report
+    /// for `EXPLAIN ANALYZE`.
+    pub analyze: bool,
 }
 
 /// Per-query context threaded from the client request through scatter,
@@ -76,6 +79,7 @@ pub struct RoutedRequest {
 struct QueryCtx {
     query_id: u64,
     profile: bool,
+    analyze: bool,
 }
 
 /// One message on the gather channel. `origin` names the slice (the server
@@ -363,6 +367,7 @@ impl Broker {
         let ctx = QueryCtx {
             query_id: self.next_query_id(),
             profile: request.profile,
+            analyze: request.analyze,
         };
         let mut trace = QueryTrace::new(&request.pql);
         let mut response = match self.execute_inner(request, ctx, deadline, &mut trace) {
@@ -727,6 +732,7 @@ impl Broker {
                 deadline: Some(deadline),
                 query_id: ctx.query_id,
                 profile: ctx.profile,
+                analyze: ctx.analyze,
             };
             let final_query = finalize_as.unwrap_or(query);
             let mut acc = IntermediateResult::empty_for(final_query);
@@ -841,6 +847,7 @@ impl Broker {
                     deadline: Some(deadline),
                     query_id: ctx.query_id,
                     profile: ctx.profile,
+                    analyze: ctx.analyze,
                 };
                 let tx = tx.clone();
                 let server_id = server.clone();
@@ -927,6 +934,7 @@ impl Broker {
                                 deadline: Some(deadline),
                                 query_id: ctx.query_id,
                                 profile: ctx.profile,
+                                analyze: ctx.analyze,
                             };
                             let tx = htx.clone();
                             let origin = origin.clone();
@@ -1293,6 +1301,7 @@ impl Broker {
                     deadline: Some(deadline),
                     query_id: ctx.query_id,
                     profile: ctx.profile,
+                    analyze: ctx.analyze,
                 };
                 match guarded_execute(&*svc, &req) {
                     Ok(partial) => {

@@ -20,6 +20,13 @@ pub struct QueryRequest {
     /// execution. Off by default: unprofiled execution stays the zero-cost
     /// path and its results are byte-identical either way.
     pub profile: bool,
+    /// Collect per-conjunct access-path measurements (chosen path,
+    /// estimated vs actual docs) inside the profile. Only `EXPLAIN
+    /// ANALYZE` sets this: the detail costs a report allocation per
+    /// filter leaf per segment, which plain profiled execution skips to
+    /// stay within its overhead budget. Implies nothing on its own —
+    /// the report only exists when `profile` is also set.
+    pub analyze: bool,
 }
 
 impl QueryRequest {
@@ -29,6 +36,7 @@ impl QueryRequest {
             timeout_ms: 10_000,
             tenant: None,
             profile: false,
+            analyze: false,
         }
     }
 

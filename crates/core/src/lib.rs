@@ -112,6 +112,13 @@ pub struct ClusterConfig {
     /// `Some(0)` forces every request onto the pool; a huge value forces
     /// everything inline. Scheduling-only: never changes result bytes.
     pub fanout_threshold_ns: Option<u64>,
+    /// Access-path strategy for filter leaves on every server: `auto`
+    /// chooses per leaf from segment statistics, the forced modes pin
+    /// one path where its structure exists. `None` keeps the
+    /// `PINOT_EXEC_PLANNER` env default (auto). Every mode yields
+    /// byte-identical results — the strategy-matrix differential suite
+    /// asserts exactly that.
+    pub exec_planner: Option<pinot_exec::PlannerMode>,
 }
 
 impl Default for ClusterConfig {
@@ -132,6 +139,7 @@ impl Default for ClusterConfig {
             result_cache: None,
             morsel_docs: None,
             fanout_threshold_ns: None,
+            exec_planner: None,
         }
     }
 }
@@ -196,6 +204,11 @@ impl ClusterConfig {
         self.fanout_threshold_ns = Some(ns);
         self
     }
+
+    pub fn with_exec_planner(mut self, mode: pinot_exec::PlannerMode) -> ClusterConfig {
+        self.exec_planner = Some(mode);
+        self
+    }
 }
 
 /// The query text behind an `EXPLAIN` prefix (already validated by
@@ -231,6 +244,7 @@ impl SegmentQueryService for ServerAdapter {
             deadline: req.deadline,
             query_id: req.query_id,
             profile: req.profile,
+            analyze: req.analyze,
         })
     }
 }
@@ -309,6 +323,7 @@ impl PinotCluster {
             server.set_exec_prune(config.exec_prune);
             server.set_morsel_docs(config.morsel_docs);
             server.set_fanout_threshold_ns(config.fanout_threshold_ns);
+            server.set_exec_planner(config.exec_planner);
             if let Some(threads) = config.taskpool_threads {
                 server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,
@@ -618,7 +633,12 @@ impl PinotCluster {
             )),
             pinot_pql::Statement::ExplainPlan(query) => self.explain_plan(&query),
             pinot_pql::Statement::ExplainAnalyze(_) => {
-                let resp = self.execute_profiled(&QueryRequest::new(strip_explain_prefix(pql)));
+                // ANALYZE turns on the per-conjunct access-path report on
+                // top of profiling; `execute_profiled` alone leaves it off.
+                let mut req = QueryRequest::new(strip_explain_prefix(pql));
+                req.profile = true;
+                req.analyze = true;
+                let resp = self.broker().execute(&req);
                 let mut out = String::from("EXPLAIN ANALYZE\n");
                 if let Some(profile) = &resp.profile {
                     out.push_str(&profile.render_text());

@@ -622,6 +622,140 @@ fn prune_results_are_byte_identical_to_unpruned() {
     }
 }
 
+/// Access-path strategy matrix (ISSUE 9): the cost-based planner's choice
+/// of inverted probe vs sorted binary search vs scan is a pure performance
+/// decision, so every cell of {auto, forced scan, forced inverted, forced
+/// sorted} × {row, batch} × {1, 4 threads} must return *byte-identical*
+/// results on an indexed table. Strategy-invariant stats (docs scanned,
+/// post-filter entries, segment accounting) must agree across the matrix
+/// too; only `num_entries_scanned_in_filter` may differ — that's the
+/// entire point of picking a cheaper access path.
+#[test]
+fn planner_strategy_matrix_is_byte_identical() {
+    use pinot_core::exec::PlannerMode;
+
+    const SEED: u64 = 19;
+    const CASES: usize = 40;
+
+    let rows = gen_rows(SEED);
+    let build = |mode: PlannerMode, batch: bool, threads: usize| {
+        let mut config = ClusterConfig::default()
+            .with_servers(1)
+            .with_taskpool_threads(threads)
+            .with_exec_batch(batch)
+            .with_exec_planner(mode);
+        config.num_controllers = 1;
+        let c = PinotCluster::start(config).unwrap();
+        // Sorted day + inverted country/device so every access path has
+        // real structure to pick (and the forced modes aren't all no-ops).
+        c.create_table(
+            TableConfig::offline(TABLE)
+                .with_sorted_column("day")
+                .with_inverted_indexes(&["country", "device"]),
+            schema(),
+        )
+        .unwrap();
+        for chunk in rows.chunks(ROWS_PER_SEGMENT) {
+            c.upload_rows(TABLE, chunk.to_vec()).unwrap();
+        }
+        c
+    };
+
+    let queries: Vec<String> = {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0x91a);
+        (0..CASES).map(|_| gen_query(&mut rng)).collect()
+    };
+
+    let reference = build(PlannerMode::Scan, false, 1);
+    let ref_responses: Vec<QueryResponse> = queries
+        .iter()
+        .map(|pql| reference.execute(&QueryRequest::new(pql)))
+        .collect();
+    for (pql, resp) in queries.iter().zip(&ref_responses) {
+        assert!(
+            !resp.partial && resp.exceptions.is_empty(),
+            "reference cell failed {pql}: {:?}",
+            resp.exceptions
+        );
+    }
+
+    for mode in [
+        PlannerMode::Auto,
+        PlannerMode::Scan,
+        PlannerMode::Inverted,
+        PlannerMode::Sorted,
+    ] {
+        for &batch in &[false, true] {
+            for &threads in &[1usize, 4] {
+                if mode == PlannerMode::Scan && !batch && threads == 1 {
+                    continue; // the reference cell itself
+                }
+                let cell = build(mode, batch, threads);
+                for (pql, reference) in queries.iter().zip(&ref_responses) {
+                    let got = cell.execute(&QueryRequest::new(pql));
+                    assert!(
+                        !got.partial && got.exceptions.is_empty(),
+                        "cell {mode:?} batch={batch} t={threads} failed {pql}: {:?}",
+                        got.exceptions
+                    );
+                    assert_eq!(
+                        got.result, reference.result,
+                        "access path observable via {mode:?} batch={batch} t={threads} on {pql}"
+                    );
+                    // Strategy-invariant stats: what matched and what the
+                    // aggregation read never depends on the access path.
+                    assert_eq!(
+                        got.stats.num_docs_scanned, reference.stats.num_docs_scanned,
+                        "docs-scanned drift {mode:?} batch={batch} on {pql}"
+                    );
+                    assert_eq!(
+                        got.stats.num_entries_scanned_post_filter,
+                        reference.stats.num_entries_scanned_post_filter,
+                        "post-filter drift {mode:?} batch={batch} on {pql}"
+                    );
+                    assert_eq!(
+                        got.stats.total_docs, reference.stats.total_docs,
+                        "total-docs drift {mode:?} batch={batch} on {pql}"
+                    );
+                    assert_eq!(
+                        got.stats.num_segments_queried,
+                        got.stats.num_segments_processed + got.stats.num_segments_pruned,
+                        "segment accounting unbalanced {mode:?} on {pql}"
+                    );
+                }
+                // Each cell really planned what it was told to: forced scan
+                // never touches an index; auto uses all three paths on this
+                // corpus (equality on inverted columns, ranges on the
+                // sorted time column, metric predicates that only scan).
+                let snap = cell.metrics_snapshot();
+                let inverted = snap.counter("exec.plan_inverted");
+                let sorted = snap.counter("exec.plan_sorted");
+                let scan = snap.counter("exec.plan_scan");
+                match mode {
+                    PlannerMode::Scan => {
+                        assert_eq!(inverted + sorted, 0, "forced scan used an index");
+                        assert!(scan > 0);
+                    }
+                    PlannerMode::Auto => {
+                        assert!(
+                            inverted > 0 && sorted > 0 && scan > 0,
+                            "auto should exercise every path: inv={inverted} sort={sorted} scan={scan}"
+                        );
+                        assert!(
+                            snap.counter("exec.plan_index_and")
+                                + snap.counter("exec.plan_index_or")
+                                > 0,
+                            "auto never took a bulk index operator"
+                        );
+                    }
+                    PlannerMode::Inverted => assert!(inverted > 0),
+                    PlannerMode::Sorted => assert!(sorted > 0),
+                }
+            }
+        }
+    }
+}
+
 // ---- survival layer (ISSUE 7): all knobs on vs all knobs off ----
 
 /// Hedging, admission control, and the result cache are pure availability

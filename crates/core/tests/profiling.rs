@@ -349,6 +349,13 @@ fn explain_plan_and_analyze_render() {
     assert!(analyze.contains("broker"), "{analyze}");
     assert!(analyze.contains("segment"), "{analyze}");
     assert!(analyze.contains("stats: docs_scanned="), "{analyze}");
+    // Per-conjunct access-path attribution (ISSUE 9): the filter node
+    // carries one child per conjunct naming the chosen path, with
+    // docs=estimated→actual from the cost model's estimate.
+    assert!(
+        analyze.contains("conjunct device = ios (scan)"),
+        "{analyze}"
+    );
 
     // Non-EXPLAIN statements are rejected with a helpful error.
     assert!(cluster

@@ -84,6 +84,7 @@ impl SegmentQueryService for SlowOnceService {
             deadline: req.deadline,
             query_id: req.query_id,
             profile: req.profile,
+            analyze: req.analyze,
         })
     }
 }

@@ -55,6 +55,12 @@ pub struct ExecOptions {
     /// alongside the result. Off by default so the unprofiled path stays
     /// untimed; profiling never changes the result payload or stats.
     pub profile: bool,
+    /// With `profile`, also collect the per-conjunct access-path report
+    /// (chosen path, estimated vs actual docs) rendered by `EXPLAIN
+    /// ANALYZE`. Off for plain profiled execution: the report costs an
+    /// allocation per filter leaf per segment, which would eat the
+    /// profiling plane's overhead budget on hot queries.
+    pub analyze: bool,
     /// Morsel size in documents for intra-segment splitting. `None`
     /// defers to the `PINOT_EXEC_MORSEL_DOCS` env default. The split is
     /// a pure function of (selection, morsel size) — see
@@ -65,11 +71,20 @@ pub struct ExecOptions {
     /// default) executes morsels inline on the caller thread; results
     /// are byte-identical either way.
     pub parallel: Option<crate::morsel::ParallelExec>,
+    /// Access-path strategy for filter leaves. `None` defers to the
+    /// `PINOT_EXEC_PLANNER` env default (auto). Every mode yields
+    /// byte-identical results; the forced modes exist so tests and the
+    /// planner bench can pin a single strategy.
+    pub planner: Option<crate::cost::PlannerMode>,
 }
 
 impl ExecOptions {
     pub fn batch_enabled(&self) -> bool {
         self.batch.unwrap_or_else(batch_default)
+    }
+
+    pub fn planner_mode(&self) -> crate::cost::PlannerMode {
+        self.planner.unwrap_or_else(crate::cost::planner_default)
     }
 
     pub fn prune_enabled(&self) -> bool {

@@ -12,7 +12,7 @@
 //! plan.
 
 use crate::batch::{self, ExecOptions};
-use crate::planner::{self, PlanKind};
+use crate::planner::{self, ConjunctPlan, PlanKind};
 use crate::prune::{Prunable, PruneEvaluator, PruneLevel};
 use crate::segment_exec::SegmentHandle;
 use pinot_common::json::Json;
@@ -30,10 +30,10 @@ pub struct SegmentExplain {
     pub prune: String,
     /// Chosen plan; `None` when the prune verdict skips the segment.
     pub plan: Option<PlanKind>,
-    /// Filter conjuncts in execution order with their index class
-    /// (`sorted` | `inverted` | `subtree` | `scan`). Empty for pruned
-    /// segments and filterless queries.
-    pub predicate_order: Vec<(String, &'static str)>,
+    /// Filter conjuncts in execution order, each with its chosen access
+    /// path (`sorted` | `inverted` | `scan` | `subtree`) and estimated
+    /// selectivity. Empty for pruned segments and filterless queries.
+    pub predicate_order: Vec<ConjunctPlan>,
     /// Scan operator a raw plan would run: `aggregate` | `group_by` |
     /// `select`.
     pub operator: &'static str,
@@ -106,7 +106,7 @@ pub fn explain_segment(
 
     let plan = planner::plan_segment(handle, effective);
     let predicate_order = if plan == PlanKind::Raw {
-        planner::conjunct_order(segment, effective.filter.as_ref())
+        planner::conjunct_order(segment, effective.filter.as_ref(), opts.planner_mode())
     } else {
         Vec::new()
     };
@@ -201,7 +201,7 @@ impl SegmentExplain {
             let order: Vec<String> = self
                 .predicate_order
                 .iter()
-                .map(|(desc, class)| format!("{desc} ({class})"))
+                .map(|c| format!("{} ({}, est={:.4})", c.predicate, c.path, c.est_selectivity))
                 .collect();
             line.push_str(&format!("  filter order: {}\n", order.join(", ")));
         }
@@ -231,10 +231,11 @@ impl SegmentExplain {
             Json::Arr(
                 self.predicate_order
                     .iter()
-                    .map(|(desc, class)| {
+                    .map(|c| {
                         Json::obj(vec![
-                            ("predicate", desc.as_str().into()),
-                            ("class", (*class).into()),
+                            ("predicate", c.predicate.as_str().into()),
+                            ("path", c.path.into()),
+                            ("est_selectivity", c.est_selectivity.into()),
                         ])
                     })
                     .collect(),
@@ -281,7 +282,7 @@ mod tests {
             .with_bloom_columns(&["country"])
             .with_inverted_columns(&["country"]);
         let mut b = SegmentBuilder::new(schema, cfg).unwrap();
-        for (c, k, d) in [("us", 10i64, 100i64), ("de", 20, 101), ("us", 30, 102)] {
+        for (c, k, d) in [("us", 10i64, 100i64), ("de", 20, 101), ("fr", 30, 102)] {
             b.add(Record::new(vec![
                 Value::from(c),
                 Value::Long(k),
@@ -330,13 +331,36 @@ mod tests {
         assert_eq!(e.plan, Some(PlanKind::Raw));
         assert_eq!(e.operator, "aggregate");
         assert_eq!(e.kernel, Some("batch"));
-        // The inverted country leaf runs before the clicks scan leaf.
+        // The inverted country leaf runs before the clicks scan leaf,
+        // each annotated with its estimated selectivity (country = us
+        // matches 1 of 3 docs exactly; clicks > 15 interpolates the
+        // [10, 30] zone map).
         assert_eq!(e.predicate_order.len(), 2);
-        assert_eq!(e.predicate_order[0].1, "inverted");
-        assert!(e.predicate_order[0].0.contains("country"));
-        assert_eq!(e.predicate_order[1].1, "scan");
+        assert_eq!(e.predicate_order[0].path, "inverted");
+        assert!(e.predicate_order[0].predicate.contains("country"));
+        assert_eq!(e.predicate_order[1].path, "scan");
         let text = e.render_text();
-        assert!(text.contains("filter order: country = us (inverted), clicks > 15 (scan)"));
+        assert!(
+            text.contains(
+                "filter order: country = us (inverted, est=0.3333), clicks > 15 (scan, est=0.7500)"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn forced_planner_mode_changes_reported_paths() {
+        let e = explain_segment(
+            &handle(),
+            &parse("SELECT SUM(clicks) FROM t WHERE country = 'us'").unwrap(),
+            Some("day"),
+            &ExecOptions {
+                planner: Some(crate::cost::PlannerMode::Scan),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(e.predicate_order[0].path, "scan");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod aggstate;
 pub mod batch;
+pub mod cost;
 pub mod explain;
 pub mod key;
 pub mod merge;
@@ -32,11 +33,18 @@ pub mod selection;
 
 pub use aggstate::AggState;
 pub use batch::{batch_default, ExecOptions};
+pub use cost::{
+    choose_path, estimate_leaf, estimate_predicate, planner_default, AccessPath, LeafEstimate,
+    PlannerMode,
+};
 pub use explain::{explain_segment, render_plan, SegmentExplain};
 pub use key::GroupKey;
 pub use merge::{collected_profiles, finalize, merge_intermediate};
 pub use morsel::{split_selection, CostModel, ParallelExec};
-pub use planner::{conjunct_order, evaluate_filter_mode, plan_segment, PlanKind};
+pub use planner::{
+    conjunct_order, evaluate_filter_mode, evaluate_filter_planned, plan_segment, ConjunctPlan,
+    PlanKind,
+};
 pub use prune::{
     prune_default, ColumnRange, Prunable, PruneEvaluator, PruneLevel, PruneOutcome,
     PruneStatsSource, ZoneMapStats,

@@ -5,13 +5,17 @@
 //! cost-based predicate ordering (sorted column first, then inverted
 //! indexes, then scans restricted to the already-selected docs).
 
+use crate::cost::{self, AccessPath, PlannerMode};
 use crate::segment_exec::SegmentHandle;
 use crate::selection::{DocSelection, IdMatcher, MatchKind};
+use pinot_bitmap::RoaringBitmap;
 use pinot_common::query::ExecutionStats;
 use pinot_common::{Result, Value};
+use pinot_obs::Obs;
 use pinot_pql::{AggFunction, CmpOp, Predicate, Query, SelectList};
 use pinot_segment::{DictId, ImmutableSegment};
 use pinot_startree::DimFilter;
+use std::cell::RefCell;
 
 /// Which physical plan a segment execution used (exposed for tests, stats
 /// and the Figure 13 harness).
@@ -272,9 +276,55 @@ fn intersect_filter(f: &mut DimFilter, ids: Vec<DictId>) {
     }
 }
 
+/// Everything one filter evaluation needs beyond the predicate itself:
+/// the scan-kernel choice, the access-path strategy, whether conjuncts
+/// reorder, and the optional observation sinks. None of these fields may
+/// influence which docs a leaf selects — only how the selection is
+/// computed and what gets recorded about it.
+pub(crate) struct FilterCtx<'a> {
+    /// Scan-fallback leaves decode dict-id blocks (`true`) or test doc
+    /// by doc through the forward index (`false`).
+    pub batch: bool,
+    /// Access-path strategy per leaf ([`cost::choose_path`]).
+    pub mode: PlannerMode,
+    /// Reorder conjuncts cheapest-first and range-restrict scan leaves.
+    /// `false` is the ablation baseline: written order, full leaves.
+    pub cost_ordered: bool,
+    /// Metrics sink for per-leaf path counters and the est-vs-actual
+    /// histogram.
+    pub obs: Option<&'a Obs>,
+    /// When profiling, each evaluated leaf appends its measured
+    /// [`ConjunctMeasure`] here for EXPLAIN ANALYZE.
+    pub report: Option<&'a RefCell<Vec<ConjunctMeasure>>>,
+}
+
+impl FilterCtx<'_> {
+    fn new(batch: bool, mode: PlannerMode) -> FilterCtx<'static> {
+        FilterCtx {
+            batch,
+            mode,
+            cost_ordered: true,
+            obs: None,
+            report: None,
+        }
+    }
+}
+
+/// What one leaf actually did during a profiled evaluation: the chosen
+/// access path and estimated vs measured matching docs. The label is
+/// pre-rendered as `{predicate} ({path})` and shared into the profile
+/// tree — built once per leaf, profiling overhead is a measured budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctMeasure {
+    pub label: std::sync::Arc<str>,
+    pub est_docs: u64,
+    pub actual_docs: u64,
+}
+
 /// Evaluate a filter to a document selection, using the best index per leaf
 /// and ordering conjuncts cheapest-first (§4.2). Scan-fallback leaves use
-/// the batched or row path per the `PINOT_EXEC_BATCH` default.
+/// the batched or row path per the `PINOT_EXEC_BATCH` default; the access
+/// path per leaf follows the `PINOT_EXEC_PLANNER` default.
 pub fn evaluate_filter(
     segment: &ImmutableSegment,
     pred: Option<&Predicate>,
@@ -292,7 +342,22 @@ pub fn evaluate_filter_mode(
     stats: &mut ExecutionStats,
     batch: bool,
 ) -> Result<DocSelection> {
-    evaluate_filter_inner(segment, pred, stats, true, batch)
+    let ctx = FilterCtx::new(batch, cost::planner_default());
+    evaluate_filter_ctx(segment, pred, stats, &ctx)
+}
+
+/// Like [`evaluate_filter`] with the access-path strategy pinned too —
+/// the entry point the strategy-matrix differential tests and the
+/// planner proptests drive directly.
+pub fn evaluate_filter_planned(
+    segment: &ImmutableSegment,
+    pred: Option<&Predicate>,
+    stats: &mut ExecutionStats,
+    mode: PlannerMode,
+    batch: bool,
+) -> Result<DocSelection> {
+    let ctx = FilterCtx::new(batch, mode);
+    evaluate_filter_ctx(segment, pred, stats, &ctx)
 }
 
 /// Like [`evaluate_filter`] but with cost-based conjunct reordering
@@ -306,49 +371,49 @@ pub fn evaluate_filter_with_ordering(
     stats: &mut ExecutionStats,
     cost_ordered: bool,
 ) -> Result<DocSelection> {
-    evaluate_filter_inner(
-        segment,
-        pred,
-        stats,
+    let ctx = FilterCtx {
         cost_ordered,
-        crate::batch::batch_default(),
-    )
+        ..FilterCtx::new(crate::batch::batch_default(), cost::planner_default())
+    };
+    evaluate_filter_ctx(segment, pred, stats, &ctx)
 }
 
-fn evaluate_filter_inner(
+pub(crate) fn evaluate_filter_ctx(
     segment: &ImmutableSegment,
     pred: Option<&Predicate>,
     stats: &mut ExecutionStats,
-    cost_ordered: bool,
-    batch: bool,
+    ctx: &FilterCtx<'_>,
 ) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
         None => Ok(DocSelection::All(num_docs)),
         Some(p) => {
             let normalized = normalize_predicate(p);
-            if cost_ordered {
-                eval(segment, &normalized, stats, batch)
+            if ctx.cost_ordered {
+                eval(segment, &normalized, stats, ctx)
             } else {
-                eval_unordered(segment, &normalized, stats, batch)
+                eval_unordered(segment, &normalized, stats, ctx)
             }
         }
     }
 }
 
-/// Naive evaluation: no reordering, no range-restricted scans.
+/// Naive evaluation: no reordering, no range-restricted scans, no bulk
+/// index operators. Each leaf still uses the same access path as the
+/// ordered plan (the choice is a pure function of segment/leaf/mode), so
+/// the two differ only in how much work surrounds identical leaves.
 fn eval_unordered(
     segment: &ImmutableSegment,
     pred: &Predicate,
     stats: &mut ExecutionStats,
-    batch: bool,
+    ctx: &FilterCtx<'_>,
 ) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
         Predicate::And(ps) => {
             let mut acc = DocSelection::All(num_docs);
             for p in ps {
-                let s = eval_unordered(segment, p, stats, batch)?;
+                let s = eval_unordered(segment, p, stats, ctx)?;
                 acc = acc.and(&s);
             }
             Ok(acc)
@@ -356,12 +421,12 @@ fn eval_unordered(
         Predicate::Or(ps) => {
             let mut acc = DocSelection::Empty;
             for p in ps {
-                acc = acc.or(&eval_unordered(segment, p, stats, batch)?);
+                acc = acc.or(&eval_unordered(segment, p, stats, ctx)?);
             }
             Ok(acc)
         }
-        Predicate::Not(inner) => Ok(eval_unordered(segment, inner, stats, batch)?.not(num_docs)),
-        leaf => eval_leaf(segment, leaf, stats, None, batch),
+        Predicate::Not(inner) => Ok(eval_unordered(segment, inner, stats, ctx)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None, ctx),
     }
 }
 
@@ -369,55 +434,91 @@ fn eval(
     segment: &ImmutableSegment,
     pred: &Predicate,
     stats: &mut ExecutionStats,
-    batch: bool,
+    ctx: &FilterCtx<'_>,
 ) -> Result<DocSelection> {
     let num_docs = segment.num_docs();
     match pred {
-        Predicate::And(ps) => eval_and(segment, ps, stats, batch),
+        Predicate::And(ps) => eval_and(segment, ps, stats, ctx),
         Predicate::Or(ps) => {
+            // IndexOr: when every branch is an inverted-path leaf, union
+            // all their postings container-at-a-time in one k-way pass
+            // instead of folding pairwise bitmap ORs. Each branch still
+            // counts its own postings into the stats, so the fold and
+            // bulk paths are indistinguishable except in time.
+            let bulk = ps.len() >= 2
+                && ps
+                    .iter()
+                    .all(|p| conjunct_class(segment, p, ctx.mode) == CLASS_INVERTED);
+            if bulk {
+                let mut bms: Vec<RoaringBitmap> = Vec::with_capacity(ps.len());
+                for p in ps {
+                    if let DocSelection::Bitmap(bm) = eval_leaf(segment, p, stats, None, ctx)? {
+                        bms.push(bm);
+                    }
+                }
+                if let Some(obs) = ctx.obs {
+                    obs.metrics.counter_add("exec.plan_index_or", 1);
+                }
+                let refs: Vec<&RoaringBitmap> = bms.iter().collect();
+                let bm = RoaringBitmap::union_many(&refs);
+                return Ok(if bm.is_empty() {
+                    DocSelection::Empty
+                } else {
+                    DocSelection::Bitmap(bm)
+                });
+            }
             let mut acc = DocSelection::Empty;
             for p in ps {
-                acc = acc.or(&eval(segment, p, stats, batch)?);
+                acc = acc.or(&eval(segment, p, stats, ctx)?);
             }
             Ok(acc)
         }
-        Predicate::Not(inner) => Ok(eval(segment, inner, stats, batch)?.not(num_docs)),
-        leaf => eval_leaf(segment, leaf, stats, None, batch),
+        Predicate::Not(inner) => Ok(eval(segment, inner, stats, ctx)?.not(num_docs)),
+        leaf => eval_leaf(segment, leaf, stats, None, ctx),
     }
 }
 
-/// Cost class of a conjunct: lower executes first.
-fn cost_class(segment: &ImmutableSegment, pred: &Predicate) -> u8 {
+const CLASS_SORTED: u8 = 0;
+const CLASS_INVERTED: u8 = 1;
+const CLASS_SUBTREE: u8 = 2;
+const CLASS_SCAN: u8 = 3;
+
+/// Cost class of a conjunct: lower executes first. Leaves classify by
+/// their *chosen* access path, so an inverted column whose predicate the
+/// fan-out gate sends to a scan correctly defers to the end, where the
+/// scan runs range-restricted to the surviving selection.
+fn conjunct_class(segment: &ImmutableSegment, pred: &Predicate, mode: PlannerMode) -> u8 {
     match pred {
-        Predicate::Cmp { column, .. }
-        | Predicate::In { column, .. }
-        | Predicate::Between { column, .. } => match segment.column(column) {
-            Ok(col) if col.sorted.is_some() => 0,
-            Ok(col) if col.inverted.is_some() => 1,
-            _ => 3, // scan leaf: defer to the end
-        },
-        _ => 2, // complex subtree
+        Predicate::Cmp { .. } | Predicate::In { .. } | Predicate::Between { .. } => {
+            match cost::choose_path(segment, pred, mode).0 {
+                AccessPath::Sorted => CLASS_SORTED,
+                AccessPath::Inverted => CLASS_INVERTED,
+                AccessPath::Scan => CLASS_SCAN,
+            }
+        }
+        _ => CLASS_SUBTREE,
     }
 }
 
-/// EXPLAIN label for a cost class.
-fn class_label(class: u8) -> &'static str {
-    match class {
-        0 => "sorted",
-        1 => "inverted",
-        2 => "subtree",
-        _ => "scan",
-    }
+/// One top-level conjunct as the planner will run it: its rendering, the
+/// access path (or `subtree`), and the estimated selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctPlan {
+    pub predicate: String,
+    pub path: &'static str,
+    pub est_selectivity: f64,
 }
 
 /// The filter's top-level conjuncts in the order [`eval_and`] will run
-/// them on this segment, each with the index class that decided its
-/// position. Mirrors the planner exactly: the filter is normalized first
-/// and the sort is stable, so ties keep query order.
+/// them on this segment, each with the access path that decided its
+/// position and its estimated selectivity. Mirrors the planner exactly:
+/// the filter is normalized first and the sort is stable, so ties keep
+/// query order.
 pub fn conjunct_order(
     segment: &ImmutableSegment,
     filter: Option<&Predicate>,
-) -> Vec<(String, &'static str)> {
+    mode: PlannerMode,
+) -> Vec<ConjunctPlan> {
     let Some(filter) = filter else {
         return Vec::new();
     };
@@ -426,11 +527,26 @@ pub fn conjunct_order(
         Predicate::And(ps) => ps,
         p => vec![p],
     };
-    let mut ordered: Vec<&Predicate> = conjuncts.iter().collect();
-    ordered.sort_by_key(|p| cost_class(segment, p));
-    ordered
+    let mut keyed: Vec<(u8, &Predicate)> = conjuncts
+        .iter()
+        .map(|p| (conjunct_class(segment, p, mode), p))
+        .collect();
+    keyed.sort_by_key(|(class, _)| *class);
+    keyed
         .into_iter()
-        .map(|p| (describe_predicate(p), class_label(cost_class(segment, p))))
+        .map(|(class, p)| {
+            let (path, est) = if class == CLASS_SUBTREE {
+                ("subtree", cost::estimate_predicate(segment, p))
+            } else {
+                let (path, est) = cost::choose_path(segment, p, mode);
+                (path.as_str(), est.selectivity)
+            };
+            ConjunctPlan {
+                predicate: describe_predicate(p),
+                path,
+                est_selectivity: est,
+            }
+        })
         .collect()
 }
 
@@ -478,24 +594,82 @@ fn eval_and(
     segment: &ImmutableSegment,
     conjuncts: &[Predicate],
     stats: &mut ExecutionStats,
-    batch: bool,
+    ctx: &FilterCtx<'_>,
 ) -> Result<DocSelection> {
-    let mut ordered: Vec<&Predicate> = conjuncts.iter().collect();
-    ordered.sort_by_key(|p| cost_class(segment, p));
+    let mut keyed: Vec<(u8, &Predicate)> = conjuncts
+        .iter()
+        .map(|p| (conjunct_class(segment, p, ctx.mode), p))
+        .collect();
+    keyed.sort_by_key(|(class, _)| *class);
 
     let mut sel = DocSelection::All(segment.num_docs());
-    for p in ordered {
+    let mut i = 0;
+    while i < keyed.len() {
         if sel.is_empty() {
             return Ok(DocSelection::Empty);
         }
-        let class = cost_class(segment, p);
-        if class == 3 {
-            // Scan leaf: evaluate only within the current selection — the
-            // "subsequent operators only evaluate part of the column" rule.
-            sel = eval_leaf(segment, p, stats, Some(&sel), batch)?;
-        } else {
-            let s = eval(segment, p, stats, batch)?;
-            sel = sel.and(&s);
+        let (class, p) = keyed[i];
+        match class {
+            CLASS_INVERTED => {
+                // IndexAnd: the stable sort groups every inverted-path
+                // leaf into one run. With two or more, intersect all
+                // their posting unions in a single container-at-a-time
+                // k-way pass (smallest input drives) instead of folding
+                // pairwise ANDs. Each leaf counts its own postings into
+                // the stats exactly as the sequential fold would, and an
+                // empty leaf short-circuits the rest.
+                let run = keyed[i..]
+                    .iter()
+                    .take_while(|(c, _)| *c == CLASS_INVERTED)
+                    .count();
+                if run >= 2 {
+                    let mut bms: Vec<RoaringBitmap> = Vec::with_capacity(run);
+                    let mut empty = false;
+                    for &(_, p) in &keyed[i..i + run] {
+                        match eval_leaf(segment, p, stats, None, ctx)? {
+                            DocSelection::Bitmap(bm) => bms.push(bm),
+                            _ => {
+                                empty = true;
+                                break;
+                            }
+                        }
+                    }
+                    if empty {
+                        return Ok(DocSelection::Empty);
+                    }
+                    if let Some(obs) = ctx.obs {
+                        obs.metrics.counter_add("exec.plan_index_and", 1);
+                    }
+                    let refs: Vec<&RoaringBitmap> = bms.iter().collect();
+                    let bm = RoaringBitmap::intersect_many(&refs);
+                    if bm.is_empty() {
+                        return Ok(DocSelection::Empty);
+                    }
+                    sel = sel.and(&DocSelection::Bitmap(bm));
+                    i += run;
+                } else {
+                    let s = eval_leaf(segment, p, stats, None, ctx)?;
+                    sel = sel.and(&s);
+                    i += 1;
+                }
+            }
+            CLASS_SCAN => {
+                // Scan leaf: evaluate only within the current selection —
+                // the "subsequent operators only evaluate part of the
+                // column" rule.
+                sel = eval_leaf(segment, p, stats, Some(&sel), ctx)?;
+                i += 1;
+            }
+            CLASS_SUBTREE => {
+                let s = eval(segment, p, stats, ctx)?;
+                sel = sel.and(&s);
+                i += 1;
+            }
+            _ => {
+                let s = eval_leaf(segment, p, stats, None, ctx)?;
+                sel = sel.and(&s);
+                i += 1;
+            }
         }
     }
     Ok(sel)
@@ -506,76 +680,122 @@ fn eval_leaf(
     leaf: &Predicate,
     stats: &mut ExecutionStats,
     within: Option<&DocSelection>,
-    batch: bool,
+    ctx: &FilterCtx<'_>,
 ) -> Result<DocSelection> {
-    let column_name = match leaf {
-        Predicate::Cmp { column, .. }
-        | Predicate::In { column, .. }
-        | Predicate::Between { column, .. } => column.clone(),
-        _ => {
-            return Err(pinot_common::PinotError::Internal(
-                "eval_leaf expects a leaf predicate".into(),
-            ))
-        }
-    };
     let matcher = IdMatcher::compile(segment, leaf)?;
-    let col = segment.column(&column_name)?;
+    let col = segment.column(&matcher.column)?;
 
     if matches!(matcher.kind, MatchKind::Nothing) {
         return Ok(DocSelection::Empty);
     }
 
-    // Sorted column: predicates become one contiguous doc range.
-    if let Some(sorted) = &col.sorted {
-        let sel = match &matcher.kind {
-            MatchKind::Range(lo, hi) => {
-                let (s, e) = sorted.doc_range_for_ids(*lo, *hi);
-                stats.num_entries_scanned_in_filter += 2; // two index lookups
-                if s >= e {
-                    DocSelection::Empty
-                } else {
-                    DocSelection::Range(s, e)
-                }
-            }
-            MatchKind::Set(ids) => {
-                let mut acc = DocSelection::Empty;
-                for &id in ids {
-                    let (s, e) = sorted.doc_range(id);
-                    stats.num_entries_scanned_in_filter += 2;
-                    if s < e {
-                        acc = acc.or(&DocSelection::Range(s, e));
+    let (path, est) = cost::choose_path(segment, leaf, ctx.mode);
+
+    // Evaluate the chosen path to the leaf's own selection; `within` is
+    // applied afterwards for the index paths (the scan path is already
+    // restricted to it). The observation block below reads the raw
+    // selection, so estimated and actual counts cover the same scope.
+    let raw = match path {
+        // Sorted column: predicates become one contiguous doc range.
+        AccessPath::Sorted => {
+            let sorted = col.sorted.as_ref().expect("choose_path saw a sorted index");
+            match &matcher.kind {
+                MatchKind::Range(lo, hi) => {
+                    let (s, e) = sorted.doc_range_for_ids(*lo, *hi);
+                    stats.num_entries_scanned_in_filter += 2; // two index lookups
+                    if s >= e {
+                        DocSelection::Empty
+                    } else {
+                        DocSelection::Range(s, e)
                     }
                 }
-                acc
+                MatchKind::Set(ids) => {
+                    let mut acc = DocSelection::Empty;
+                    for &id in ids {
+                        let (s, e) = sorted.doc_range(id);
+                        stats.num_entries_scanned_in_filter += 2;
+                        if s < e {
+                            acc = acc.or(&DocSelection::Range(s, e));
+                        }
+                    }
+                    acc
+                }
+                MatchKind::Nothing => DocSelection::Empty,
             }
-            MatchKind::Nothing => DocSelection::Empty,
+        }
+        // Inverted index: bulk container-at-a-time postings union.
+        AccessPath::Inverted => {
+            let inv = col
+                .inverted
+                .as_ref()
+                .expect("choose_path saw an inverted index");
+            let bm = match &matcher.kind {
+                MatchKind::Range(lo, hi) => inv.postings_range(*lo, *hi),
+                MatchKind::Set(ids) => inv.postings_set(ids),
+                MatchKind::Nothing => unreachable!("handled above"),
+            };
+            stats.num_entries_scanned_in_filter += bm.len();
+            if bm.is_empty() {
+                DocSelection::Empty
+            } else {
+                DocSelection::Bitmap(bm)
+            }
+        }
+        AccessPath::Scan => eval_scan(segment, col, &matcher, stats, within, ctx.batch),
+    };
+
+    // Observation is read-only: path counters, the estimated-vs-actual
+    // histogram, and the per-conjunct EXPLAIN ANALYZE report. Scan
+    // leaves compare against a scope-scaled estimate because they only
+    // ever see the docs surviving earlier conjuncts.
+    if ctx.obs.is_some() || ctx.report.is_some() {
+        let est_docs = match (path, within) {
+            (AccessPath::Scan, Some(w)) => (est.selectivity * w.count() as f64).round() as u64,
+            _ => est.est_docs(segment.num_docs() as u64),
         };
-        return Ok(match within {
-            Some(w) => w.and(&sel),
-            None => sel,
-        });
+        let actual_docs = raw.count();
+        if let Some(obs) = ctx.obs {
+            obs.metrics.counter_add(
+                match path {
+                    AccessPath::Sorted => "exec.plan_sorted",
+                    AccessPath::Inverted => "exec.plan_inverted",
+                    AccessPath::Scan => "exec.plan_scan",
+                },
+                1,
+            );
+            obs.metrics.observe_ms(
+                "exec.plan_est_vs_actual",
+                (est_docs + 1) as f64 / (actual_docs + 1) as f64,
+            );
+        }
+        if let Some(report) = ctx.report {
+            let mut label = describe_predicate(leaf);
+            label.push_str(" (");
+            label.push_str(path.as_str());
+            label.push(')');
+            report.borrow_mut().push(ConjunctMeasure {
+                label: label.into(),
+                est_docs,
+                actual_docs,
+            });
+        }
     }
 
-    // Inverted index: bitmap union.
-    if let Some(inv) = &col.inverted {
-        let bm = match &matcher.kind {
-            MatchKind::Range(lo, hi) => inv.postings_range(*lo, *hi),
-            MatchKind::Set(ids) => inv.postings_set(ids),
-            MatchKind::Nothing => unreachable!("handled above"),
-        };
-        stats.num_entries_scanned_in_filter += bm.len();
-        let sel = if bm.is_empty() {
-            DocSelection::Empty
-        } else {
-            DocSelection::Bitmap(bm)
-        };
-        return Ok(match within {
-            Some(w) => w.and(&sel),
-            None => sel,
-        });
-    }
+    Ok(match (path, within) {
+        (AccessPath::Scan, _) | (_, None) => raw,
+        (_, Some(w)) => w.and(&raw),
+    })
+}
 
-    // Scan fallback, restricted to `within` when provided.
+/// Forward-index scan for one leaf, restricted to `within` when given.
+fn eval_scan(
+    segment: &ImmutableSegment,
+    col: &pinot_segment::column::ColumnData,
+    matcher: &IdMatcher,
+    stats: &mut ExecutionStats,
+    within: Option<&DocSelection>,
+    batch: bool,
+) -> DocSelection {
     let mut bm = pinot_bitmap::RoaringBitmap::new();
     stats.num_entries_scanned_in_filter += match within {
         Some(w) => w.count(),
@@ -647,11 +867,11 @@ fn eval_leaf(
             }
         }
     }
-    Ok(if bm.is_empty() {
+    if bm.is_empty() {
         DocSelection::Empty
     } else {
         DocSelection::Bitmap(bm)
-    })
+    }
 }
 
 #[cfg(test)]

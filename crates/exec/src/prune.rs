@@ -133,6 +133,27 @@ impl PruneStatsSource for ZoneMapStats {
     }
 }
 
+/// Fraction of a zone map's value interval `[min, max]` that a
+/// predicate interval overlaps, assuming values distribute uniformly —
+/// the cost model's numeric-range fallback when a column has neither a
+/// sorted nor an inverted index ([`crate::cost::estimate_leaf`]). `None`
+/// interval ends are unbounded; degenerate or unusable zone maps answer
+/// conservatively (everything matches).
+pub fn zone_overlap_fraction(min: f64, max: f64, lo: Option<f64>, hi: Option<f64>) -> f64 {
+    if !min.is_finite() || !max.is_finite() || min > max {
+        return 1.0;
+    }
+    let lo = lo.unwrap_or(min).max(min);
+    let hi = hi.unwrap_or(max).min(max);
+    if lo > hi {
+        return 0.0;
+    }
+    if max == min {
+        return 1.0;
+    }
+    ((hi - lo) / (max - min)).clamp(0.0, 1.0)
+}
+
 /// Process-wide default for the pruning pipeline, read once from
 /// `PINOT_EXEC_PRUNE` (`0` disables pruning at every level).
 pub fn prune_default() -> bool {

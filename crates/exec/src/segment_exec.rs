@@ -187,8 +187,19 @@ pub fn execute_on_segment_with(
     record_plan(&mut stats, segment.name(), planner::PlanKind::Raw);
     let batch = opts.batch_enabled();
     let filter_start = opts.profile.then(std::time::Instant::now);
+    // Per-conjunct measurements (chosen path, estimated vs actual docs)
+    // are collected only for EXPLAIN ANALYZE; plain profiled execution
+    // skips the report to stay within its overhead budget.
+    let conjuncts = (opts.profile && opts.analyze).then(|| std::cell::RefCell::new(Vec::new()));
+    let fctx = planner::FilterCtx {
+        batch,
+        mode: opts.planner_mode(),
+        cost_ordered: true,
+        obs: opts.obs.as_deref(),
+        report: conjuncts.as_ref(),
+    };
     let selection =
-        planner::evaluate_filter_mode(segment, query.filter.as_ref(), &mut stats, batch)?;
+        planner::evaluate_filter_ctx(segment, query.filter.as_ref(), &mut stats, &fctx)?;
     stats.num_docs_scanned = selection.count();
 
     let mut kstats = KernelStats::default();
@@ -254,6 +265,17 @@ pub fn execute_on_segment_with(
         filter.docs_in = stats.total_docs;
         filter.docs_out = stats.num_docs_scanned;
         filter.elapsed_ns = filter_ns.unwrap_or(0);
+        // One child per evaluated conjunct leaf: docs_in is the cost
+        // model's estimate, docs_out the measured match count, so the
+        // rendered `docs=est→actual` reads as estimated vs measured.
+        if let Some(report) = &conjuncts {
+            for m in report.take() {
+                let mut c = ProfileNode::named("conjunct", m.label);
+                c.docs_in = m.est_docs;
+                c.docs_out = m.actual_docs;
+                filter.children.push(c);
+            }
+        }
         let mut scan = ProfileNode::new(scan_op);
         scan.kernel = Some(if batch_kernel { "batch" } else { "row" });
         scan.docs_in = stats.num_docs_scanned;

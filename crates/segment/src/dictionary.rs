@@ -214,6 +214,19 @@ impl Dictionary {
         }
     }
 
+    /// Fraction of distinct values in the dict-id interval `[lo, hi)` —
+    /// the NDV-uniform selectivity estimate a planner falls back to when
+    /// no exact per-value statistic (sorted run, posting length) exists.
+    /// Always in `[0, 1]`; empty dictionaries and inverted intervals
+    /// estimate zero.
+    pub fn ndv_fraction(&self, lo: DictId, hi: DictId) -> f64 {
+        let n = self.cardinality();
+        if n == 0 || lo >= hi {
+            return 0.0;
+        }
+        (((hi - lo) as f64) / n as f64).clamp(0.0, 1.0)
+    }
+
     /// Value for a dictionary id. Panics when out of range.
     pub fn value_of(&self, id: DictId) -> Value {
         let i = id as usize;

@@ -43,24 +43,42 @@ impl InvertedIndex {
     }
 
     /// Union of postings over a dict-id range `[lo, hi)` — a range
-    /// predicate's document set.
+    /// predicate's document set. Bulk container-at-a-time union: one
+    /// k-way fold instead of k-1 pairwise intermediates.
     pub fn postings_range(&self, lo: DictId, hi: DictId) -> RoaringBitmap {
-        let mut acc = RoaringBitmap::new();
-        for id in lo..hi.min(self.bitmaps.len() as DictId) {
-            acc = acc.or(&self.bitmaps[id as usize]);
+        let hi = hi.min(self.bitmaps.len() as DictId);
+        if lo >= hi {
+            return RoaringBitmap::new();
         }
-        acc
+        let refs: Vec<&RoaringBitmap> = self.bitmaps[lo as usize..hi as usize].iter().collect();
+        RoaringBitmap::union_many(&refs)
     }
 
-    /// Union of postings for an explicit id set (IN predicates).
+    /// Union of postings for an explicit id set (IN predicates), bulk
+    /// container-at-a-time. Out-of-range ids are ignored.
     pub fn postings_set(&self, ids: &[DictId]) -> RoaringBitmap {
-        let mut acc = RoaringBitmap::new();
-        for &id in ids {
-            if (id as usize) < self.bitmaps.len() {
-                acc = acc.or(&self.bitmaps[id as usize]);
-            }
-        }
-        acc
+        let refs: Vec<&RoaringBitmap> = ids
+            .iter()
+            .filter(|&&id| (id as usize) < self.bitmaps.len())
+            .map(|&id| &self.bitmaps[id as usize])
+            .collect();
+        RoaringBitmap::union_many(&refs)
+    }
+
+    /// Number of documents carrying the given dict id (0 for ids outside
+    /// the dictionary) — the exact per-value doc frequency the planner's
+    /// selectivity estimator reads without materializing any union.
+    pub fn doc_frequency(&self, id: DictId) -> u64 {
+        self.bitmaps.get(id as usize).map_or(0, RoaringBitmap::len)
+    }
+
+    /// Total documents over a dict-id range `[lo, hi)` counted per
+    /// posting list. For single-value columns postings are disjoint, so
+    /// this is the exact range selectivity numerator; for multi-value
+    /// columns it is an upper bound.
+    pub fn doc_frequency_range(&self, lo: DictId, hi: DictId) -> u64 {
+        let hi = hi.min(self.bitmaps.len() as DictId);
+        (lo..hi).map(|id| self.bitmaps[id as usize].len()).sum()
     }
 
     pub fn size_bytes(&self) -> usize {

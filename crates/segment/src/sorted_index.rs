@@ -64,6 +64,18 @@ impl SortedIndex {
         (self.starts[i], self.starts[i + 1])
     }
 
+    /// Run length (document count) for one dictionary id — the exact
+    /// per-value selectivity numerator on a sorted column. Out-of-range
+    /// ids have zero-length runs.
+    #[inline]
+    pub fn run_length(&self, id: DictId) -> DocId {
+        let i = id as usize;
+        if i + 1 >= self.starts.len() {
+            return 0;
+        }
+        self.starts[i + 1] - self.starts[i]
+    }
+
     /// Document range covering a dict-id interval `[lo, hi)` — because ids
     /// are sorted, this is a single contiguous doc range too.
     pub fn doc_range_for_ids(&self, lo: DictId, hi: DictId) -> (DocId, DocId) {

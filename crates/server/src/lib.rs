@@ -27,8 +27,8 @@ use pinot_controller::ControllerGroup;
 use pinot_exec::segment_exec::{execute_on_segment_with, IntermediateResult, SegmentHandle};
 use pinot_exec::{
     collected_profiles, explain_segment, merge_intermediate, plan_segment, prune_default,
-    CostModel, ExecOptions, ParallelExec, PlanKind, Prunable, PruneEvaluator, PruneOutcome,
-    SegmentExplain,
+    CostModel, ExecOptions, ParallelExec, PlanKind, PlannerMode, Prunable, PruneEvaluator,
+    PruneOutcome, SegmentExplain,
 };
 use pinot_obs::Obs;
 use pinot_pql::{CmpOp, Predicate, Query};
@@ -110,6 +110,9 @@ pub struct Server {
     /// below which a request runs inline); `None` falls back to the
     /// `PINOT_EXEC_FANOUT_NS` env default.
     exec_fanout_ns: RwLock<Option<u64>>,
+    /// Per-server access-path strategy override for filter leaves;
+    /// `None` falls back to the `PINOT_EXEC_PLANNER` env default.
+    exec_planner: RwLock<Option<PlannerMode>>,
     /// Calibrated per-doc scan cost feeding the fan-out gate, refreshed
     /// from the `exec.scan_ns_per_doc` histogram every
     /// [`CALIBRATE_EVERY`] requests. Only ever affects *scheduling*
@@ -140,6 +143,9 @@ pub struct ServerRequest {
     /// Collect a per-operator profile tree alongside the partial result.
     /// Never changes the result payload or stats.
     pub profile: bool,
+    /// With `profile`, also collect the per-conjunct access-path report
+    /// for `EXPLAIN ANALYZE`.
+    pub analyze: bool,
 }
 
 impl Server {
@@ -180,6 +186,7 @@ impl Server {
             exec_prune: RwLock::new(None),
             exec_morsel_docs: RwLock::new(None),
             exec_fanout_ns: RwLock::new(None),
+            exec_planner: RwLock::new(None),
             exec_ns_per_doc: RwLock::new(pinot_exec::morsel::DEFAULT_NS_PER_DOC),
             exec_requests: AtomicU64::new(0),
         })
@@ -213,6 +220,15 @@ impl Server {
     /// `ClusterConfig::with_fanout_threshold_ns`.
     pub fn set_fanout_threshold_ns(&self, ns: Option<u64>) {
         *self.exec_fanout_ns.write() = ns;
+    }
+
+    /// Pin the access-path strategy for this server's filter leaves
+    /// (`auto` chooses per leaf from segment statistics; the forced
+    /// modes pin one path where its structure exists). `None` restores
+    /// the `PINOT_EXEC_PLANNER` env default. Every mode yields
+    /// byte-identical results. See `ClusterConfig::with_exec_planner`.
+    pub fn set_exec_planner(&self, mode: Option<PlannerMode>) {
+        *self.exec_planner.write() = mode;
     }
 
     /// The fan-out cost model as currently calibrated.
@@ -1011,8 +1027,10 @@ impl Server {
             prune: Some(prune_on),
             obs: Some(Arc::clone(&self.obs)),
             profile: req.profile,
+            analyze: req.analyze,
             morsel_docs: *self.exec_morsel_docs.read(),
             parallel: parallel.cloned(),
+            planner: *self.exec_planner.read(),
         };
         let partial = execute_on_segment_with(&handle, query, &opts)?;
         self.obs.metrics.observe_ms(
@@ -1031,6 +1049,7 @@ impl Server {
             batch: *self.exec_batch.read(),
             prune: Some((*self.exec_prune.read()).unwrap_or_else(prune_default)),
             morsel_docs: *self.exec_morsel_docs.read(),
+            planner: *self.exec_planner.read(),
             ..ExecOptions::default()
         };
         self.with_table(table, |state| {
