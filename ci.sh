@@ -45,6 +45,15 @@ PINOT_EXEC_HEDGE=0 cargo test -p pinot-core --test differential
 echo "== differential suite with the result cache on (PINOT_EXEC_RESULT_CACHE=1) =="
 PINOT_EXEC_RESULT_CACHE=1 cargo test -p pinot-core --test differential
 
+echo "== ingest differential suite (hybrid vs offline oracle, ingest-while-query) =="
+cargo test -p pinot-core --test differential_ingest
+
+echo "== ingest differential suite, legacy snapshot-rebuild path (PINOT_REALTIME_COLUMNAR=0) =="
+PINOT_REALTIME_COLUMNAR=0 cargo test -p pinot-core --test differential_ingest
+
+echo "== ingest differential suite, serial partition consumption (PINOT_INGEST_PARALLEL=0) =="
+PINOT_INGEST_PARALLEL=0 cargo test -p pinot-core --test differential_ingest
+
 echo "== kernel proptests (unpack_block/read_block/bitmap bulk extraction) =="
 cargo test -p pinot-segment --test proptest_segment
 cargo test -p pinot-bitmap --test proptest_bitmap
@@ -96,5 +105,8 @@ cargo run --release -q -p pinot-bench --bin scaling
 
 echo "== planner bench acceptance (auto ≤ best single strategy, ≥2x vs worst on ≥2 shapes) =="
 cargo run --release -q -p pinot-bench --bin planner
+
+echo "== ingest bench acceptance (≥5x query p99 under concurrent ingest, bounded lag) =="
+cargo run --release -q -p pinot-bench --bin ingest
 
 echo "CI OK"

@@ -1823,12 +1823,23 @@ fn merge_results(
                 let mut out: Vec<(Vec<Value>, f64)> = rows.into_values().collect();
                 out.sort_by(|a, b| b.1.total_cmp(&a.1));
                 out.truncate(query.effective_top());
+                // COUNT/DISTINCTCOUNT finalize as Long on the single-table
+                // path; the hybrid merge must produce the same type.
+                let integral =
+                    function.starts_with("count") || function.starts_with("distinctcount");
                 merged.push(GroupByRows {
                     function,
                     group_columns,
                     rows: out
                         .into_iter()
-                        .map(|(k, v)| (k, Value::Double(v)))
+                        .map(|(k, v)| {
+                            let v = if integral {
+                                Value::Long(v as i64)
+                            } else {
+                                Value::Double(v)
+                            };
+                            (k, v)
+                        })
                         .collect(),
                 });
             }

@@ -119,6 +119,22 @@ pub struct ClusterConfig {
     /// byte-identical results — the strategy-matrix differential suite
     /// asserts exactly that.
     pub exec_planner: Option<pinot_exec::PlannerMode>,
+    /// Force the columnar realtime path on (`Some(true)`) or fall back to
+    /// the legacy snapshot-rebuild path (`Some(false)`) on every server;
+    /// `None` keeps the `PINOT_REALTIME_COLUMNAR` env default (on unless
+    /// set to `0`). Both paths return byte-identical results — the
+    /// fallback exists as the bench baseline and an escape hatch.
+    pub realtime_columnar: Option<bool>,
+    /// Advance all consuming partitions concurrently as taskpool tasks
+    /// (`Some(true)`) or one at a time (`Some(false)`); `None` keeps the
+    /// `PINOT_INGEST_PARALLEL` env default (on unless set to `0`).
+    /// Per-partition ordering is preserved either way.
+    pub ingest_parallel: Option<bool>,
+    /// Backpressure limit: when the rows buffered across a server's
+    /// consuming segments reach this bound, fetching pauses (sealing
+    /// still runs, so the backlog drains). `None` keeps the
+    /// `PINOT_INGEST_MAX_BUFFERED_ROWS` env default (4,000,000).
+    pub ingest_max_buffered_rows: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -140,6 +156,9 @@ impl Default for ClusterConfig {
             morsel_docs: None,
             fanout_threshold_ns: None,
             exec_planner: None,
+            realtime_columnar: None,
+            ingest_parallel: None,
+            ingest_max_buffered_rows: None,
         }
     }
 }
@@ -207,6 +226,21 @@ impl ClusterConfig {
 
     pub fn with_exec_planner(mut self, mode: pinot_exec::PlannerMode) -> ClusterConfig {
         self.exec_planner = Some(mode);
+        self
+    }
+
+    pub fn with_realtime_columnar(mut self, columnar: bool) -> ClusterConfig {
+        self.realtime_columnar = Some(columnar);
+        self
+    }
+
+    pub fn with_ingest_parallel(mut self, parallel: bool) -> ClusterConfig {
+        self.ingest_parallel = Some(parallel);
+        self
+    }
+
+    pub fn with_ingest_max_buffered_rows(mut self, rows: usize) -> ClusterConfig {
+        self.ingest_max_buffered_rows = Some(rows);
         self
     }
 }
@@ -324,6 +358,9 @@ impl PinotCluster {
             server.set_morsel_docs(config.morsel_docs);
             server.set_fanout_threshold_ns(config.fanout_threshold_ns);
             server.set_exec_planner(config.exec_planner);
+            server.set_realtime_columnar(config.realtime_columnar);
+            server.set_ingest_parallel(config.ingest_parallel);
+            server.set_ingest_max_buffered_rows(config.ingest_max_buffered_rows);
             if let Some(threads) = config.taskpool_threads {
                 server.set_task_pool(Arc::new(pinot_taskpool::TaskPool::with_threads(
                     threads,

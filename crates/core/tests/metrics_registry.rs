@@ -4,7 +4,7 @@
 //! them. This keeps the catalogue honest — adding a metric without
 //! documenting it fails CI.
 
-use pinot_common::config::TableConfig;
+use pinot_common::config::{StreamConfig, TableConfig};
 use pinot_common::query::QueryRequest;
 use pinot_common::{DataType, FieldSpec, Record, Schema, TimeUnit, Value};
 use pinot_core::{ClusterConfig, PinotCluster};
@@ -149,6 +149,30 @@ fn every_emitted_metric_is_in_the_design_catalogue() {
     cluster.execute_profiled(&QueryRequest::new("SELECT SUM(clicks) FROM regevents"));
     cluster.query("SELECT COUNT(*) FROM no_such_table"); // failed-query counters
 
+    // Realtime ingestion: columnar consuming segments, a sealed segment,
+    // and consuming-segment cuts taken by queries — so the ingest/realtime
+    // metric families are emitted and checked too.
+    cluster.streams().create_topic("regstream", 1).unwrap();
+    let rt_schema = Schema::new("regstream_events", schema().fields().to_vec()).unwrap();
+    cluster
+        .create_table(
+            TableConfig::realtime(
+                "regstream_events",
+                StreamConfig {
+                    topic: "regstream".into(),
+                    flush_threshold_rows: 40,
+                    flush_threshold_millis: i64::MAX / 4,
+                },
+            ),
+            rt_schema,
+        )
+        .unwrap();
+    for r in rows(90) {
+        cluster.produce("regstream", &Value::Long(0), r).unwrap();
+    }
+    cluster.consume_until_idle().unwrap();
+    cluster.query("SELECT COUNT(*), SUM(clicks) FROM regstream_events");
+
     let snap = cluster.metrics_snapshot();
     let emitted: Vec<&String> = snap
         .counters
@@ -174,6 +198,10 @@ fn every_emitted_metric_is_in_the_design_catalogue() {
         "server.exec.queue_ms",
         "broker.phase.scatter_ms",
         "prune.zonemap_segments",
+        "ingest.rows_per_sec",
+        "ingest.backpressure_stalls",
+        "realtime.chunks_sealed",
+        "realtime.query_cut_rows",
     ] {
         assert!(
             patterns.iter().any(|p| glob_match(p, required)),

@@ -40,6 +40,11 @@ pub struct SegmentExplain {
     /// Kernel a raw plan would use: `batch` | `row`. `None` for
     /// non-raw plans.
     pub kernel: Option<&'static str>,
+    /// For consuming segments: the row count of the consistent cut the
+    /// plan was made against. `None` for sealed segments. Rendered as
+    /// `plan=realtime cut_rows=<n>` so EXPLAIN distinguishes the
+    /// realtime path.
+    pub realtime_cut_rows: Option<u64>,
 }
 
 /// Explain one segment without executing. Mirrors the execute path:
@@ -87,6 +92,7 @@ pub fn explain_segment(
             predicate_order: Vec::new(),
             operator,
             kernel: None,
+            realtime_cut_rows: None,
         });
     }
 
@@ -126,6 +132,7 @@ pub fn explain_segment(
         predicate_order,
         operator,
         kernel,
+        realtime_cut_rows: None,
     })
 }
 
@@ -189,12 +196,23 @@ impl SegmentExplain {
         );
         match self.plan {
             Some(plan) => {
-                line.push_str(&format!(" plan={plan} operator={}", self.operator));
+                match self.realtime_cut_rows {
+                    Some(rows) => line.push_str(&format!(
+                        " plan=realtime({plan}) cut_rows={rows} operator={}",
+                        self.operator
+                    )),
+                    None => line.push_str(&format!(" plan={plan} operator={}", self.operator)),
+                }
                 if let Some(k) = self.kernel {
                     line.push_str(&format!(" kernel={k}"));
                 }
             }
-            None => line.push_str(" plan=skipped"),
+            None => match self.realtime_cut_rows {
+                Some(rows) => {
+                    line.push_str(&format!(" plan=realtime(skipped) cut_rows={rows}"));
+                }
+                None => line.push_str(" plan=skipped"),
+            },
         }
         line.push_str("]\n");
         if !self.predicate_order.is_empty() {
@@ -225,6 +243,10 @@ impl SegmentExplain {
         ];
         if let Some(k) = self.kernel {
             pairs.push(("kernel", k.into()));
+        }
+        if let Some(rows) = self.realtime_cut_rows {
+            pairs.push(("realtime", true.into()));
+            pairs.push(("cut_rows", rows.into()));
         }
         pairs.push((
             "filter_order",
@@ -386,6 +408,17 @@ mod tests {
             assert!(text.contains(field), "missing {field} in {text}");
         }
         assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn realtime_cut_rows_rendered_in_text_and_json() {
+        let mut e = explain("SELECT SUM(clicks) FROM t WHERE country = 'us'");
+        e.realtime_cut_rows = Some(3);
+        let text = e.render_text();
+        assert!(text.contains("plan=realtime(raw) cut_rows=3"), "{text}");
+        let json = e.to_json().emit();
+        assert!(json.contains("\"realtime\":true"), "{json}");
+        assert!(json.contains("\"cut_rows\":3"), "{json}");
     }
 
     #[test]

@@ -298,7 +298,7 @@ fn build_column(
 
     Ok(ColumnData {
         spec: spec.clone(),
-        dictionary,
+        dictionary: std::sync::Arc::new(dictionary),
         forward,
         inverted,
         sorted,

@@ -9,12 +9,17 @@ use crate::metadata::ColumnStats;
 use crate::sorted_index::SortedIndex;
 use crate::{DictId, DocId};
 use pinot_common::{FieldSpec, Value};
+use std::sync::Arc;
 
 /// Column storage plus its indexes.
+///
+/// The dictionary is behind an `Arc` so realtime consistent cuts can share
+/// one sorted dictionary between the live mutable column and any number of
+/// immutable cut views without copying values.
 #[derive(Debug, Clone)]
 pub struct ColumnData {
     pub spec: FieldSpec,
-    pub dictionary: Dictionary,
+    pub dictionary: Arc<Dictionary>,
     pub forward: ForwardIndex,
     pub inverted: Option<InvertedIndex>,
     pub sorted: Option<SortedIndex>,
@@ -130,7 +135,7 @@ mod tests {
             .collect();
         ColumnData {
             spec: FieldSpec::dimension("c", DataType::String),
-            dictionary: dict,
+            dictionary: Arc::new(dict),
             forward: ForwardIndex::single(&ids),
             inverted: None,
             sorted: None,
@@ -174,7 +179,7 @@ mod tests {
         let ids = vec![vec![0u32, 2], vec![1]];
         let col = ColumnData {
             spec: FieldSpec::multi_value_dimension("mv", DataType::Int),
-            dictionary: dict,
+            dictionary: Arc::new(dict),
             forward: ForwardIndex::multi(&ids),
             inverted: None,
             sorted: None,

@@ -2,18 +2,38 @@
 
 use crate::bitpack::PackedIntVec;
 use crate::{DictId, DocId};
+use std::sync::Arc;
+
+/// Rows per sealed chunk of a consuming-segment column. A multiple of the
+/// bit-pack block (1024) so `read_block` spans touch at most one chunk
+/// boundary per block and sealed chunks decode with the same batch kernels
+/// as offline segments.
+pub const CHUNK_ROWS: usize = 4096;
 
 /// Forward index for one column.
 ///
 /// Single-value columns store one bit-packed dict id per document.
 /// Multi-value columns store a flattened id array plus per-document offsets
 /// (document `d` owns ids `[offsets[d], offsets[d+1])`).
+///
+/// `ChunkedSingle` is the realtime form used by consistent cuts of a
+/// consuming segment: sealed fixed-size chunks of bit-packed *insertion*
+/// ids (shared by `Arc` with the live mutable column, never reallocated)
+/// plus a row-wise tail for the open chunk. Insertion ids are translated
+/// to sorted-dictionary ids through `remap` after unpacking, so chunk bit
+/// widths stay valid as the dictionary grows.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ForwardIndex {
     SingleValue(PackedIntVec),
     MultiValue {
         offsets: Vec<u32>,
         ids: PackedIntVec,
+    },
+    ChunkedSingle {
+        chunks: Vec<Arc<PackedIntVec>>,
+        tail: Arc<[u32]>,
+        remap: Arc<[u32]>,
+        len: usize,
     },
 }
 
@@ -36,8 +56,29 @@ impl ForwardIndex {
         }
     }
 
+    /// Realtime cut view over shared sealed chunks + a cloned open tail.
+    /// `remap` maps insertion ids to sorted-dictionary ids; `len` is the
+    /// cut's row high-water mark.
+    pub fn chunked(
+        chunks: Vec<Arc<PackedIntVec>>,
+        tail: Arc<[u32]>,
+        remap: Arc<[u32]>,
+        len: usize,
+    ) -> ForwardIndex {
+        debug_assert_eq!(chunks.len() * CHUNK_ROWS + tail.len(), len);
+        ForwardIndex::ChunkedSingle {
+            chunks,
+            tail,
+            remap,
+            len,
+        }
+    }
+
     pub fn is_single_value(&self) -> bool {
-        matches!(self, ForwardIndex::SingleValue(_))
+        matches!(
+            self,
+            ForwardIndex::SingleValue(_) | ForwardIndex::ChunkedSingle { .. }
+        )
     }
 
     /// Number of documents.
@@ -45,6 +86,7 @@ impl ForwardIndex {
         match self {
             ForwardIndex::SingleValue(v) => v.len(),
             ForwardIndex::MultiValue { offsets, .. } => offsets.len().saturating_sub(1),
+            ForwardIndex::ChunkedSingle { len, .. } => *len,
         }
     }
 
@@ -53,6 +95,7 @@ impl ForwardIndex {
         match self {
             ForwardIndex::SingleValue(v) => v.len(),
             ForwardIndex::MultiValue { ids, .. } => ids.len(),
+            ForwardIndex::ChunkedSingle { len, .. } => *len,
         }
     }
 
@@ -63,6 +106,22 @@ impl ForwardIndex {
             ForwardIndex::SingleValue(v) => v.get(doc as usize),
             ForwardIndex::MultiValue { .. } => {
                 panic!("get() on multi-value forward index; use get_multi()")
+            }
+            ForwardIndex::ChunkedSingle {
+                chunks,
+                tail,
+                remap,
+                len,
+            } => {
+                let doc = doc as usize;
+                debug_assert!(doc < *len);
+                let chunk = doc / CHUNK_ROWS;
+                let raw = if chunk < chunks.len() {
+                    chunks[chunk].get(doc % CHUNK_ROWS)
+                } else {
+                    tail[doc - chunks.len() * CHUNK_ROWS]
+                };
+                remap[raw as usize]
             }
         }
     }
@@ -77,6 +136,36 @@ impl ForwardIndex {
             ForwardIndex::SingleValue(v) => v.unpack_block(start as usize, out),
             ForwardIndex::MultiValue { .. } => {
                 panic!("read_block() on multi-value forward index; use get_multi()")
+            }
+            ForwardIndex::ChunkedSingle {
+                chunks,
+                tail,
+                remap,
+                len,
+            } => {
+                let n = out.len();
+                debug_assert!(start as usize + n <= *len);
+                let mut filled = 0usize;
+                let mut pos = start as usize;
+                while filled < n {
+                    let chunk = pos / CHUNK_ROWS;
+                    if chunk < chunks.len() {
+                        let local = pos % CHUNK_ROWS;
+                        let take = (CHUNK_ROWS - local).min(n - filled);
+                        chunks[chunk].unpack_block(local, &mut out[filled..filled + take]);
+                        filled += take;
+                        pos += take;
+                    } else {
+                        let local = pos - chunks.len() * CHUNK_ROWS;
+                        let take = n - filled;
+                        out[filled..filled + take].copy_from_slice(&tail[local..local + take]);
+                        filled += take;
+                        pos += take;
+                    }
+                }
+                for id in out.iter_mut() {
+                    *id = remap[*id as usize];
+                }
             }
         }
     }
@@ -93,6 +182,7 @@ impl ForwardIndex {
                     out.push(ids.get(i));
                 }
             }
+            ForwardIndex::ChunkedSingle { .. } => out.push(self.get(doc)),
         }
     }
 
@@ -105,6 +195,7 @@ impl ForwardIndex {
                 let end = offsets[doc as usize + 1] as usize;
                 (start..end).any(|i| ids.get(i) == id)
             }
+            ForwardIndex::ChunkedSingle { .. } => self.get(doc) == id,
         }
     }
 
@@ -123,6 +214,10 @@ impl ForwardIndex {
                     id >= lo && id < hi
                 })
             }
+            ForwardIndex::ChunkedSingle { .. } => {
+                let id = self.get(doc);
+                id >= lo && id < hi
+            }
         }
     }
 
@@ -130,6 +225,15 @@ impl ForwardIndex {
         match self {
             ForwardIndex::SingleValue(v) => v.size_bytes(),
             ForwardIndex::MultiValue { offsets, ids } => offsets.len() * 4 + ids.size_bytes(),
+            ForwardIndex::ChunkedSingle {
+                chunks,
+                tail,
+                remap,
+                ..
+            } => {
+                chunks.iter().map(|c| c.size_bytes()).sum::<usize>()
+                    + (tail.len() + remap.len()) * 4
+            }
         }
     }
 }
@@ -212,5 +316,69 @@ mod tests {
     fn get_on_multi_value_panics() {
         let f = ForwardIndex::multi(&[vec![1]]);
         f.get(0);
+    }
+
+    /// Build a chunked forward index over `raw` insertion ids with a
+    /// reversing remap, plus the equivalent flat oracle.
+    fn chunked_fixture(n: usize, card: u32) -> (ForwardIndex, Vec<u32>) {
+        let raw: Vec<u32> = (0..n as u32).map(|i| (i * 131) % card).collect();
+        let remap: Vec<u32> = (0..card).map(|i| card - 1 - i).collect();
+        let mut chunks = Vec::new();
+        let mut pos = 0;
+        while raw.len() - pos >= CHUNK_ROWS {
+            chunks.push(Arc::new(PackedIntVec::from_slice(
+                &raw[pos..pos + CHUNK_ROWS],
+            )));
+            pos += CHUNK_ROWS;
+        }
+        let tail: Arc<[u32]> = raw[pos..].into();
+        let oracle: Vec<u32> = raw.iter().map(|&r| remap[r as usize]).collect();
+        let f = ForwardIndex::chunked(chunks, tail, remap.into(), n);
+        (f, oracle)
+    }
+
+    #[test]
+    fn chunked_matches_flat_oracle() {
+        for n in [0usize, 5, CHUNK_ROWS, CHUNK_ROWS + 1, 3 * CHUNK_ROWS + 777] {
+            let (f, oracle) = chunked_fixture(n, 97);
+            assert!(f.is_single_value());
+            assert_eq!(f.num_docs(), n);
+            assert_eq!(f.num_entries(), n);
+            for (d, &want) in oracle.iter().enumerate() {
+                assert_eq!(f.get(d as DocId), want, "doc {d} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_read_block_spans_chunk_boundaries() {
+        let n = 2 * CHUNK_ROWS + 513;
+        let (f, oracle) = chunked_fixture(n, 97);
+        for (start, len) in [
+            (0usize, n),
+            (CHUNK_ROWS - 7, 200),
+            (CHUNK_ROWS - 1, 2),
+            (2 * CHUNK_ROWS - 100, 613),
+            (2 * CHUNK_ROWS + 500, 13),
+            (17, 1024),
+            (n - 1, 1),
+            (5, 0),
+        ] {
+            let mut out = vec![0u32; len];
+            f.read_block(start as DocId, &mut out);
+            assert_eq!(out, oracle[start..start + len], "start={start} len={len}");
+        }
+    }
+
+    #[test]
+    fn chunked_predicate_helpers() {
+        let (f, oracle) = chunked_fixture(CHUNK_ROWS + 10, 7);
+        let mut out = Vec::new();
+        f.get_multi(3, &mut out);
+        assert_eq!(out, vec![oracle[3]]);
+        assert!(f.doc_contains(3, oracle[3]));
+        assert!(!f.doc_contains(3, oracle[3] + 100));
+        assert!(f.doc_in_range(3, oracle[3], oracle[3] + 1));
+        assert!(!f.doc_in_range(3, oracle[3] + 1, oracle[3] + 2));
     }
 }

@@ -15,9 +15,10 @@
 //!
 //! [`builder::SegmentBuilder`] creates immutable segments from records
 //! (sorting them physically when a sort column is configured).
-//! [`mutable::MutableSegment`] is the realtime consuming segment: it accepts
-//! appends, answers queries on a best-effort row layout, and seals into an
-//! immutable segment when the completion protocol commits it.
+//! [`mutable::MutableSegment`] is the realtime consuming segment: it stores
+//! appends columnar from the start ([`realtime`]), serves queries through
+//! cheap consistent cuts, and seals into an immutable segment directly from
+//! the columnar store when the completion protocol commits it.
 //! [`persist`] provides the on-disk/object-store binary format.
 
 pub mod bitpack;
@@ -30,6 +31,7 @@ pub mod inverted;
 pub mod metadata;
 pub mod mutable;
 pub mod persist;
+pub mod realtime;
 pub mod segment;
 pub mod sorted_index;
 
@@ -38,7 +40,7 @@ pub use builder::SegmentBuilder;
 pub use column::ColumnData;
 pub use dictionary::Dictionary;
 pub use metadata::{ColumnStats, SegmentMetadata};
-pub use mutable::MutableSegment;
+pub use mutable::{realtime_columnar_default, MutableSegment};
 pub use segment::ImmutableSegment;
 
 /// Document id within one segment.

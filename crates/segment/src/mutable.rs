@@ -7,18 +7,51 @@
 //! committer and the segment is *sealed* into an immutable segment with the
 //! table's full index configuration.
 //!
-//! Query access goes through [`MutableSegment::snapshot`], which lazily
-//! builds an immutable view of the rows consumed so far and caches it until
-//! the next append. The production system maintains incremental realtime
-//! indexes instead; the snapshot approach preserves the observable behaviour
-//! (near-realtime visibility, identical query semantics) with simpler code,
-//! and the paper's own evaluation disables realtime ingestion anyway.
+//! Rows are stored columnar from the first append (see [`crate::realtime`]):
+//! per-column mutable dictionaries plus chunked bit-packed forward vectors.
+//! Query access goes through [`MutableSegment::cut`], a *consistent cut* —
+//! the row high-water mark and dictionary generation captured under one
+//! lock. A cut is a real [`ImmutableSegment`] whose columns share the
+//! sealed chunks and sorted dictionary by `Arc`, so taking one is O(open
+//! tail + changed dictionaries), not O(total rows), and the batch kernels,
+//! pruning, and cost-based planning all see realtime segments exactly like
+//! offline ones (with exact zone maps, because the cut dictionary is exact
+//! at the high-water mark). Cuts are cached per `(epoch, high-water mark)`
+//! so repeated queries between appends share one view.
+//!
+//! The pre-columnar rebuild-everything path survives only as
+//! [`MutableSegment::snapshot_rebuild`], the benchmark baseline behind
+//! `PINOT_REALTIME_COLUMNAR=0`.
 
 use crate::builder::{BuilderConfig, SegmentBuilder};
+use crate::realtime::{self, MutableColumn};
 use crate::segment::ImmutableSegment;
 use pinot_common::{Record, Result, Schema};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// `PINOT_REALTIME_COLUMNAR=0` restores the legacy rebuild-on-query
+/// snapshot path (the benchmark baseline); anything else (or unset) serves
+/// queries from columnar consistent cuts.
+pub fn realtime_columnar_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("PINOT_REALTIME_COLUMNAR").map_or(true, |v| v != "0"))
+}
+
+/// Columnar state behind one lock: appends, cuts, and truncation all
+/// serialize here, which is what makes a cut consistent.
+struct Inner {
+    /// Next offset to consume (exclusive end of what we hold).
+    current_offset: u64,
+    /// Bumped by truncation so `(epoch, high-water)` cache keys can never
+    /// alias across a rollback that rewinds to the same offset.
+    epoch: u64,
+    num_rows: usize,
+    columns: Vec<MutableColumn>,
+}
+
+type ViewCache = Mutex<Option<((u64, u64), Arc<ImmutableSegment>)>>;
 
 /// A segment that is still consuming from the stream.
 pub struct MutableSegment {
@@ -26,11 +59,14 @@ pub struct MutableSegment {
     segment_name: String,
     table: String,
     start_offset: u64,
-    /// Next offset to consume (exclusive end of what we hold).
-    current_offset: Mutex<u64>,
-    rows: Mutex<Vec<Record>>,
-    /// Cached immutable view; invalidated on append.
-    snapshot: Mutex<Option<Arc<ImmutableSegment>>>,
+    inner: Mutex<Inner>,
+    /// Cached columnar cut, keyed by `(epoch, current_offset)`.
+    cut_cache: ViewCache,
+    /// Cached legacy rebuilt snapshot, same key.
+    legacy_cache: ViewCache,
+    /// Chunks sealed since the last [`take_chunks_sealed`] drain
+    /// (`realtime.chunks_sealed` metric).
+    chunks_sealed: AtomicU64,
     created_at_millis: i64,
 }
 
@@ -42,14 +78,25 @@ impl MutableSegment {
         start_offset: u64,
         created_at_millis: i64,
     ) -> MutableSegment {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|spec| MutableColumn::new(spec.clone()))
+            .collect();
         MutableSegment {
             schema,
             segment_name: segment_name.into(),
             table: table.into(),
             start_offset,
-            current_offset: Mutex::new(start_offset),
-            rows: Mutex::new(Vec::new()),
-            snapshot: Mutex::new(None),
+            inner: Mutex::new(Inner {
+                current_offset: start_offset,
+                epoch: 0,
+                num_rows: 0,
+                columns,
+            }),
+            cut_cache: Mutex::new(None),
+            legacy_cache: Mutex::new(None),
+            chunks_sealed: AtomicU64::new(0),
             created_at_millis,
         }
     }
@@ -68,15 +115,20 @@ impl MutableSegment {
 
     /// Offset of the next record this segment would consume.
     pub fn current_offset(&self) -> u64 {
-        *self.current_offset.lock().unwrap()
+        self.inner.lock().unwrap().current_offset
     }
 
     pub fn num_rows(&self) -> usize {
-        self.rows.lock().unwrap().len()
+        self.inner.lock().unwrap().num_rows
     }
 
     pub fn created_at_millis(&self) -> i64 {
         self.created_at_millis
+    }
+
+    /// Forward-vector chunks sealed since the last call (observability).
+    pub fn take_chunks_sealed(&self) -> u64 {
+        self.chunks_sealed.swap(0, Ordering::Relaxed)
     }
 
     /// Append one record consumed at `offset`. Offsets must arrive in
@@ -84,37 +136,103 @@ impl MutableSegment {
     /// compare positions by a single number in the completion protocol.
     pub fn append(&self, record: Record, offset: u64) -> Result<()> {
         let normalized = record.normalize(&self.schema)?;
-        let mut cur = self.current_offset.lock().unwrap();
-        if offset != *cur {
+        let values = normalized.into_values();
+        let mut inner = self.inner.lock().unwrap();
+        if offset != inner.current_offset {
             return Err(pinot_common::PinotError::Segment(format!(
                 "out-of-order append: expected offset {}, got {offset}",
-                *cur
+                inner.current_offset
             )));
         }
-        self.rows.lock().unwrap().push(normalized);
-        *cur += 1;
-        *self.snapshot.lock().unwrap() = None;
+        let mut sealed = 0usize;
+        for (column, value) in inner.columns.iter_mut().zip(&values) {
+            sealed += column.append(value)?;
+        }
+        inner.num_rows += 1;
+        inner.current_offset += 1;
+        drop(inner);
+        if sealed > 0 {
+            self.chunks_sealed
+                .fetch_add(sealed as u64, Ordering::Relaxed);
+        }
         Ok(())
     }
 
-    /// An immutable view of everything consumed so far. Cached between
-    /// appends so repeated queries don't rebuild.
-    pub fn snapshot(&self) -> Result<Arc<ImmutableSegment>> {
-        if let Some(s) = self.snapshot.lock().unwrap().as_ref() {
-            return Ok(Arc::clone(s));
+    /// A consistent cut of everything consumed so far: a cheap immutable
+    /// view (shared chunks + shared sorted dictionaries, cloned open
+    /// tails) taken at the current row high-water mark. Cached until the
+    /// next append or truncation.
+    pub fn cut(&self) -> Result<Arc<ImmutableSegment>> {
+        let mut inner = self.inner.lock().unwrap();
+        let key = (inner.epoch, inner.current_offset);
+        if let Some((k, seg)) = self.cut_cache.lock().unwrap().as_ref() {
+            if *k == key {
+                return Ok(Arc::clone(seg));
+            }
         }
-        let rows = self.rows.lock().unwrap().clone();
-        let end_offset = self.current_offset();
+        let rows = inner.num_rows;
+        let columns: Vec<_> = inner.columns.iter_mut().map(|c| c.cut(rows)).collect();
+        let end_offset = inner.current_offset;
+        drop(inner);
+        let config = BuilderConfig::new(self.segment_name.clone(), self.table.clone())
+            .with_offset_range(self.start_offset, end_offset);
+        let mut metadata = realtime::assemble_metadata(&self.schema, &config, &columns, rows);
+        metadata.created_at_millis = self.created_at_millis;
+        let seg = Arc::new(ImmutableSegment::new(
+            metadata,
+            self.schema.clone(),
+            columns,
+        ));
+        *self.cut_cache.lock().unwrap() = Some((key, Arc::clone(&seg)));
+        Ok(seg)
+    }
+
+    /// An immutable view of everything consumed so far. Compat shim over
+    /// [`cut`](MutableSegment::cut) — kept because tests and tooling built
+    /// against the pre-columnar API call it.
+    pub fn snapshot(&self) -> Result<Arc<ImmutableSegment>> {
+        self.cut()
+    }
+
+    /// The legacy rebuild-the-world snapshot: reconstruct every row and
+    /// push it through [`SegmentBuilder`], O(total rows) per change. Kept
+    /// as the measurable baseline behind `PINOT_REALTIME_COLUMNAR=0`.
+    pub fn snapshot_rebuild(&self) -> Result<Arc<ImmutableSegment>> {
+        let inner = self.inner.lock().unwrap();
+        let key = (inner.epoch, inner.current_offset);
+        if let Some((k, seg)) = self.legacy_cache.lock().unwrap().as_ref() {
+            if *k == key {
+                return Ok(Arc::clone(seg));
+            }
+        }
+        let rows = inner.num_rows;
+        let end_offset = inner.current_offset;
+        let mut per_col: Vec<std::vec::IntoIter<pinot_common::Value>> = inner
+            .columns
+            .iter()
+            .map(|c| c.values_for_rebuild(rows).into_iter())
+            .collect();
+        drop(inner);
+        let records: Vec<Record> = (0..rows)
+            .map(|_| {
+                Record::new(
+                    per_col
+                        .iter_mut()
+                        .map(|it| it.next().expect("column length matches row count"))
+                        .collect(),
+                )
+            })
+            .collect();
         let mut builder = SegmentBuilder::new(
             self.schema.clone(),
             BuilderConfig::new(self.segment_name.clone(), self.table.clone())
                 .with_offset_range(self.start_offset, end_offset),
         )?;
-        for r in rows {
+        for r in records {
             builder.add(r)?;
         }
         let seg = Arc::new(builder.build()?);
-        *self.snapshot.lock().unwrap() = Some(Arc::clone(&seg));
+        *self.legacy_cache.lock().unwrap() = Some((key, Arc::clone(&seg)));
         Ok(seg)
     }
 
@@ -125,36 +243,45 @@ impl MutableSegment {
     }
 
     /// [`seal`](MutableSegment::seal) with column/index builds fanned out on
-    /// a task pool (the server passes its execution pool here).
+    /// a task pool (the server passes its execution pool here). Sealing
+    /// works directly from the columnar store — dictionaries are shared and
+    /// forward ids remapped, never a `Vec<Record>` re-added row by row.
     pub fn seal_with_pool(
         &self,
         mut config: BuilderConfig,
         pool: Option<&pinot_taskpool::TaskPool>,
     ) -> Result<ImmutableSegment> {
+        let mut inner = self.inner.lock().unwrap();
         config.segment_name = self.segment_name.clone();
         config.table = self.table.clone();
-        config.offset_range = Some((self.start_offset, self.current_offset()));
+        config.offset_range = Some((self.start_offset, inner.current_offset));
         config.created_at_millis = self.created_at_millis;
-        let rows = self.rows.lock().unwrap().clone();
-        let mut builder = SegmentBuilder::new(self.schema.clone(), config)?;
-        for r in rows {
-            builder.add(r)?;
-        }
-        builder.build_with_pool(pool)
+        let rows = inner.num_rows;
+        let inputs = realtime::seal_inputs(&mut inner.columns, rows);
+        drop(inner);
+        realtime::seal_from_columnar(&self.schema, &config, inputs, rows, pool)
     }
 
     /// Drop rows past `offset` (completion-protocol CATCHUP/DISCARD repair
     /// never needs this in the happy path, but a replica that over-consumed
-    /// relative to the committed copy truncates before re-fetching).
+    /// relative to the committed copy truncates before re-fetching). Rolls
+    /// the columnar state back too: forward-vector lengths shrink and each
+    /// dictionary truncates to its surviving high-water id.
     pub fn truncate_to_offset(&self, offset: u64) {
-        let mut cur = self.current_offset.lock().unwrap();
-        if offset >= *cur {
+        let mut inner = self.inner.lock().unwrap();
+        if offset >= inner.current_offset {
             return;
         }
         let keep = (offset - self.start_offset) as usize;
-        self.rows.lock().unwrap().truncate(keep);
-        *cur = offset;
-        *self.snapshot.lock().unwrap() = None;
+        for column in inner.columns.iter_mut() {
+            column.truncate(keep);
+        }
+        inner.num_rows = keep;
+        inner.current_offset = offset;
+        inner.epoch += 1;
+        drop(inner);
+        *self.cut_cache.lock().unwrap() = None;
+        *self.legacy_cache.lock().unwrap() = None;
     }
 }
 
@@ -207,6 +334,8 @@ mod tests {
         ms.append(rec(3, 30, 7), 102).unwrap();
         let snap3 = ms.snapshot().unwrap();
         assert_eq!(snap3.num_docs(), 3);
+        // The earlier cut is immutable: still two docs.
+        assert_eq!(snap.num_docs(), 2);
     }
 
     #[test]
@@ -256,5 +385,130 @@ mod tests {
         // Can continue consuming from the truncation point.
         ms.append(rec(9, 9, 9), 12).unwrap();
         assert_eq!(ms.num_rows(), 3);
+    }
+
+    /// Over-consumed-replica repair: truncation must roll back the
+    /// dictionary high-water mark and forward lengths, and the cut cache
+    /// must never serve a pre-truncation view for the same offset.
+    #[test]
+    fn truncate_rolls_back_columnar_state() {
+        let ms = MutableSegment::new(schema(), "s", "t", 0, 0);
+        for i in 0..6 {
+            ms.append(rec(100 + i, i, i), i as u64).unwrap();
+        }
+        let before = ms.cut().unwrap();
+        assert_eq!(before.column("k").unwrap().dictionary.cardinality(), 6);
+
+        ms.truncate_to_offset(4);
+        let after = ms.cut().unwrap();
+        assert_eq!(after.num_docs(), 4);
+        // Dictionary high-water rolled back: values 104/105 are gone.
+        let kd = &after.column("k").unwrap().dictionary;
+        assert_eq!(kd.cardinality(), 4);
+        assert_eq!(kd.max_value(), Some(Value::Long(103)));
+        assert_eq!(kd.id_of(&Value::Long(104)), None);
+
+        // Re-consume the repaired offsets with *different* rows; a cut at
+        // the same high-water offset must reflect them (epoch key).
+        ms.append(rec(777, 0, 9), 4).unwrap();
+        ms.append(rec(888, 0, 9), 5).unwrap();
+        let repaired = ms.cut().unwrap();
+        assert_eq!(repaired.num_docs(), 6);
+        let kd = &repaired.column("k").unwrap().dictionary;
+        assert!(kd.id_of(&Value::Long(777)).is_some());
+        assert!(kd.id_of(&Value::Long(104)).is_none());
+        assert_eq!(repaired.metadata().offset_range, Some((0, 6)));
+        // Time bounds (zone maps) reflect the repaired rows.
+        assert_eq!(repaired.metadata().max_time, Some(9));
+        // The pre-truncation cut is untouched.
+        assert_eq!(before.num_docs(), 6);
+        assert_eq!(
+            before.column("k").unwrap().dictionary.max_value(),
+            Some(Value::Long(105))
+        );
+    }
+
+    /// The columnar seal must produce the same segment a row-wise
+    /// `SegmentBuilder` build does — metadata, per-doc values, indexes.
+    #[test]
+    fn columnar_seal_matches_row_built_segment() {
+        let mv = Schema::new(
+            "t",
+            vec![
+                FieldSpec::dimension("k", DataType::Long),
+                FieldSpec::dimension("c", DataType::String),
+                FieldSpec::multi_value_dimension("tags", DataType::String),
+                FieldSpec::metric("m", DataType::Double),
+                FieldSpec::time("ts", DataType::Long, TimeUnit::Seconds),
+            ],
+        )
+        .unwrap();
+        let row = |i: i64| {
+            Record::new(vec![
+                Value::Long(i % 7),
+                Value::String(format!("c{}", i % 3)),
+                Value::StringArray(vec![format!("t{}", i % 5), format!("t{}", i % 2)]),
+                Value::Double((i * 13 % 29) as f64 / 2.0),
+                Value::Long(1000 + i),
+            ])
+        };
+        let cfg = || {
+            BuilderConfig::new("seg", "t_REALTIME")
+                .with_sort_columns(&["k"])
+                .with_inverted_columns(&["c"])
+                .with_bloom_columns(&["c"])
+                .with_offset_range(0, 500)
+        };
+
+        let ms = MutableSegment::new(mv.clone(), "seg", "t_REALTIME", 0, 0);
+        let mut builder = SegmentBuilder::new(mv, cfg()).unwrap();
+        for i in 0..500 {
+            ms.append(row(i), i as u64).unwrap();
+            builder.add(row(i)).unwrap();
+        }
+        let sealed = ms.seal(cfg()).unwrap();
+        let reference = builder.build().unwrap();
+
+        assert_eq!(sealed.metadata(), reference.metadata());
+        for d in 0..500u32 {
+            for col in ["k", "c", "tags", "m", "ts"] {
+                assert_eq!(
+                    sealed.column(col).unwrap().value(d),
+                    reference.column(col).unwrap().value(d),
+                    "doc {d} column {col}"
+                );
+            }
+        }
+        assert_eq!(
+            sealed.column("k").unwrap().sorted,
+            reference.column("k").unwrap().sorted
+        );
+        assert_eq!(
+            sealed.column("c").unwrap().inverted,
+            reference.column("c").unwrap().inverted
+        );
+    }
+
+    /// Cuts must agree with the legacy rebuilt snapshot on every doc.
+    #[test]
+    fn cut_matches_legacy_rebuild() {
+        let ms = MutableSegment::new(schema(), "s", "t", 0, 0);
+        for i in 0..1500 {
+            ms.append(rec(i % 11, i * 3, 50 + i % 9), i as u64).unwrap();
+        }
+        let cut = ms.cut().unwrap();
+        let legacy = ms.snapshot_rebuild().unwrap();
+        assert_eq!(cut.metadata().num_docs, legacy.metadata().num_docs);
+        assert_eq!(cut.metadata().min_time, legacy.metadata().min_time);
+        assert_eq!(cut.metadata().max_time, legacy.metadata().max_time);
+        for d in 0..1500u32 {
+            for col in ["k", "m", "ts"] {
+                assert_eq!(
+                    cut.column(col).unwrap().value(d),
+                    legacy.column(col).unwrap().value(d),
+                    "doc {d} column {col}"
+                );
+            }
+        }
     }
 }

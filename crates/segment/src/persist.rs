@@ -569,6 +569,15 @@ fn write_column(buf: &mut BytesMut, col: &ColumnData, version: u16) {
             }
             write_packed(buf, ids);
         }
+        // Realtime cut views canonicalize to a plain packed vector: the
+        // on-disk format has no chunked form (sealing rebuilds columns
+        // anyway; serializing a cut is only reachable from tests/tools).
+        chunked @ ForwardIndex::ChunkedSingle { len, .. } => {
+            let mut ids = vec![0u32; *len];
+            chunked.read_block(0, &mut ids);
+            buf.put_u8(0);
+            write_packed(buf, &PackedIntVec::from_slice(&ids));
+        }
     }
     match &col.inverted {
         Some(inv) => {
@@ -715,7 +724,7 @@ fn read_column(buf: &mut Bytes, spec: FieldSpec, version: u16) -> Result<ColumnD
     }
     Ok(ColumnData {
         spec,
-        dictionary,
+        dictionary: std::sync::Arc::new(dictionary),
         forward,
         inverted,
         sorted,

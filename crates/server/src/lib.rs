@@ -46,6 +46,27 @@ use tenancy::{TenantThrottle, TokenBucketConfig};
 /// Records pulled from the stream per consume tick and per segment.
 const CONSUME_BATCH: usize = 1024;
 
+/// `PINOT_INGEST_PARALLEL=0` advances consuming partitions serially on
+/// the tick thread; anything else (or unset) fans them out as one task
+/// per partition on the server's pool.
+pub fn ingest_parallel_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("PINOT_INGEST_PARALLEL").map_or(true, |v| v != "0"))
+}
+
+/// Backpressure cap on total buffered (unsealed) rows across one server's
+/// consuming segments — above it, fetching pauses until sealing drains
+/// the backlog. `PINOT_INGEST_MAX_BUFFERED_ROWS` overrides.
+pub fn ingest_max_buffered_rows_default() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("PINOT_INGEST_MAX_BUFFERED_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4_000_000)
+    })
+}
+
 struct ConsumingSegment {
     mutable: Arc<MutableSegment>,
     consumer: Mutex<PartitionConsumer>,
@@ -113,6 +134,19 @@ pub struct Server {
     /// Per-server access-path strategy override for filter leaves;
     /// `None` falls back to the `PINOT_EXEC_PLANNER` env default.
     exec_planner: RwLock<Option<PlannerMode>>,
+    /// Serve consuming segments from columnar consistent cuts (`true`,
+    /// the default) or the legacy rebuild-on-query snapshot (`false`,
+    /// the benchmark baseline); `None` falls back to the
+    /// `PINOT_REALTIME_COLUMNAR` env default.
+    realtime_columnar: RwLock<Option<bool>>,
+    /// Advance consuming partitions concurrently on the task pool;
+    /// `None` falls back to the `PINOT_INGEST_PARALLEL` env default.
+    ingest_parallel: RwLock<Option<bool>>,
+    /// Backpressure cap: total buffered (unsealed) rows across this
+    /// server's consuming segments above which consumption pauses until
+    /// sealing drains the backlog; `None` falls back to the
+    /// `PINOT_INGEST_MAX_BUFFERED_ROWS` env default.
+    ingest_max_buffered_rows: RwLock<Option<usize>>,
     /// Calibrated per-doc scan cost feeding the fan-out gate, refreshed
     /// from the `exec.scan_ns_per_doc` histogram every
     /// [`CALIBRATE_EVERY`] requests. Only ever affects *scheduling*
@@ -187,6 +221,9 @@ impl Server {
             exec_morsel_docs: RwLock::new(None),
             exec_fanout_ns: RwLock::new(None),
             exec_planner: RwLock::new(None),
+            realtime_columnar: RwLock::new(None),
+            ingest_parallel: RwLock::new(None),
+            ingest_max_buffered_rows: RwLock::new(None),
             exec_ns_per_doc: RwLock::new(pinot_exec::morsel::DEFAULT_NS_PER_DOC),
             exec_requests: AtomicU64::new(0),
         })
@@ -229,6 +266,50 @@ impl Server {
     /// byte-identical results. See `ClusterConfig::with_exec_planner`.
     pub fn set_exec_planner(&self, mode: Option<PlannerMode>) {
         *self.exec_planner.write() = mode;
+    }
+
+    /// Serve consuming segments from columnar cuts (`Some(true)`) or the
+    /// legacy rebuilt snapshot (`Some(false)`, the benchmark baseline);
+    /// `None` restores the `PINOT_REALTIME_COLUMNAR` env default. Both
+    /// modes yield byte-identical results.
+    pub fn set_realtime_columnar(&self, columnar: Option<bool>) {
+        *self.realtime_columnar.write() = columnar;
+    }
+
+    /// Advance consuming partitions concurrently (`Some(true)`) or
+    /// serially (`Some(false)`); `None` restores the
+    /// `PINOT_INGEST_PARALLEL` env default. Per-partition ordering is
+    /// preserved either way — one task per consuming segment.
+    pub fn set_ingest_parallel(&self, parallel: Option<bool>) {
+        *self.ingest_parallel.write() = parallel;
+    }
+
+    /// Override the ingestion backpressure cap (total buffered rows
+    /// across consuming segments); `None` restores the
+    /// `PINOT_INGEST_MAX_BUFFERED_ROWS` env default.
+    pub fn set_ingest_max_buffered_rows(&self, rows: Option<usize>) {
+        *self.ingest_max_buffered_rows.write() = rows;
+    }
+
+    fn realtime_columnar(&self) -> bool {
+        (*self.realtime_columnar.read()).unwrap_or_else(pinot_segment::realtime_columnar_default)
+    }
+
+    /// Cut (or legacy-rebuild) view of a consuming segment for queries,
+    /// with the `realtime.query_cut_rows` counter.
+    fn consuming_view(
+        &self,
+        consuming: &ConsumingSegment,
+    ) -> Result<Arc<pinot_segment::ImmutableSegment>> {
+        let view = if self.realtime_columnar() {
+            consuming.mutable.cut()?
+        } else {
+            consuming.mutable.snapshot_rebuild()?
+        };
+        self.obs
+            .metrics
+            .counter_add("realtime.query_cut_rows", view.num_docs() as u64);
+        Ok(view)
     }
 
     /// The fan-out cost model as currently calibrated.
@@ -468,9 +549,72 @@ impl Server {
                 })
                 .collect()
         };
-        let mut ingested = 0usize;
-        for (qualified, segment, consuming) in work {
-            ingested += self.tick_segment(&qualified, &segment, &consuming)?;
+        if work.is_empty() {
+            return Ok(0);
+        }
+
+        // Memory backpressure: when the server holds too many unsealed
+        // rows, pause fetching this tick. Completion steps still run, so
+        // segments past their end criteria seal and drain the backlog.
+        let buffered: usize = work.iter().map(|(_, _, c)| c.mutable.num_rows()).sum();
+        let max_buffered = (*self.ingest_max_buffered_rows.read())
+            .unwrap_or_else(ingest_max_buffered_rows_default);
+        let paused = buffered >= max_buffered;
+        if paused {
+            self.obs
+                .metrics
+                .counter_add("ingest.backpressure_stalls", 1);
+        }
+
+        // One task per consuming segment: partitions advance concurrently
+        // while each partition's appends stay ordered (a segment is only
+        // ever ticked by its own task).
+        let started = std::time::Instant::now();
+        let parallel = (*self.ingest_parallel.read()).unwrap_or_else(ingest_parallel_default)
+            && work.len() > 1;
+        let ingested = if parallel {
+            let pool = self.task_pool();
+            let slots: Vec<Mutex<Option<Result<usize>>>> =
+                work.iter().map(|_| Default::default()).collect();
+            pool.scope(|scope| {
+                for ((qualified, segment, consuming), slot) in work.iter().zip(&slots) {
+                    scope.spawn(move || {
+                        *slot.lock() =
+                            Some(self.tick_segment(qualified, segment, consuming, paused));
+                    });
+                }
+            });
+            let mut total = 0usize;
+            for slot in slots {
+                total += slot
+                    .into_inner()
+                    .expect("scope joined every partition task")?;
+            }
+            total
+        } else {
+            let mut total = 0usize;
+            for (qualified, segment, consuming) in &work {
+                total += self.tick_segment(qualified, segment, consuming, paused)?;
+            }
+            total
+        };
+
+        let chunks: u64 = work
+            .iter()
+            .map(|(_, _, c)| c.mutable.take_chunks_sealed())
+            .sum();
+        if chunks > 0 {
+            self.obs
+                .metrics
+                .counter_add("realtime.chunks_sealed", chunks);
+        }
+        if ingested > 0 {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                self.obs
+                    .metrics
+                    .gauge_set("ingest.rows_per_sec", (ingested as f64 / secs) as i64);
+            }
         }
         Ok(ingested)
     }
@@ -480,6 +624,7 @@ impl Server {
         qualified: &str,
         segment: &str,
         consuming: &Arc<ConsumingSegment>,
+        paused: bool,
     ) -> Result<usize> {
         let (flush_rows, flush_millis, topic_name) = self.with_table(qualified, |state| {
             let s = state.config.stream.as_ref().ok_or_else(|| {
@@ -493,7 +638,7 @@ impl Server {
         })?;
 
         let mut ingested = 0usize;
-        if !consuming.reached_end.load(Ordering::SeqCst) {
+        if !consuming.reached_end.load(Ordering::SeqCst) && !paused {
             // Stream fetch with injected-fault awareness and bounded retry:
             // transient failures back off and re-poll; a persistently
             // failing (stalled) partition skips this tick, letting the lag
@@ -540,6 +685,11 @@ impl Server {
                     break;
                 }
             }
+        }
+        // End criteria are evaluated even when backpressure paused the
+        // fetch: a paused segment must still seal (by size or age) so the
+        // buffered backlog drains instead of deadlocking against the pause.
+        if !consuming.reached_end.load(Ordering::SeqCst) {
             let rows = consuming.mutable.num_rows();
             let age = self.clock.now_millis() - consuming.mutable.created_at_millis();
             if rows >= flush_rows || (rows > 0 && age >= flush_millis) {
@@ -670,7 +820,7 @@ impl Server {
         consuming: &Arc<ConsumingSegment>,
     ) -> Result<pinot_segment::ImmutableSegment> {
         let pool = self.task_pool();
-        self.with_table(qualified, |state| {
+        let cfg = self.with_table(qualified, |state| {
             let mut cfg = BuilderConfig::new("", "");
             if let Some(sorted) = &state.config.indexing.sorted_column {
                 cfg.sort_columns = vec![sorted.clone()];
@@ -688,10 +838,15 @@ impl Server {
                     num_partitions: *num_partitions,
                 });
             }
-            // Column/index builds for the completing segment run as pool
-            // tasks (the stream path's share of the execution pool).
-            consuming.mutable.seal_with_pool(cfg, Some(&pool))
-        })
+            Ok(cfg)
+        })?;
+        // Column/index builds for the completing segment run as pool tasks
+        // (the stream path's share of the execution pool). This must happen
+        // OUTSIDE `with_table`: the nested scope's help-while-wait can pick
+        // up another consuming segment's tick task, and if that task
+        // completes it takes `tables.write()` on this very thread — a
+        // self-deadlock if we were still holding the read lock here.
+        consuming.mutable.seal_with_pool(cfg, Some(&pool))
     }
 
     // ---- query execution ----
@@ -973,9 +1128,10 @@ impl Server {
                 return Ok(Some(h.clone()));
             }
             if let Some(c) = state.consuming.get(seg_name) {
-                // Query the consuming segment's snapshot — this is the
-                // near-realtime visibility path.
-                return Ok(Some(SegmentHandle::new(c.mutable.snapshot()?)));
+                // Query a consistent cut of the consuming segment — the
+                // near-realtime visibility path. Row high-water mark +
+                // dictionary generation under one lock; no row copying.
+                return Ok(Some(SegmentHandle::new(self.consuming_view(c)?)));
             }
             Ok(None)
         })?;
@@ -1068,13 +1224,12 @@ impl Server {
             let mut consuming: Vec<&String> = state.consuming.keys().collect();
             consuming.sort();
             for name in consuming {
-                let handle = SegmentHandle::new(state.consuming[name].mutable.snapshot()?);
-                out.push(explain_segment(
-                    &handle,
-                    query,
-                    time_column.as_deref(),
-                    &opts,
-                )?);
+                let view = self.consuming_view(&state.consuming[name])?;
+                let cut_rows = view.num_docs() as u64;
+                let handle = SegmentHandle::new(view);
+                let mut e = explain_segment(&handle, query, time_column.as_deref(), &opts)?;
+                e.realtime_cut_rows = Some(cut_rows);
+                out.push(e);
             }
             Ok(out)
         })
